@@ -1,0 +1,80 @@
+// Experiment F4 (paper Fig. 4, §5.1): upstream box sliding.
+//
+// A source sub-network on machine 0 feeds a Filter running on machine 1
+// across the link. Sliding the Filter upstream (onto machine 0) means only
+// the *selected* tuples cross the link. The paper's claim: "shifting a box
+// upstream is often useful if the box has a low selectivity and the
+// bandwidth of the connection is limited". The bench sweeps selectivity and
+// reports bytes crossing the link per input tuple, unslid vs slid.
+// Expected shape: slid bytes/tuple ≈ selectivity × unslid bytes/tuple.
+#include "bench/bench_util.h"
+#include "distributed/box_slider.h"
+
+namespace aurora {
+namespace bench {
+namespace {
+
+void BM_UpstreamSlide(benchmark::State& state) {
+  const int selectivity_pct = static_cast<int>(state.range(0));
+  const bool slide = state.range(1) != 0;
+  const int kTuples = 2000;
+  for (auto _ : state) {
+    Cluster cluster(2);
+    GlobalQuery q;
+    AURORA_CHECK(q.AddInput("in", SchemaAB()).ok());
+    // "src" pins the data source's side of the link on machine 0.
+    AURORA_CHECK(q.AddBox("src", FilterSpec(Predicate::True())).ok());
+    AURORA_CHECK(
+        q.AddBox("f", FilterSpec(Predicate::Compare(
+                          "B", CompareOp::kLt,
+                          Value(static_cast<int64_t>(selectivity_pct)))))
+            .ok());
+    AURORA_CHECK(q.AddOutput("out").ok());
+    AURORA_CHECK(q.ConnectInputToBox("in", "src").ok());
+    AURORA_CHECK(q.ConnectBoxes("src", 0, "f", 0).ok());
+    AURORA_CHECK(q.ConnectBoxToOutput("f", 0, "out").ok());
+    auto deployed =
+        DeployQuery(cluster.system.get(), q, {{"src", 0}, {"f", 1}});
+    AURORA_CHECK(deployed.ok());
+
+    uint64_t delivered = 0;
+    AURORA_CHECK(
+        cluster.system
+            ->CollectOutput(1, "out",
+                            [&](const Tuple&, SimTime) { ++delivered; })
+            .ok());
+    if (slide) {
+      BoxSlider slider(cluster.system.get());
+      auto result =
+          slider.Slide(&*deployed, "f", 0, SlideMode::kRemoteDefinition);
+      AURORA_CHECK(result.ok()) << result.status().ToString();
+    }
+    InjectAtRate(&cluster, 0, "in", kTuples, 10'000.0, /*mod=*/100);
+    cluster.sim.RunUntil(SimTime::Seconds(2));
+
+    state.counters["selectivity_pct"] = selectivity_pct;
+    state.counters["delivered"] = static_cast<double>(delivered);
+    state.counters["link_bytes_0to1"] =
+        static_cast<double>(cluster.net->LinkBytesSent(0, 1));
+    state.counters["bytes_per_input_tuple"] =
+        static_cast<double>(cluster.net->LinkBytesSent(0, 1)) / kTuples;
+  }
+}
+BENCHMARK(BM_UpstreamSlide)
+    ->ArgNames({"sel_pct", "slid"})
+    ->Args({10, 0})
+    ->Args({10, 1})
+    ->Args({25, 0})
+    ->Args({25, 1})
+    ->Args({50, 0})
+    ->Args({50, 1})
+    ->Args({90, 0})
+    ->Args({90, 1})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace aurora
+
+BENCHMARK_MAIN();

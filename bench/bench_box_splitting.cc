@@ -1,0 +1,114 @@
+// Experiments F5/F7 (paper Figs. 5 and 7, §5.1): box splitting for
+// parallelism. An expensive Filter saturates one machine; splitting it
+// across 1..4 machines with hash-partition routing predicates divides the
+// load. Reported shape: delivered throughput scales with machines until
+// the input rate is met, and per-machine utilization drops.
+#include "bench/bench_util.h"
+#include "distributed/box_splitter.h"
+
+namespace aurora {
+namespace bench {
+namespace {
+
+void BM_SplitScaling(benchmark::State& state) {
+  const int machines = static_cast<int>(state.range(0));
+  const int kTuples = 3000;
+  const double kRate = 4000.0;  // tuples/sec
+  for (auto _ : state) {
+    Cluster cluster(4);
+    GlobalQuery q;
+    AURORA_CHECK(q.AddInput("in", SchemaAB()).ok());
+    OperatorSpec heavy = FilterSpec(Predicate::True());
+    heavy.SetParam("cost_us", Value(900.0));  // ~0.9ms per tuple: 1 machine
+                                              // sustains ~1.1k tuples/s
+    AURORA_CHECK(q.AddBox("work", heavy).ok());
+    AURORA_CHECK(q.AddOutput("out").ok());
+    AURORA_CHECK(q.ConnectInputToBox("in", "work").ok());
+    AURORA_CHECK(q.ConnectBoxToOutput("work", 0, "out").ok());
+    auto deployed = DeployQuery(cluster.system.get(), q, {{"work", 0}});
+    AURORA_CHECK(deployed.ok());
+    uint64_t delivered = 0;
+    AURORA_CHECK(
+        cluster.system
+            ->CollectOutput(0, "out",
+                            [&](const Tuple&, SimTime) { ++delivered; })
+            .ok());
+    // Split the worker (machines-1) times, hash-partitioning A so the load
+    // divides evenly; each split peels half of the remaining partition off
+    // ("half of the available streams", §5.2).
+    BoxSplitter splitter(cluster.system.get());
+    std::string victim = "work";
+    for (int m = 1; m < machines; ++m) {
+      SplitRequest req;
+      req.box_name = victim;
+      // Chain of two-way splits that ends with an even M-way partition:
+      // round m keeps hash%M == m-1 at the current machine and passes the
+      // residual population onward.
+      req.partition = Predicate::HashPartition(
+          "A", static_cast<uint32_t>(machines), static_cast<uint32_t>(m - 1));
+      req.dst_node = m;
+      auto result = splitter.Split(&*deployed, req);
+      AURORA_CHECK(result.ok()) << result.status().ToString();
+      victim = result->copy_name;  // split the residual copy next round
+    }
+    InjectAtRate(&cluster, 0, "in", kTuples, kRate, /*mod=*/1000);
+    double horizon_s = kTuples / kRate + 0.5;
+    cluster.sim.RunUntil(SimTime::Seconds(horizon_s));
+
+    state.counters["machines"] = machines;
+    state.counters["delivered"] = static_cast<double>(delivered);
+    state.counters["throughput_tps"] =
+        static_cast<double>(delivered) / horizon_s;
+    // How far behind the single bottleneck machine is.
+    state.counters["backlog_node0"] = static_cast<double>(
+        cluster.system->node(0).engine().TotalQueuedTuples());
+  }
+}
+BENCHMARK(BM_SplitScaling)
+    ->ArgName("machines")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Fig. 7: remapping after a split — the parallel branches land on separate
+// machines and both carry load.
+void BM_SplitRemapBalance(benchmark::State& state) {
+  for (auto _ : state) {
+    Cluster cluster(2);
+    GlobalQuery q;
+    AURORA_CHECK(q.AddInput("in", SchemaAB()).ok());
+    OperatorSpec heavy = FilterSpec(Predicate::True());
+    heavy.SetParam("cost_us", Value(400.0));
+    AURORA_CHECK(q.AddBox("b", heavy).ok());
+    AURORA_CHECK(q.AddOutput("out").ok());
+    AURORA_CHECK(q.ConnectInputToBox("in", "b").ok());
+    AURORA_CHECK(q.ConnectBoxToOutput("b", 0, "out").ok());
+    auto deployed = DeployQuery(cluster.system.get(), q, {{"b", 0}});
+    AURORA_CHECK(deployed.ok());
+    BoxSplitter splitter(cluster.system.get());
+    SplitRequest req;
+    req.box_name = "b";
+    req.partition = Predicate::HashPartition("A", 2, 0);
+    req.dst_node = 1;
+    AURORA_CHECK(splitter.Split(&*deployed, req).ok());
+    InjectAtRate(&cluster, 0, "in", 2000, 3000.0, /*mod=*/1000);
+    cluster.sim.RunUntil(SimTime::Seconds(1.5));
+    auto tuples_in = [&](const std::string& name) -> double {
+      const auto& placed = deployed->boxes.at(name);
+      auto op = cluster.system->node(placed.node).engine().BoxOp(placed.box);
+      return op.ok() ? static_cast<double>((*op)->tuples_in()) : 0.0;
+    };
+    state.counters["machine1_tuples"] = tuples_in("b");
+    state.counters["machine2_tuples"] = tuples_in("b/copy");
+  }
+}
+BENCHMARK(BM_SplitRemapBalance)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace aurora
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// Experiment C2 (paper §4.1): the DHT-backed inter-participant catalog
+// "efficiently locates nodes for any key-value binding, and scales with
+// the number of nodes and the number of objects".
+//
+// Reported shapes: Chord lookup hops grow as O(log N); virtual nodes
+// flatten the per-node storage distribution; lookup cost per entry is
+// independent of the number of stored objects.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "dht/dht_catalog.h"
+
+namespace aurora {
+namespace bench {
+namespace {
+
+void BM_LookupHopsVsNodes(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ConsistentHashRing ring(1);
+  for (int i = 0; i < n; ++i) {
+    AURORA_CHECK(ring.AddNode(i, "node" + std::to_string(i)).ok());
+  }
+  Rng rng(7);
+  double total_hops = 0;
+  int lookups = 0;
+  for (auto _ : state) {
+    std::string key = "participant/stream" + std::to_string(rng.Next() % 100000);
+    NodeId from = static_cast<NodeId>(rng.Uniform(static_cast<uint64_t>(n)));
+    auto result = ring.Lookup(from, key);
+    AURORA_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->owner);
+    total_hops += result->hops;
+    ++lookups;
+  }
+  state.counters["nodes"] = n;
+  state.counters["avg_hops"] = total_hops / lookups;
+  state.counters["log2_nodes"] = std::log2(static_cast<double>(n));
+}
+BENCHMARK(BM_LookupHopsVsNodes)
+    ->ArgName("nodes")
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024);
+
+void BM_StorageEvennessVsVnodes(benchmark::State& state) {
+  const int vnodes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    DhtCatalog catalog(vnodes, 1);
+    const int n = 16;
+    for (int i = 0; i < n; ++i) {
+      AURORA_CHECK(catalog.AddNode(i, "node" + std::to_string(i)).ok());
+    }
+    for (int k = 0; k < 2000; ++k) {
+      AURORA_CHECK(catalog
+                       .Put(QualifiedName{"p", "entity" + std::to_string(k)},
+                            DhtEntry{"stream", {}, {}})
+                       .ok());
+    }
+    double mean = 2000.0 / n;
+    double var = 0, max_load = 0;
+    for (int i = 0; i < n; ++i) {
+      double load = static_cast<double>(catalog.StoredOn(i));
+      var += (load - mean) * (load - mean);
+      max_load = std::max(max_load, load);
+    }
+    state.counters["vnodes"] = vnodes;
+    state.counters["stddev_over_mean"] = std::sqrt(var / n) / mean;
+    state.counters["max_over_mean"] = max_load / mean;
+  }
+}
+BENCHMARK(BM_StorageEvennessVsVnodes)
+    ->ArgName("vnodes")
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GetThroughputVsEntries(benchmark::State& state) {
+  const int entries = static_cast<int>(state.range(0));
+  DhtCatalog catalog(8, 2);
+  for (int i = 0; i < 32; ++i) {
+    AURORA_CHECK(catalog.AddNode(i, "node" + std::to_string(i)).ok());
+  }
+  for (int k = 0; k < entries; ++k) {
+    AURORA_CHECK(catalog
+                     .Put(QualifiedName{"p", "e" + std::to_string(k)},
+                          DhtEntry{"stream", {1, 2, 3}, {0}})
+                     .ok());
+  }
+  Rng rng(11);
+  for (auto _ : state) {
+    int k = static_cast<int>(rng.Uniform(static_cast<uint64_t>(entries)));
+    auto got = catalog.Get(static_cast<NodeId>(rng.Uniform(32)),
+                           QualifiedName{"p", "e" + std::to_string(k)});
+    AURORA_CHECK(got.ok());
+    benchmark::DoNotOptimize(got->entry.kind);
+  }
+  state.counters["entries"] = entries;
+}
+BENCHMARK(BM_GetThroughputVsEntries)
+    ->ArgName("entries")
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000);
+
+}  // namespace
+}  // namespace bench
+}  // namespace aurora
+
+BENCHMARK_MAIN();

@@ -1,0 +1,147 @@
+// Experiments C3/C4 (paper §6.2–6.4): high-availability cost spectrum.
+//
+// C4 — upstream backup vs process pairs on the same workload:
+//   runtime messages/bytes (upstream backup ≪ process pairs) vs recovery
+//   work (upstream backup replays more).
+// C3 — K virtual machines interpolate between the two extremes: runtime
+//   messages rise with K while recovery work falls as 1/K.
+#include "bench/bench_util.h"
+#include "ha/process_pair.h"
+#include "ha/upstream_backup.h"
+#include "ha/vm_tradeoff.h"
+
+namespace aurora {
+namespace bench {
+namespace {
+
+// Three-server chain under steady traffic; crash s2 at t=1.5s; run to 4s.
+void BM_UpstreamBackupVsProcessPair(benchmark::State& state) {
+  const bool use_process_pair = state.range(0) != 0;
+  for (auto _ : state) {
+    Cluster cluster(4);  // s1, s2, s3 + dedicated process-pair backup
+    GlobalQuery q;
+    AURORA_CHECK(q.AddInput("in", SchemaAB()).ok());
+    AURORA_CHECK(q.AddBox("f", FilterSpec(Predicate::True())).ok());
+    AURORA_CHECK(
+        q.AddBox("m", MapSpec({{"A", Expr::FieldRef("A")},
+                               {"B", Expr::FieldRef("B")}}))
+            .ok());
+    AURORA_CHECK(q.AddBox("t", TumbleSpec("cnt", "B", {"A"})).ok());
+    AURORA_CHECK(q.AddOutput("out").ok());
+    AURORA_CHECK(q.ConnectInputToBox("in", "f").ok());
+    AURORA_CHECK(q.ConnectBoxes("f", 0, "m", 0).ok());
+    AURORA_CHECK(q.ConnectBoxes("m", 0, "t", 0).ok());
+    AURORA_CHECK(q.ConnectBoxToOutput("t", 0, "out").ok());
+    auto deployed =
+        DeployQuery(cluster.system.get(), q, {{"f", 0}, {"m", 1}, {"t", 2}});
+    AURORA_CHECK(deployed.ok());
+    uint64_t delivered = 0;
+    AURORA_CHECK(
+        cluster.system
+            ->CollectOutput(2, "out",
+                            [&](const Tuple&, SimTime) { ++delivered; })
+            .ok());
+
+    uint64_t baseline_bytes = 0;
+    const int kTuples = 3000;
+    InjectAtRate(&cluster, 0, "in", kTuples, 2000.0, /*mod=*/1'000'000);
+
+    if (use_process_pair) {
+      // Mirror server s1 (the node the upstream-backup run also burdens).
+      ProcessPairModel pp(cluster.system.get(), 1, 3);
+      pp.Start();
+      cluster.sim.RunUntil(SimTime::Seconds(4));
+      state.counters["protocol_messages"] =
+          static_cast<double>(pp.checkpoint_messages());
+      state.counters["protocol_bytes"] =
+          static_cast<double>(pp.checkpoint_bytes());
+      state.counters["recovery_work_tuples"] =
+          static_cast<double>(pp.RecoveryWorkTuples());
+      state.counters["delivered"] = static_cast<double>(delivered);
+      (void)baseline_bytes;
+    } else {
+      HaOptions opts;
+      HaManager ha(cluster.system.get(), opts);
+      AURORA_CHECK(ha.Protect(&*deployed, &q).ok());
+      cluster.sim.ScheduleAt(SimTime::Seconds(1.5),
+                             [&]() { ha.CrashNode(1); });
+      cluster.sim.RunUntil(SimTime::Seconds(4));
+      state.counters["protocol_messages"] = static_cast<double>(
+          ha.checkpoint_messages() + ha.heartbeat_messages());
+      state.counters["protocol_bytes"] =
+          static_cast<double>(ha.checkpoint_messages() * 52 +
+                              ha.heartbeat_messages() * 49);
+      state.counters["recovery_work_tuples"] =
+          static_cast<double>(ha.replayed_tuples());
+      state.counters["failures_recovered"] =
+          static_cast<double>(ha.recoveries());
+      state.counters["delivered"] = static_cast<double>(delivered);
+    }
+  }
+}
+BENCHMARK(BM_UpstreamBackupVsProcessPair)
+    ->ArgName("process_pair")
+    ->Arg(0)
+    ->Arg(1)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// The §6.4 spectrum: K virtual machines over an 8-box chain.
+void BM_VirtualMachineSweep(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto points = ComputeVmTradeoff(/*n_boxes=*/8, /*tuples_in_flight=*/500,
+                                    /*box_cost_us=*/20.0);
+    const VmTradeoffPoint& p = points[static_cast<size_t>(k - 1)];
+    state.counters["K"] = p.k;
+    state.counters["runtime_msgs_per_tuple"] = p.runtime_messages_per_tuple;
+    state.counters["recovery_box_activations"] = p.recovery_box_activations;
+    state.counters["recovery_time_ms"] = p.recovery_time_ms;
+  }
+}
+BENCHMARK(BM_VirtualMachineSweep)
+    ->ArgName("K")
+    ->DenseRange(1, 8)
+    ->Iterations(1);
+
+// Truncation method comparison (§6.2): flow messages vs seq-array polling.
+void BM_TruncationMethod(benchmark::State& state) {
+  const auto method = static_cast<TruncationMethod>(state.range(0));
+  for (auto _ : state) {
+    Cluster cluster(3);
+    GlobalQuery q;
+    AURORA_CHECK(q.AddInput("in", SchemaAB()).ok());
+    AURORA_CHECK(q.AddBox("f", FilterSpec(Predicate::True())).ok());
+    AURORA_CHECK(q.AddBox("t", TumbleSpec("cnt", "B", {"A"})).ok());
+    AURORA_CHECK(q.AddOutput("out").ok());
+    AURORA_CHECK(q.ConnectInputToBox("in", "f").ok());
+    AURORA_CHECK(q.ConnectBoxes("f", 0, "t", 0).ok());
+    AURORA_CHECK(q.ConnectBoxToOutput("t", 0, "out").ok());
+    auto deployed = DeployQuery(cluster.system.get(), q, {{"f", 0}, {"t", 1}});
+    AURORA_CHECK(deployed.ok());
+    HaOptions opts;
+    opts.method = method;
+    HaManager ha(cluster.system.get(), opts);
+    AURORA_CHECK(ha.Protect(&*deployed, &q).ok());
+    InjectAtRate(&cluster, 0, "in", 2000, 2000.0, /*mod=*/1'000'000);
+    cluster.sim.RunUntil(SimTime::Seconds(2));
+    state.counters["checkpoint_messages"] =
+        static_cast<double>(ha.checkpoint_messages());
+    state.counters["truncated_tuples"] =
+        static_cast<double>(ha.truncated_tuples());
+    state.counters["retained_tail"] =
+        static_cast<double>(ha.TotalRetainedTuples());
+  }
+}
+BENCHMARK(BM_TruncationMethod)
+    ->ArgName("method")  // 0 = flow messages, 1 = seq arrays
+    ->Arg(0)
+    ->Arg(1)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace aurora
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Experiment C5 (paper §2.3, §7.1): QoS-driven load shedding.
+//
+// Two streams share one CPU: a loss-tolerant "monitor" stream and a strict
+// "alarm" stream. Sweeping the offered load past capacity, we report the
+// aggregate QoS utility under three policies. Expected shape:
+//   none < random < QoS-aware   once the system saturates,
+// because QoS-aware shedding drops where the loss-utility slope is flat
+// and keeps queues (hence latency) bounded.
+#include "bench/bench_util.h"
+#include "engine/aurora_engine.h"
+
+namespace aurora {
+namespace bench {
+namespace {
+
+double RunSheddingExperiment(SheddingPolicy policy, double offered_multiple) {
+  // One node; capacity 1e6 us/s. Each tuple costs ~50us downstream.
+  LoadShedder::Options shed;
+  shed.policy = policy;
+  shed.capacity_us_per_sec = 1e6;
+  shed.target_utilization = 0.9;
+  shed.recompute_interval = SimDuration::Millis(50);
+  EngineOptions opts;
+  opts.shedder = shed;
+  StarOptions star;
+  star.engine = opts;
+  Cluster cluster(1, LinkOptions{}, star);
+  AuroraEngine& engine = cluster.system->node(0).engine();
+
+  SchemaPtr schema = SchemaAB();
+  PortId in_monitor = *engine.AddInput("monitor", schema);
+  PortId in_alarm = *engine.AddInput("alarm", schema);
+  PortId out_monitor = *engine.AddOutput("out_monitor");
+  PortId out_alarm = *engine.AddOutput("out_alarm");
+  OperatorSpec work = FilterSpec(Predicate::True());
+  work.SetParam("cost_us", Value(50.0));
+  BoxId f1 = *engine.AddBox(work);
+  BoxId f2 = *engine.AddBox(work);
+  AURORA_CHECK(engine.Connect(Endpoint::InputPort(in_monitor),
+                              Endpoint::BoxPort(f1, 0)).ok());
+  AURORA_CHECK(engine.Connect(Endpoint::InputPort(in_alarm),
+                              Endpoint::BoxPort(f2, 0)).ok());
+  AURORA_CHECK(engine.Connect(Endpoint::BoxPort(f1, 0),
+                              Endpoint::OutputPort(out_monitor)).ok());
+  AURORA_CHECK(engine.Connect(Endpoint::BoxPort(f2, 0),
+                              Endpoint::OutputPort(out_alarm)).ok());
+  AURORA_CHECK(engine.InitializeBoxes().ok());
+  // Monitor tolerates loss; alarm does not. Both want low latency.
+  QoSSpec monitor_spec;
+  monitor_spec.latency = *UtilityGraph::Make({{100.0, 1.0}, {800.0, 0.0}});
+  monitor_spec.loss = *UtilityGraph::Make({{0.0, 0.7}, {1.0, 1.0}});
+  QoSSpec alarm_spec;
+  alarm_spec.latency = *UtilityGraph::Make({{100.0, 1.0}, {800.0, 0.0}});
+  alarm_spec.loss = *UtilityGraph::Make({{0.0, 0.0}, {1.0, 1.0}});
+  AURORA_CHECK(engine.SetOutputQoS(out_monitor, monitor_spec).ok());
+  AURORA_CHECK(engine.SetOutputQoS(out_alarm, alarm_spec).ok());
+  engine.RebuildShedderModel();
+
+  // Offered load: each input gets offered_multiple/2 of capacity.
+  double per_input_rate = offered_multiple / 2.0 * (1e6 / 50.0);
+  const double kDuration = 4.0;
+  int per_input = static_cast<int>(per_input_rate * kDuration);
+  InjectAtRate(&cluster, 0, "monitor", per_input, per_input_rate);
+  InjectAtRate(&cluster, 0, "alarm", per_input, per_input_rate);
+  cluster.sim.RunUntil(SimTime::Seconds(kDuration + 0.2));
+  return engine.qos_monitor().AggregateUtility();
+}
+
+void BM_SheddingPolicy(benchmark::State& state) {
+  const auto policy = static_cast<SheddingPolicy>(state.range(0));
+  const double offered = static_cast<double>(state.range(1)) / 100.0;
+  for (auto _ : state) {
+    double utility = RunSheddingExperiment(policy, offered);
+    state.counters["offered_x_capacity"] = offered;
+    state.counters["aggregate_utility"] = utility;
+  }
+}
+BENCHMARK(BM_SheddingPolicy)
+    ->ArgNames({"policy", "offered_pct"})  // 0=none, 1=random, 2=QoS-aware
+    ->Args({0, 50})
+    ->Args({1, 50})
+    ->Args({2, 50})
+    ->Args({0, 150})
+    ->Args({1, 150})
+    ->Args({2, 150})
+    ->Args({0, 300})
+    ->Args({1, 300})
+    ->Args({2, 300})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace aurora
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Experiment C6 (paper §5.2 "Choosing What to Offload"): a neighbour "may
+// not be able to handle the additional bandwidth of the new arcs" even
+// when it has spare cycles.
+//
+// Node 0 is overloaded; the only idle peer sits behind a thin link. A
+// bandwidth-aware daemon declines the move (backlog persists but the link
+// stays healthy); a naive daemon slides the box anyway and floods the
+// link, so end-to-end delivery *drops* despite the extra CPU.
+#include "bench/bench_util.h"
+#include "distributed/load_daemon.h"
+
+namespace aurora {
+namespace bench {
+namespace {
+
+void BM_BandwidthAwareOffload(benchmark::State& state) {
+  const bool bandwidth_aware = state.range(0) != 0;
+  for (auto _ : state) {
+    Simulation sim;
+    OverlayNetwork net(&sim);
+    AuroraStarSystem system(&sim, &net, StarOptions{});
+    NodeId busy = *system.AddNode(NodeOptions{"busy", 1.0, {}});
+    NodeId idle = *system.AddNode(NodeOptions{"idle", 1.0, {}});
+    LinkOptions thin;
+    thin.bandwidth_bytes_per_sec = 20'000;  // ~300 tuples/s of capacity
+    thin.latency = SimDuration::Millis(5);
+    AURORA_CHECK(net.AddLink(busy, idle, thin).ok());
+
+    GlobalQuery q;
+    AURORA_CHECK(q.AddInput("in", SchemaAB()).ok());
+    AURORA_CHECK(q.AddBox("src", FilterSpec(Predicate::True())).ok());
+    OperatorSpec heavy = FilterSpec(Predicate::True());
+    heavy.SetParam("cost_us", Value(600.0));
+    AURORA_CHECK(q.AddBox("work", heavy).ok());
+    AURORA_CHECK(q.AddOutput("out").ok());
+    AURORA_CHECK(q.ConnectInputToBox("in", "src").ok());
+    AURORA_CHECK(q.ConnectBoxes("src", 0, "work", 0).ok());
+    AURORA_CHECK(q.ConnectBoxToOutput("work", 0, "out").ok());
+    auto deployed = DeployQuery(&system, q, {{"src", busy}, {"work", busy}});
+    AURORA_CHECK(deployed.ok());
+    uint64_t delivered = 0;
+    for (NodeId nd : {busy, idle}) {
+      (void)system.CollectOutput(nd, "out",
+                                 [&](const Tuple&, SimTime) { ++delivered; });
+    }
+    LoadDaemonOptions opts;
+    opts.action = RepartitionAction::kSlideOnly;
+    opts.bandwidth_aware = bandwidth_aware;
+    LoadShareDaemon daemon(&system, &*deployed, opts);
+    daemon.Start();
+
+    // 2000 tuples/s * 600us = 1.2x CPU overload, but ~120 KB/s of traffic
+    // vs the 20 KB/s link.
+    SchemaPtr schema = SchemaAB();
+    for (int i = 0; i < 6000; ++i) {
+      sim.ScheduleAt(SimTime::Micros(i * 500), [&system, busy, schema, i]() {
+        (void)system.node(busy).Inject(
+            "in", MakeTuple(schema, {Value(i), Value(i % 10)}));
+      });
+    }
+    sim.RunUntil(SimTime::Seconds(5));
+
+    state.counters["slides"] = static_cast<double>(daemon.slides());
+    state.counters["delivered"] = static_cast<double>(delivered);
+    state.counters["link_bytes"] =
+        static_cast<double>(net.LinkBytesSent(busy, idle));
+    state.counters["stuck_in_transit"] = 6000.0 - static_cast<double>(
+        delivered +
+        system.node(busy).engine().TotalQueuedTuples() +
+        system.node(idle).engine().TotalQueuedTuples());
+  }
+}
+BENCHMARK(BM_BandwidthAwareOffload)
+    ->ArgName("bw_aware")
+    ->Arg(0)
+    ->Arg(1)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace aurora
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Experiment F3 (paper §2.3, Fig. 3): the run-time's train scheduling.
+// Ablation of scheduler discipline, train size, and train depth on a
+// filter -> map -> tumble chain, measuring processed tuples per simulated
+// CPU-second and wall time per tuple.
+#include <benchmark/benchmark.h>
+
+#include "engine/aurora_engine.h"
+#include "bench/bench_util.h"
+
+namespace aurora {
+namespace bench {
+namespace {
+
+struct ChainEngine {
+  AuroraEngine engine;
+  PortId in, out;
+  uint64_t delivered = 0;
+
+  explicit ChainEngine(EngineOptions opts) : engine(opts) {
+    in = *engine.AddInput("in", SchemaAB());
+    out = *engine.AddOutput("out");
+    BoxId f = *engine.AddBox(
+        FilterSpec(Predicate::Compare("B", CompareOp::kGe, Value(1))));
+    BoxId m = *engine.AddBox(MapSpec(
+        {{"A", Expr::FieldRef("A")}, {"B", Expr::FieldRef("B")}}));
+    BoxId t = *engine.AddBox(TumbleSpec("cnt", "B", {"A"}));
+    AURORA_CHECK(engine.Connect(Endpoint::InputPort(in),
+                                Endpoint::BoxPort(f, 0)).ok());
+    AURORA_CHECK(engine.Connect(Endpoint::BoxPort(f, 0),
+                                Endpoint::BoxPort(m, 0)).ok());
+    AURORA_CHECK(engine.Connect(Endpoint::BoxPort(m, 0),
+                                Endpoint::BoxPort(t, 0)).ok());
+    AURORA_CHECK(engine.Connect(Endpoint::BoxPort(t, 0),
+                                Endpoint::OutputPort(out)).ok());
+    AURORA_CHECK(engine.InitializeBoxes().ok());
+    engine.SetOutputCallback(out,
+                             [this](const Tuple&, SimTime) { ++delivered; });
+  }
+};
+
+void RunWorkload(benchmark::State& state, EngineOptions opts) {
+  SchemaPtr schema = SchemaAB();
+  const int kTuples = 20'000;
+  uint64_t delivered = 0;
+  double cpu_us = 0;
+  uint64_t activations = 0;
+  for (auto _ : state) {
+    ChainEngine chain(opts);
+    for (int i = 0; i < kTuples; ++i) {
+      Tuple t = MakeTuple(schema, {Value(i), Value(1 + i % 7)});
+      benchmark::DoNotOptimize(
+          chain.engine.PushInput(chain.in, std::move(t), SimTime()));
+    }
+    AURORA_CHECK(chain.engine.RunUntilQuiescent(SimTime()).ok());
+    delivered = chain.delivered;
+    cpu_us = chain.engine.total_cpu_micros();
+    activations = chain.engine.total_activations();
+  }
+  state.counters["delivered"] = static_cast<double>(delivered);
+  state.counters["sim_cpu_us"] = cpu_us;
+  state.counters["box_activations"] = static_cast<double>(activations);
+  state.counters["tuples_per_activation"] =
+      3.0 * kTuples / static_cast<double>(activations);
+  state.SetItemsProcessed(state.iterations() * kTuples);
+}
+
+void BM_TrainSize(benchmark::State& state) {
+  EngineOptions opts;
+  opts.scheduler = SchedulerPolicy::kLongestQueue;
+  opts.train_size = static_cast<int>(state.range(0));
+  RunWorkload(state, opts);
+}
+BENCHMARK(BM_TrainSize)->ArgName("train")->Arg(1)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_TupleAtATimeBaseline(benchmark::State& state) {
+  EngineOptions opts;
+  opts.scheduler = SchedulerPolicy::kTupleAtATime;
+  RunWorkload(state, opts);
+}
+BENCHMARK(BM_TupleAtATimeBaseline);
+
+void BM_TrainDepth(benchmark::State& state) {
+  EngineOptions opts;
+  opts.train_size = 64;
+  opts.train_depth = static_cast<int>(state.range(0));
+  RunWorkload(state, opts);
+}
+BENCHMARK(BM_TrainDepth)->ArgName("depth")->Arg(1)->Arg(2)->Arg(4);
+
+void BM_Policy(benchmark::State& state) {
+  EngineOptions opts;
+  opts.scheduler = static_cast<SchedulerPolicy>(state.range(0));
+  opts.train_size = 64;
+  RunWorkload(state, opts);
+}
+BENCHMARK(BM_Policy)
+    ->ArgName("policy")  // 0=RR, 1=longest queue, 2=min output distance
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2);
+
+}  // namespace
+}  // namespace bench
+}  // namespace aurora
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Microbenchmark: the wire format every cross-node message pays
+// (the "more plumbing for distribution and serialization" substrate).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "tuple/serde.h"
+
+namespace aurora {
+namespace bench {
+namespace {
+
+std::vector<Tuple> MakeBatch(size_t n) {
+  SchemaPtr schema = SchemaAB();
+  std::vector<Tuple> batch;
+  for (size_t i = 0; i < n; ++i) {
+    Tuple t = MakeTuple(schema, {Value(static_cast<int64_t>(i)),
+                                 Value(static_cast<int64_t>(i % 17))});
+    t.set_seq(i + 1);
+    t.set_timestamp(SimTime::Micros(static_cast<int64_t>(i)));
+    batch.push_back(std::move(t));
+  }
+  return batch;
+}
+
+void BM_SerializeBatch(benchmark::State& state) {
+  auto batch = MakeBatch(static_cast<size_t>(state.range(0)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::vector<uint8_t> buf = SerializeTuples(batch);
+    bytes = buf.size();
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(bytes));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SerializeBatch)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_DeserializeBatch(benchmark::State& state) {
+  auto batch = MakeBatch(static_cast<size_t>(state.range(0)));
+  std::vector<uint8_t> buf = SerializeTuples(batch);
+  SchemaPtr schema = SchemaAB();
+  for (auto _ : state) {
+    auto tuples = DeserializeTuples(buf, schema);
+    AURORA_CHECK(tuples.ok());
+    benchmark::DoNotOptimize(tuples->data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(buf.size()));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DeserializeBatch)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_PredicateEval(benchmark::State& state) {
+  Predicate p = Predicate::And(
+      Predicate::Compare("B", CompareOp::kGe, Value(3)),
+      Predicate::Or(Predicate::Compare("A", CompareOp::kLt, Value(1000)),
+                    Predicate::HashPartition("A", 4, 1)));
+  auto batch = MakeBatch(1024);
+  for (auto _ : state) {
+    int matched = 0;
+    for (const auto& t : batch) {
+      matched += p.Eval(t) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(matched);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_PredicateEval);
+
+}  // namespace
+}  // namespace bench
+}  // namespace aurora
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Experiment C1 (paper §4.3): transport multiplexing.
+//
+// Claim 1: "independent TCP connections do not share bandwidth well" —
+// the multiplexed connection's weighted scheduler tracks prescribed
+// weights; per-stream connections give everyone an equal share.
+// Claim 2: "as the number of message streams grows, the overhead of
+// running several TCP connections becomes prohibitive."
+#include "bench/bench_util.h"
+#include "net/transport.h"
+
+namespace aurora {
+namespace bench {
+namespace {
+
+// Weighted-share fidelity: three backlogged streams with weights 1:2:4.
+// Reports each stream's achieved share and the RMS error vs the weights.
+void BM_WeightedShareFidelity(benchmark::State& state) {
+  const auto mode = static_cast<TransportMode>(state.range(0));
+  for (auto _ : state) {
+    Cluster cluster(2, [] {
+      LinkOptions link;
+      link.bandwidth_bytes_per_sec = 100'000;
+      return link;
+    }());
+    TransportOptions opts;
+    opts.mode = mode;
+    Transport tx(&cluster.sim, cluster.net.get(), 0, 1, opts);
+    const std::vector<std::pair<std::string, double>> streams = {
+        {"w1", 1.0}, {"w2", 2.0}, {"w4", 4.0}};
+    for (const auto& [name, w] : streams) {
+      AURORA_CHECK(tx.RegisterStream(name, w).ok());
+    }
+    for (int i = 0; i < 500; ++i) {
+      for (const auto& [name, w] : streams) {
+        Message m;
+        m.kind = "t";
+        m.payload.resize(160);
+        (void)tx.Send(name, std::move(m));
+      }
+    }
+    cluster.sim.RunUntil(SimTime::Seconds(0.5));
+    double total = 0;
+    for (const auto& [name, w] : streams) {
+      total += static_cast<double>(tx.delivered_bytes(name));
+    }
+    double rms = 0;
+    for (const auto& [name, w] : streams) {
+      double share = static_cast<double>(tx.delivered_bytes(name)) / total;
+      double want = w / 7.0;
+      state.counters["share_" + name] = share;
+      rms += (share - want) * (share - want);
+    }
+    state.counters["rms_error_vs_weights"] = std::sqrt(rms / 3.0);
+  }
+}
+BENCHMARK(BM_WeightedShareFidelity)
+    ->ArgName("mode")  // 0 = per-stream connections, 1 = multiplexed
+    ->Arg(0)
+    ->Arg(1)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Overhead growth with the number of streams.
+void BM_OverheadVsStreams(benchmark::State& state) {
+  const auto mode = static_cast<TransportMode>(state.range(0));
+  const int n_streams = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    Cluster cluster(2);
+    TransportOptions opts;
+    opts.mode = mode;
+    Transport tx(&cluster.sim, cluster.net.get(), 0, 1, opts);
+    for (int s = 0; s < n_streams; ++s) {
+      AURORA_CHECK(tx.RegisterStream("s" + std::to_string(s), 1.0).ok());
+    }
+    const int kPerStream = 100;
+    for (int i = 0; i < kPerStream; ++i) {
+      for (int s = 0; s < n_streams; ++s) {
+        Message m;
+        m.kind = "t";
+        m.payload.resize(120);
+        (void)tx.Send("s" + std::to_string(s), std::move(m));
+      }
+    }
+    cluster.sim.RunUntil(SimTime::Seconds(5));
+    state.counters["streams"] = n_streams;
+    state.counters["overhead_bytes"] =
+        static_cast<double>(tx.overhead_bytes());
+    state.counters["overhead_per_message"] =
+        static_cast<double>(tx.overhead_bytes()) / (n_streams * kPerStream);
+  }
+}
+BENCHMARK(BM_OverheadVsStreams)
+    ->ArgNames({"mode", "streams"})
+    ->Args({0, 4})
+    ->Args({1, 4})
+    ->Args({0, 16})
+    ->Args({1, 16})
+    ->Args({0, 64})
+    ->Args({1, 64})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace aurora
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+#ifndef AURORA_BENCH_BENCH_UTIL_H_
+#define AURORA_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "distributed/deployment.h"
+#include "workload/generator.h"
+
+namespace aurora {
+namespace bench {
+
+/// Schema (A:int64, B:int64) shared by the benchmark workloads.
+inline SchemaPtr SchemaAB() {
+  return Schema::Make({Field{"A", ValueType::kInt64},
+                       Field{"B", ValueType::kInt64}});
+}
+
+/// A simulated Aurora* cluster with `n` identical nodes in a full mesh.
+struct Cluster {
+  Simulation sim;
+  std::unique_ptr<OverlayNetwork> net;
+  std::unique_ptr<AuroraStarSystem> system;
+
+  explicit Cluster(int n, LinkOptions link = LinkOptions{},
+                   StarOptions star = StarOptions{}) {
+    net = std::make_unique<OverlayNetwork>(&sim);
+    system = std::make_unique<AuroraStarSystem>(&sim, net.get(), star);
+    for (int i = 0; i < n; ++i) {
+      auto id = system->AddNode(NodeOptions{"n" + std::to_string(i), 1.0, {}});
+      AURORA_CHECK(id.ok());
+    }
+    net->FullMesh(link);
+  }
+};
+
+/// Stamps and injects `count` tuples (A=i, B=i%`mod`) at a fixed rate.
+inline void InjectAtRate(Cluster* cluster, NodeId node,
+                         const std::string& input, int count,
+                         double rate_per_sec, int mod = 10) {
+  SchemaPtr schema = SchemaAB();
+  for (int i = 0; i < count; ++i) {
+    SimTime when =
+        SimTime::Micros(static_cast<int64_t>(i * 1e6 / rate_per_sec));
+    cluster->sim.ScheduleAt(when, [cluster, node, input, schema, i, mod]() {
+      Tuple t = MakeTuple(schema, {Value(i), Value(i % mod)});
+      (void)cluster->system->node(node).Inject(input, t);
+    });
+  }
+}
+
+}  // namespace bench
+}  // namespace aurora
+
+#endif  // AURORA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,67 @@
+// Quickstart: the paper's Figures 1 and 2 on a single Aurora node.
+//
+// Builds the boxes-and-arrows network
+//     packets -> Filter(B >= 1) -> Tumble(avg(B) groupby A) -> out
+// runs the seven-tuple sample stream of Figure 2 through it, and prints
+// what each stage produces. Build & run:
+//     cmake -B build -G Ninja && cmake --build build
+//     ./build/examples/quickstart
+#include <cstdio>
+
+#include "engine/aurora_engine.h"
+
+using namespace aurora;
+
+int main() {
+  // 1. Declare the stream schema: tuples (A, B) as in Figure 2.
+  SchemaPtr schema = Schema::Make(
+      {Field{"A", ValueType::kInt64}, Field{"B", ValueType::kInt64}});
+
+  // 2. Build the query network. Every operator is described by a
+  //    declarative spec; the engine instantiates and type-checks it.
+  AuroraEngine engine;
+  PortId in = *engine.AddInput("packets", schema);
+  PortId out = *engine.AddOutput("averages");
+  BoxId filter = *engine.AddBox(FilterSpec(
+      Predicate::Compare("B", CompareOp::kGe, Value(1))));
+  BoxId tumble = *engine.AddBox(TumbleSpec("avg", "B", {"A"}));
+  AURORA_CHECK(engine.Connect(Endpoint::InputPort(in),
+                              Endpoint::BoxPort(filter, 0)).ok());
+  AURORA_CHECK(engine.Connect(Endpoint::BoxPort(filter, 0),
+                              Endpoint::BoxPort(tumble, 0)).ok());
+  AURORA_CHECK(engine.Connect(Endpoint::BoxPort(tumble, 0),
+                              Endpoint::OutputPort(out)).ok());
+  AURORA_CHECK(engine.InitializeBoxes().ok());
+
+  // 3. Attach the application: stream outputs are pushed to it (§2.1's
+  //    inversion of the traditional pull model).
+  engine.SetOutputCallback(out, [](const Tuple& t, SimTime now) {
+    std::printf("  t=%5.1fms  ->  (A=%ld, Result=%.1f)\n", now.millis(),
+                t.Get("A").AsInt(), t.Get("Result").AsNumeric());
+  });
+
+  // 4. Push the Figure 2 sample stream.
+  std::printf("Aurora quickstart: Tumble(avg(B), groupby A) over Figure 2\n");
+  const int64_t rows[7][2] = {{1, 2}, {1, 3}, {2, 2}, {2, 1},
+                              {2, 6}, {4, 5}, {4, 2}};
+  for (int i = 0; i < 7; ++i) {
+    Tuple t = MakeTuple(schema, {Value(rows[i][0]), Value(rows[i][1])});
+    SimTime now = SimTime::Millis(i + 1);
+    t.set_timestamp(now);
+    std::printf("push #%d (A=%ld, B=%ld)\n", i + 1, rows[i][0], rows[i][1]);
+    AURORA_CHECK(engine.PushInput(in, std::move(t), now).ok());
+    AURORA_CHECK(engine.RunUntilQuiescent(now).ok());
+  }
+
+  // 5. The A=4 window is still open ("would not get emitted until a later
+  //    tuple arrives with A not equal to 4"); drain it explicitly.
+  std::printf("draining the open window:\n");
+  AURORA_CHECK(engine.DrainBoxState(tumble, SimTime::Millis(8)).ok());
+  AURORA_CHECK(engine.RunUntilQuiescent(SimTime::Millis(8)).ok());
+
+  std::printf("\nprocessed %llu tuples using %.1f simulated CPU us\n",
+              static_cast<unsigned long long>(
+                  (*engine.BoxOp(filter))->tuples_in()),
+              engine.total_cpu_micros());
+  return 0;
+}

@@ -1,0 +1,59 @@
+#ifndef AURORA_COMMON_LOGGING_H_
+#define AURORA_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace aurora {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kFatal = 4 };
+
+/// Global log threshold; messages below it are discarded. Defaults to kWarn
+/// so tests and benchmarks stay quiet unless a failure needs context.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the level is below threshold.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+#define AURORA_LOG_INTERNAL(level)                                     \
+  ::aurora::internal::LogMessage(level, __FILE__, __LINE__).stream()
+#define AURORA_LOG(severity)                                           \
+  (::aurora::LogLevel::k##severity < ::aurora::GetLogLevel())          \
+      ? (void)0                                                        \
+      : ::aurora::internal::LogVoidify() &                             \
+            AURORA_LOG_INTERNAL(::aurora::LogLevel::k##severity)
+
+/// Invariant check that stays on in release builds; failure aborts with a
+/// message. Used for programmer errors, never for data-dependent conditions.
+#define AURORA_CHECK(cond)                                             \
+  (cond) ? (void)0                                                     \
+         : ::aurora::internal::LogVoidify() &                          \
+               AURORA_LOG_INTERNAL(::aurora::LogLevel::kFatal)         \
+                   << "Check failed: " #cond " "
+
+#define AURORA_DCHECK(cond) AURORA_CHECK(cond)
+
+}  // namespace aurora
+
+#endif  // AURORA_COMMON_LOGGING_H_

@@ -1,0 +1,57 @@
+#ifndef AURORA_COMMON_RESULT_H_
+#define AURORA_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace aurora {
+
+/// \brief Either a value of type T or a non-OK Status.
+///
+/// Modeled on arrow::Result. Constructing from an OK status is a programming
+/// error (asserted in debug builds, degraded to Internal in release).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(rep_).ok());
+    if (std::get<Status>(rep_).ok()) {
+      rep_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The contained error, or OK if a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  /// Access the value; caller must have checked ok().
+  const T& ValueUnsafe() const& { return std::get<T>(rep_); }
+  T& ValueUnsafe() & { return std::get<T>(rep_); }
+  T&& ValueUnsafe() && { return std::get<T>(std::move(rep_)); }
+
+  const T& operator*() const& { return ValueUnsafe(); }
+  T& operator*() & { return ValueUnsafe(); }
+  const T* operator->() const { return &ValueUnsafe(); }
+  T* operator->() { return &ValueUnsafe(); }
+
+  /// Moves the value out, or returns `fallback` if this holds an error.
+  T ValueOr(T fallback) && {
+    return ok() ? std::get<T>(std::move(rep_)) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_COMMON_RESULT_H_

@@ -1,0 +1,13 @@
+#include "common/sim_time.h"
+
+#include <cstdio>
+
+namespace aurora {
+
+std::string SimTime::ToString() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fms", millis());
+  return buf;
+}
+
+}  // namespace aurora

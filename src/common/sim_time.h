@@ -1,0 +1,50 @@
+#ifndef AURORA_COMMON_SIM_TIME_H_
+#define AURORA_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace aurora {
+
+/// \brief A point in simulated time, in microseconds since simulation start.
+///
+/// The whole system runs on a discrete-event simulated clock (see
+/// sim/simulation.h) so that distributed experiments are deterministic. A
+/// strong typedef prevents accidental mixing with counts.
+class SimTime {
+ public:
+  constexpr SimTime() : micros_(0) {}
+  constexpr explicit SimTime(int64_t micros) : micros_(micros) {}
+
+  static constexpr SimTime Micros(int64_t us) { return SimTime(us); }
+  static constexpr SimTime Millis(int64_t ms) { return SimTime(ms * 1000); }
+  static constexpr SimTime Seconds(double s) {
+    return SimTime(static_cast<int64_t>(s * 1e6));
+  }
+  static constexpr SimTime Max() { return SimTime(INT64_MAX); }
+
+  constexpr int64_t micros() const { return micros_; }
+  constexpr double millis() const { return static_cast<double>(micros_) / 1e3; }
+  constexpr double seconds() const { return static_cast<double>(micros_) / 1e6; }
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime(micros_ + o.micros_); }
+  constexpr SimTime operator-(SimTime o) const { return SimTime(micros_ - o.micros_); }
+  SimTime& operator+=(SimTime o) {
+    micros_ += o.micros_;
+    return *this;
+  }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  int64_t micros_;
+};
+
+/// Duration alias: durations and instants share representation deliberately,
+/// matching how the paper reasons about latency graphs (Q_i(t) = Q_o(t+T_B)).
+using SimDuration = SimTime;
+
+}  // namespace aurora
+
+#endif  // AURORA_COMMON_SIM_TIME_H_

@@ -1,0 +1,133 @@
+#ifndef AURORA_COMMON_STATUS_H_
+#define AURORA_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace aurora {
+
+/// Error categories used across the library. Mirrors the coarse taxonomy used
+/// by production storage engines: a small closed set, with detail carried in
+/// the message string.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kResourceExhausted = 6,
+  kUnavailable = 7,
+  kInternal = 8,
+  kNotImplemented = 9,
+  kTimedOut = 10,
+};
+
+/// Returns a stable human-readable name for a code ("OK", "NotFound", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Value-semantic error carrier used instead of exceptions.
+///
+/// An OK status carries no allocation; error statuses carry a code and a
+/// message. All fallible public APIs in this library return Status or
+/// Result<T>.
+class Status {
+ public:
+  Status() : rep_(nullptr) {}
+  Status(StatusCode code, std::string msg);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : rep_->code; }
+  /// Message text; empty for OK statuses.
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsTimedOut() const { return code() == StatusCode::kTimedOut; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string msg;
+  };
+  std::unique_ptr<Rep> rep_;  // null iff OK
+};
+
+/// Propagates a non-OK status to the caller.
+#define AURORA_RETURN_NOT_OK(expr)                  \
+  do {                                              \
+    ::aurora::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+/// Evaluates a Result<T> expression and either assigns its value or returns
+/// the contained error.
+#define AURORA_ASSIGN_OR_RETURN(lhs, expr)          \
+  AURORA_ASSIGN_OR_RETURN_IMPL(                     \
+      AURORA_CONCAT_(_res_, __LINE__), lhs, expr)
+#define AURORA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).ValueUnsafe();
+#define AURORA_CONCAT_(a, b) AURORA_CONCAT_2_(a, b)
+#define AURORA_CONCAT_2_(a, b) a##b
+
+}  // namespace aurora
+
+#endif  // AURORA_COMMON_STATUS_H_

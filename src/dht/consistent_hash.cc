@@ -1,0 +1,136 @@
+#include "dht/consistent_hash.h"
+
+namespace aurora {
+
+uint64_t DhtHash(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+
+Status ConsistentHashRing::AddNode(NodeId node, const std::string& name) {
+  if (node_names_.count(node)) {
+    return Status::AlreadyExists("node already on the ring");
+  }
+  node_names_[node] = name;
+  for (int v = 0; v < vnodes_; ++v) {
+    uint64_t pos = DhtHash(name + "#" + std::to_string(v));
+    // In the astronomically unlikely event of a collision, probe forward.
+    while (ring_.count(pos)) ++pos;
+    ring_[pos] = node;
+    if (v == 0) primary_position_[node] = pos;
+  }
+  return Status::OK();
+}
+
+Status ConsistentHashRing::RemoveNode(NodeId node) {
+  if (!node_names_.count(node)) {
+    return Status::NotFound("node not on the ring");
+  }
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    it = (it->second == node) ? ring_.erase(it) : std::next(it);
+  }
+  node_names_.erase(node);
+  primary_position_.erase(node);
+  return Status::OK();
+}
+
+std::map<uint64_t, NodeId>::const_iterator ConsistentHashRing::SuccessorIt(
+    uint64_t pos) const {
+  auto it = ring_.lower_bound(pos);
+  if (it == ring_.end()) it = ring_.begin();
+  return it;
+}
+
+Result<NodeId> ConsistentHashRing::Owner(const std::string& key) const {
+  return OwnerOfPosition(DhtHash(key));
+}
+
+Result<NodeId> ConsistentHashRing::OwnerOfPosition(uint64_t position) const {
+  if (ring_.empty()) return Status::FailedPrecondition("empty ring");
+  return SuccessorIt(position)->second;
+}
+
+Result<std::vector<NodeId>> ConsistentHashRing::Successors(
+    const std::string& key, size_t count) const {
+  if (ring_.empty()) return Status::FailedPrecondition("empty ring");
+  std::vector<NodeId> out;
+  auto it = SuccessorIt(DhtHash(key));
+  for (size_t scanned = 0; scanned < ring_.size() && out.size() < count;
+       ++scanned) {
+    NodeId node = it->second;
+    bool seen = false;
+    for (NodeId n : out) {
+      if (n == node) seen = true;
+    }
+    if (!seen) out.push_back(node);
+    ++it;
+    if (it == ring_.end()) it = ring_.begin();
+  }
+  return out;
+}
+
+Result<ConsistentHashRing::LookupResult> ConsistentHashRing::Lookup(
+    NodeId from, const std::string& key) const {
+  if (ring_.empty()) return Status::FailedPrecondition("empty ring");
+  auto from_it = primary_position_.find(from);
+  if (from_it == primary_position_.end()) {
+    return Status::NotFound("lookup origin not on the ring");
+  }
+  AURORA_ASSIGN_OR_RETURN(NodeId owner, Owner(key));
+  uint64_t target = DhtHash(key);
+  uint64_t at = from_it->second;
+  NodeId at_node = from;
+  int hops = 0;
+  // Chord forwarding: jump to the closest preceding finger. Fingers of a
+  // node at position p are successor(p + 2^i), i = 0..63.
+  while (at_node != owner && hops < 128) {
+    uint64_t best_jump = 0;
+    uint64_t best_pos = at;
+    NodeId best_node = at_node;
+    for (int i = 0; i < 64; ++i) {
+      uint64_t finger_target = at + (i == 63 ? (1ull << 63) : (1ull << i));
+      auto fit = SuccessorIt(finger_target);
+      uint64_t fpos = fit->first;
+      // The finger must precede (not pass) the key going clockwise from at.
+      uint64_t jump = Clockwise(at, fpos);
+      if (jump == 0) continue;
+      if (jump <= Clockwise(at, target) && jump > best_jump) {
+        best_jump = jump;
+        best_pos = fpos;
+        best_node = fit->second;
+      }
+    }
+    if (best_node == at_node) {
+      // No finger strictly precedes the key: the successor owns it.
+      auto it = SuccessorIt(at + 1);
+      best_pos = it->first;
+      best_node = it->second;
+    }
+    at = best_pos;
+    at_node = best_node;
+    hops++;
+  }
+  return LookupResult{owner, hops};
+}
+
+std::map<NodeId, double> ConsistentHashRing::OwnershipShares() const {
+  std::map<NodeId, double> shares;
+  if (ring_.empty()) return shares;
+  auto it = ring_.begin();
+  uint64_t prev = std::prev(ring_.end())->first;  // wrap-around segment
+  for (; it != ring_.end(); ++it) {
+    uint64_t segment = it->first - prev;  // wraps naturally in uint64
+    shares[it->second] +=
+        static_cast<double>(segment) / 1.8446744073709552e19;
+    prev = it->first;
+  }
+  return shares;
+}
+
+}  // namespace aurora

@@ -1,0 +1,88 @@
+#include "dht/dht_catalog.h"
+
+namespace aurora {
+
+QualifiedName QualifiedName::Parse(const std::string& key) {
+  auto slash = key.find('/');
+  if (slash == std::string::npos) return QualifiedName{"", key};
+  return QualifiedName{key.substr(0, slash), key.substr(slash + 1)};
+}
+
+Status DhtCatalog::AddNode(NodeId node, const std::string& name) {
+  AURORA_RETURN_NOT_OK(ring_.AddNode(node, name));
+  // Ownership moved for some keys: refresh placements.
+  for (const auto& [key, entry] : entries_) Replicate(key);
+  return Status::OK();
+}
+
+Status DhtCatalog::RemoveNode(NodeId node) {
+  AURORA_RETURN_NOT_OK(ring_.RemoveNode(node));
+  for (const auto& [key, entry] : entries_) Replicate(key);
+  return Status::OK();
+}
+
+void DhtCatalog::Replicate(const std::string& key) {
+  auto succ = ring_.Successors(key, replication_);
+  placement_[key] = succ.ok() ? *succ : std::vector<NodeId>{};
+}
+
+Status DhtCatalog::Put(const QualifiedName& name, DhtEntry entry) {
+  if (ring_.num_nodes() == 0) {
+    return Status::FailedPrecondition("no catalog nodes");
+  }
+  std::string key = name.Key();
+  entries_[key] = std::move(entry);
+  Replicate(key);
+  return Status::OK();
+}
+
+Status DhtCatalog::UpdateLocations(const QualifiedName& name,
+                                   std::vector<NodeId> locations) {
+  auto it = entries_.find(name.Key());
+  if (it == entries_.end()) {
+    return Status::NotFound("no catalog entry for " + name.Key());
+  }
+  it->second.locations = std::move(locations);
+  return Status::OK();
+}
+
+Result<DhtCatalog::GetResult> DhtCatalog::Get(NodeId from,
+                                              const QualifiedName& name) const {
+  auto it = entries_.find(name.Key());
+  if (it == entries_.end()) {
+    return Status::NotFound("no catalog entry for " + name.Key());
+  }
+  auto pl = placement_.find(name.Key());
+  if (pl == placement_.end() || pl->second.empty()) {
+    return Status::Unavailable("no replica holds " + name.Key());
+  }
+  AURORA_ASSIGN_OR_RETURN(auto lookup, ring_.Lookup(from, name.Key()));
+  GetResult result;
+  result.entry = it->second;
+  result.hops = lookup.hops;
+  result.served_by = pl->second.front();
+  return result;
+}
+
+Status DhtCatalog::Remove(const QualifiedName& name) {
+  if (entries_.erase(name.Key()) == 0) {
+    return Status::NotFound("no catalog entry for " + name.Key());
+  }
+  placement_.erase(name.Key());
+  return Status::OK();
+}
+
+size_t DhtCatalog::StoredOn(NodeId node) const {
+  size_t n = 0;
+  for (const auto& [key, nodes] : placement_) {
+    for (NodeId nd : nodes) {
+      if (nd == node) {
+        ++n;
+        break;
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace aurora

@@ -1,0 +1,250 @@
+#include "distributed/box_slider.h"
+
+namespace aurora {
+
+Result<SlideResult> BoxSlider::Slide(DeployedQuery* deployed,
+                                     const std::string& box_name,
+                                     NodeId dst_node, SlideMode mode) {
+  auto it = deployed->boxes.find(box_name);
+  if (it == deployed->boxes.end()) {
+    return Status::NotFound("no deployed box named '" + box_name + "'");
+  }
+  NodeId src_node = it->second.node;
+  BoxId m = it->second.box;
+  if (dst_node == src_node) {
+    return Status::InvalidArgument("box is already on the destination node");
+  }
+  if (dst_node < 0 || dst_node >= static_cast<int>(system_->num_nodes())) {
+    return Status::InvalidArgument("bad destination node");
+  }
+  StreamNode& a_node = system_->node(src_node);
+  StreamNode& b_node = system_->node(dst_node);
+  AuroraEngine& ae = a_node.engine();
+  AuroraEngine& be = b_node.engine();
+  SimTime now = system_->sim()->Now();
+
+  AURORA_ASSIGN_OR_RETURN(const OperatorSpec* spec_ptr, ae.BoxSpec(m));
+  OperatorSpec spec = *spec_ptr;
+  if (!system_->net()->NodeSupports(dst_node, spec.kind)) {
+    return Status::FailedPrecondition(
+        "destination node cannot execute '" + spec.kind +
+        "' boxes (§5.1 capability check)");
+  }
+  AURORA_ASSIGN_OR_RETURN(Operator * op, ae.BoxOp(m));
+  const int n_in = op->num_inputs();
+  const int n_out = op->num_outputs();
+  std::vector<SchemaPtr> in_schemas, out_schemas;
+  for (int i = 0; i < n_in; ++i) in_schemas.push_back(op->input_schema(i));
+  for (int k = 0; k < n_out; ++k) out_schemas.push_back(op->output_schema(k));
+
+  // --- Stabilize: choke inputs, drain queued tuples (§5.1). ---
+  std::vector<ArcId> in_arcs(n_in, -1);
+  for (int i = 0; i < n_in; ++i) {
+    AURORA_ASSIGN_OR_RETURN(in_arcs[i], ae.FindArcInto(m, i));
+    AURORA_RETURN_NOT_OK(ae.ChokeArc(in_arcs[i]));
+  }
+  AURORA_RETURN_NOT_OK(ae.RunUntilQuiescent(now));
+  // Emissions from the drain are sitting in binding `pending` buffers; get
+  // them sequence-numbered and into the retained logs before any binding
+  // is snapshotted or retired.
+  a_node.Flush();
+
+  std::vector<std::vector<Tuple>> held(n_in);
+  std::vector<Endpoint> from_eps(n_in);
+  for (int i = 0; i < n_in; ++i) {
+    AURORA_ASSIGN_OR_RETURN(held[i], ae.TakeHeldTuples(in_arcs[i]));
+    from_eps[i] = ae.ArcFrom(in_arcs[i]);
+  }
+  std::vector<std::vector<Endpoint>> dests(n_out);
+  std::vector<std::vector<ArcId>> out_arcs(n_out);
+  for (int k = 0; k < n_out; ++k) {
+    for (ArcId arc : ae.ArcsFrom(Endpoint::BoxPort(m, k))) {
+      out_arcs[k].push_back(arc);
+      dests[k].push_back(ae.ArcTo(arc));
+    }
+  }
+
+  // Remote definition cannot carry operator state: flush open windows
+  // downstream so no data is lost, then let the engine settle.
+  if (mode == SlideMode::kRemoteDefinition && op->HasState()) {
+    AURORA_RETURN_NOT_OK(ae.DrainBoxState(m, now));
+    AURORA_RETURN_NOT_OK(ae.RunUntilQuiescent(now));
+    a_node.Flush();
+  }
+
+  // --- Cut the box out of the source network. ---
+  for (int i = 0; i < n_in; ++i) {
+    AURORA_RETURN_NOT_OK(ae.DisconnectArc(in_arcs[i]));
+  }
+  for (int k = 0; k < n_out; ++k) {
+    for (ArcId arc : out_arcs[k]) AURORA_RETURN_NOT_OK(ae.DisconnectArc(arc));
+  }
+
+  // --- Move. ---
+  BoxId new_box;
+  if (mode == SlideMode::kStateMigration) {
+    AURORA_ASSIGN_OR_RETURN(OperatorPtr moved, ae.ExtractBoxOperator(m));
+    AURORA_ASSIGN_OR_RETURN(new_box, be.AdoptBoxOperator(std::move(moved)));
+  } else {
+    AURORA_RETURN_NOT_OK(ae.RemoveBox(m));
+    AURORA_ASSIGN_OR_RETURN(new_box, be.AddBox(spec));
+  }
+
+  // --- Rewire inputs. ---
+  //
+  // Two cases per input (Fig. 4):
+  //  * The input arc's source is an engine input port fed by remote
+  //    binding(s) from other nodes: re-route those bindings straight to the
+  //    destination node — the true "horizontal" slide, which is what makes
+  //    upstream slides save bandwidth. A straggler relay keeps messages
+  //    already in flight toward the old node from being lost (they may
+  //    arrive slightly out of order; WSort downstream handles reordering,
+  //    per the paper's design).
+  //  * Otherwise (a local box output, or a genuine source input pinned to
+  //    this node): relay through the old node.
+  std::vector<PortId> relay_ports(n_in, -1);  // held re-injection via A
+  std::vector<PortId> direct_inputs(n_in, -1);  // held re-injection at B
+  for (int i = 0; i < n_in; ++i) {
+    std::vector<std::pair<NodeId, std::string>> feeders;
+    if (from_eps[i].kind == Endpoint::Kind::kInputPort) {
+      feeders = system_->BindingsInto(src_node,
+                                      ae.input_name(from_eps[i].id));
+    }
+    if (!feeders.empty()) {
+      std::string iname = system_->FreshName("slide_in");
+      AURORA_ASSIGN_OR_RETURN(PortId inp, be.AddInput(iname, in_schemas[i]));
+      AURORA_RETURN_NOT_OK(
+          be.Connect(Endpoint::InputPort(inp), Endpoint::BoxPort(new_box, i))
+              .status());
+      direct_inputs[i] = inp;
+      for (const auto& [x, output_name] : feeders) {
+        StreamNode& x_node = system_->node(x);
+        double weight = x_node.bindings().at(output_name).weight;
+        bool retained = x_node.bindings().at(output_name).retain_log;
+        // With state migration, the box's open windows (whose dependencies
+        // are sequence numbers of THIS binding's stream) travel to the new
+        // node. The replacement binding must continue the same sequence
+        // space and keep the unconfirmed log, or a later failure of the
+        // destination would lose the migrated state.
+        StreamNode::BindingContinuity continuity;
+        if (mode == SlideMode::kStateMigration && retained) {
+          AURORA_ASSIGN_OR_RETURN(continuity,
+                                  x_node.SnapshotBindingContinuity(output_name));
+        }
+        AURORA_RETURN_NOT_OK(x_node.UnbindRemoteOutput(output_name));
+        AURORA_RETURN_NOT_OK(x_node.BindRemoteOutput(
+            output_name, &b_node, iname,
+            system_->FreshName("slide_stream"), weight));
+        if (mode == SlideMode::kStateMigration && retained) {
+          AURORA_RETURN_NOT_OK(x_node.RestoreBindingContinuity(
+              output_name, std::move(continuity)));
+        }
+      }
+      // Straggler relay for messages already on the wire toward A.
+      std::string rname = system_->FreshName("slide_straggler");
+      AURORA_ASSIGN_OR_RETURN(PortId rport, ae.AddOutput(rname));
+      AURORA_RETURN_NOT_OK(
+          ae.Connect(from_eps[i], Endpoint::OutputPort(rport)).status());
+      AURORA_RETURN_NOT_OK(a_node.BindRemoteOutput(
+          rname, &b_node, iname, system_->FreshName("slide_stream"), 1.0));
+    } else {
+      std::string xname = system_->FreshName("slide_in");
+      AURORA_ASSIGN_OR_RETURN(relay_ports[i], ae.AddOutput(xname));
+      AURORA_RETURN_NOT_OK(
+          ae.Connect(from_eps[i], Endpoint::OutputPort(relay_ports[i]))
+              .status());
+      AURORA_ASSIGN_OR_RETURN(PortId inp, be.AddInput(xname, in_schemas[i]));
+      AURORA_RETURN_NOT_OK(
+          be.Connect(Endpoint::InputPort(inp), Endpoint::BoxPort(new_box, i))
+              .status());
+      AURORA_RETURN_NOT_OK(
+          system_->ConnectRemote(src_node, xname, dst_node, xname).status());
+    }
+  }
+
+  // --- Rewire outputs. ---
+  //
+  // A destination that is an engine output port remotely bound to node Y is
+  // re-bound B -> Y directly; everything else (local boxes, application
+  // outputs on A) is reached via a relay input on A.
+  for (int k = 0; k < n_out; ++k) {
+    if (dests[k].empty()) continue;
+    std::vector<Endpoint> relay_dests;
+    for (const Endpoint& d : dests[k]) {
+      if (d.kind == Endpoint::Kind::kOutputPort) {
+        auto bname = a_node.BindingNameForOutputPort(d.id);
+        if (bname.ok()) {
+          const auto& binding = a_node.bindings().at(*bname);
+          StreamNode* y = binding.dst;
+          std::string remote_input = binding.remote_input;
+          double weight = binding.weight;
+          bool retained = binding.retain_log;
+          // The retained log protects the *downstream* node: whoever now
+          // sources the stream must keep it (and its sequence space), or a
+          // failure of the destination after the slide is unrecoverable.
+          StreamNode::BindingContinuity continuity;
+          if (retained) {
+            AURORA_ASSIGN_OR_RETURN(continuity,
+                                    a_node.SnapshotBindingContinuity(*bname));
+          }
+          AURORA_RETURN_NOT_OK(a_node.UnbindRemoteOutput(*bname));
+          std::string oname = system_->FreshName("slide_out");
+          AURORA_ASSIGN_OR_RETURN(PortId op2, be.AddOutput(oname));
+          AURORA_RETURN_NOT_OK(be.Connect(Endpoint::BoxPort(new_box, k),
+                                          Endpoint::OutputPort(op2))
+                                   .status());
+          AURORA_RETURN_NOT_OK(b_node.BindRemoteOutput(
+              oname, y, remote_input, system_->FreshName("slide_stream"),
+              weight));
+          if (retained) {
+            AURORA_RETURN_NOT_OK(b_node.RestoreBindingContinuity(
+                oname, std::move(continuity)));
+          }
+          continue;
+        }
+      }
+      relay_dests.push_back(d);
+    }
+    if (relay_dests.empty()) continue;
+    std::string yname = system_->FreshName("slide_out");
+    AURORA_ASSIGN_OR_RETURN(PortId boutp, be.AddOutput(yname));
+    AURORA_RETURN_NOT_OK(
+        be.Connect(Endpoint::BoxPort(new_box, k), Endpoint::OutputPort(boutp))
+            .status());
+    AURORA_ASSIGN_OR_RETURN(PortId ainp, ae.AddInput(yname, out_schemas[k]));
+    for (const Endpoint& d : relay_dests) {
+      AURORA_RETURN_NOT_OK(
+          ae.Connect(Endpoint::InputPort(ainp), d).status());
+    }
+    AURORA_RETURN_NOT_OK(
+        system_->ConnectRemote(dst_node, yname, src_node, yname).status());
+  }
+
+  AURORA_RETURN_NOT_OK(be.InitializeBoxes(/*require_all=*/false));
+  if (!be.IsBoxInitialized(new_box)) {
+    return Status::Internal("slid box failed to initialize on destination");
+  }
+
+  // --- Re-inject held tuples ahead of new traffic, then resume. ---
+  SlideResult result;
+  result.dst_node = dst_node;
+  result.new_box = new_box;
+  for (int i = 0; i < n_in; ++i) {
+    for (const Tuple& t : held[i]) {
+      if (relay_ports[i] >= 0) {
+        AURORA_RETURN_NOT_OK(ae.EmitToOutputPort(relay_ports[i], t, now));
+      } else {
+        AURORA_ASSIGN_OR_RETURN(ArcId arc, be.FindArcInto(new_box, i));
+        AURORA_RETURN_NOT_OK(be.EnqueueOnArc(arc, t, now));
+      }
+      result.held_reinjected++;
+    }
+  }
+  a_node.Flush();
+  it->second = DeployedQuery::PlacedBox{dst_node, new_box};
+  a_node.Kick();
+  b_node.Kick();
+  return result;
+}
+
+}  // namespace aurora

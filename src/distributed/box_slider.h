@@ -1,0 +1,54 @@
+#ifndef AURORA_DISTRIBUTED_BOX_SLIDER_H_
+#define AURORA_DISTRIBUTED_BOX_SLIDER_H_
+
+#include <string>
+#include <vector>
+
+#include "distributed/deployment.h"
+
+namespace aurora {
+
+/// How the slid box reappears on the destination node (paper §4.4/§5.1).
+enum class SlideMode {
+  /// Re-instantiate from the operator's declarative spec — the paper's
+  /// *remote definition*: no process migration, but stateful operators
+  /// restart with empty state (their open-window contents are drained
+  /// downstream first so nothing is lost).
+  kRemoteDefinition,
+  /// Move the live operator object, state included — models intra-domain
+  /// process migration, which Aurora* may use inside one participant.
+  kStateMigration,
+};
+
+struct SlideResult {
+  NodeId dst_node = -1;
+  BoxId new_box = -1;
+  /// Tuples that arrived while the network was stabilized and were
+  /// re-injected on the new path, per input.
+  size_t held_reinjected = 0;
+};
+
+/// \brief Horizontal/vertical box sliding (paper §5.1, Fig. 4).
+///
+/// Implements the stabilization protocol: choke the box's input arcs
+/// (new arrivals held), drain tuples queued within the moved sub-network,
+/// move the box, rewire the cut arcs as transport streams, re-inject held
+/// tuples ahead of new traffic, and resume. The destination must support
+/// the operator kind (§5.1's weak-sensor-node capability check).
+class BoxSlider {
+ public:
+  explicit BoxSlider(AuroraStarSystem* system) : system_(system) {}
+
+  /// Slides `box_name` of the deployed query to `dst_node`, updating the
+  /// DeployedQuery in place.
+  Result<SlideResult> Slide(DeployedQuery* deployed,
+                            const std::string& box_name, NodeId dst_node,
+                            SlideMode mode = SlideMode::kRemoteDefinition);
+
+ private:
+  AuroraStarSystem* system_;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_DISTRIBUTED_BOX_SLIDER_H_

@@ -1,0 +1,200 @@
+#include "distributed/box_splitter.h"
+
+#include "ops/aggregate.h"
+#include "tuple/serde.h"
+
+namespace aurora {
+
+Result<SplitResult> BoxSplitter::Split(DeployedQuery* deployed,
+                                       const SplitRequest& req) {
+  auto it = deployed->boxes.find(req.box_name);
+  if (it == deployed->boxes.end()) {
+    return Status::NotFound("no deployed box named '" + req.box_name + "'");
+  }
+  NodeId src_node = it->second.node;
+  BoxId m = it->second.box;
+  if (req.dst_node < 0 ||
+      req.dst_node >= static_cast<int>(system_->num_nodes())) {
+    return Status::InvalidArgument("bad destination node");
+  }
+  StreamNode& a_node = system_->node(src_node);
+  StreamNode& b_node = system_->node(req.dst_node);
+  AuroraEngine& ae = a_node.engine();
+  AuroraEngine& be = b_node.engine();
+  SimTime now = system_->sim()->Now();
+
+  AURORA_ASSIGN_OR_RETURN(const OperatorSpec* spec_ptr, ae.BoxSpec(m));
+  OperatorSpec spec = *spec_ptr;
+  AURORA_ASSIGN_OR_RETURN(Operator * op, ae.BoxOp(m));
+  if (op->num_inputs() != 1 || op->num_outputs() != 1) {
+    return Status::FailedPrecondition(
+        "only unary single-output boxes can be split");
+  }
+  const bool is_tumble = spec.kind == "tumble";
+  if (spec.kind != "filter" && spec.kind != "map" && !is_tumble) {
+    return Status::NotImplemented("splitting '" + spec.kind +
+                                  "' boxes is not supported");
+  }
+  std::string combine_agg;
+  if (is_tumble) {
+    if (spec.attrs.empty()) {
+      return Status::FailedPrecondition(
+          "tumble split requires groupby attributes for the merge WSort");
+    }
+    AURORA_ASSIGN_OR_RETURN(combine_agg,
+                            CombineFunctionFor(spec.GetString("agg", "cnt")));
+  }
+  if (!system_->net()->NodeSupports(req.dst_node, spec.kind)) {
+    return Status::FailedPrecondition(
+        "destination node cannot execute '" + spec.kind + "' boxes");
+  }
+
+  SchemaPtr in_schema = op->input_schema(0);
+  SchemaPtr out_schema = op->output_schema(0);
+
+  // --- Stabilize around the box (§5.1). ---
+  AURORA_ASSIGN_OR_RETURN(ArcId in_arc, ae.FindArcInto(m, 0));
+  AURORA_RETURN_NOT_OK(ae.ChokeArc(in_arc));
+  AURORA_RETURN_NOT_OK(ae.RunUntilQuiescent(now));
+  a_node.Flush();  // move drain emissions into the retained logs
+  AURORA_ASSIGN_OR_RETURN(std::vector<Tuple> held, ae.TakeHeldTuples(in_arc));
+  Endpoint from_ep = ae.ArcFrom(in_arc);
+  // Preserve a connection point living on the split arc (§5.2).
+  std::string cp_name;
+  RetentionPolicy cp_policy;
+  std::vector<Tuple> cp_history;
+  if (ConnectionPoint* cp = ae.ArcConnectionPoint(in_arc)) {
+    cp_name = cp->name();
+    cp_policy = cp->policy();
+    cp_history = cp->SnapshotHistory();
+  }
+  std::vector<Endpoint> dests;
+  std::vector<ArcId> out_arcs;
+  for (ArcId arc : ae.ArcsFrom(Endpoint::BoxPort(m, 0))) {
+    out_arcs.push_back(arc);
+    dests.push_back(ae.ArcTo(arc));
+  }
+  AURORA_RETURN_NOT_OK(ae.DisconnectArc(in_arc));
+  for (ArcId arc : out_arcs) AURORA_RETURN_NOT_OK(ae.DisconnectArc(arc));
+
+  // --- Build the split network (Figs. 5/6). ---
+  SplitResult result;
+  // Router Filter(p) with two outputs: true stays, false goes to the copy.
+  AURORA_ASSIGN_OR_RETURN(
+      BoxId router, ae.AddBox(FilterSpec(req.partition, /*two_way=*/true)));
+  AURORA_RETURN_NOT_OK(
+      ae.Connect(from_ep, Endpoint::BoxPort(router, 0)).status());
+  ArcId router_in_arc;
+  {
+    AURORA_ASSIGN_OR_RETURN(router_in_arc, ae.FindArcInto(router, 0));
+  }
+  if (!cp_name.empty()) {
+    // The connection point moves to the router's input — the same semantic
+    // location (everything entering the split sub-network) — with its
+    // history intact.
+    AURORA_RETURN_NOT_OK(ae.MakeConnectionPoint(router_in_arc, cp_name,
+                                                cp_policy));
+    AURORA_ASSIGN_OR_RETURN(ConnectionPoint * moved,
+                            ae.GetConnectionPoint(cp_name));
+    moved->LoadHistory(cp_history);
+  }
+  // True branch -> original box (which keeps its state).
+  AURORA_RETURN_NOT_OK(
+      ae.Connect(Endpoint::BoxPort(router, 0), Endpoint::BoxPort(m, 0))
+          .status());
+  // False branch -> remote copy.
+  std::string to_copy = system_->FreshName("split_to");
+  AURORA_ASSIGN_OR_RETURN(PortId to_copy_out, ae.AddOutput(to_copy));
+  AURORA_RETURN_NOT_OK(ae.Connect(Endpoint::BoxPort(router, 1),
+                                  Endpoint::OutputPort(to_copy_out))
+                           .status());
+  AURORA_ASSIGN_OR_RETURN(PortId copy_in, be.AddInput(to_copy, in_schema));
+  AURORA_ASSIGN_OR_RETURN(BoxId copy, be.AddBox(spec));
+  AURORA_RETURN_NOT_OK(
+      be.Connect(Endpoint::InputPort(copy_in), Endpoint::BoxPort(copy, 0))
+          .status());
+  if (req.replicate_connection_point && !cp_name.empty()) {
+    // Replica of the connection point at the destination (§5.2): copy the
+    // retained history across the link, charging the bytes it costs.
+    AURORA_ASSIGN_OR_RETURN(ArcId copy_arc, be.FindArcInto(copy, 0));
+    AURORA_RETURN_NOT_OK(
+        be.MakeConnectionPoint(copy_arc, cp_name + "/replica", cp_policy));
+    AURORA_ASSIGN_OR_RETURN(ConnectionPoint * replica,
+                            be.GetConnectionPoint(cp_name + "/replica"));
+    replica->LoadHistory(cp_history);
+    Message copy_msg;
+    copy_msg.kind = "cp:replicate";
+    copy_msg.payload = SerializeTuples(cp_history);
+    (void)system_->net()->Send(src_node, req.dst_node, std::move(copy_msg),
+                               nullptr);
+  }
+  AURORA_RETURN_NOT_OK(
+      system_->ConnectRemote(src_node, to_copy, req.dst_node, to_copy)
+          .status());
+  // Copy's output flows back to the merge on the source node.
+  std::string from_copy = system_->FreshName("split_back");
+  AURORA_ASSIGN_OR_RETURN(PortId copy_out, be.AddOutput(from_copy));
+  AURORA_RETURN_NOT_OK(
+      be.Connect(Endpoint::BoxPort(copy, 0), Endpoint::OutputPort(copy_out))
+          .status());
+  AURORA_ASSIGN_OR_RETURN(PortId back_in, ae.AddInput(from_copy, out_schema));
+  AURORA_RETURN_NOT_OK(
+      system_->ConnectRemote(req.dst_node, from_copy, src_node, from_copy)
+          .status());
+
+  // Merge network.
+  AURORA_ASSIGN_OR_RETURN(BoxId merge_union, ae.AddBox(UnionSpec(2)));
+  AURORA_RETURN_NOT_OK(
+      ae.Connect(Endpoint::BoxPort(m, 0), Endpoint::BoxPort(merge_union, 0))
+          .status());
+  AURORA_RETURN_NOT_OK(ae.Connect(Endpoint::InputPort(back_in),
+                                  Endpoint::BoxPort(merge_union, 1))
+                           .status());
+  Endpoint merge_tail = Endpoint::BoxPort(merge_union, 0);
+  BoxId wsort = -1, merge_tumble = -1;
+  if (is_tumble) {
+    AURORA_ASSIGN_OR_RETURN(
+        wsort, ae.AddBox(WSortSpec(spec.attrs, req.wsort_timeout_us)));
+    AURORA_RETURN_NOT_OK(
+        ae.Connect(merge_tail, Endpoint::BoxPort(wsort, 0)).status());
+    std::string result_field = spec.GetString("result_field", "Result");
+    AURORA_ASSIGN_OR_RETURN(
+        merge_tumble,
+        ae.AddBox(TumbleSpec(combine_agg, result_field, spec.attrs,
+                             result_field)));
+    AURORA_RETURN_NOT_OK(
+        ae.Connect(Endpoint::BoxPort(wsort, 0),
+                   Endpoint::BoxPort(merge_tumble, 0))
+            .status());
+    merge_tail = Endpoint::BoxPort(merge_tumble, 0);
+  }
+  for (const Endpoint& d : dests) {
+    AURORA_RETURN_NOT_OK(ae.Connect(merge_tail, d).status());
+  }
+  AURORA_RETURN_NOT_OK(ae.InitializeBoxes(/*require_all=*/false));
+  AURORA_RETURN_NOT_OK(be.InitializeBoxes(/*require_all=*/false));
+
+  // --- Re-inject held tuples on the router's input arc, then resume. ---
+  for (Tuple& t : held) {
+    AURORA_RETURN_NOT_OK(ae.EnqueueOnArc(router_in_arc, std::move(t), now));
+  }
+  a_node.Kick();
+  b_node.Kick();
+
+  // Record the new pieces in the deployment.
+  result.router_name = req.box_name + "/router";
+  result.copy_name = req.box_name + "/copy";
+  result.union_name = req.box_name + "/union";
+  deployed->boxes[result.router_name] = {src_node, router};
+  deployed->boxes[result.copy_name] = {req.dst_node, copy};
+  deployed->boxes[result.union_name] = {src_node, merge_union};
+  if (is_tumble) {
+    result.wsort_name = req.box_name + "/wsort";
+    result.merge_name = req.box_name + "/merge";
+    deployed->boxes[result.wsort_name] = {src_node, wsort};
+    deployed->boxes[result.merge_name] = {src_node, merge_tumble};
+  }
+  return result;
+}
+
+}  // namespace aurora

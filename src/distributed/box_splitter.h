@@ -1,0 +1,64 @@
+#ifndef AURORA_DISTRIBUTED_BOX_SPLITTER_H_
+#define AURORA_DISTRIBUTED_BOX_SPLITTER_H_
+
+#include <string>
+
+#include "distributed/deployment.h"
+#include "ops/predicate.h"
+
+namespace aurora {
+
+struct SplitRequest {
+  /// Deployed box to split (unary, single-output; "filter", "map", or
+  /// "tumble").
+  std::string box_name;
+  /// Routing predicate for the Filter that precedes the split (§5.1):
+  /// tuples satisfying it stay on the original machine, the rest go to the
+  /// copy. §5.2 discusses choosing it: content-based, hash-partition, etc.
+  Predicate partition = Predicate::True();
+  /// Node receiving the copy.
+  NodeId dst_node = -1;
+  /// Timeout for the merge WSort of a Tumble split (Fig. 6). 0 = emit only
+  /// when drained / buffer-bounded — the paper's "large enough timeout".
+  int64_t wsort_timeout_us = 0;
+  /// §5.2 "Handling Connection Points": when the split box's input arc is a
+  /// connection point, its history is always preserved on the router's
+  /// input. With this flag, a *replica* (history copy included) is also
+  /// created on the copy's input at the destination — the "splitting it and
+  /// moving a replica to a different machine" strategy. "This might be a
+  /// good investment" when many ad hoc queries attach there; the copied
+  /// bytes are charged to the link.
+  bool replicate_connection_point = false;
+};
+
+struct SplitResult {
+  /// Names under which the new boxes were added to the DeployedQuery.
+  std::string router_name;  // Filter(p) semantic router on the source node
+  std::string copy_name;    // the box copy on dst_node
+  std::string union_name;   // merge Union
+  std::string wsort_name;   // merge WSort (Tumble splits only)
+  std::string merge_name;   // merge Tumble(combine) (Tumble splits only)
+};
+
+/// \brief Box splitting with transparent merge networks (paper §5.1,
+/// Figs. 5–7).
+///
+/// Splitting a Filter adds `Filter(q) -> {Filter(p), Filter(p)'} -> Union`;
+/// splitting a Tumble additionally requires `Union -> WSort(groupby) ->
+/// Tumble(combine)` and is only possible when the aggregate has a
+/// combination function (FailedPrecondition otherwise — e.g. avg).
+/// The original box keeps its open-window state; the copy starts fresh, as
+/// in the paper's worked example (split after tuple #3).
+class BoxSplitter {
+ public:
+  explicit BoxSplitter(AuroraStarSystem* system) : system_(system) {}
+
+  Result<SplitResult> Split(DeployedQuery* deployed, const SplitRequest& req);
+
+ private:
+  AuroraStarSystem* system_;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_DISTRIBUTED_BOX_SPLITTER_H_

@@ -1,0 +1,72 @@
+#ifndef AURORA_DISTRIBUTED_CATALOG_BINDING_H_
+#define AURORA_DISTRIBUTED_CATALOG_BINDING_H_
+
+#include <string>
+
+#include "dht/dht_catalog.h"
+#include "distributed/deployment.h"
+
+namespace aurora {
+
+/// \brief Glue between deployments and the naming/discovery layer
+/// (paper §4.1–4.2).
+///
+/// Registers a deployed query's streams and query pieces in the DHT-backed
+/// inter-participant catalog, keeps locations current after load-sharing
+/// moves, and implements §4.2's source routing: "When a data source
+/// produces events, it labels them with a stream name and sends them to
+/// one of the nodes in the overlay network. Upon receiving these events,
+/// the node consults the … catalog and forwards events to the appropriate
+/// locations."
+class CatalogBinding {
+ public:
+  CatalogBinding(AuroraStarSystem* system, DhtCatalog* catalog,
+                 std::string participant)
+      : system_(system), catalog_(catalog), participant_(std::move(participant)) {}
+
+  /// Registers every input stream (with its home location and schema) and
+  /// every placed box of the deployment under `query_name`.
+  Status RegisterDeployment(const std::string& query_name,
+                            const GlobalQuery& query,
+                            const DeployedQuery& deployed);
+
+  /// Propagates a box's new location after a slide/split/recovery ("the
+  /// location information is always propagated", §4.2).
+  Status UpdateBoxLocation(const std::string& query_name,
+                           const std::string& box_name, NodeId node);
+
+  /// Looks a stream's home up in the catalog starting from `at`'s ring
+  /// position and delivers the tuple there — directly when `at` is the
+  /// home, otherwise via an overlay message. Charges the real forwarding
+  /// cost.
+  Status RouteSourceTuple(NodeId at, const std::string& stream_name, Tuple t);
+
+  /// Current locations of a query piece, per the catalog.
+  Result<std::vector<NodeId>> LookupBox(const std::string& query_name,
+                                        const std::string& box_name,
+                                        NodeId from) const;
+
+  uint64_t lookups() const { return lookups_; }
+  uint64_t forwards() const { return forwards_; }
+  uint64_t direct_deliveries() const { return direct_deliveries_; }
+
+ private:
+  QualifiedName StreamName(const std::string& stream) const {
+    return QualifiedName{participant_, "stream/" + stream};
+  }
+  QualifiedName PieceName(const std::string& query,
+                          const std::string& box) const {
+    return QualifiedName{participant_, "query/" + query + "/" + box};
+  }
+
+  AuroraStarSystem* system_;
+  DhtCatalog* catalog_;
+  std::string participant_;
+  uint64_t lookups_ = 0;
+  uint64_t forwards_ = 0;
+  uint64_t direct_deliveries_ = 0;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_DISTRIBUTED_CATALOG_BINDING_H_

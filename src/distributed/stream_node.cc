@@ -1,0 +1,297 @@
+#include "distributed/stream_node.h"
+
+#include "tuple/serde.h"
+
+namespace aurora {
+
+namespace {
+constexpr double kUtilizationWindowS = 0.25;
+}  // namespace
+
+StreamNode::StreamNode(Simulation* sim, OverlayNetwork* net, NodeId id,
+                       EngineOptions engine_opts,
+                       TransportOptions transport_opts,
+                       SimDuration tick_interval)
+    : sim_(sim),
+      net_(net),
+      id_(id),
+      engine_(engine_opts),
+      transport_opts_(transport_opts),
+      tick_interval_(tick_interval) {}
+
+void StreamNode::Start() {
+  if (started_) return;
+  started_ = true;
+  window_start_ = sim_->Now();
+  sim_->SchedulePeriodic(tick_interval_, [this]() {
+    if (!up_) return true;  // keep the timer; skip while down
+    engine_.Tick(sim_->Now());
+    FlushPending();
+    Kick();
+    return true;
+  });
+}
+
+Transport* StreamNode::TransportTo(StreamNode* dst) {
+  auto it = transports_.find(dst->id());
+  if (it != transports_.end()) return it->second.get();
+  auto transport = std::make_unique<Transport>(sim_, net_, id_, dst->id(),
+                                               transport_opts_);
+  // Delivery executes logically at the destination node.
+  transport->SetDeliveryHandler(
+      [dst](const std::string& stream, const Message& msg) {
+        if (!dst->up()) return;
+        dst->OnRemoteStream(stream, msg.payload);
+      });
+  Transport* raw = transport.get();
+  transports_[dst->id()] = std::move(transport);
+  return raw;
+}
+
+Status StreamNode::BindRemoteOutput(const std::string& output_name,
+                                    StreamNode* dst,
+                                    const std::string& remote_input,
+                                    const std::string& stream_name,
+                                    double weight) {
+  if (bindings_.count(output_name)) {
+    return Status::AlreadyExists("output '" + output_name +
+                                 "' already bound remotely");
+  }
+  AURORA_ASSIGN_OR_RETURN(PortId port, engine_.FindOutput(output_name));
+  // Destination input must exist (remote definition creates it first).
+  AURORA_RETURN_NOT_OK(dst->engine().FindInput(remote_input).status());
+  Transport* transport = TransportTo(dst);
+  if (!transport->HasStream(stream_name)) {
+    AURORA_RETURN_NOT_OK(transport->RegisterStream(stream_name, weight));
+  }
+  RemoteBinding binding;
+  binding.output_port = port;
+  binding.dst = dst;
+  binding.remote_input = remote_input;
+  binding.stream = stream_name;
+  binding.weight = weight;
+  binding.retain_log = retain_logs_;
+  dst->RegisterIncomingStream(stream_name, remote_input);
+  bindings_[output_name] = std::move(binding);
+  engine_.SetOutputCallback(port, [this, output_name](const Tuple& t, SimTime) {
+    auto it = bindings_.find(output_name);
+    if (it != bindings_.end()) it->second.pending.push_back(t);
+  });
+  return Status::OK();
+}
+
+Result<std::string> StreamNode::BindingNameForOutputPort(PortId port) const {
+  for (const auto& [name, binding] : bindings_) {
+    if (binding.output_port == port) return name;
+  }
+  return Status::NotFound("no binding on output port " + std::to_string(port));
+}
+
+Result<StreamNode::BindingContinuity> StreamNode::SnapshotBindingContinuity(
+    const std::string& output_name) const {
+  auto it = bindings_.find(output_name);
+  if (it == bindings_.end()) {
+    return Status::NotFound("output '" + output_name + "' is not bound");
+  }
+  BindingContinuity continuity;
+  continuity.output_log = it->second.output_log;
+  continuity.next_seq = it->second.next_seq;
+  return continuity;
+}
+
+Status StreamNode::RestoreBindingContinuity(const std::string& output_name,
+                                            BindingContinuity continuity) {
+  auto it = bindings_.find(output_name);
+  if (it == bindings_.end()) {
+    return Status::NotFound("output '" + output_name + "' is not bound");
+  }
+  it->second.output_log = std::move(continuity.output_log);
+  it->second.next_seq = continuity.next_seq;
+  return Status::OK();
+}
+
+Status StreamNode::UnbindRemoteOutput(const std::string& output_name) {
+  auto it = bindings_.find(output_name);
+  if (it == bindings_.end()) {
+    return Status::NotFound("output '" + output_name + "' is not bound");
+  }
+  engine_.SetOutputCallback(it->second.output_port, nullptr);
+  bindings_.erase(it);
+  return Status::OK();
+}
+
+void StreamNode::OnRemoteStream(const std::string& stream,
+                                const std::vector<uint8_t>& payload) {
+  auto it = stream_to_input_.find(stream);
+  if (it == stream_to_input_.end()) {
+    AURORA_LOG(Warn) << "node " << id_ << ": tuples on unregistered stream '"
+                     << stream << "'";
+    return;
+  }
+  OnRemoteTuples(it->second, payload);
+}
+
+void StreamNode::OnRemoteTuples(const std::string& input_name,
+                                const std::vector<uint8_t>& payload) {
+  if (!up_) return;
+  auto port = engine_.FindInput(input_name);
+  if (!port.ok()) {
+    AURORA_LOG(Warn) << "node " << id_ << ": dropping tuples for unknown input '"
+                     << input_name << "'";
+    return;
+  }
+  SchemaPtr schema = engine_.input_schema(*port);
+  auto tuples = DeserializeTuples(payload, schema);
+  if (!tuples.ok()) {
+    AURORA_LOG(Error) << "node " << id_ << ": bad tuple batch: "
+                      << tuples.status().ToString();
+    return;
+  }
+  SeqNo& last = last_received_[input_name];
+  for (auto& t : *tuples) {
+    if (t.seq() != kNoSeqNo && t.seq() > last) last = t.seq();
+    Status st = engine_.PushInput(*port, std::move(t), sim_->Now());
+    if (!st.ok()) {
+      AURORA_LOG(Error) << "node " << id_ << ": push failed: " << st.ToString();
+    }
+  }
+  FlushPending();
+  Kick();
+}
+
+Status StreamNode::Inject(const std::string& input_name, Tuple t) {
+  if (!up_) return Status::Unavailable("node is down");
+  if (t.timestamp().micros() == 0) t.set_timestamp(sim_->Now());
+  AURORA_RETURN_NOT_OK(engine_.PushInputByName(input_name, std::move(t),
+                                               sim_->Now()));
+  // Relay arcs (input port -> output port) deliver synchronously; flush so
+  // their tuples do not wait for the next engine step.
+  FlushPending();
+  Kick();
+  return Status::OK();
+}
+
+void StreamNode::Kick() {
+  if (!up_ || step_scheduled_ || !engine_.HasWork()) return;
+  ScheduleStep();
+}
+
+void StreamNode::ScheduleStep() {
+  step_scheduled_ = true;
+  // Never start a step while the CPU is still charged with earlier work.
+  SimTime at = std::max(sim_->Now() + SimDuration::Micros(1), busy_until_);
+  sim_->ScheduleAt(at, [this]() { Step(); });
+}
+
+void StreamNode::Step() {
+  step_scheduled_ = false;
+  if (!up_) return;
+  auto cost = engine_.RunOneStep(sim_->Now());
+  if (!cost.ok()) {
+    AURORA_LOG(Error) << "node " << id_ << ": " << cost.status().ToString();
+    return;
+  }
+  steps_executed_++;
+  FlushPending();
+  double scaled_us = *cost / std::max(1e-6, speed());
+  busy_until_ = sim_->Now() + SimDuration::Micros(std::max<int64_t>(
+                                  1, static_cast<int64_t>(scaled_us)));
+  // Utilization window bookkeeping.
+  busy_us_in_window_ += scaled_us;
+  double elapsed_s = (sim_->Now() - window_start_).seconds();
+  if (elapsed_s >= kUtilizationWindowS) {
+    utilization_ = std::min(1.0, busy_us_in_window_ / (elapsed_s * 1e6));
+    busy_us_in_window_ = 0.0;
+    window_start_ = sim_->Now();
+  }
+  if (engine_.HasWork()) {
+    ScheduleStep();
+  }
+}
+
+void StreamNode::FlushPending() {
+  for (auto& [name, binding] : bindings_) {
+    if (binding.pending.empty()) continue;
+    for (auto& t : binding.pending) {
+      SeqNo lineage = t.seq();  // in the incoming stream's space
+      t.set_seq(binding.next_seq++);
+      if (binding.retain_log) binding.output_log.push_back(LogEntry{t, lineage});
+    }
+    Message msg;
+    msg.kind = "tuples";
+    msg.stream = binding.stream;
+    msg.payload = SerializeTuples(binding.pending);
+    binding.tuples_sent += binding.pending.size();
+    binding.messages_sent++;
+    binding.pending.clear();
+    Transport* transport = TransportTo(binding.dst);
+    Status st = transport->Send(binding.stream, std::move(msg));
+    if (!st.ok()) {
+      AURORA_LOG(Error) << "node " << id_ << ": send failed: " << st.ToString();
+    }
+  }
+}
+
+void StreamNode::SetUp(bool up) {
+  up_ = up;
+  net_->SetNodeUp(id_, up);
+  if (up) Kick();
+}
+
+void StreamNode::RetainOutputLogs(bool retain) {
+  retain_logs_ = retain;
+  for (auto& [name, binding] : bindings_) binding.retain_log = retain;
+}
+
+size_t StreamNode::TruncateOutputLog(const std::string& stream, SeqNo upto) {
+  size_t discarded = 0;
+  for (auto& [name, binding] : bindings_) {
+    if (binding.stream != stream) continue;
+    while (!binding.output_log.empty() &&
+           binding.output_log.front().tuple.seq() <= upto) {
+      binding.output_log.pop_front();
+      ++discarded;
+    }
+  }
+  return discarded;
+}
+
+std::vector<Tuple> StreamNode::OutputLogSnapshot(
+    const std::string& stream) const {
+  for (const auto& [name, binding] : bindings_) {
+    if (binding.stream == stream) {
+      std::vector<Tuple> out;
+      out.reserve(binding.output_log.size());
+      for (const auto& e : binding.output_log) out.push_back(e.tuple);
+      return out;
+    }
+  }
+  return {};
+}
+
+SeqNo StreamNode::UnconfirmedOutputMinLineage() const {
+  SeqNo min_seq = kNoSeqNo;
+  auto consider = [&min_seq](SeqNo s) {
+    if (s == kNoSeqNo) return;
+    if (min_seq == kNoSeqNo || s < min_seq) min_seq = s;
+  };
+  for (const auto& [name, binding] : bindings_) {
+    for (const auto& e : binding.output_log) consider(e.lineage);
+    for (const auto& t : binding.pending) consider(t.seq());
+  }
+  return min_seq;
+}
+
+size_t StreamNode::OutputLogSize(const std::string& stream) const {
+  for (const auto& [name, binding] : bindings_) {
+    if (binding.stream == stream) return binding.output_log.size();
+  }
+  return 0;
+}
+
+SeqNo StreamNode::LastReceivedSeq(const std::string& input_name) const {
+  auto it = last_received_.find(input_name);
+  return it == last_received_.end() ? kNoSeqNo : it->second;
+}
+
+}  // namespace aurora

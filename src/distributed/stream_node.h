@@ -1,0 +1,191 @@
+#ifndef AURORA_DISTRIBUTED_STREAM_NODE_H_
+#define AURORA_DISTRIBUTED_STREAM_NODE_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/aurora_engine.h"
+#include "net/transport.h"
+#include "sim/simulation.h"
+
+namespace aurora {
+
+/// \brief One Aurora server in the distributed system: an AuroraEngine
+/// bound to a simulated node's CPU and links.
+///
+/// The node schedules engine steps as simulation events — each step's
+/// returned CPU cost (scaled by the node's speed) is the time until the
+/// node can run again, so overload manifests as queue growth exactly as it
+/// would on a real machine. Cross-node arcs are *remote bindings*: an
+/// engine output whose tuples are batched, sequence-numbered, serialized,
+/// and sent over the pair's Transport to an engine input on the peer.
+class StreamNode {
+ public:
+  StreamNode(Simulation* sim, OverlayNetwork* net, NodeId id,
+             EngineOptions engine_opts, TransportOptions transport_opts,
+             SimDuration tick_interval = SimDuration::Millis(10));
+
+  NodeId id() const { return id_; }
+  AuroraEngine& engine() { return engine_; }
+  const AuroraEngine& engine() const { return engine_; }
+  double speed() const { return net_->node(id_).speed; }
+
+  /// Begins periodic engine ticks (WSort timeouts etc.).
+  void Start();
+
+  // ---- Remote arcs -------------------------------------------------------
+
+  /// Routes the named engine output to `remote_input` on `dst`. The stream
+  /// name (globally unique, caller-chosen) keys transport scheduling and
+  /// HA logs.
+  Status BindRemoteOutput(const std::string& output_name, StreamNode* dst,
+                          const std::string& remote_input,
+                          const std::string& stream_name, double weight = 1.0);
+  Status UnbindRemoteOutput(const std::string& output_name);
+  bool HasRemoteBinding(const std::string& output_name) const {
+    return bindings_.count(output_name) > 0;
+  }
+  /// Name of the binding (== engine output name) attached to the given
+  /// engine output port, or NotFound.
+  Result<std::string> BindingNameForOutputPort(PortId port) const;
+
+  /// Registers which local engine input a named incoming transport stream
+  /// feeds. Called by the sender-side binding setup.
+  void RegisterIncomingStream(const std::string& stream,
+                              const std::string& input_name) {
+    stream_to_input_[stream] = input_name;
+  }
+
+  /// Called (via transport delivery) when a batch of tuples arrives on a
+  /// registered stream.
+  void OnRemoteStream(const std::string& stream,
+                      const std::vector<uint8_t>& payload);
+
+  /// Pushes a batch of serialized tuples into a local engine input.
+  void OnRemoteTuples(const std::string& input_name,
+                      const std::vector<uint8_t>& payload);
+
+  // ---- Data sources ------------------------------------------------------
+
+  /// Pushes a source tuple into a local engine input (§4.2: a data source
+  /// sends events to one of the nodes).
+  Status Inject(const std::string& input_name, Tuple t);
+
+  /// Ensures a processing step is scheduled.
+  void Kick();
+
+  /// Immediately sends any tuples buffered on remote bindings (used after
+  /// out-of-band emissions during reconfiguration).
+  void Flush() { FlushPending(); }
+
+  // ---- Failure model -----------------------------------------------------
+
+  /// Crashes / restores the node (pairs with OverlayNetwork::SetNodeUp).
+  void SetUp(bool up);
+  bool up() const { return up_; }
+
+  // ---- HA hooks (used by src/ha) ------------------------------------------
+
+  /// A retained sent tuple plus its lineage: the sequence number (in the
+  /// space of this node's *incoming* stream) of the earliest input tuple it
+  /// was derived from. Lineage is what cascaded truncation reports upstream
+  /// ("tuples whose values got determined directly or indirectly", §6.2).
+  struct LogEntry {
+    Tuple tuple;        // seq() is this stream's outgoing sequence number
+    SeqNo lineage = kNoSeqNo;
+  };
+
+  struct RemoteBinding {
+    PortId output_port = -1;
+    StreamNode* dst = nullptr;
+    std::string remote_input;
+    std::string stream;
+    double weight = 1.0;
+    /// Next sequence number to assign on this stream (§6.2: monotonically
+    /// increasing, per stream).
+    SeqNo next_seq = 1;
+    /// When true, sent tuples are retained in `output_log` until the
+    /// downstream confirms them processed (upstream backup, Fig. 8).
+    bool retain_log = false;
+    std::deque<LogEntry> output_log;
+    std::vector<Tuple> pending;  // emitted this step, not yet sent
+    uint64_t tuples_sent = 0;
+    uint64_t messages_sent = 0;
+  };
+
+  /// The durable part of a binding: its retained log and sequence counter.
+  /// When a slide re-routes a binding whose consumer carried its operator
+  /// state along (state migration), the replacement binding must continue
+  /// the same sequence space and keep the unconfirmed log — otherwise a
+  /// later failure of the destination could lose the migrated open-window
+  /// contents.
+  struct BindingContinuity {
+    std::deque<LogEntry> output_log;
+    SeqNo next_seq = 1;
+  };
+  Result<BindingContinuity> SnapshotBindingContinuity(
+      const std::string& output_name) const;
+  Status RestoreBindingContinuity(const std::string& output_name,
+                                  BindingContinuity continuity);
+
+  /// Enables upstream-backup retention on all current and future bindings.
+  void RetainOutputLogs(bool retain);
+  const std::map<std::string, RemoteBinding>& bindings() const {
+    return bindings_;
+  }
+  /// Discards logged tuples with seq <= `upto` on the stream (§6.2 queue
+  /// truncation). Returns how many were discarded.
+  size_t TruncateOutputLog(const std::string& stream, SeqNo upto);
+  /// Tuples currently retained on the stream's output log.
+  std::vector<Tuple> OutputLogSnapshot(const std::string& stream) const;
+  size_t OutputLogSize(const std::string& stream) const;
+  /// Smallest lineage over all retained + pending tuples of every binding:
+  /// the oldest *input* tuple this node's unconfirmed outputs still depend
+  /// on. kNoSeqNo when nothing is retained.
+  SeqNo UnconfirmedOutputMinLineage() const;
+  /// Highest sequence number received so far per input stream.
+  SeqNo LastReceivedSeq(const std::string& input_name) const;
+
+  // ---- Statistics ---------------------------------------------------------
+
+  /// Fraction of time the CPU was busy over the most recent utilization
+  /// window (smoothed).
+  double utilization() const { return utilization_; }
+  uint64_t steps_executed() const { return steps_executed_; }
+
+ private:
+  void ScheduleStep();
+  void Step();
+  void FlushPending();
+  Transport* TransportTo(StreamNode* dst);
+
+  Simulation* sim_;
+  OverlayNetwork* net_;
+  NodeId id_;
+  AuroraEngine engine_;
+  TransportOptions transport_opts_;
+  SimDuration tick_interval_;
+  std::map<NodeId, std::unique_ptr<Transport>> transports_;
+  std::map<std::string, RemoteBinding> bindings_;
+  std::map<std::string, std::string> stream_to_input_;
+  std::map<std::string, SeqNo> last_received_;
+  bool retain_logs_ = false;
+  bool step_scheduled_ = false;
+  bool up_ = true;
+  bool started_ = false;
+  /// CPU accounting: the node may not start another step before this time,
+  /// enforcing its processing capacity even across idle gaps.
+  SimTime busy_until_{};
+  uint64_t steps_executed_ = 0;
+  // Utilization accounting.
+  SimTime window_start_{};
+  double busy_us_in_window_ = 0.0;
+  double utilization_ = 0.0;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_DISTRIBUTED_STREAM_NODE_H_

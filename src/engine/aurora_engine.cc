@@ -1,0 +1,1014 @@
+#include "engine/aurora_engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace aurora {
+
+AuroraEngine::AuroraEngine(EngineOptions opts)
+    : opts_(opts), storage_(opts.memory_budget_bytes), shedder_(opts.shedder) {}
+
+// ---------------------------------------------------------------------------
+// Topology construction
+// ---------------------------------------------------------------------------
+
+Result<PortId> AuroraEngine::AddInput(const std::string& name,
+                                      SchemaPtr schema) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("input '" + name + "' needs a schema");
+  }
+  for (const auto& in : inputs_) {
+    if (in.name == name) {
+      return Status::AlreadyExists("input '" + name + "' already exists");
+    }
+  }
+  inputs_.push_back(InputPort{name, std::move(schema), {}});
+  return static_cast<PortId>(inputs_.size() - 1);
+}
+
+Result<PortId> AuroraEngine::AddOutput(const std::string& name) {
+  for (const auto& out : outputs_) {
+    if (out.name == name) {
+      return Status::AlreadyExists("output '" + name + "' already exists");
+    }
+  }
+  outputs_.push_back(OutputPort{name, nullptr, {}});
+  return static_cast<PortId>(outputs_.size() - 1);
+}
+
+Result<BoxId> AuroraEngine::AddBox(const OperatorSpec& spec) {
+  AURORA_ASSIGN_OR_RETURN(OperatorPtr op, CreateOperator(spec));
+  BoxRt box;
+  box.spec = spec;
+  box.in_arcs.assign(static_cast<size_t>(op->num_inputs()), -1);
+  box.out_arcs.assign(static_cast<size_t>(op->num_outputs()), {});
+  box.op = std::move(op);
+  boxes_.push_back(std::move(box));
+  return static_cast<BoxId>(boxes_.size() - 1);
+}
+
+Result<ArcId> AuroraEngine::Connect(Endpoint from, Endpoint to) {
+  // Validate endpoints.
+  switch (from.kind) {
+    case Endpoint::Kind::kInputPort:
+      if (from.id < 0 || from.id >= static_cast<int>(inputs_.size())) {
+        return Status::InvalidArgument("bad input port " + from.ToString());
+      }
+      break;
+    case Endpoint::Kind::kBox: {
+      if (from.id < 0 || from.id >= static_cast<int>(boxes_.size()) ||
+          boxes_[from.id].removed) {
+        return Status::InvalidArgument("bad source box " + from.ToString());
+      }
+      const BoxRt& b = boxes_[from.id];
+      if (from.index < 0 || from.index >= b.op->num_outputs()) {
+        return Status::InvalidArgument("bad box output " + from.ToString());
+      }
+      break;
+    }
+    case Endpoint::Kind::kOutputPort:
+      return Status::InvalidArgument("cannot connect from an output port");
+  }
+  switch (to.kind) {
+    case Endpoint::Kind::kInputPort:
+      return Status::InvalidArgument("cannot connect into an input port");
+    case Endpoint::Kind::kBox: {
+      if (to.id < 0 || to.id >= static_cast<int>(boxes_.size()) ||
+          boxes_[to.id].removed) {
+        return Status::InvalidArgument("bad destination box " + to.ToString());
+      }
+      BoxRt& b = boxes_[to.id];
+      if (to.index < 0 || to.index >= b.op->num_inputs()) {
+        return Status::InvalidArgument("bad box input " + to.ToString());
+      }
+      if (b.in_arcs[to.index] >= 0) {
+        return Status::AlreadyExists("box input " + to.ToString() +
+                                     " already connected");
+      }
+      break;
+    }
+    case Endpoint::Kind::kOutputPort:
+      if (to.id < 0 || to.id >= static_cast<int>(outputs_.size())) {
+        return Status::InvalidArgument("bad output port " + to.ToString());
+      }
+      break;
+  }
+
+  // When both endpoints already know their schemas (e.g. an adopted box),
+  // verify compatibility now instead of at InitializeBoxes.
+  if (to.kind == Endpoint::Kind::kBox && boxes_[to.id].initialized) {
+    auto from_schema = EndpointOutputSchema(from);
+    if (from_schema.ok() &&
+        !(*from_schema)->Equals(*boxes_[to.id].op->input_schema(to.index))) {
+      return Status::InvalidArgument(
+          "schema mismatch on arc: " + (*from_schema)->ToString() + " vs " +
+          boxes_[to.id].op->input_schema(to.index)->ToString());
+    }
+  }
+
+  ArcId id = static_cast<ArcId>(arcs_.size());
+  arcs_.push_back(ArcRt{});
+  arcs_[id].from = from;
+  arcs_[id].to = to;
+
+  if (from.kind == Endpoint::Kind::kInputPort) {
+    inputs_[from.id].out_arcs.push_back(id);
+  } else {
+    boxes_[from.id].out_arcs[from.index].push_back(id);
+  }
+  if (to.kind == Endpoint::Kind::kBox) {
+    boxes_[to.id].in_arcs[to.index] = id;
+  } else {
+    outputs_[to.id].in_arcs.push_back(id);
+  }
+  RecomputeOutputDistances();
+  return id;
+}
+
+Result<SchemaPtr> AuroraEngine::EndpointOutputSchema(const Endpoint& e) const {
+  switch (e.kind) {
+    case Endpoint::Kind::kInputPort:
+      return inputs_[e.id].schema;
+    case Endpoint::Kind::kBox: {
+      const BoxRt& b = boxes_[e.id];
+      if (!b.initialized) {
+        return Status::FailedPrecondition("box " + std::to_string(e.id) +
+                                          " not initialized yet");
+      }
+      return b.op->output_schema(e.index);
+    }
+    case Endpoint::Kind::kOutputPort:
+      return Status::InvalidArgument("output ports have no schema");
+  }
+  return Status::Internal("bad endpoint kind");
+}
+
+bool AuroraEngine::IsBoxInitialized(BoxId box) const {
+  if (box < 0 || box >= static_cast<int>(boxes_.size()) ||
+      boxes_[box].removed) {
+    return false;
+  }
+  return boxes_[box].initialized;
+}
+
+Status AuroraEngine::InitializeBoxes(bool require_all) {
+  // Fixed-point pass: initialize every box whose input schemas are
+  // available. The network is loop-free (§2.1), so this terminates with all
+  // boxes initialized unless an input is unconnected or a cycle exists.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t i = 0; i < boxes_.size(); ++i) {
+      BoxRt& box = boxes_[i];
+      if (box.removed || box.initialized) continue;
+      std::vector<SchemaPtr> schemas;
+      bool ready = true;
+      for (int in = 0; in < box.op->num_inputs() && ready; ++in) {
+        ArcId arc = box.in_arcs[in];
+        if (arc < 0) {
+          ready = false;
+          break;
+        }
+        auto schema = EndpointOutputSchema(arcs_[arc].from);
+        if (!schema.ok()) {
+          ready = false;
+          break;
+        }
+        schemas.push_back(*schema);
+      }
+      if (!ready) continue;
+      AURORA_RETURN_NOT_OK(box.op->Init(std::move(schemas)));
+      box.initialized = true;
+      progress = true;
+    }
+  }
+  if (require_all) {
+    for (size_t i = 0; i < boxes_.size(); ++i) {
+      const BoxRt& box = boxes_[i];
+      if (!box.removed && !box.initialized) {
+        for (int in = 0; in < box.op->num_inputs(); ++in) {
+          if (box.in_arcs[in] < 0) {
+            return Status::FailedPrecondition(
+                "box " + std::to_string(i) + " (" + box.spec.kind + ") input " +
+                std::to_string(in) + " is unconnected");
+          }
+        }
+        return Status::FailedPrecondition(
+            "box " + std::to_string(i) +
+            " could not be initialized (cycle in the network?)");
+      }
+    }
+  }
+  RecomputeOutputDistances();
+  return Status::OK();
+}
+
+Status AuroraEngine::MakeConnectionPoint(ArcId arc, const std::string& name,
+                                         RetentionPolicy policy) {
+  if (arc < 0 || arc >= static_cast<int>(arcs_.size()) || arcs_[arc].removed) {
+    return Status::InvalidArgument("bad arc id");
+  }
+  if (connection_points_.count(name)) {
+    return Status::AlreadyExists("connection point '" + name + "' exists");
+  }
+  arcs_[arc].cp = std::make_unique<ConnectionPoint>(name, policy);
+  connection_points_[name] = arc;
+  return Status::OK();
+}
+
+Result<ConnectionPoint*> AuroraEngine::GetConnectionPoint(
+    const std::string& name) {
+  auto it = connection_points_.find(name);
+  if (it == connection_points_.end()) {
+    return Status::NotFound("connection point '" + name + "' not found");
+  }
+  return arcs_[it->second].cp.get();
+}
+
+Result<int> AuroraEngine::AttachAdHocQuery(const std::string& cp_name,
+                                           Predicate predicate,
+                                           OutputCallback sink) {
+  AURORA_ASSIGN_OR_RETURN(ConnectionPoint * cp, GetConnectionPoint(cp_name));
+  if (!sink) return Status::InvalidArgument("ad hoc query needs a sink");
+  // Replay history first, then go live — the attachment point in time is
+  // well-defined because both happen atomically w.r.t. tuple flow.
+  auto shared_pred = std::make_shared<Predicate>(std::move(predicate));
+  cp->QueryHistory(
+      [&](const Tuple& t) { return shared_pred->Eval(t); },
+      [&](const Tuple& t) { sink(t, t.timestamp()); });
+  return cp->Subscribe(
+      [shared_pred, sink = std::move(sink)](const Tuple& t, SimTime now) {
+        if (shared_pred->Eval(t)) sink(t, now);
+      });
+}
+
+Status AuroraEngine::DetachAdHocQuery(const std::string& cp_name, int token) {
+  AURORA_ASSIGN_OR_RETURN(ConnectionPoint * cp, GetConnectionPoint(cp_name));
+  cp->Unsubscribe(token);
+  return Status::OK();
+}
+
+ConnectionPoint* AuroraEngine::ArcConnectionPoint(ArcId arc) {
+  if (arc < 0 || arc >= static_cast<int>(arcs_.size()) || arcs_[arc].removed) {
+    return nullptr;
+  }
+  return arcs_[arc].cp.get();
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic reconfiguration
+// ---------------------------------------------------------------------------
+
+Status AuroraEngine::ChokeArc(ArcId arc) {
+  if (arc < 0 || arc >= static_cast<int>(arcs_.size()) || arcs_[arc].removed) {
+    return Status::InvalidArgument("bad arc id");
+  }
+  arcs_[arc].choked = true;
+  if (arcs_[arc].cp) arcs_[arc].cp->Choke();
+  return Status::OK();
+}
+
+Status AuroraEngine::UnchokeArc(ArcId arc) {
+  if (arc < 0 || arc >= static_cast<int>(arcs_.size()) || arcs_[arc].removed) {
+    return Status::InvalidArgument("bad arc id");
+  }
+  ArcRt& a = arcs_[arc];
+  a.choked = false;
+  if (a.cp) a.cp->Unchoke();
+  // Held arrivals flow back in arrival order, ahead of any new traffic.
+  for (auto& [t, us] : a.hold) {
+    a.queue.Push(std::move(t));
+    a.enqueue_us.push_back(us);
+  }
+  a.hold.clear();
+  return Status::OK();
+}
+
+bool AuroraEngine::ArcChoked(ArcId arc) const {
+  if (arc < 0 || arc >= static_cast<int>(arcs_.size())) return false;
+  return arcs_[arc].choked;
+}
+
+Result<std::vector<Tuple>> AuroraEngine::TakeHeldTuples(ArcId arc) {
+  if (arc < 0 || arc >= static_cast<int>(arcs_.size()) || arcs_[arc].removed) {
+    return Status::InvalidArgument("bad arc id");
+  }
+  std::vector<Tuple> out;
+  out.reserve(arcs_[arc].hold.size());
+  for (auto& [t, us] : arcs_[arc].hold) out.push_back(std::move(t));
+  arcs_[arc].hold.clear();
+  return out;
+}
+
+size_t AuroraEngine::HeldTupleCount(ArcId arc) const {
+  if (arc < 0 || arc >= static_cast<int>(arcs_.size())) return 0;
+  return arcs_[arc].hold.size();
+}
+
+Result<OperatorPtr> AuroraEngine::ExtractBoxOperator(BoxId box) {
+  if (box < 0 || box >= static_cast<int>(boxes_.size()) ||
+      boxes_[box].removed) {
+    return Status::InvalidArgument("bad box id");
+  }
+  BoxRt& b = boxes_[box];
+  for (ArcId arc : b.in_arcs) {
+    if (arc >= 0) {
+      return Status::FailedPrecondition("box still has a connected input arc");
+    }
+  }
+  for (const auto& outs : b.out_arcs) {
+    if (!outs.empty()) {
+      return Status::FailedPrecondition("box still has a connected output arc");
+    }
+  }
+  b.removed = true;
+  return std::move(b.op);
+}
+
+Result<BoxId> AuroraEngine::AdoptBoxOperator(OperatorPtr op) {
+  if (op == nullptr) return Status::InvalidArgument("null operator");
+  BoxRt box;
+  box.spec = op->spec();
+  box.in_arcs.assign(static_cast<size_t>(op->num_inputs()), -1);
+  box.out_arcs.assign(static_cast<size_t>(op->num_outputs()), {});
+  box.op = std::move(op);
+  box.initialized = true;  // arrives with schemas and state intact
+  boxes_.push_back(std::move(box));
+  return static_cast<BoxId>(boxes_.size() - 1);
+}
+
+Status AuroraEngine::DisconnectArc(ArcId arc) {
+  if (arc < 0 || arc >= static_cast<int>(arcs_.size()) || arcs_[arc].removed) {
+    return Status::InvalidArgument("bad arc id");
+  }
+  ArcRt& a = arcs_[arc];
+  if (!a.queue.empty()) {
+    return Status::FailedPrecondition(
+        "arc queue not empty (" + std::to_string(a.queue.size()) +
+        " tuples); TakeArcQueue first");
+  }
+  if (!a.hold.empty()) {
+    return Status::FailedPrecondition("arc has held tuples; TakeHeldTuples first");
+  }
+  auto erase_from = [arc](std::vector<ArcId>* list) {
+    list->erase(std::remove(list->begin(), list->end(), arc), list->end());
+  };
+  if (a.from.kind == Endpoint::Kind::kInputPort) {
+    erase_from(&inputs_[a.from.id].out_arcs);
+  } else if (a.from.kind == Endpoint::Kind::kBox) {
+    erase_from(&boxes_[a.from.id].out_arcs[a.from.index]);
+  }
+  if (a.to.kind == Endpoint::Kind::kBox) {
+    boxes_[a.to.id].in_arcs[a.to.index] = -1;
+  } else if (a.to.kind == Endpoint::Kind::kOutputPort) {
+    erase_from(&outputs_[a.to.id].in_arcs);
+  }
+  a.removed = true;
+  for (auto it = connection_points_.begin(); it != connection_points_.end();) {
+    it = (it->second == arc) ? connection_points_.erase(it) : std::next(it);
+  }
+  a.cp.reset();
+  RecomputeOutputDistances();
+  return Status::OK();
+}
+
+Status AuroraEngine::RemoveBox(BoxId box) {
+  if (box < 0 || box >= static_cast<int>(boxes_.size()) ||
+      boxes_[box].removed) {
+    return Status::InvalidArgument("bad box id");
+  }
+  BoxRt& b = boxes_[box];
+  for (ArcId arc : b.in_arcs) {
+    if (arc >= 0) {
+      return Status::FailedPrecondition("box still has a connected input arc");
+    }
+  }
+  for (const auto& outs : b.out_arcs) {
+    if (!outs.empty()) {
+      return Status::FailedPrecondition("box still has a connected output arc");
+    }
+  }
+  b.removed = true;
+  b.op.reset();
+  return Status::OK();
+}
+
+Result<std::vector<Tuple>> AuroraEngine::TakeArcQueue(ArcId arc) {
+  if (arc < 0 || arc >= static_cast<int>(arcs_.size()) || arcs_[arc].removed) {
+    return Status::InvalidArgument("bad arc id");
+  }
+  ArcRt& a = arcs_[arc];
+  std::vector<Tuple> out;
+  out.reserve(a.queue.size());
+  while (!a.queue.empty()) {
+    out.push_back(a.queue.Pop());
+  }
+  a.enqueue_us.clear();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Lookup
+// ---------------------------------------------------------------------------
+
+Result<PortId> AuroraEngine::FindInput(const std::string& name) const {
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    if (inputs_[i].name == name) return static_cast<PortId>(i);
+  }
+  return Status::NotFound("no input named '" + name + "'");
+}
+
+Result<PortId> AuroraEngine::FindOutput(const std::string& name) const {
+  for (size_t i = 0; i < outputs_.size(); ++i) {
+    if (outputs_[i].name == name) return static_cast<PortId>(i);
+  }
+  return Status::NotFound("no output named '" + name + "'");
+}
+
+Result<ArcId> AuroraEngine::FindArcInto(BoxId box, int input_index) const {
+  if (box < 0 || box >= static_cast<int>(boxes_.size()) ||
+      boxes_[box].removed) {
+    return Status::InvalidArgument("bad box id");
+  }
+  const BoxRt& b = boxes_[box];
+  if (input_index < 0 || input_index >= static_cast<int>(b.in_arcs.size()) ||
+      b.in_arcs[input_index] < 0) {
+    return Status::NotFound("no arc into box input");
+  }
+  return b.in_arcs[input_index];
+}
+
+std::vector<ArcId> AuroraEngine::ArcsFrom(Endpoint from) const {
+  if (from.kind == Endpoint::Kind::kInputPort &&
+      from.id < static_cast<int>(inputs_.size())) {
+    return inputs_[from.id].out_arcs;
+  }
+  if (from.kind == Endpoint::Kind::kBox &&
+      from.id < static_cast<int>(boxes_.size()) && !boxes_[from.id].removed &&
+      from.index < static_cast<int>(boxes_[from.id].out_arcs.size())) {
+    return boxes_[from.id].out_arcs[from.index];
+  }
+  return {};
+}
+
+std::vector<ArcId> AuroraEngine::ArcsInto(PortId output_port) const {
+  if (output_port < 0 || output_port >= static_cast<int>(outputs_.size())) {
+    return {};
+  }
+  return outputs_[output_port].in_arcs;
+}
+
+Result<const OperatorSpec*> AuroraEngine::BoxSpec(BoxId box) const {
+  if (box < 0 || box >= static_cast<int>(boxes_.size()) ||
+      boxes_[box].removed) {
+    return Status::InvalidArgument("bad box id");
+  }
+  return &boxes_[box].spec;
+}
+
+Result<Operator*> AuroraEngine::BoxOp(BoxId box) {
+  if (box < 0 || box >= static_cast<int>(boxes_.size()) ||
+      boxes_[box].removed) {
+    return Status::InvalidArgument("bad box id");
+  }
+  return boxes_[box].op.get();
+}
+
+std::vector<BoxId> AuroraEngine::BoxIds() const {
+  std::vector<BoxId> ids;
+  for (size_t i = 0; i < boxes_.size(); ++i) {
+    if (!boxes_[i].removed) ids.push_back(static_cast<BoxId>(i));
+  }
+  return ids;
+}
+
+Endpoint AuroraEngine::ArcFrom(ArcId arc) const { return arcs_[arc].from; }
+Endpoint AuroraEngine::ArcTo(ArcId arc) const { return arcs_[arc].to; }
+
+size_t AuroraEngine::ArcQueueSize(ArcId arc) const {
+  if (arc < 0 || arc >= static_cast<int>(arcs_.size())) return 0;
+  return arcs_[arc].queue.size();
+}
+
+SeqNo AuroraEngine::ArcQueueMinSeq(ArcId arc) const {
+  if (arc < 0 || arc >= static_cast<int>(arcs_.size()) || arcs_[arc].removed) {
+    return kNoSeqNo;
+  }
+  SeqNo min_seq = kNoSeqNo;
+  auto consider = [&min_seq](SeqNo s) {
+    if (s == kNoSeqNo) return;
+    if (min_seq == kNoSeqNo || s < min_seq) min_seq = s;
+  };
+  for (const auto& t : arcs_[arc].queue.items()) consider(t.seq());
+  for (const auto& [t, us] : arcs_[arc].hold) consider(t.seq());
+  return min_seq;
+}
+
+AuroraEngine::OutputCallback AuroraEngine::GetOutputCallback(
+    PortId output) const {
+  if (output < 0 || output >= static_cast<int>(outputs_.size())) return nullptr;
+  return outputs_[output].callback;
+}
+
+size_t AuroraEngine::num_boxes() const {
+  size_t n = 0;
+  for (const auto& b : boxes_) {
+    if (!b.removed) ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// QoS
+// ---------------------------------------------------------------------------
+
+Status AuroraEngine::SetOutputQoS(PortId output, QoSSpec spec) {
+  if (output < 0 || output >= static_cast<int>(outputs_.size())) {
+    return Status::InvalidArgument("bad output port");
+  }
+  qos_.SetSpec(output, std::move(spec));
+  return Status::OK();
+}
+
+void AuroraEngine::WalkDownstream(const Endpoint& from, double cost_so_far_us,
+                                  std::map<PortId, double>* outputs_cost) const {
+  for (ArcId arc : ArcsFrom(from)) {
+    const ArcRt& a = arcs_[arc];
+    if (a.to.kind == Endpoint::Kind::kOutputPort) {
+      auto it = outputs_cost->find(a.to.id);
+      // Keep the most stringent (largest) accumulated time over paths.
+      if (it == outputs_cost->end() || it->second < cost_so_far_us) {
+        (*outputs_cost)[a.to.id] = cost_so_far_us;
+      }
+      continue;
+    }
+    const BoxRt& box = boxes_[a.to.id];
+    double measured_ms = qos_.BoxTbMs(a.to.id);
+    double t_b_us = measured_ms > 0.0 ? measured_ms * 1000.0
+                                      : box.op->cost_micros_per_tuple();
+    for (int k = 0; k < box.op->num_outputs(); ++k) {
+      WalkDownstream(Endpoint::BoxPort(a.to.id, k), cost_so_far_us + t_b_us,
+                     outputs_cost);
+    }
+  }
+}
+
+Result<QoSSpec> AuroraEngine::InferArcQoS(ArcId arc) const {
+  if (arc < 0 || arc >= static_cast<int>(arcs_.size()) || arcs_[arc].removed) {
+    return Status::InvalidArgument("bad arc id");
+  }
+  const ArcRt& a = arcs_[arc];
+  std::map<PortId, double> outputs_cost;
+  if (a.to.kind == Endpoint::Kind::kOutputPort) {
+    outputs_cost[a.to.id] = 0.0;
+  } else {
+    const BoxRt& box = boxes_[a.to.id];
+    double measured_ms = qos_.BoxTbMs(a.to.id);
+    double t_b_us = measured_ms > 0.0 ? measured_ms * 1000.0
+                                      : box.op->cost_micros_per_tuple();
+    for (int k = 0; k < box.op->num_outputs(); ++k) {
+      WalkDownstream(Endpoint::BoxPort(a.to.id, k), t_b_us, &outputs_cost);
+    }
+  }
+  std::vector<QoSSpec> candidates;
+  for (const auto& [port, cost_us] : outputs_cost) {
+    const QoSSpec* spec = qos_.GetSpec(port);
+    if (spec == nullptr) continue;
+    candidates.push_back(InferThroughBox(*spec, cost_us / 1000.0));
+  }
+  if (candidates.empty()) {
+    return Status::NotFound("no QoS-bearing output reachable from arc");
+  }
+  if (candidates.size() == 1) return candidates[0];
+  return CombineSpecs(candidates);
+}
+
+// ---------------------------------------------------------------------------
+// Data path
+// ---------------------------------------------------------------------------
+
+class AuroraEngine::RoutingEmitter : public Emitter {
+ public:
+  RoutingEmitter(AuroraEngine* engine, BoxId box, SimTime now,
+                 std::vector<BoxId>* touched)
+      : engine_(engine), box_(box), now_(now), touched_(touched) {}
+
+  void Emit(int output, Tuple t) override {
+    engine_->Route(Endpoint::BoxPort(box_, output), t, now_, touched_);
+  }
+
+ private:
+  AuroraEngine* engine_;
+  BoxId box_;
+  SimTime now_;
+  std::vector<BoxId>* touched_;
+};
+
+void AuroraEngine::Route(const Endpoint& from, const Tuple& t, SimTime now,
+                         std::vector<BoxId>* touched) {
+  for (ArcId arc : ArcsFrom(from)) {
+    ArcRt& a = arcs_[arc];
+    if (a.cp) a.cp->Record(t, now);
+    if (a.choked) {
+      a.hold.emplace_back(t, now.micros());
+      continue;
+    }
+    if (a.to.kind == Endpoint::Kind::kOutputPort) {
+      DeliverToOutput(a.to.id, t, now);
+    } else {
+      a.queue.Push(t);
+      a.enqueue_us.push_back(now.micros());
+      if (touched != nullptr &&
+          std::find(touched->begin(), touched->end(), a.to.id) ==
+              touched->end()) {
+        touched->push_back(a.to.id);
+      }
+    }
+  }
+}
+
+void AuroraEngine::DeliverToOutput(PortId port, const Tuple& t, SimTime now) {
+  double latency_ms = std::max(0.0, (now - t.timestamp()).millis());
+  qos_.RecordDelivery(port, latency_ms);
+  if (outputs_[port].callback) outputs_[port].callback(t, now);
+}
+
+Status AuroraEngine::PushInput(PortId input, Tuple t, SimTime now) {
+  if (input < 0 || input >= static_cast<int>(inputs_.size())) {
+    return Status::InvalidArgument("bad input port");
+  }
+  if (t.schema() == nullptr) {
+    return Status::InvalidArgument("tuple has no schema");
+  }
+  if (!t.schema()->Equals(*inputs_[input].schema)) {
+    return Status::InvalidArgument("tuple schema " + t.schema()->ToString() +
+                                   " does not match input schema " +
+                                   inputs_[input].schema->ToString());
+  }
+  if (shedder_.ShouldDrop(input, t, now)) {
+    // Attribute the drop to every output downstream of this input so the
+    // QoS monitor's delivered-fraction reflects shedding.
+    for (const auto& info : shedder_.inputs()) {
+      if (info.input != input) continue;
+      for (PortId out : info.outputs) qos_.RecordDrop(out);
+      break;
+    }
+    return Status::OK();
+  }
+  if (t.timestamp().micros() == 0) t.set_timestamp(now);
+  Route(Endpoint::InputPort(input), t, now, nullptr);
+  storage_.EnforceBudget(AllQueues());
+  return Status::OK();
+}
+
+Status AuroraEngine::PushInputByName(const std::string& name, Tuple t,
+                                     SimTime now) {
+  AURORA_ASSIGN_OR_RETURN(PortId port, FindInput(name));
+  return PushInput(port, std::move(t), now);
+}
+
+void AuroraEngine::SetOutputCallback(PortId output, OutputCallback cb) {
+  AURORA_CHECK(output >= 0 && output < static_cast<int>(outputs_.size()));
+  outputs_[output].callback = std::move(cb);
+}
+
+Status AuroraEngine::EmitToOutputPort(PortId output, const Tuple& t,
+                                      SimTime now) {
+  if (output < 0 || output >= static_cast<int>(outputs_.size())) {
+    return Status::InvalidArgument("bad output port");
+  }
+  DeliverToOutput(output, t, now);
+  return Status::OK();
+}
+
+Status AuroraEngine::EnqueueOnArc(ArcId arc, Tuple t, SimTime now) {
+  if (arc < 0 || arc >= static_cast<int>(arcs_.size()) || arcs_[arc].removed) {
+    return Status::InvalidArgument("bad arc id");
+  }
+  ArcRt& a = arcs_[arc];
+  if (a.to.kind == Endpoint::Kind::kOutputPort) {
+    DeliverToOutput(a.to.id, t, now);
+    return Status::OK();
+  }
+  a.queue.Push(std::move(t));
+  a.enqueue_us.push_back(now.micros());
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+bool AuroraEngine::BoxReady(const BoxRt& box) const {
+  // Note: a choked arc's queue remains consumable (it drains); only *new*
+  // arrivals are held. See ChokeArc.
+  if (box.removed || !box.initialized) return false;
+  for (ArcId arc : box.in_arcs) {
+    if (arc >= 0 && !arcs_[arc].queue.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool AuroraEngine::HasWork() const {
+  for (const auto& box : boxes_) {
+    if (BoxReady(box)) return true;
+  }
+  return false;
+}
+
+void AuroraEngine::RefreshQoSDeadlines() {
+  for (size_t i = 0; i < boxes_.size(); ++i) {
+    BoxRt& box = boxes_[i];
+    if (box.removed || !box.initialized) continue;
+    box.deadline_ms = 1e18;
+    for (ArcId arc : box.in_arcs) {
+      if (arc < 0) continue;
+      auto spec = InferArcQoS(arc);
+      if (!spec.ok() || spec->latency.empty()) continue;
+      box.deadline_ms = std::min(box.deadline_ms, spec->latency.CriticalX(0.5));
+    }
+  }
+}
+
+Result<BoxId> AuroraEngine::PickBox(SimTime now) {
+  const size_t n = boxes_.size();
+  if (n == 0) return Status::NotFound("no boxes");
+  switch (opts_.scheduler) {
+    case SchedulerPolicy::kQoSSlack: {
+      // Most urgent first: smallest (deadline - age of oldest queued tuple).
+      int best = -1;
+      double best_slack = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        if (!BoxReady(boxes_[i])) continue;
+        double oldest_ms = 0.0;
+        for (ArcId arc : boxes_[i].in_arcs) {
+          if (arc < 0 || arcs_[arc].queue.empty()) continue;
+          oldest_ms = std::max(
+              oldest_ms,
+              (now - arcs_[arc].queue.Front().timestamp()).millis());
+        }
+        double slack = boxes_[i].deadline_ms - oldest_ms;
+        if (best < 0 || slack < best_slack) {
+          best = static_cast<int>(i);
+          best_slack = slack;
+        }
+      }
+      if (best < 0) return Status::NotFound("no ready box");
+      return best;
+    }
+    case SchedulerPolicy::kRoundRobin:
+    case SchedulerPolicy::kTupleAtATime: {
+      for (size_t step = 0; step < n; ++step) {
+        size_t i = (rr_next_box_ + step) % n;
+        if (BoxReady(boxes_[i])) {
+          rr_next_box_ = static_cast<int>((i + 1) % n);
+          return static_cast<BoxId>(i);
+        }
+      }
+      return Status::NotFound("no ready box");
+    }
+    case SchedulerPolicy::kLongestQueue: {
+      int best = -1;
+      size_t best_len = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (!BoxReady(boxes_[i])) continue;
+        size_t len = 0;
+        for (ArcId arc : boxes_[i].in_arcs) {
+          if (arc >= 0) len += arcs_[arc].queue.size();
+        }
+        if (best < 0 || len > best_len) {
+          best = static_cast<int>(i);
+          best_len = len;
+        }
+      }
+      if (best < 0) return Status::NotFound("no ready box");
+      return best;
+    }
+    case SchedulerPolicy::kMinOutputDistance: {
+      int best = -1;
+      int best_d = 1 << 30;
+      for (size_t i = 0; i < n; ++i) {
+        if (!BoxReady(boxes_[i])) continue;
+        if (best < 0 || boxes_[i].distance_to_output < best_d) {
+          best = static_cast<int>(i);
+          best_d = boxes_[i].distance_to_output;
+        }
+      }
+      if (best < 0) return Status::NotFound("no ready box");
+      return best;
+    }
+  }
+  return Status::Internal("bad scheduler policy");
+}
+
+double AuroraEngine::ActivateBox(BoxId box_id, SimTime now,
+                                 std::vector<BoxId>* touched) {
+  BoxRt& box = boxes_[box_id];
+  int budget = opts_.scheduler == SchedulerPolicy::kTupleAtATime
+                   ? 1
+                   : opts_.train_size;
+  double cost_us = 0.0;
+  double wait_sum_ms = 0.0;
+  int processed = 0;
+  RoutingEmitter emitter(this, box_id, now, touched);
+  const int n_inputs = box.op->num_inputs();
+  int idle_scans = 0;
+  while (processed < budget && idle_scans < n_inputs) {
+    int in = box.rr_next_input % n_inputs;
+    box.rr_next_input = (box.rr_next_input + 1) % n_inputs;
+    ArcId arc = box.in_arcs[in];
+    if (arc < 0 || arcs_[arc].queue.empty()) {
+      idle_scans++;
+      continue;
+    }
+    idle_scans = 0;
+    ArcRt& a = arcs_[arc];
+    uint64_t reads_before = a.queue.unspill_reads();
+    Tuple t = a.queue.Pop();
+    int64_t enq_us = a.enqueue_us.front();
+    a.enqueue_us.pop_front();
+    wait_sum_ms += static_cast<double>(now.micros() - enq_us) / 1000.0;
+    cost_us += box.op->cost_micros_per_tuple();
+    cost_us += static_cast<double>(a.queue.unspill_reads() - reads_before) *
+               opts_.spill_read_cost_us;
+    Status st = box.op->Process(in, t, now, &emitter);
+    if (!st.ok() && deferred_error_.ok()) deferred_error_ = st;
+    processed++;
+  }
+  if (processed > 0) {
+    double t_b_ms = wait_sum_ms / processed +
+                    (cost_us / processed) / 1000.0;
+    qos_.RecordBoxWork(box_id, t_b_ms, processed);
+    total_activations_++;
+  }
+  return cost_us;
+}
+
+Result<double> AuroraEngine::RunOneStep(SimTime now) {
+  if (!deferred_error_.ok()) {
+    Status err = deferred_error_;
+    deferred_error_ = Status::OK();
+    return err;
+  }
+  auto pick = PickBox(now);
+  if (!pick.ok()) return 0.0;
+  std::vector<BoxId> touched;
+  double cost_us = ActivateBox(*pick, now, &touched);
+  // Push the train toward the output (train_depth > 1): activate the boxes
+  // that just received tuples, layer by layer.
+  for (int depth = 1; depth < opts_.train_depth && !touched.empty(); ++depth) {
+    std::vector<BoxId> next;
+    for (BoxId b : touched) {
+      if (BoxReady(boxes_[b])) cost_us += ActivateBox(b, now, &next);
+    }
+    touched = std::move(next);
+  }
+  storage_.EnforceBudget(AllQueues());
+  total_cpu_micros_ += cost_us;
+  if (!deferred_error_.ok()) {
+    Status err = deferred_error_;
+    deferred_error_ = Status::OK();
+    return err;
+  }
+  return cost_us;
+}
+
+Status AuroraEngine::RunUntilQuiescent(SimTime now, int max_steps) {
+  for (int i = 0; i < max_steps; ++i) {
+    if (!HasWork()) return Status::OK();
+    auto cost = RunOneStep(now);
+    AURORA_RETURN_NOT_OK(cost.status());
+  }
+  return Status::ResourceExhausted("network did not quiesce within step limit");
+}
+
+void AuroraEngine::Tick(SimTime now) {
+  for (size_t i = 0; i < boxes_.size(); ++i) {
+    BoxRt& box = boxes_[i];
+    if (box.removed || !box.initialized) continue;
+    RoutingEmitter emitter(this, static_cast<BoxId>(i), now, nullptr);
+    box.op->OnTick(now, &emitter);
+  }
+}
+
+Status AuroraEngine::DrainBoxState(BoxId box, SimTime now) {
+  if (box < 0 || box >= static_cast<int>(boxes_.size()) ||
+      boxes_[box].removed) {
+    return Status::InvalidArgument("bad box id");
+  }
+  RoutingEmitter emitter(this, box, now, nullptr);
+  boxes_[box].op->Drain(&emitter);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Support
+// ---------------------------------------------------------------------------
+
+void AuroraEngine::RecomputeOutputDistances() {
+  // Reverse BFS from output ports.
+  for (auto& box : boxes_) box.distance_to_output = 1 << 20;
+  std::deque<std::pair<BoxId, int>> frontier;
+  for (const auto& out : outputs_) {
+    for (ArcId arc : out.in_arcs) {
+      const ArcRt& a = arcs_[arc];
+      if (a.removed) continue;
+      if (a.from.kind == Endpoint::Kind::kBox) {
+        frontier.emplace_back(a.from.id, 0);
+      }
+    }
+  }
+  while (!frontier.empty()) {
+    auto [box_id, dist] = frontier.front();
+    frontier.pop_front();
+    BoxRt& box = boxes_[box_id];
+    if (box.removed || box.distance_to_output <= dist) continue;
+    box.distance_to_output = dist;
+    for (ArcId arc : box.in_arcs) {
+      if (arc < 0) continue;
+      const ArcRt& a = arcs_[arc];
+      if (a.from.kind == Endpoint::Kind::kBox) {
+        frontier.emplace_back(a.from.id, dist + 1);
+      }
+    }
+  }
+}
+
+std::vector<StreamQueue*> AuroraEngine::AllQueues() {
+  std::vector<StreamQueue*> queues;
+  queues.reserve(arcs_.size());
+  for (auto& a : arcs_) {
+    if (!a.removed && a.to.kind == Endpoint::Kind::kBox) {
+      queues.push_back(&a.queue);
+    }
+  }
+  return queues;
+}
+
+size_t AuroraEngine::TotalQueuedTuples() const {
+  size_t total = 0;
+  for (const auto& a : arcs_) {
+    if (!a.removed) total += a.queue.size();
+  }
+  return total;
+}
+
+void AuroraEngine::RebuildShedderModel() {
+  // Expected downstream CPU cost of one tuple entering `endpoint`, using
+  // measured selectivities where available.
+  std::function<double(const Endpoint&)> cost_from =
+      [&](const Endpoint& from) -> double {
+    double total = 0.0;
+    for (ArcId arc : ArcsFrom(from)) {
+      const ArcRt& a = arcs_[arc];
+      if (a.to.kind != Endpoint::Kind::kBox) continue;
+      const BoxRt& box = boxes_[a.to.id];
+      if (!box.initialized) continue;
+      double c = box.op->cost_micros_per_tuple();
+      double sel = box.op->selectivity();
+      double downstream = 0.0;
+      for (int k = 0; k < box.op->num_outputs(); ++k) {
+        downstream += cost_from(Endpoint::BoxPort(a.to.id, k));
+      }
+      total += c + sel * downstream;
+    }
+    return total;
+  };
+
+  std::vector<LoadShedder::InputInfo> infos;
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    LoadShedder::InputInfo info;
+    info.input = static_cast<PortId>(i);
+    info.downstream_cost_us =
+        std::max(0.1, cost_from(Endpoint::InputPort(static_cast<int>(i))));
+    std::map<PortId, double> outputs_cost;
+    WalkDownstream(Endpoint::InputPort(static_cast<int>(i)), 0.0,
+                   &outputs_cost);
+    double slope = 0.0;
+    for (const auto& [port, cost] : outputs_cost) {
+      info.outputs.push_back(port);
+      const QoSSpec* spec = qos_.GetSpec(port);
+      if (spec != nullptr && !spec->loss.empty()) {
+        slope += (spec->loss.Eval(1.0) - spec->loss.Eval(0.5)) / 0.5;
+      } else {
+        slope += 1.0;
+      }
+      // Semantic shedding uses the first downstream value-based graph
+      // whose attribute exists on this input's schema.
+      if (spec != nullptr && !spec->value.empty() &&
+          info.value_graph.empty() &&
+          inputs_[i].schema->HasField(spec->value_field)) {
+        info.value_field = spec->value_field;
+        info.value_graph = spec->value;
+      }
+    }
+    info.utility_slope = std::max(1e-6, slope);
+    infos.push_back(std::move(info));
+  }
+  shedder_.SetInputs(std::move(infos));
+}
+
+}  // namespace aurora

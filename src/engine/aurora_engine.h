@@ -1,0 +1,297 @@
+#ifndef AURORA_ENGINE_AURORA_ENGINE_H_
+#define AURORA_ENGINE_AURORA_ENGINE_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "engine/load_shedder.h"
+#include "engine/qos_monitor.h"
+#include "engine/storage_manager.h"
+#include "engine/topology.h"
+#include "ops/operator.h"
+#include "qos/inference.h"
+#include "stream/connection_point.h"
+#include "stream/stream_queue.h"
+
+namespace aurora {
+
+/// Box scheduling disciplines (§2.3; ablated in bench_scheduler).
+enum class SchedulerPolicy {
+  /// Cycle through boxes, one activation each.
+  kRoundRobin,
+  /// Activate the box with the most queued input tuples.
+  kLongestQueue,
+  /// Activate the ready box nearest an output (latency-oriented, the
+  /// QoS-driven discipline's core heuristic).
+  kMinOutputDistance,
+  /// One tuple per activation, no trains (the baseline train scheduling is
+  /// compared against).
+  kTupleAtATime,
+  /// QoS-slack scheduling (§2.3/§7.1): activate the box whose oldest queued
+  /// tuple is closest to violating its inferred latency deadline
+  /// (CriticalX of the arc's inferred QoS graph). Call RefreshQoSDeadlines
+  /// after setting output QoS specs and after topology changes.
+  kQoSSlack,
+};
+
+struct EngineOptions {
+  SchedulerPolicy scheduler = SchedulerPolicy::kLongestQueue;
+  /// Max tuples consumed per box activation (train scheduling, §2.3).
+  int train_size = 64;
+  /// How far a train is pushed toward the output within one step: after a
+  /// box activation, boxes that received its emissions are activated too,
+  /// up to this many layers.
+  int train_depth = 1;
+  /// Storage manager budget; 0 = unbounded memory (no spilling).
+  size_t memory_budget_bytes = 0;
+  /// Simulated cost of reading one spilled tuple back from disk.
+  double spill_read_cost_us = 20.0;
+  /// Load shedder configuration (policy kNone disables shedding).
+  LoadShedder::Options shedder;
+};
+
+/// \brief Single-node Aurora run-time (paper §2, Fig. 3).
+///
+/// Owns the query network (boxes + arcs with queues), the train scheduler,
+/// the storage manager, the QoS monitor, and the load shedder. The network
+/// is fully dynamic: boxes and arcs can be added, choked, drained, and
+/// removed at run time — the primitive operations the distributed layer's
+/// box sliding and splitting are built from.
+///
+/// Time is externalized: callers pass the current SimTime into PushInput /
+/// RunOneStep, and RunOneStep returns the simulated CPU microseconds the
+/// activation consumed. Standalone (non-simulated) use just passes a fixed
+/// or monotonically increasing time.
+class AuroraEngine {
+ public:
+  using OutputCallback = std::function<void(const Tuple&, SimTime)>;
+
+  explicit AuroraEngine(EngineOptions opts = {});
+
+  // ---- Topology construction ------------------------------------------
+
+  /// Declares a named input stream with its schema.
+  Result<PortId> AddInput(const std::string& name, SchemaPtr schema);
+  /// Declares a named output (application attachment point).
+  Result<PortId> AddOutput(const std::string& name);
+  /// Adds a box from its declarative spec. The operator is instantiated
+  /// immediately but not initialized until InitializeBoxes().
+  Result<BoxId> AddBox(const OperatorSpec& spec);
+  /// Connects two endpoints with a new arc. At most one arc may enter a
+  /// given (box, input index); sources may fan out freely.
+  Result<ArcId> Connect(Endpoint from, Endpoint to);
+  /// Initializes all not-yet-initialized boxes in topological order,
+  /// propagating schemas. Call after a batch of topology changes. With
+  /// `require_all` false, boxes that cannot be initialized yet (inputs not
+  /// wired) are left for a later call instead of failing — used by
+  /// progressive distributed deployment.
+  Status InitializeBoxes(bool require_all = true);
+  bool IsBoxInitialized(BoxId box) const;
+
+  /// Marks an arc as a connection point with historical storage (§2.2).
+  Status MakeConnectionPoint(ArcId arc, const std::string& name,
+                             RetentionPolicy policy);
+  Result<ConnectionPoint*> GetConnectionPoint(const std::string& name);
+
+  /// Attaches an ad hoc query at a connection point (§2.2): tuples in the
+  /// retained history that satisfy `predicate` are replayed into `sink`
+  /// immediately (stamped with their original timestamps), and matching
+  /// live tuples follow as they pass the point. Returns a token for
+  /// DetachAdHocQuery.
+  Result<int> AttachAdHocQuery(const std::string& cp_name, Predicate predicate,
+                               OutputCallback sink);
+  Status DetachAdHocQuery(const std::string& cp_name, int token);
+  /// The connection point on an arc, or nullptr. Non-owning.
+  ConnectionPoint* ArcConnectionPoint(ArcId arc);
+
+  // ---- Dynamic reconfiguration (used by box sliding/splitting) --------
+
+  /// Chokes an arc per the stabilization protocol (§5.1): tuples already
+  /// queued keep draining into the destination box, but *new* arrivals are
+  /// collected in a side hold buffer instead of the consumable queue.
+  Status ChokeArc(ArcId arc);
+  /// Reopens the arc, moving held tuples back to the front of the flow.
+  Status UnchokeArc(ArcId arc);
+  bool ArcChoked(ArcId arc) const;
+  /// Removes an arc. Its queue must be empty (TakeArcQueue first).
+  Status DisconnectArc(ArcId arc);
+  /// Removes a box. All of its arcs must have been disconnected.
+  Status RemoveBox(BoxId box);
+  /// Empties an arc's queue, returning the tuples (for migration).
+  Result<std::vector<Tuple>> TakeArcQueue(ArcId arc);
+  /// Takes the tuples collected while the arc was choked, in arrival order.
+  Result<std::vector<Tuple>> TakeHeldTuples(ArcId arc);
+  size_t HeldTupleCount(ArcId arc) const;
+  /// Extracts a fully-disconnected box's operator *with its state* — the
+  /// state-migration flavour of box sliding (Aurora*, intra-participant).
+  /// The box id is retired.
+  Result<OperatorPtr> ExtractBoxOperator(BoxId box);
+  /// Adds an already-initialized operator (from ExtractBoxOperator on
+  /// another engine). Connections must match its existing schemas.
+  Result<BoxId> AdoptBoxOperator(OperatorPtr op);
+
+  // ---- Lookup ----------------------------------------------------------
+
+  Result<PortId> FindInput(const std::string& name) const;
+  Result<PortId> FindOutput(const std::string& name) const;
+  const std::string& input_name(PortId p) const { return inputs_[p].name; }
+  const std::string& output_name(PortId p) const { return outputs_[p].name; }
+  SchemaPtr input_schema(PortId p) const { return inputs_[p].schema; }
+  /// Arc entering (box, input index), or NotFound.
+  Result<ArcId> FindArcInto(BoxId box, int input_index) const;
+  /// All arcs leaving an endpoint.
+  std::vector<ArcId> ArcsFrom(Endpoint from) const;
+  std::vector<ArcId> ArcsInto(PortId output_port) const;
+  Result<const OperatorSpec*> BoxSpec(BoxId box) const;
+  Result<Operator*> BoxOp(BoxId box);
+  std::vector<BoxId> BoxIds() const;
+  Endpoint ArcFrom(ArcId arc) const;
+  Endpoint ArcTo(ArcId arc) const;
+  size_t ArcQueueSize(ArcId arc) const;
+  /// Smallest non-zero sequence number among tuples queued (or held) on the
+  /// arc; kNoSeqNo when none. Used by the HA truncation protocol (§6.2).
+  SeqNo ArcQueueMinSeq(ArcId arc) const;
+  size_t num_boxes() const;
+  /// Copy of the callback registered on an output port (may be empty).
+  OutputCallback GetOutputCallback(PortId output) const;
+
+  // ---- QoS -------------------------------------------------------------
+
+  Status SetOutputQoS(PortId output, QoSSpec spec);
+  /// Infers the QoS spec holding on an arc by pushing output specs through
+  /// the boxes between the arc and every reachable output, using measured
+  /// T_B where available and per-kind cost defaults otherwise (§7.1).
+  Result<QoSSpec> InferArcQoS(ArcId arc) const;
+  /// Recomputes each box's latency deadline (the ms at which its inferred
+  /// input-side QoS drops below 0.5 utility) for kQoSSlack scheduling.
+  void RefreshQoSDeadlines();
+
+  // ---- Data path -------------------------------------------------------
+
+  Status PushInput(PortId input, Tuple t, SimTime now);
+  Status PushInputByName(const std::string& name, Tuple t, SimTime now);
+  void SetOutputCallback(PortId output, OutputCallback cb);
+  /// Delivers a tuple directly to an output port (bypassing boxes). Used
+  /// when re-injecting tuples held during a reconfiguration whose new path
+  /// begins at an engine output (box sliding).
+  Status EmitToOutputPort(PortId output, const Tuple& t, SimTime now);
+  /// Enqueues a tuple directly onto an arc's queue. Used when re-injecting
+  /// held tuples onto a rewired arc (box splitting).
+  Status EnqueueOnArc(ArcId arc, Tuple t, SimTime now);
+
+  // ---- Execution -------------------------------------------------------
+
+  /// True when some initialized box has consumable queued input.
+  bool HasWork() const;
+  /// Runs one scheduler step (one box activation train, pushed downstream
+  /// per train_depth). Returns simulated CPU microseconds consumed; 0.0
+  /// when there was no work.
+  Result<double> RunOneStep(SimTime now);
+  /// Runs steps until no work remains (or `max_steps`). Time stays at
+  /// `now`; intended for logical (non-simulated) processing.
+  Status RunUntilQuiescent(SimTime now, int max_steps = 1 << 28);
+  /// Delivers timer ticks to time-driven boxes (WSort timeouts).
+  void Tick(SimTime now);
+  /// Flushes a box's operator state downstream (stabilization/migration).
+  Status DrainBoxState(BoxId box, SimTime now);
+
+  /// Rebuilds the load shedder's per-input cost/utility model from current
+  /// topology, measured selectivities, and output QoS specs.
+  void RebuildShedderModel();
+
+  // ---- Components and statistics ----------------------------------------
+
+  QoSMonitor& qos_monitor() { return qos_; }
+  const QoSMonitor& qos_monitor() const { return qos_; }
+  StorageManager& storage_manager() { return storage_; }
+  LoadShedder& load_shedder() { return shedder_; }
+  const EngineOptions& options() const { return opts_; }
+
+  /// Cumulative simulated CPU microseconds consumed by RunOneStep.
+  double total_cpu_micros() const { return total_cpu_micros_; }
+  uint64_t total_activations() const { return total_activations_; }
+  /// Sum of queued tuples over all arcs.
+  size_t TotalQueuedTuples() const;
+
+ private:
+  struct InputPort {
+    std::string name;
+    SchemaPtr schema;
+    std::vector<ArcId> out_arcs;
+  };
+  struct OutputPort {
+    std::string name;
+    OutputCallback callback;
+    std::vector<ArcId> in_arcs;
+  };
+  struct BoxRt {
+    OperatorSpec spec;
+    OperatorPtr op;
+    bool initialized = false;
+    bool removed = false;
+    /// Arc into each input index (-1 = unconnected).
+    std::vector<ArcId> in_arcs;
+    /// Arcs out of each output index (fan-out allowed).
+    std::vector<std::vector<ArcId>> out_arcs;
+    int rr_next_input = 0;
+    int distance_to_output = 1 << 20;
+    /// Latency budget for tuples entering this box (kQoSSlack); +inf when
+    /// no QoS-bearing output is reachable.
+    double deadline_ms = 1e18;
+  };
+  struct ArcRt {
+    Endpoint from;
+    Endpoint to;
+    bool removed = false;
+    bool choked = false;
+    StreamQueue queue;
+    std::deque<int64_t> enqueue_us;  // parallel to queue items
+    /// Arrivals collected while choked (§5.1 "simply collecting any
+    /// subsequent input arriving at the connection point"), with their
+    /// arrival times.
+    std::vector<std::pair<Tuple, int64_t>> hold;
+    std::unique_ptr<ConnectionPoint> cp;
+  };
+
+  class RoutingEmitter;
+
+  Result<SchemaPtr> EndpointOutputSchema(const Endpoint& e) const;
+  /// Delivers one emitted tuple from `from` to all its arcs.
+  void Route(const Endpoint& from, const Tuple& t, SimTime now,
+             std::vector<BoxId>* touched);
+  void DeliverToOutput(PortId port, const Tuple& t, SimTime now);
+  Result<BoxId> PickBox(SimTime now);
+  /// Activates one box: consumes up to train_size tuples. Returns cost.
+  double ActivateBox(BoxId box, SimTime now, std::vector<BoxId>* touched);
+  void RecomputeOutputDistances();
+  bool BoxReady(const BoxRt& box) const;
+  std::vector<StreamQueue*> AllQueues();
+  /// Walks downstream from an endpoint, collecting reachable outputs and
+  /// accumulating expected cost. Used by shedder model and QoS inference.
+  void WalkDownstream(const Endpoint& from, double cost_so_far_us,
+                      std::map<PortId, double>* outputs_cost) const;
+
+  EngineOptions opts_;
+  std::vector<InputPort> inputs_;
+  std::vector<OutputPort> outputs_;
+  std::vector<BoxRt> boxes_;
+  std::vector<ArcRt> arcs_;
+  std::map<std::string, ArcId> connection_points_;
+  QoSMonitor qos_;
+  StorageManager storage_;
+  LoadShedder shedder_;
+  int rr_next_box_ = 0;
+  double total_cpu_micros_ = 0.0;
+  uint64_t total_activations_ = 0;
+  Status deferred_error_;  // first error raised inside an emitter callback
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_ENGINE_AURORA_ENGINE_H_

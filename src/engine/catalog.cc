@@ -1,0 +1,93 @@
+#include "engine/catalog.h"
+
+namespace aurora {
+
+Status Catalog::DefineSchema(const std::string& name, SchemaPtr schema) {
+  if (schemas_.count(name)) {
+    return Status::AlreadyExists("schema '" + name + "' already defined");
+  }
+  schemas_[name] = std::move(schema);
+  return Status::OK();
+}
+
+Result<SchemaPtr> Catalog::GetSchema(const std::string& name) const {
+  auto it = schemas_.find(name);
+  if (it == schemas_.end()) {
+    return Status::NotFound("schema '" + name + "' not in catalog");
+  }
+  return it->second;
+}
+
+Status Catalog::DefineStream(StreamInfo info) {
+  if (streams_.count(info.name)) {
+    return Status::AlreadyExists("stream '" + info.name + "' already defined");
+  }
+  streams_[info.name] = std::move(info);
+  return Status::OK();
+}
+
+Result<StreamInfo> Catalog::GetStream(const std::string& name) const {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    return Status::NotFound("stream '" + name + "' not in catalog");
+  }
+  return it->second;
+}
+
+Status Catalog::SetStreamLocations(const std::string& name,
+                                   std::vector<NodeId> locs) {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    return Status::NotFound("stream '" + name + "' not in catalog");
+  }
+  it->second.locations = std::move(locs);
+  return Status::OK();
+}
+
+Status Catalog::DefineOperator(const std::string& name, OperatorSpec spec) {
+  operators_[name] = std::move(spec);
+  return Status::OK();
+}
+
+Result<OperatorSpec> Catalog::GetOperator(const std::string& name) const {
+  auto it = operators_.find(name);
+  if (it == operators_.end()) {
+    return Status::NotFound("operator '" + name + "' not in catalog");
+  }
+  return it->second;
+}
+
+std::vector<std::string> Catalog::ListOperators() const {
+  std::vector<std::string> names;
+  names.reserve(operators_.size());
+  for (const auto& [name, spec] : operators_) names.push_back(name);
+  return names;
+}
+
+Status Catalog::DefineQuery(QueryInfo info) {
+  if (queries_.count(info.name)) {
+    return Status::AlreadyExists("query '" + info.name + "' already defined");
+  }
+  queries_[info.name] = std::move(info);
+  return Status::OK();
+}
+
+Result<QueryInfo> Catalog::GetQuery(const std::string& name) const {
+  auto it = queries_.find(name);
+  if (it == queries_.end()) {
+    return Status::NotFound("query '" + name + "' not in catalog");
+  }
+  return it->second;
+}
+
+Status Catalog::SetQueryPieces(const std::string& name,
+                               std::vector<QueryPieceInfo> pieces) {
+  auto it = queries_.find(name);
+  if (it == queries_.end()) {
+    return Status::NotFound("query '" + name + "' not in catalog");
+  }
+  it->second.pieces = std::move(pieces);
+  return Status::OK();
+}
+
+}  // namespace aurora

@@ -1,0 +1,110 @@
+#include "engine/load_shedder.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace aurora {
+
+void LoadShedder::SetInputs(std::vector<InputInfo> inputs) {
+  inputs_ = std::move(inputs);
+  input_index_.clear();
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    input_index_[inputs_[i].input] = i;
+  }
+  arrivals_.assign(inputs_.size(), 0);
+  drop_p_.assign(inputs_.size(), 0.0);
+}
+
+bool LoadShedder::ShouldDrop(PortId input, const Tuple& t, SimTime now) {
+  if (opts_.policy == SheddingPolicy::kNone) return false;
+  auto it = input_index_.find(input);
+  if (it == input_index_.end()) return false;
+  size_t idx = it->second;
+  arrivals_[idx]++;
+  if (!started_) {
+    last_recompute_ = now;
+    started_ = true;
+  } else if (now - last_recompute_ >= opts_.recompute_interval) {
+    Recompute(now);
+  }
+  if (drop_p_[idx] <= 0.0) return false;
+  const InputInfo& info = inputs_[idx];
+  if (opts_.policy == SheddingPolicy::kSemantic &&
+      !info.value_graph.empty() && t.schema() != nullptr &&
+      t.schema()->HasField(info.value_field)) {
+    // Drop the least valuable tuples first: a tuple survives when its
+    // value-utility exceeds the needed shedding fraction. (For a utility
+    // uniformly spread over [0,1] this sheds ~drop_p of the volume while
+    // keeping the most valuable content.)
+    double utility = info.value_graph.Eval(t.Get(info.value_field).AsNumeric());
+    if (utility < drop_p_[idx]) {
+      total_dropped_++;
+      return true;
+    }
+    return false;
+  }
+  if (rng_.NextDouble() < drop_p_[idx]) {
+    total_dropped_++;
+    return true;
+  }
+  return false;
+}
+
+double LoadShedder::drop_probability(PortId input) const {
+  auto it = input_index_.find(input);
+  return it == input_index_.end() ? 0.0 : drop_p_[it->second];
+}
+
+void LoadShedder::Recompute(SimTime now) {
+  double elapsed_s = (now - last_recompute_).seconds();
+  last_recompute_ = now;
+  if (elapsed_s <= 0.0) return;
+
+  // Offered per-input CPU load (us of work per second of time), computed
+  // from pre-drop arrival counts.
+  std::vector<double> load(inputs_.size(), 0.0);
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    double rate = static_cast<double>(arrivals_[i]) / elapsed_s;
+    load[i] = rate * inputs_[i].downstream_cost_us;
+    arrivals_[i] = 0;
+  }
+  double total = std::accumulate(load.begin(), load.end(), 0.0);
+  offered_load_ = total;
+  double budget = opts_.capacity_us_per_sec * opts_.target_utilization;
+  if (total <= budget) {
+    std::fill(drop_p_.begin(), drop_p_.end(), 0.0);
+    return;
+  }
+  double excess = total - budget;
+
+  if (opts_.policy == SheddingPolicy::kRandom ||
+      opts_.policy == SheddingPolicy::kSemantic) {
+    // Proportional shedding across inputs; the semantic policy differs in
+    // *which* tuples it drops, not how many.
+    double p = excess / total;
+    std::fill(drop_p_.begin(), drop_p_.end(), std::min(1.0, p));
+    return;
+  }
+
+  // kQoSAware: shed greedily from the inputs with the most CPU recovered
+  // per unit of utility lost. Shedding fraction d of input i saves
+  // d * load[i] CPU and costs roughly d * utility_slope[i] utility.
+  std::vector<size_t> order(inputs_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    double slope_a = std::max(1e-9, inputs_[a].utility_slope);
+    double slope_b = std::max(1e-9, inputs_[b].utility_slope);
+    return load[a] / slope_a > load[b] / slope_b;
+  });
+  std::fill(drop_p_.begin(), drop_p_.end(), 0.0);
+  double remaining = excess;
+  for (size_t idx : order) {
+    if (remaining <= 0.0) break;
+    if (load[idx] <= 0.0) continue;
+    double frac = std::min(1.0, remaining / load[idx]);
+    drop_p_[idx] = frac;
+    remaining -= frac * load[idx];
+  }
+}
+
+}  // namespace aurora

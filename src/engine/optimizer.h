@@ -1,0 +1,59 @@
+#ifndef AURORA_ENGINE_OPTIMIZER_H_
+#define AURORA_ENGINE_OPTIMIZER_H_
+
+#include "engine/aurora_engine.h"
+
+namespace aurora {
+
+/// \brief Network re-optimization via operator commutativities (paper
+/// §2.3): "Aurora will try to re-optimize the network using standard query
+/// optimization techniques (such as those that rely on operator
+/// commutativities). This tactic requires a more global view of the
+/// network and thus is used more sparingly."
+///
+/// Rules implemented:
+///  1. *Filter pushdown over Map* — a Filter whose predicate reads only
+///     identity-projected attributes moves ahead of the Map, so the Map
+///     only processes surviving tuples.
+///  2. *Filter pushdown over Union* — a Filter after a Union is replicated
+///     onto every Union input (filter(union(..)) == union(filter(..))),
+///     exposing further pushdown and slide opportunities.
+///  3. *Filter reordering* — consecutive Filters run most-selective first,
+///     using measured selectivities.
+///
+/// Transformations only apply where the affected arc queues are empty, so
+/// run Optimize() at a quiescent point (the same stabilization discipline
+/// §5.1 prescribes for network moves).
+class NetworkOptimizer {
+ public:
+  explicit NetworkOptimizer(AuroraEngine* engine) : engine_(engine) {}
+
+  /// Applies rules to a fixpoint (bounded). Returns the number of
+  /// transformations performed.
+  Result<int> Optimize();
+
+  uint64_t map_pushdowns() const { return map_pushdowns_; }
+  uint64_t union_pushdowns() const { return union_pushdowns_; }
+  uint64_t filter_reorders() const { return filter_reorders_; }
+
+ private:
+  /// One scan; returns true if a rule fired (topology changed).
+  Result<bool> OnePass();
+  Result<bool> TryPushOverMap(BoxId filter, ArcId in_arc, BoxId map);
+  Result<bool> TryPushOverUnion(BoxId filter, ArcId in_arc, BoxId union_box);
+  Result<bool> TryReorderFilters(BoxId second, ArcId in_arc, BoxId first);
+
+  /// True when the arc can be rewired right now (no queued/held tuples).
+  bool ArcIdle(ArcId arc) const;
+  /// True when `box` output `index` feeds exactly one arc.
+  bool SingleConsumer(BoxId box, int index) const;
+
+  AuroraEngine* engine_;
+  uint64_t map_pushdowns_ = 0;
+  uint64_t union_pushdowns_ = 0;
+  uint64_t filter_reorders_ = 0;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_ENGINE_OPTIMIZER_H_

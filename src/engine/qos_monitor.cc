@@ -1,0 +1,71 @@
+#include "engine/qos_monitor.h"
+
+namespace aurora {
+
+void QoSMonitor::RecordDelivery(PortId output, double latency_ms) {
+  OutputStats& s = outputs_[output];
+  s.delivered++;
+  s.latency_sum_ms += latency_ms;
+  s.latency_ewma.Add(latency_ms);
+  const QoSSpec* spec = GetSpec(output);
+  double u = 1.0;
+  if (spec != nullptr && !spec->latency.empty()) {
+    u = spec->latency.Eval(latency_ms);
+  }
+  s.latency_utility_sum += u;
+}
+
+double QoSMonitor::AvgLatencyMs(PortId output) const {
+  auto it = outputs_.find(output);
+  if (it == outputs_.end() || it->second.delivered == 0) return 0.0;
+  return it->second.latency_sum_ms / static_cast<double>(it->second.delivered);
+}
+
+uint64_t QoSMonitor::Delivered(PortId output) const {
+  auto it = outputs_.find(output);
+  return it == outputs_.end() ? 0 : it->second.delivered;
+}
+
+uint64_t QoSMonitor::Dropped(PortId output) const {
+  auto it = drops_.find(output);
+  return it == drops_.end() ? 0 : it->second;
+}
+
+double QoSMonitor::DeliveredFraction(PortId output) const {
+  uint64_t d = Delivered(output);
+  uint64_t x = Dropped(output);
+  if (d + x == 0) return 1.0;
+  return static_cast<double>(d) / static_cast<double>(d + x);
+}
+
+double QoSMonitor::CurrentUtility(PortId output) const {
+  const QoSSpec* spec = GetSpec(output);
+  if (spec == nullptr) return 1.0;
+  auto it = outputs_.find(output);
+  double latency_part = 1.0;
+  if (it != outputs_.end() && it->second.delivered > 0) {
+    latency_part = it->second.latency_utility_sum /
+                   static_cast<double>(it->second.delivered);
+  }
+  double loss_part =
+      spec->loss.empty() ? 1.0 : spec->loss.Eval(DeliveredFraction(output));
+  return latency_part * loss_part;
+}
+
+double QoSMonitor::AggregateUtility() const {
+  double sum = 0.0;
+  for (const auto& [port, spec] : specs_) sum += CurrentUtility(port);
+  return sum;
+}
+
+void QoSMonitor::RecordBoxWork(BoxId box, double t_b_ms, int tuples) {
+  Ewma& e = box_tb_ms_[box];
+  for (int i = 0; i < tuples; ++i) e.Add(t_b_ms);
+}
+
+double QoSMonitor::BoxTbMs(BoxId box) const {
+  auto it = box_tb_ms_.find(box);
+  return it == box_tb_ms_.end() ? 0.0 : it->second.value();
+}
+
+}  // namespace aurora

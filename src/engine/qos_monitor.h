@@ -1,0 +1,84 @@
+#ifndef AURORA_ENGINE_QOS_MONITOR_H_
+#define AURORA_ENGINE_QOS_MONITOR_H_
+
+#include <map>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "engine/topology.h"
+#include "qos/qos_spec.h"
+
+namespace aurora {
+
+/// Exponentially weighted moving average with a fixed smoothing factor.
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.05) : alpha_(alpha) {}
+  void Add(double x) {
+    value_ = has_value_ ? (1 - alpha_) * value_ + alpha_ * x : x;
+    has_value_ = true;
+  }
+  double value() const { return value_; }
+  bool has_value() const { return has_value_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool has_value_ = false;
+};
+
+/// \brief Runtime QoS bookkeeping (the QoS Monitor of Fig. 3).
+///
+/// Tracks, per output: delivered tuple count, latency statistics, drops
+/// attributed by the load shedder, and the application's QoSSpec. Tracks,
+/// per box: smoothed total processing time T_B (queue wait + execution) and
+/// activation counts — the operational statistics §7.1 relies on for QoS
+/// inference at internal nodes.
+class QoSMonitor {
+ public:
+  void SetSpec(PortId output, QoSSpec spec) { specs_[output] = std::move(spec); }
+  const QoSSpec* GetSpec(PortId output) const {
+    auto it = specs_.find(output);
+    return it == specs_.end() ? nullptr : &it->second;
+  }
+
+  void RecordDelivery(PortId output, double latency_ms);
+  void RecordDrop(PortId output) { drops_[output]++; }
+
+  /// Mean latency of tuples delivered to the output, in ms.
+  double AvgLatencyMs(PortId output) const;
+  uint64_t Delivered(PortId output) const;
+  uint64_t Dropped(PortId output) const;
+  /// delivered / (delivered + dropped); 1.0 before any traffic.
+  double DeliveredFraction(PortId output) const;
+
+  /// Mean per-tuple latency utility observed at the output (the utility of
+  /// each delivered tuple's latency, averaged), scaled by the loss graph's
+  /// utility at the delivered fraction. 1.0 with no spec.
+  double CurrentUtility(PortId output) const;
+  /// Sum of CurrentUtility over all outputs with specs — the "perceived
+  /// aggregate QoS" Aurora maximizes (§7.1).
+  double AggregateUtility() const;
+
+  /// Per-box smoothed statistics.
+  void RecordBoxWork(BoxId box, double t_b_ms, int tuples);
+  /// Smoothed T_B (ms), the average time from a tuple's arrival on the
+  /// box's queue to its processing completing. 0 when unmeasured.
+  double BoxTbMs(BoxId box) const;
+
+ private:
+  struct OutputStats {
+    uint64_t delivered = 0;
+    double latency_sum_ms = 0.0;
+    double latency_utility_sum = 0.0;
+    Ewma latency_ewma{0.05};
+  };
+  std::map<PortId, QoSSpec> specs_;
+  std::map<PortId, OutputStats> outputs_;
+  std::map<PortId, uint64_t> drops_;
+  std::map<BoxId, Ewma> box_tb_ms_;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_ENGINE_QOS_MONITOR_H_

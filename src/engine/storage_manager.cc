@@ -1,0 +1,33 @@
+#include "engine/storage_manager.h"
+
+#include <algorithm>
+
+namespace aurora {
+
+size_t StorageManager::EnforceBudget(const std::vector<StreamQueue*>& queues) {
+  if (budget_ == 0) return 0;
+  size_t resident = 0;
+  for (const auto* q : queues) resident += q->resident_bytes();
+  size_t spilled = 0;
+  while (resident > budget_) {
+    // Spill half of the largest resident queue.
+    StreamQueue* victim = nullptr;
+    for (auto* q : queues) {
+      if (victim == nullptr || q->resident_bytes() > victim->resident_bytes()) {
+        victim = q;
+      }
+    }
+    if (victim == nullptr || victim->resident_bytes() == 0) break;
+    size_t resident_tuples = victim->size() - victim->spilled_count();
+    size_t to_spill = std::max<size_t>(1, resident_tuples / 2);
+    size_t freed = victim->Spill(to_spill);
+    if (freed == 0) break;
+    resident -= freed;
+    spilled += freed;
+    total_spilled_bytes_ += freed;
+    spill_events_++;
+  }
+  return spilled;
+}
+
+}  // namespace aurora

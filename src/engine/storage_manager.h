@@ -1,0 +1,42 @@
+#ifndef AURORA_ENGINE_STORAGE_MANAGER_H_
+#define AURORA_ENGINE_STORAGE_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "stream/stream_queue.h"
+
+namespace aurora {
+
+/// \brief Buffer manager for arc queues (the Storage Manager of Fig. 3).
+///
+/// When total resident queue memory exceeds the budget, spills the largest
+/// queues to (modeled) disk, oldest tuples first — "particularly important
+/// for queues at connection points since they can grow quite long" (§2.3).
+/// Spilled tuples remain poppable; each such pop is charged a disk read by
+/// the engine.
+class StorageManager {
+ public:
+  /// budget_bytes == 0 disables spilling (unbounded memory).
+  explicit StorageManager(size_t budget_bytes = 0) : budget_(budget_bytes) {}
+
+  size_t budget() const { return budget_; }
+  void set_budget(size_t b) { budget_ = b; }
+
+  /// Checks the budget against all queues and spills as needed. `queues`
+  /// must enumerate every arc queue in the engine. Returns bytes spilled.
+  size_t EnforceBudget(const std::vector<StreamQueue*>& queues);
+
+  uint64_t total_spilled_bytes() const { return total_spilled_bytes_; }
+  uint64_t spill_events() const { return spill_events_; }
+
+ private:
+  size_t budget_;
+  uint64_t total_spilled_bytes_ = 0;
+  uint64_t spill_events_ = 0;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_ENGINE_STORAGE_MANAGER_H_

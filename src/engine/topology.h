@@ -1,0 +1,53 @@
+#ifndef AURORA_ENGINE_TOPOLOGY_H_
+#define AURORA_ENGINE_TOPOLOGY_H_
+
+#include <string>
+
+namespace aurora {
+
+/// Identifier types for the query network graph. All are engine-scoped.
+using BoxId = int;
+using ArcId = int;
+using PortId = int;
+
+/// \brief One end of an arc: an engine input port, a box input/output, or an
+/// engine output port.
+struct Endpoint {
+  enum class Kind { kInputPort, kBox, kOutputPort };
+
+  Kind kind = Kind::kBox;
+  int id = -1;
+  /// Box output index (as a `from`) or box input index (as a `to`). Unused
+  /// for ports.
+  int index = 0;
+
+  static Endpoint InputPort(PortId id) {
+    return Endpoint{Kind::kInputPort, id, 0};
+  }
+  static Endpoint BoxPort(BoxId id, int index) {
+    return Endpoint{Kind::kBox, id, index};
+  }
+  static Endpoint OutputPort(PortId id) {
+    return Endpoint{Kind::kOutputPort, id, 0};
+  }
+
+  bool is_box() const { return kind == Kind::kBox; }
+
+  std::string ToString() const {
+    switch (kind) {
+      case Kind::kInputPort:
+        return "in:" + std::to_string(id);
+      case Kind::kBox:
+        return "box:" + std::to_string(id) + "." + std::to_string(index);
+      case Kind::kOutputPort:
+        return "out:" + std::to_string(id);
+    }
+    return "?";
+  }
+
+  bool operator==(const Endpoint& other) const = default;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_ENGINE_TOPOLOGY_H_

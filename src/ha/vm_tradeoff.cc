@@ -1,0 +1,23 @@
+#include "ha/vm_tradeoff.h"
+
+#include <cmath>
+
+namespace aurora {
+
+std::vector<VmTradeoffPoint> ComputeVmTradeoff(int n_boxes,
+                                               double tuples_in_flight,
+                                               double box_cost_us) {
+  std::vector<VmTradeoffPoint> points;
+  for (int k = 1; k <= n_boxes; ++k) {
+    VmTradeoffPoint p;
+    p.k = k;
+    p.runtime_messages_per_tuple = static_cast<double>(k);
+    double boxes_per_segment = static_cast<double>(n_boxes) / k;
+    p.recovery_box_activations = tuples_in_flight * boxes_per_segment;
+    p.recovery_time_ms = p.recovery_box_activations * box_cost_us / 1000.0;
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace aurora

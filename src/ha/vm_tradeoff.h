@@ -1,0 +1,35 @@
+#ifndef AURORA_HA_VM_TRADEOFF_H_
+#define AURORA_HA_VM_TRADEOFF_H_
+
+#include <vector>
+
+namespace aurora {
+
+/// One point on the §6.4 spectrum between upstream backup and process
+/// pairs: K virtual machines layered over a chain of boxes on one server.
+struct VmTradeoffPoint {
+  int k = 1;
+  /// Backup messages per input tuple: each tuple's entry into a VM queue is
+  /// replicated to the physical backup ("a cost of one message per entry
+  /// in the queue"), so K boundaries cost K messages.
+  double runtime_messages_per_tuple = 0.0;
+  /// Box activations redone on failure: a failure loses only the work of
+  /// the VM segments past their replicated queues, ~ in-flight tuples times
+  /// the boxes of one segment.
+  double recovery_box_activations = 0.0;
+  /// Same, expressed as time given a per-box cost.
+  double recovery_time_ms = 0.0;
+};
+
+/// Sweeps K = 1..n_boxes for a chain of `n_boxes` boxes with
+/// `tuples_in_flight` unprocessed tuples at failure time and
+/// `box_cost_us` per activation. K = 1 degenerates to pure upstream backup
+/// (fewest messages, longest recovery); K = n_boxes approaches the
+/// process-pair model (one message per box activation, minimal recovery).
+std::vector<VmTradeoffPoint> ComputeVmTradeoff(int n_boxes,
+                                               double tuples_in_flight,
+                                               double box_cost_us);
+
+}  // namespace aurora
+
+#endif  // AURORA_HA_VM_TRADEOFF_H_

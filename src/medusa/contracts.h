@@ -1,0 +1,74 @@
+#ifndef AURORA_MEDUSA_CONTRACTS_H_
+#define AURORA_MEDUSA_CONTRACTS_H_
+
+#include <string>
+
+#include "common/sim_time.h"
+#include "engine/catalog.h"
+
+namespace aurora {
+
+/// \brief Content contract (§7.2): "For stream_name, For time period, With
+/// availability guarantee, Pay payment."
+///
+/// Covers one message stream crossing a participant boundary; the receiving
+/// participant always pays the sender. Payment is per message here
+/// (subscription = price 0 with an upfront transfer at establishment).
+struct ContentContract {
+  int id = -1;
+  /// Transport stream name the contract covers.
+  std::string stream;
+  std::string seller;
+  std::string buyer;
+  double price_per_message = 0.0;
+  /// Amount remitted at establishment (subscription component).
+  double upfront_payment = 0.0;
+  /// Contract validity window.
+  SimTime established{};
+  SimDuration period{};
+  /// Guaranteed fraction of uptime (0 = no availability clause).
+  double availability_guarantee = 0.0;
+  bool active = true;
+  uint64_t messages_settled = 0;
+  double total_paid = 0.0;
+  /// Availability accounting: settlements observed / settlements where the
+  /// seller's source node was down. Breaching the guarantee voids the
+  /// contract.
+  uint64_t settle_checks = 0;
+  uint64_t down_checks = 0;
+};
+
+/// \brief Suggested contract (§7.2): a participant leaving a query path
+/// points its downstream buyers at an alternate source for the content.
+struct SuggestedContract {
+  std::string from;          // the suggesting (leaving) participant
+  std::string buyer;         // who receives the suggestion
+  std::string stream;        // content in question
+  std::string new_seller;    // where to buy it instead
+  bool accepted = false;     // "Receiving participants may ignore" it
+};
+
+/// \brief Movement contract (§7.2): a pre-agreed set of alternative
+/// placements for one query piece crossing a participant boundary, with
+/// inactive content contracts for each; the two oracles switch between
+/// them at run time to balance load.
+struct MovementContract {
+  int id = -1;
+  std::string participant_a;
+  std::string participant_b;
+  /// Deployed box the contract lets migrate between the two participants.
+  std::string box_name;
+  NodeId node_a = -1;
+  NodeId node_b = -1;
+  /// Per-tuple processing price each side charges when hosting the box.
+  double price_a = 0.0;
+  double price_b = 0.0;
+  bool active = true;
+  /// True when the box currently runs at participant B.
+  bool hosted_at_b = false;
+  int switches = 0;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_MEDUSA_CONTRACTS_H_

@@ -1,0 +1,80 @@
+#ifndef AURORA_MEDUSA_PARTICIPANT_H_
+#define AURORA_MEDUSA_PARTICIPANT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "engine/catalog.h"
+
+namespace aurora {
+
+/// \brief A Medusa participant (§3.2): "a collection of computing devices
+/// administered by a single entity", from sensor proxies to full Aurora
+/// server farms.
+///
+/// Participants are economic actors: they hold a currency balance, pay for
+/// streams they receive, charge for streams and processing they provide,
+/// and "are assumed to operate as profit-making entities".
+class Participant {
+ public:
+  Participant(std::string name, std::vector<NodeId> nodes,
+              double initial_balance, double cost_per_cpu_us)
+      : name_(std::move(name)),
+        nodes_(std::move(nodes)),
+        balance_(initial_balance),
+        initial_balance_(initial_balance),
+        cost_per_cpu_us_(cost_per_cpu_us) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<NodeId>& nodes() const { return nodes_; }
+  bool OwnsNode(NodeId node) const {
+    for (NodeId n : nodes_) {
+      if (n == node) return true;
+    }
+    return false;
+  }
+
+  double balance() const { return balance_; }
+  /// Profit relative to the starting balance.
+  double profit() const { return balance_ - initial_balance_; }
+  void Credit(double amount) { balance_ += amount; }
+  void Debit(double amount) { balance_ -= amount; }
+
+  /// Intrinsic cost of one CPU-microsecond of processing on this
+  /// participant's hardware (its marginal cost when selling processing).
+  double cost_per_cpu_us() const { return cost_per_cpu_us_; }
+
+  /// Operator kinds this participant offers for remote definition (§4.4:
+  /// "a pre-defined set offered by another participant").
+  void OfferOperatorKind(const std::string& kind) { offered_kinds_.insert(kind); }
+  bool Offers(const std::string& kind) const {
+    return offered_kinds_.count(kind) > 0;
+  }
+
+  /// Remote-definition authorization (§7.2: "if participants authorize
+  /// each other to do remote definitions").
+  void AuthorizeRemoteDefiner(const std::string& participant) {
+    authorized_definers_.insert(participant);
+  }
+  bool IsAuthorized(const std::string& participant) const {
+    return authorized_definers_.count(participant) > 0;
+  }
+
+  /// Per-participant namespace (§4.1): names defined by this participant.
+  Catalog& catalog() { return catalog_; }
+
+ private:
+  std::string name_;
+  std::vector<NodeId> nodes_;
+  double balance_;
+  double initial_balance_;
+  double cost_per_cpu_us_;
+  std::set<std::string> offered_kinds_;
+  std::set<std::string> authorized_definers_;
+  Catalog catalog_;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_MEDUSA_PARTICIPANT_H_

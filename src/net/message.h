@@ -1,0 +1,36 @@
+#ifndef AURORA_NET_MESSAGE_H_
+#define AURORA_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/catalog.h"  // NodeId
+
+namespace aurora {
+
+/// Fixed per-message framing cost charged on every link (transport headers,
+/// roughly an IP+TCP header's worth).
+inline constexpr size_t kMessageHeaderBytes = 40;
+
+/// \brief A unit of communication on the overlay network.
+///
+/// `kind` identifies the protocol ("tuples", "flow", "heartbeat",
+/// "contract", "remote_define", ...); `stream` names the message stream for
+/// data traffic; `payload` is an opaque serialized body. Link bandwidth is
+/// charged for WireSize() bytes.
+struct Message {
+  std::string kind;
+  std::string stream;
+  std::vector<uint8_t> payload;
+  NodeId src = -1;
+  NodeId dst = -1;
+
+  size_t WireSize() const {
+    return kMessageHeaderBytes + kind.size() + stream.size() + payload.size();
+  }
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_NET_MESSAGE_H_

@@ -1,0 +1,162 @@
+#include "net/overlay_network.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace aurora {
+
+NodeId OverlayNetwork::AddNode(NodeOptions opts) {
+  nodes_.push_back(NodeRt{std::move(opts), true});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+Result<NodeId> OverlayNetwork::FindNode(const std::string& name) const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].opts.name == name) return static_cast<NodeId>(i);
+  }
+  return Status::NotFound("no node named '" + name + "'");
+}
+
+Status OverlayNetwork::AddLink(NodeId a, NodeId b, LinkOptions opts) {
+  if (a < 0 || b < 0 || a >= static_cast<int>(nodes_.size()) ||
+      b >= static_cast<int>(nodes_.size()) || a == b) {
+    return Status::InvalidArgument("bad link endpoints");
+  }
+  links_[{a, b}] = LinkRt{opts, {}, 0};
+  links_[{b, a}] = LinkRt{opts, {}, 0};
+  RecomputeRoutes();
+  return Status::OK();
+}
+
+void OverlayNetwork::FullMesh(LinkOptions opts) {
+  for (NodeId a = 0; a < static_cast<NodeId>(nodes_.size()); ++a) {
+    for (NodeId b = a + 1; b < static_cast<NodeId>(nodes_.size()); ++b) {
+      links_[{a, b}] = LinkRt{opts, {}, 0};
+      links_[{b, a}] = LinkRt{opts, {}, 0};
+    }
+  }
+  RecomputeRoutes();
+}
+
+bool OverlayNetwork::HasLink(NodeId a, NodeId b) const {
+  return links_.count({a, b}) > 0;
+}
+
+Result<LinkOptions> OverlayNetwork::GetLinkOptions(NodeId a, NodeId b) const {
+  auto it = links_.find({a, b});
+  if (it == links_.end()) return Status::NotFound("no such link");
+  return it->second.opts;
+}
+
+bool OverlayNetwork::NodeSupports(NodeId id, const std::string& kind) const {
+  const auto& supported = nodes_[id].opts.supported_kinds;
+  if (supported.empty()) return true;
+  return std::find(supported.begin(), supported.end(), kind) != supported.end();
+}
+
+void OverlayNetwork::RecomputeRoutes() {
+  // BFS from every node over the directed link graph (hop-count routes).
+  next_hop_.clear();
+  const int n = static_cast<int>(nodes_.size());
+  for (NodeId src = 0; src < n; ++src) {
+    std::vector<int> parent(n, -1);
+    std::vector<bool> seen(n, false);
+    std::deque<NodeId> frontier{src};
+    seen[src] = true;
+    while (!frontier.empty()) {
+      NodeId at = frontier.front();
+      frontier.pop_front();
+      for (const auto& [key, link] : links_) {
+        if (key.first != at) continue;
+        NodeId next = key.second;
+        if (seen[next]) continue;
+        seen[next] = true;
+        parent[next] = at;
+        frontier.push_back(next);
+      }
+    }
+    for (NodeId dst = 0; dst < n; ++dst) {
+      if (dst == src || !seen[dst]) continue;
+      // Walk back from dst to find src's neighbor on the path.
+      NodeId hop = dst;
+      while (parent[hop] != src) hop = parent[hop];
+      next_hop_[{src, dst}] = hop;
+    }
+  }
+}
+
+void OverlayNetwork::TransmitHop(NodeId from, NodeId to, size_t bytes,
+                                 std::function<void()> arrive) {
+  auto it = links_.find({from, to});
+  AURORA_CHECK(it != links_.end());
+  LinkRt& link = it->second;
+  SimTime start = std::max(sim_->Now(), link.busy_until);
+  SimDuration tx = SimDuration::Micros(static_cast<int64_t>(
+      static_cast<double>(bytes) / link.opts.bandwidth_bytes_per_sec * 1e6));
+  link.busy_until = start + tx;
+  link.bytes_sent += bytes;
+  total_bytes_ += bytes;
+  sim_->ScheduleAt(link.busy_until + link.opts.latency, std::move(arrive));
+}
+
+Status OverlayNetwork::Send(NodeId from, NodeId to, Message msg,
+                            DeliveryFn on_deliver) {
+  if (from < 0 || to < 0 || from >= static_cast<int>(nodes_.size()) ||
+      to >= static_cast<int>(nodes_.size())) {
+    return Status::InvalidArgument("bad node id");
+  }
+  if (from == to) {
+    // Local delivery: no link cost, next event slot.
+    sim_->Schedule(SimDuration::Micros(1),
+                   [this, msg = std::move(msg), on_deliver]() {
+                     messages_delivered_++;
+                     if (on_deliver) on_deliver(msg);
+                   });
+    return Status::OK();
+  }
+  msg.src = from;
+  msg.dst = to;
+  Forward(from, to, std::move(msg), std::move(on_deliver));
+  return Status::OK();
+}
+
+void OverlayNetwork::Forward(NodeId at, NodeId to, Message msg,
+                             DeliveryFn on_deliver) {
+  if (!nodes_[at].up) {
+    messages_dropped_++;
+    return;
+  }
+  auto hop_it = next_hop_.find({at, to});
+  if (hop_it == next_hop_.end()) {
+    messages_dropped_++;
+    return;
+  }
+  NodeId hop = hop_it->second;
+  size_t bytes = msg.WireSize();
+  TransmitHop(at, hop, bytes,
+              [this, hop, to, msg = std::move(msg), on_deliver]() mutable {
+                if (!nodes_[hop].up) {
+                  messages_dropped_++;
+                  return;
+                }
+                if (hop == to) {
+                  messages_delivered_++;
+                  if (on_deliver) on_deliver(msg);
+                } else {
+                  Forward(hop, to, std::move(msg), std::move(on_deliver));
+                }
+              });
+}
+
+SimTime OverlayNetwork::LinkBusyUntil(NodeId from, NodeId to) const {
+  auto it = links_.find({from, to});
+  if (it == links_.end()) return SimTime::Max();
+  return it->second.busy_until;
+}
+
+uint64_t OverlayNetwork::LinkBytesSent(NodeId from, NodeId to) const {
+  auto it = links_.find({from, to});
+  return it == links_.end() ? 0 : it->second.bytes_sent;
+}
+
+}  // namespace aurora

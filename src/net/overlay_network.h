@@ -1,0 +1,116 @@
+#ifndef AURORA_NET_OVERLAY_NETWORK_H_
+#define AURORA_NET_OVERLAY_NETWORK_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/message.h"
+#include "sim/simulation.h"
+
+namespace aurora {
+
+/// Properties of one directed overlay link.
+struct LinkOptions {
+  /// Serialization rate. 10 MB/s default (fast LAN-ish for a 2003 paper).
+  double bandwidth_bytes_per_sec = 10e6;
+  /// One-way propagation delay.
+  SimDuration latency = SimDuration::Millis(5);
+};
+
+struct NodeOptions {
+  std::string name;
+  /// Relative CPU speed multiplier (1.0 = reference machine). Weak sensor
+  /// proxies get < 1 (paper §5.1: "some of the nodes can be very weak").
+  double speed = 1.0;
+  /// Operator kinds this node can execute; empty = everything. A sensor
+  /// node might support only {"filter"} (§5.1's slide-a-Filter-to-a-sensor
+  /// discussion).
+  std::vector<std::string> supported_kinds;
+};
+
+/// \brief The simulated overlay network (paper §4): nodes, links with
+/// bandwidth and latency, and multi-hop message routing.
+///
+/// Messages are charged for serialization time (FIFO per link) plus
+/// propagation latency per hop, and are dropped when a node on the path is
+/// down — failures surface exactly as silence, which is what the HA layer's
+/// heartbeat protocol (§6.3) detects.
+class OverlayNetwork {
+ public:
+  explicit OverlayNetwork(Simulation* sim) : sim_(sim) {}
+
+  NodeId AddNode(NodeOptions opts);
+  size_t num_nodes() const { return nodes_.size(); }
+  const NodeOptions& node(NodeId id) const { return nodes_[id].opts; }
+  Result<NodeId> FindNode(const std::string& name) const;
+
+  /// Adds a bidirectional link (two directed links with the same options).
+  Status AddLink(NodeId a, NodeId b, LinkOptions opts);
+  /// Convenience: full mesh over all current nodes.
+  void FullMesh(LinkOptions opts);
+  bool HasLink(NodeId a, NodeId b) const;
+  /// Options of the directed link, or NotFound.
+  Result<LinkOptions> GetLinkOptions(NodeId a, NodeId b) const;
+
+  /// True if the node can run an operator of this kind (§5.1 capability
+  /// check before sliding a box).
+  bool NodeSupports(NodeId id, const std::string& kind) const;
+
+  /// Marks a node down (crash) or back up. Down nodes neither receive nor
+  /// forward messages.
+  void SetNodeUp(NodeId id, bool up) { nodes_[id].up = up; }
+  bool IsNodeUp(NodeId id) const { return nodes_[id].up; }
+
+  using DeliveryFn = std::function<void(const Message&)>;
+
+  /// Sends a message from `from` toward `to` along shortest-hop routes,
+  /// charging each hop's bandwidth and latency. `on_deliver` runs at the
+  /// destination at delivery time; the message is silently dropped when a
+  /// node on the path is down or no route exists.
+  Status Send(NodeId from, NodeId to, Message msg, DeliveryFn on_deliver);
+
+  /// Time at which the direct link from->to would finish serializing a
+  /// message sent now (link FIFO backlog); SimTime::Max() without a link.
+  SimTime LinkBusyUntil(NodeId from, NodeId to) const;
+
+  // ---- Statistics -------------------------------------------------------
+
+  /// Total payload+header bytes ever serialized onto the directed link.
+  uint64_t LinkBytesSent(NodeId from, NodeId to) const;
+  uint64_t TotalBytesSent() const { return total_bytes_; }
+  uint64_t MessagesDelivered() const { return messages_delivered_; }
+  uint64_t MessagesDropped() const { return messages_dropped_; }
+
+ private:
+  struct LinkRt {
+    LinkOptions opts;
+    SimTime busy_until{};
+    uint64_t bytes_sent = 0;
+  };
+  struct NodeRt {
+    NodeOptions opts;
+    bool up = true;
+  };
+
+  void RecomputeRoutes();
+  /// Transmits over one directed link; schedules `arrive` at the far end.
+  void TransmitHop(NodeId from, NodeId to, size_t bytes,
+                   std::function<void()> arrive);
+  void Forward(NodeId at, NodeId to, Message msg, DeliveryFn on_deliver);
+
+  Simulation* sim_;
+  std::vector<NodeRt> nodes_;
+  std::map<std::pair<NodeId, NodeId>, LinkRt> links_;
+  /// next_hop_[{a,b}] = neighbor of a on a shortest path to b.
+  std::map<std::pair<NodeId, NodeId>, NodeId> next_hop_;
+  uint64_t total_bytes_ = 0;
+  uint64_t messages_delivered_ = 0;
+  uint64_t messages_dropped_ = 0;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_NET_OVERLAY_NETWORK_H_

@@ -1,0 +1,157 @@
+#include "net/transport.h"
+
+#include "common/logging.h"
+
+namespace aurora {
+
+Transport::Transport(Simulation* sim, OverlayNetwork* net, NodeId src,
+                     NodeId dst, TransportOptions opts)
+    : sim_(sim), net_(net), src_(src), dst_(dst), opts_(opts) {
+  if (opts_.mode == TransportMode::kMultiplexed) {
+    // One shared connection: pay setup once up front.
+    total_wire_bytes_ += opts_.connection_setup_bytes;
+  }
+}
+
+Status Transport::RegisterStream(const std::string& name, double weight) {
+  if (weight <= 0.0) {
+    return Status::InvalidArgument("stream weight must be positive");
+  }
+  if (streams_.count(name)) {
+    return Status::AlreadyExists("stream '" + name + "' already registered");
+  }
+  streams_[name].weight = weight;
+  rr_order_.push_back(name);
+  if (opts_.mode == TransportMode::kPerStreamConnections) {
+    // Each stream opens its own connection: handshake bytes on the wire.
+    total_wire_bytes_ += opts_.connection_setup_bytes;
+  }
+  return Status::OK();
+}
+
+Status Transport::Send(const std::string& stream, Message msg) {
+  auto it = streams_.find(stream);
+  if (it == streams_.end()) {
+    return Status::NotFound("stream '" + stream + "' not registered");
+  }
+  msg.stream = stream;
+  it->second.queued_bytes += msg.WireSize();
+  it->second.queue.push_back(std::move(msg));
+  MaybeDispatch();
+  return Status::OK();
+}
+
+void Transport::MaybeDispatch() {
+  if (in_flight_) return;
+  switch (opts_.mode) {
+    case TransportMode::kMultiplexed: {
+      // Start-time fair queuing (SFQ): serve the stream whose head-of-line
+      // message has the smallest virtual *start* tag; the virtual time is
+      // the start tag of the message in service. Backlogged streams then
+      // share the connection in proportion to their weights.
+      const std::string* best = nullptr;
+      double best_start = 0.0;
+      for (auto& [name, st] : streams_) {
+        if (st.queue.empty()) continue;
+        double start = std::max(virtual_time_, st.last_finish_tag);
+        if (best == nullptr || start < best_start) {
+          best = &name;
+          best_start = start;
+        }
+      }
+      if (best == nullptr) return;
+      StreamState& st = streams_[*best];
+      st.last_finish_tag =
+          best_start +
+          static_cast<double>(st.queue.front().WireSize()) / st.weight;
+      virtual_time_ = best_start;
+      DispatchMessage(*best, opts_.mux_tag_bytes);
+      return;
+    }
+    case TransportMode::kPerStreamConnections: {
+      // Round-robin over connections with queued data: each connection gets
+      // an equal turn at the bottleneck, regardless of weight.
+      size_t active = 0;
+      for (const auto& [name, st] : streams_) {
+        if (!st.queue.empty()) ++active;
+      }
+      if (active == 0) return;
+      for (size_t scan = 0; scan < rr_order_.size(); ++scan) {
+        const std::string& name = rr_order_[rr_next_ % rr_order_.size()];
+        rr_next_++;
+        StreamState& st = streams_[name];
+        if (st.queue.empty()) continue;
+        // Interference: extra bytes proportional to other live connections.
+        size_t extra = static_cast<size_t>(
+            static_cast<double>(st.queue.front().WireSize()) *
+            opts_.cross_connection_interference *
+            static_cast<double>(active - 1));
+        DispatchMessage(name, extra);
+        return;
+      }
+      return;
+    }
+  }
+}
+
+void Transport::DispatchMessage(const std::string& stream, size_t extra_bytes) {
+  StreamState& st = streams_[stream];
+  AURORA_CHECK(!st.queue.empty());
+  Message msg = std::move(st.queue.front());
+  st.queue.pop_front();
+  size_t wire = msg.WireSize();
+  st.queued_bytes -= wire;
+  // Pad the message so the link charges the mode's overhead too.
+  size_t padded = wire + extra_bytes;
+  Message padded_msg = msg;
+  padded_msg.payload.resize(padded_msg.payload.size() + extra_bytes);
+  total_wire_bytes_ += padded;
+  payload_bytes_ += msg.payload.size();
+  in_flight_ = true;
+  Status st_send = net_->Send(
+      src_, dst_, std::move(padded_msg),
+      [this, stream, msg = std::move(msg)](const Message&) {
+        StreamState& s = streams_[stream];
+        s.delivered++;
+        s.delivered_bytes += msg.payload.size();
+        if (handler_) handler_(stream, msg);
+      });
+  if (!st_send.ok()) {
+    AURORA_LOG(Warn) << "transport send failed: " << st_send.ToString();
+  }
+  // The connection frees when the link finishes serializing this message
+  // (not when it is delivered — propagation is pipelined).
+  SimTime free_at = net_->LinkBusyUntil(src_, dst_);
+  if (free_at == SimTime::Max()) {
+    // No direct link (multi-hop path): approximate with next event slot.
+    free_at = sim_->Now() + SimDuration::Micros(1);
+  }
+  sim_->ScheduleAt(std::max(free_at, sim_->Now()), [this]() {
+    in_flight_ = false;
+    MaybeDispatch();
+  });
+}
+
+uint64_t Transport::delivered_count(const std::string& stream) const {
+  auto it = streams_.find(stream);
+  return it == streams_.end() ? 0 : it->second.delivered;
+}
+
+uint64_t Transport::delivered_bytes(const std::string& stream) const {
+  auto it = streams_.find(stream);
+  return it == streams_.end() ? 0 : it->second.delivered_bytes;
+}
+
+size_t Transport::queued_messages() const {
+  size_t n = 0;
+  for (const auto& [name, st] : streams_) n += st.queue.size();
+  return n;
+}
+
+size_t Transport::queued_bytes() const {
+  size_t n = 0;
+  for (const auto& [name, st] : streams_) n += st.queued_bytes;
+  return n;
+}
+
+}  // namespace aurora

@@ -1,0 +1,120 @@
+#ifndef AURORA_NET_TRANSPORT_H_
+#define AURORA_NET_TRANSPORT_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/overlay_network.h"
+
+namespace aurora {
+
+/// Transport strategies compared in bench_transport (experiment C1, §4.3).
+enum class TransportMode {
+  /// One connection per message stream. Models the paper's rejected
+  /// baseline: per-connection overhead, and bandwidth shared per-connection
+  /// (equally) rather than by prescribed weights, with cross-connection
+  /// interference [11].
+  kPerStreamConnections,
+  /// All streams multiplexed onto one connection; a weighted scheduler
+  /// decides which stream uses the connection at any time (the paper's
+  /// design).
+  kMultiplexed,
+};
+
+struct TransportOptions {
+  TransportMode mode = TransportMode::kMultiplexed;
+  /// One-time bytes charged when a per-stream connection is opened
+  /// (handshake). Multiplexed mode pays it once for the shared connection.
+  size_t connection_setup_bytes = 200;
+  /// Extra fractional bytes per message per *additional* concurrent
+  /// connection, modeling the adverse interaction of independent TCP
+  /// connections in the network ([11] in the paper).
+  double cross_connection_interference = 0.01;
+  /// Per-stream tag added to each multiplexed message.
+  size_t mux_tag_bytes = 4;
+};
+
+/// \brief Message transport between one ordered node pair (paper §4.3).
+///
+/// Both modes serialize messages over the same simulated link; they differ
+/// in scheduling and overhead. The multiplexed mode implements start-time
+/// weighted fair queuing over per-stream queues, giving each stream its
+/// prescribed share of the bottleneck; per-stream mode services connections
+/// round-robin (equal shares regardless of weights) and pays interference
+/// and setup overheads.
+class Transport {
+ public:
+  using DeliveryHandler =
+      std::function<void(const std::string& stream, const Message&)>;
+
+  Transport(Simulation* sim, OverlayNetwork* net, NodeId src, NodeId dst,
+            TransportOptions opts);
+
+  NodeId src() const { return src_; }
+  NodeId dst() const { return dst_; }
+
+  /// Declares a message stream with its bandwidth weight (from QoS or
+  /// contract specifications, per the paper).
+  Status RegisterStream(const std::string& name, double weight);
+  bool HasStream(const std::string& name) const {
+    return streams_.count(name) > 0;
+  }
+
+  /// Queues a message on the stream. Delivery order within a stream is
+  /// FIFO.
+  Status Send(const std::string& stream, Message msg);
+
+  /// Handler invoked (in the simulation, at the receiving node's time) for
+  /// every delivered message.
+  void SetDeliveryHandler(DeliveryHandler handler) {
+    handler_ = std::move(handler);
+  }
+
+  // ---- Statistics -------------------------------------------------------
+
+  uint64_t delivered_count(const std::string& stream) const;
+  uint64_t delivered_bytes(const std::string& stream) const;
+  /// All bytes charged to the wire on behalf of this transport, including
+  /// headers, tags, setup, and interference.
+  uint64_t total_wire_bytes() const { return total_wire_bytes_; }
+  /// Wire bytes minus payload bytes: the overhead the mode costs.
+  uint64_t overhead_bytes() const { return total_wire_bytes_ - payload_bytes_; }
+  size_t queued_messages() const;
+  size_t queued_bytes() const;
+
+ private:
+  struct StreamState {
+    double weight = 1.0;
+    std::deque<Message> queue;
+    double last_finish_tag = 0.0;
+    uint64_t delivered = 0;
+    uint64_t delivered_bytes = 0;
+    size_t queued_bytes = 0;
+  };
+
+  /// If the connection is idle and work is queued, dispatches the next
+  /// message per the mode's discipline.
+  void MaybeDispatch();
+  void DispatchMessage(const std::string& stream, size_t extra_bytes);
+
+  Simulation* sim_;
+  OverlayNetwork* net_;
+  NodeId src_;
+  NodeId dst_;
+  TransportOptions opts_;
+  std::map<std::string, StreamState> streams_;
+  std::vector<std::string> rr_order_;  // per-stream mode round-robin
+  size_t rr_next_ = 0;
+  bool in_flight_ = false;
+  double virtual_time_ = 0.0;
+  DeliveryHandler handler_;
+  uint64_t total_wire_bytes_ = 0;
+  uint64_t payload_bytes_ = 0;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_NET_TRANSPORT_H_

@@ -1,0 +1,145 @@
+#include "ops/aggregate.h"
+
+#include <algorithm>
+
+namespace aurora {
+
+namespace {
+
+class CountAggregate : public AggregateFunction {
+ public:
+  const char* name() const override { return "cnt"; }
+  void Reset() override { count_ = 0; }
+  void Update(const Value&) override { ++count_; }
+  Value Final() const override { return Value(static_cast<int64_t>(count_)); }
+  uint64_t count() const override { return count_; }
+  std::unique_ptr<AggregateFunction> Clone() const override {
+    return std::make_unique<CountAggregate>();
+  }
+  ValueType result_type() const override { return ValueType::kInt64; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+class SumAggregate : public AggregateFunction {
+ public:
+  const char* name() const override { return "sum"; }
+  void Reset() override {
+    sum_ = 0.0;
+    count_ = 0;
+    all_ints_ = true;
+  }
+  void Update(const Value& v) override {
+    if (v.type() != ValueType::kInt64) all_ints_ = false;
+    sum_ += v.AsNumeric();
+    ++count_;
+  }
+  Value Final() const override {
+    // Integer inputs keep integer results so that split-merge round trips
+    // (cnt at the leaves, sum at the merge) compare bit-exactly.
+    if (all_ints_) return Value(static_cast<int64_t>(sum_));
+    return Value(sum_);
+  }
+  uint64_t count() const override { return count_; }
+  std::unique_ptr<AggregateFunction> Clone() const override {
+    return std::make_unique<SumAggregate>();
+  }
+  ValueType result_type() const override { return ValueType::kDouble; }
+
+ private:
+  double sum_ = 0.0;
+  uint64_t count_ = 0;
+  bool all_ints_ = true;
+};
+
+class AvgAggregate : public AggregateFunction {
+ public:
+  const char* name() const override { return "avg"; }
+  void Reset() override {
+    sum_ = 0.0;
+    count_ = 0;
+  }
+  void Update(const Value& v) override {
+    sum_ += v.AsNumeric();
+    ++count_;
+  }
+  Value Final() const override {
+    return Value(count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_));
+  }
+  uint64_t count() const override { return count_; }
+  std::unique_ptr<AggregateFunction> Clone() const override {
+    return std::make_unique<AvgAggregate>();
+  }
+  ValueType result_type() const override { return ValueType::kDouble; }
+
+ private:
+  double sum_ = 0.0;
+  uint64_t count_ = 0;
+};
+
+class MinMaxAggregate : public AggregateFunction {
+ public:
+  explicit MinMaxAggregate(bool is_min) : is_min_(is_min) {}
+  const char* name() const override { return is_min_ ? "min" : "max"; }
+  void Reset() override {
+    best_ = Value::Null();
+    count_ = 0;
+  }
+  void Update(const Value& v) override {
+    if (count_ == 0) {
+      best_ = v;
+    } else if (is_min_ ? v.Compare(best_) < 0 : v.Compare(best_) > 0) {
+      best_ = v;
+    }
+    ++count_;
+  }
+  Value Final() const override { return best_; }
+  uint64_t count() const override { return count_; }
+  std::unique_ptr<AggregateFunction> Clone() const override {
+    return std::make_unique<MinMaxAggregate>(is_min_);
+  }
+  ValueType result_type() const override { return ValueType::kDouble; }
+
+ private:
+  bool is_min_;
+  Value best_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<AggregateFunction>> MakeAggregate(
+    const std::string& name) {
+  if (name == "cnt") return std::unique_ptr<AggregateFunction>(new CountAggregate());
+  if (name == "sum") return std::unique_ptr<AggregateFunction>(new SumAggregate());
+  if (name == "avg") return std::unique_ptr<AggregateFunction>(new AvgAggregate());
+  if (name == "min") {
+    return std::unique_ptr<AggregateFunction>(new MinMaxAggregate(true));
+  }
+  if (name == "max") {
+    return std::unique_ptr<AggregateFunction>(new MinMaxAggregate(false));
+  }
+  return Status::InvalidArgument("unknown aggregate function '" + name + "'");
+}
+
+bool IsCombinableAggregate(const std::string& name) {
+  return name == "cnt" || name == "sum" || name == "min" || name == "max";
+}
+
+ValueType AggResultType(const std::string& name, ValueType input_field_type) {
+  if (name == "cnt") return ValueType::kInt64;
+  if (name == "avg") return ValueType::kDouble;
+  return input_field_type;
+}
+
+Result<std::string> CombineFunctionFor(const std::string& name) {
+  if (name == "cnt" || name == "sum") return std::string("sum");
+  if (name == "min") return std::string("min");
+  if (name == "max") return std::string("max");
+  return Status::FailedPrecondition(
+      "aggregate '" + name +
+      "' has no combination function; the box cannot be split transparently");
+}
+
+}  // namespace aurora

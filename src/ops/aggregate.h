@@ -1,0 +1,54 @@
+#ifndef AURORA_OPS_AGGREGATE_H_
+#define AURORA_OPS_AGGREGATE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "tuple/value.h"
+
+namespace aurora {
+
+/// \brief Incremental aggregate function used by Tumble / XSection / Slide.
+///
+/// The paper's Tumble-split merge network (§5.1, Fig. 6) requires that an
+/// aggregate `agg` have a *combination function* `combine` with
+///   agg({x_1..x_n}) = combine(agg({x_1..x_k}), agg({x_{k+1}..x_n})).
+/// CombineFunctionFor returns that function's name (cnt→sum, max→max, ...);
+/// aggregates without one (avg) cannot be transparently split, and the
+/// splitter reports FailedPrecondition for them.
+class AggregateFunction {
+ public:
+  virtual ~AggregateFunction() = default;
+
+  virtual const char* name() const = 0;
+  /// Clears accumulated state for a new window.
+  virtual void Reset() = 0;
+  virtual void Update(const Value& v) = 0;
+  /// Value for the current window; valid only if count() > 0 (except cnt).
+  virtual Value Final() const = 0;
+  /// Tuples accumulated in the current window.
+  virtual uint64_t count() const = 0;
+  /// Fresh instance of the same function (for per-group state).
+  virtual std::unique_ptr<AggregateFunction> Clone() const = 0;
+  /// Result attribute type.
+  virtual ValueType result_type() const = 0;
+};
+
+/// Creates an aggregate by name: "cnt", "sum", "avg", "min", "max".
+Result<std::unique_ptr<AggregateFunction>> MakeAggregate(const std::string& name);
+
+/// True if the named aggregate has a combination function.
+bool IsCombinableAggregate(const std::string& name);
+
+/// Name of the combination function for `name` (per the paper: cnt→sum,
+/// sum→sum, min→min, max→max); FailedPrecondition when none exists.
+Result<std::string> CombineFunctionFor(const std::string& name);
+
+/// Schema type of the aggregate result given the aggregated field's type:
+/// cnt → int64; avg → double; sum/min/max → the input field's type.
+ValueType AggResultType(const std::string& name, ValueType input_field_type);
+
+}  // namespace aurora
+
+#endif  // AURORA_OPS_AGGREGATE_H_

@@ -1,0 +1,161 @@
+#include "ops/expr.h"
+
+namespace aurora {
+
+Expr Expr::FieldRef(std::string field) {
+  Expr e;
+  e.kind_ = Kind::kField;
+  e.field_ = std::move(field);
+  return e;
+}
+
+Expr Expr::Constant(Value v) {
+  Expr e;
+  e.kind_ = Kind::kConst;
+  e.constant_ = std::move(v);
+  return e;
+}
+
+Expr Expr::Arith(ArithOp op, Expr lhs, Expr rhs) {
+  Expr e;
+  e.kind_ = Kind::kArith;
+  e.op_ = op;
+  e.children_.push_back(std::make_shared<const Expr>(std::move(lhs)));
+  e.children_.push_back(std::make_shared<const Expr>(std::move(rhs)));
+  return e;
+}
+
+Result<Value> Expr::Eval(const Tuple& t) const {
+  switch (kind_) {
+    case Kind::kField: {
+      AURORA_ASSIGN_OR_RETURN(size_t idx, t.schema()->IndexOf(field_));
+      return t.value(idx);
+    }
+    case Kind::kConst:
+      return constant_;
+    case Kind::kArith: {
+      AURORA_ASSIGN_OR_RETURN(Value l, children_[0]->Eval(t));
+      AURORA_ASSIGN_OR_RETURN(Value r, children_[1]->Eval(t));
+      bool ints = l.type() == ValueType::kInt64 && r.type() == ValueType::kInt64;
+      if (op_ == ArithOp::kDiv) {
+        double rv = r.AsNumeric();
+        if (rv == 0.0) return Status::InvalidArgument("division by zero");
+        return Value(l.AsNumeric() / rv);
+      }
+      if (ints) {
+        int64_t a = l.AsInt(), b = r.AsInt();
+        switch (op_) {
+          case ArithOp::kAdd:
+            return Value(a + b);
+          case ArithOp::kSub:
+            return Value(a - b);
+          case ArithOp::kMul:
+            return Value(a * b);
+          case ArithOp::kDiv:
+            break;
+        }
+      }
+      double a = l.AsNumeric(), b = r.AsNumeric();
+      switch (op_) {
+        case ArithOp::kAdd:
+          return Value(a + b);
+        case ArithOp::kSub:
+          return Value(a - b);
+        case ArithOp::kMul:
+          return Value(a * b);
+        case ArithOp::kDiv:
+          break;
+      }
+      return Status::Internal("unreachable arith op");
+    }
+  }
+  return Status::Internal("bad expr kind");
+}
+
+Result<ValueType> Expr::ResultType(const Schema& input) const {
+  switch (kind_) {
+    case Kind::kField: {
+      AURORA_ASSIGN_OR_RETURN(size_t idx, input.IndexOf(field_));
+      return input.field(idx).type;
+    }
+    case Kind::kConst:
+      return constant_.type();
+    case Kind::kArith: {
+      if (op_ == ArithOp::kDiv) return ValueType::kDouble;
+      AURORA_ASSIGN_OR_RETURN(ValueType l, children_[0]->ResultType(input));
+      AURORA_ASSIGN_OR_RETURN(ValueType r, children_[1]->ResultType(input));
+      if (l == ValueType::kInt64 && r == ValueType::kInt64) {
+        return ValueType::kInt64;
+      }
+      return ValueType::kDouble;
+    }
+  }
+  return Status::Internal("bad expr kind");
+}
+
+bool Expr::IsFieldRef(std::string* name) const {
+  if (kind_ != Kind::kField) return false;
+  if (name != nullptr) *name = field_;
+  return true;
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case Kind::kField:
+      return field_;
+    case Kind::kConst:
+      return constant_.ToString();
+    case Kind::kArith: {
+      const char* op = op_ == ArithOp::kAdd   ? "+"
+                       : op_ == ArithOp::kSub ? "-"
+                       : op_ == ArithOp::kMul ? "*"
+                                              : "/";
+      return "(" + children_[0]->ToString() + " " + op + " " +
+             children_[1]->ToString() + ")";
+    }
+  }
+  return "?";
+}
+
+void Expr::Encode(Encoder* enc) const {
+  enc->PutU8(static_cast<uint8_t>(kind_));
+  switch (kind_) {
+    case Kind::kField:
+      enc->PutString(field_);
+      break;
+    case Kind::kConst:
+      enc->PutValue(constant_);
+      break;
+    case Kind::kArith:
+      enc->PutU8(static_cast<uint8_t>(op_));
+      children_[0]->Encode(enc);
+      children_[1]->Encode(enc);
+      break;
+  }
+}
+
+Result<Expr> Expr::Decode(Decoder* dec) {
+  AURORA_ASSIGN_OR_RETURN(uint8_t tag, dec->GetU8());
+  switch (static_cast<Kind>(tag)) {
+    case Kind::kField: {
+      AURORA_ASSIGN_OR_RETURN(std::string field, dec->GetString());
+      return FieldRef(std::move(field));
+    }
+    case Kind::kConst: {
+      AURORA_ASSIGN_OR_RETURN(Value v, dec->GetValue());
+      return Constant(std::move(v));
+    }
+    case Kind::kArith: {
+      AURORA_ASSIGN_OR_RETURN(uint8_t op, dec->GetU8());
+      if (op > static_cast<uint8_t>(ArithOp::kDiv)) {
+        return Status::InvalidArgument("bad arith op tag");
+      }
+      AURORA_ASSIGN_OR_RETURN(Expr lhs, Decode(dec));
+      AURORA_ASSIGN_OR_RETURN(Expr rhs, Decode(dec));
+      return Arith(static_cast<ArithOp>(op), std::move(lhs), std::move(rhs));
+    }
+  }
+  return Status::InvalidArgument("bad expr tag " + std::to_string(tag));
+}
+
+}  // namespace aurora

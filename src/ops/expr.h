@@ -1,0 +1,57 @@
+#ifndef AURORA_OPS_EXPR_H_
+#define AURORA_OPS_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "tuple/serde.h"
+#include "tuple/tuple.h"
+
+namespace aurora {
+
+/// Arithmetic operators for expression nodes.
+enum class ArithOp : uint8_t { kAdd = 0, kSub, kMul, kDiv };
+
+/// \brief Declarative scalar expression over a tuple, used by the Map
+/// operator.
+///
+/// Like Predicate, expressions are data rather than closures so that Map
+/// boxes can be shipped across participants by remote definition (§4.4).
+/// Supported forms: field reference, constant, binary arithmetic.
+class Expr {
+ public:
+  static Expr FieldRef(std::string field);
+  static Expr Constant(Value v);
+  static Expr Arith(ArithOp op, Expr lhs, Expr rhs);
+
+  Result<Value> Eval(const Tuple& t) const;
+
+  /// Result type given an input schema (int64 arithmetic stays integral;
+  /// division always yields double).
+  Result<ValueType> ResultType(const Schema& input) const;
+
+  /// True when this expression is a bare field reference; fills `name`.
+  /// Used by the network optimizer to recognize identity projections.
+  bool IsFieldRef(std::string* name) const;
+
+  std::string ToString() const;
+  void Encode(Encoder* enc) const;
+  static Result<Expr> Decode(Decoder* dec);
+
+ private:
+  enum class Kind : uint8_t { kField = 0, kConst, kArith };
+
+  Expr() = default;
+
+  Kind kind_ = Kind::kConst;
+  std::string field_;
+  Value constant_;
+  ArithOp op_ = ArithOp::kAdd;
+  std::vector<std::shared_ptr<const Expr>> children_;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_OPS_EXPR_H_

@@ -1,0 +1,26 @@
+#include "ops/filter_op.h"
+
+namespace aurora {
+
+FilterOp::FilterOp(OperatorSpec spec)
+    : Operator(std::move(spec)), two_way_(spec_.GetBool("two_way", false)) {}
+
+Status FilterOp::InitImpl() {
+  if (!spec_.predicate.has_value()) {
+    return Status::InvalidArgument("filter requires a predicate");
+  }
+  SetOutputSchema(0, input_schema(0));
+  if (two_way_) SetOutputSchema(1, input_schema(0));
+  return Status::OK();
+}
+
+Status FilterOp::ProcessImpl(int, const Tuple& t, SimTime, Emitter* emitter) {
+  if (spec_.predicate->Eval(t)) {
+    emitter->Emit(0, t);
+  } else if (two_way_) {
+    emitter->Emit(1, t);
+  }
+  return Status::OK();
+}
+
+}  // namespace aurora

@@ -1,0 +1,31 @@
+#include "ops/map_op.h"
+
+namespace aurora {
+
+Status MapOp::InitImpl() {
+  if (spec_.projections.empty()) {
+    return Status::InvalidArgument("map requires at least one projection");
+  }
+  std::vector<Field> fields;
+  for (const auto& [name, expr] : spec_.projections) {
+    AURORA_ASSIGN_OR_RETURN(ValueType type, expr.ResultType(*input_schema(0)));
+    fields.push_back(Field{name, type});
+  }
+  SetOutputSchema(0, Schema::Make(std::move(fields)));
+  return Status::OK();
+}
+
+Status MapOp::ProcessImpl(int, const Tuple& t, SimTime, Emitter* emitter) {
+  std::vector<Value> values;
+  values.reserve(spec_.projections.size());
+  for (const auto& [name, expr] : spec_.projections) {
+    AURORA_ASSIGN_OR_RETURN(Value v, expr.Eval(t));
+    values.push_back(std::move(v));
+  }
+  Tuple out(output_schema(0), std::move(values));
+  out.set_timestamp(t.timestamp());
+  emitter->Emit(0, std::move(out));
+  return Status::OK();
+}
+
+}  // namespace aurora

@@ -1,0 +1,24 @@
+#ifndef AURORA_OPS_MAP_OP_H_
+#define AURORA_OPS_MAP_OP_H_
+
+#include "ops/operator.h"
+
+namespace aurora {
+
+/// \brief Map: per-tuple projection/transformation (paper §2.2).
+///
+/// Each output field is a declarative Expr over the input tuple, so Map
+/// boxes remain shippable by remote definition.
+class MapOp : public Operator {
+ public:
+  explicit MapOp(OperatorSpec spec) : Operator(std::move(spec)) {}
+
+ protected:
+  Status InitImpl() override;
+  Status ProcessImpl(int input, const Tuple& t, SimTime now,
+                     Emitter* emitter) override;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_OPS_MAP_OP_H_

@@ -1,0 +1,28 @@
+#include "ops/filter_op.h"
+#include "ops/join_op.h"
+#include "ops/map_op.h"
+#include "ops/operator.h"
+#include "ops/resample_op.h"
+#include "ops/tumble_op.h"
+#include "ops/union_op.h"
+#include "ops/window_agg_op.h"
+#include "ops/wsort_op.h"
+
+namespace aurora {
+
+Result<OperatorPtr> CreateOperator(const OperatorSpec& spec) {
+  const std::string& kind = spec.kind;
+  if (kind == "filter") return OperatorPtr(new FilterOp(spec));
+  if (kind == "map") return OperatorPtr(new MapOp(spec));
+  if (kind == "union") return OperatorPtr(new UnionOp(spec));
+  if (kind == "wsort") return OperatorPtr(new WSortOp(spec));
+  if (kind == "tumble") return OperatorPtr(new TumbleOp(spec));
+  if (kind == "xsection" || kind == "slide") {
+    return OperatorPtr(new WindowAggOp(spec));
+  }
+  if (kind == "join") return OperatorPtr(new JoinOp(spec));
+  if (kind == "resample") return OperatorPtr(new ResampleOp(spec));
+  return Status::InvalidArgument("unknown operator kind '" + kind + "'");
+}
+
+}  // namespace aurora

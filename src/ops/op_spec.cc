@@ -1,0 +1,209 @@
+#include "ops/op_spec.h"
+
+namespace aurora {
+
+Value OperatorSpec::GetParam(const std::string& name, Value fallback) const {
+  auto it = params.find(name);
+  return it == params.end() ? fallback : it->second;
+}
+
+int64_t OperatorSpec::GetInt(const std::string& name, int64_t fallback) const {
+  auto it = params.find(name);
+  if (it == params.end() || it->second.type() != ValueType::kInt64) {
+    return fallback;
+  }
+  return it->second.AsInt();
+}
+
+double OperatorSpec::GetDouble(const std::string& name, double fallback) const {
+  auto it = params.find(name);
+  if (it == params.end() || it->second.is_null()) return fallback;
+  return it->second.AsNumeric();
+}
+
+std::string OperatorSpec::GetString(const std::string& name,
+                                    std::string fallback) const {
+  auto it = params.find(name);
+  if (it == params.end() || it->second.type() != ValueType::kString) {
+    return fallback;
+  }
+  return it->second.AsString();
+}
+
+bool OperatorSpec::GetBool(const std::string& name, bool fallback) const {
+  auto it = params.find(name);
+  if (it == params.end() || it->second.type() != ValueType::kBool) {
+    return fallback;
+  }
+  return it->second.AsBool();
+}
+
+std::string OperatorSpec::ToString() const {
+  std::string out = kind + "{";
+  bool first = true;
+  for (const auto& [k, v] : params) {
+    if (!first) out += ", ";
+    first = false;
+    out += k + "=" + v.ToString();
+  }
+  if (!attrs.empty()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "attrs=[";
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      if (i > 0) out += ",";
+      out += attrs[i];
+    }
+    out += "]";
+  }
+  if (predicate.has_value()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "p=(" + predicate->ToString() + ")";
+  }
+  for (const auto& [name, expr] : projections) {
+    if (!first) out += ", ";
+    first = false;
+    out += name + ":=" + expr.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+void OperatorSpec::Encode(Encoder* enc) const {
+  enc->PutString(kind);
+  enc->PutU16(static_cast<uint16_t>(params.size()));
+  for (const auto& [k, v] : params) {
+    enc->PutString(k);
+    enc->PutValue(v);
+  }
+  enc->PutU16(static_cast<uint16_t>(attrs.size()));
+  for (const auto& a : attrs) enc->PutString(a);
+  enc->PutU8(predicate.has_value() ? 1 : 0);
+  if (predicate.has_value()) predicate->Encode(enc);
+  enc->PutU16(static_cast<uint16_t>(projections.size()));
+  for (const auto& [name, expr] : projections) {
+    enc->PutString(name);
+    expr.Encode(enc);
+  }
+}
+
+Result<OperatorSpec> OperatorSpec::Decode(Decoder* dec) {
+  OperatorSpec spec;
+  AURORA_ASSIGN_OR_RETURN(spec.kind, dec->GetString());
+  AURORA_ASSIGN_OR_RETURN(uint16_t n_params, dec->GetU16());
+  for (uint16_t i = 0; i < n_params; ++i) {
+    AURORA_ASSIGN_OR_RETURN(std::string k, dec->GetString());
+    AURORA_ASSIGN_OR_RETURN(Value v, dec->GetValue());
+    spec.params[std::move(k)] = std::move(v);
+  }
+  AURORA_ASSIGN_OR_RETURN(uint16_t n_attrs, dec->GetU16());
+  for (uint16_t i = 0; i < n_attrs; ++i) {
+    AURORA_ASSIGN_OR_RETURN(std::string a, dec->GetString());
+    spec.attrs.push_back(std::move(a));
+  }
+  AURORA_ASSIGN_OR_RETURN(uint8_t has_pred, dec->GetU8());
+  if (has_pred) {
+    AURORA_ASSIGN_OR_RETURN(Predicate p, Predicate::Decode(dec));
+    spec.predicate = std::move(p);
+  }
+  AURORA_ASSIGN_OR_RETURN(uint16_t n_proj, dec->GetU16());
+  for (uint16_t i = 0; i < n_proj; ++i) {
+    AURORA_ASSIGN_OR_RETURN(std::string name, dec->GetString());
+    AURORA_ASSIGN_OR_RETURN(Expr expr, Expr::Decode(dec));
+    spec.projections.emplace_back(std::move(name), std::move(expr));
+  }
+  return spec;
+}
+
+OperatorSpec FilterSpec(Predicate p, bool two_way) {
+  OperatorSpec spec;
+  spec.kind = "filter";
+  spec.predicate = std::move(p);
+  if (two_way) spec.SetParam("two_way", Value(true));
+  return spec;
+}
+
+OperatorSpec MapSpec(std::vector<std::pair<std::string, Expr>> projections) {
+  OperatorSpec spec;
+  spec.kind = "map";
+  spec.projections = std::move(projections);
+  return spec;
+}
+
+OperatorSpec UnionSpec(int n_inputs) {
+  OperatorSpec spec;
+  spec.kind = "union";
+  spec.SetParam("n", Value(static_cast<int64_t>(n_inputs)));
+  return spec;
+}
+
+OperatorSpec WSortSpec(std::vector<std::string> sort_attrs, int64_t timeout_us,
+                       int64_t max_buffer) {
+  OperatorSpec spec;
+  spec.kind = "wsort";
+  spec.attrs = std::move(sort_attrs);
+  spec.SetParam("timeout_us", Value(timeout_us));
+  if (max_buffer > 0) spec.SetParam("max_buffer", Value(max_buffer));
+  return spec;
+}
+
+OperatorSpec TumbleSpec(std::string agg, std::string agg_field,
+                        std::vector<std::string> groupby_attrs,
+                        std::string result_field) {
+  OperatorSpec spec;
+  spec.kind = "tumble";
+  spec.SetParam("agg", Value(std::move(agg)));
+  spec.SetParam("agg_field", Value(std::move(agg_field)));
+  spec.SetParam("result_field", Value(std::move(result_field)));
+  spec.attrs = std::move(groupby_attrs);
+  return spec;
+}
+
+OperatorSpec XSectionSpec(std::string agg, std::string agg_field,
+                          int64_t window_size, int64_t advance,
+                          std::vector<std::string> groupby_attrs,
+                          std::string result_field) {
+  OperatorSpec spec;
+  spec.kind = "xsection";
+  spec.SetParam("agg", Value(std::move(agg)));
+  spec.SetParam("agg_field", Value(std::move(agg_field)));
+  spec.SetParam("window", Value(window_size));
+  spec.SetParam("advance", Value(advance));
+  spec.SetParam("result_field", Value(std::move(result_field)));
+  spec.attrs = std::move(groupby_attrs);
+  return spec;
+}
+
+OperatorSpec SlideSpec(std::string agg, std::string agg_field,
+                       int64_t window_size,
+                       std::vector<std::string> groupby_attrs,
+                       std::string result_field) {
+  OperatorSpec spec = XSectionSpec(std::move(agg), std::move(agg_field),
+                                   window_size, /*advance=*/1,
+                                   std::move(groupby_attrs),
+                                   std::move(result_field));
+  spec.kind = "slide";
+  return spec;
+}
+
+OperatorSpec JoinSpec(std::string left_key, std::string right_key,
+                      int64_t window_us, std::string right_prefix) {
+  OperatorSpec spec;
+  spec.kind = "join";
+  spec.SetParam("left_key", Value(std::move(left_key)));
+  spec.SetParam("right_key", Value(std::move(right_key)));
+  spec.SetParam("window_us", Value(window_us));
+  spec.SetParam("right_prefix", Value(std::move(right_prefix)));
+  return spec;
+}
+
+OperatorSpec ResampleSpec(std::string value_field, int64_t interval_us) {
+  OperatorSpec spec;
+  spec.kind = "resample";
+  spec.SetParam("value_field", Value(std::move(value_field)));
+  spec.SetParam("interval_us", Value(interval_us));
+  return spec;
+}
+
+}  // namespace aurora

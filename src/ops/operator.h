@@ -1,0 +1,126 @@
+#ifndef AURORA_OPS_OPERATOR_H_
+#define AURORA_OPS_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "ops/op_spec.h"
+#include "tuple/tuple.h"
+
+namespace aurora {
+
+/// Sink for tuples produced by an operator. The engine provides an Emitter
+/// that routes emissions to downstream arc queues or output applications.
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+  virtual void Emit(int output, Tuple t) = 0;
+};
+
+/// \brief Base class for all Aurora boxes (paper §2.2).
+///
+/// Lifecycle: construct from an OperatorSpec → Init(input schemas) →
+/// Process per tuple (+ OnTick for time-driven boxes) → Drain when the
+/// surrounding network is stabilized for a move (§5.1).
+///
+/// The base tracks the transport sequence number of the last tuple processed
+/// on each input; combined with StatefulDependency this implements the HA
+/// rule of §6.2: a stateless box depends on the tuple it processed most
+/// recently, a stateful box on the earliest tuple contributing to its state.
+class Operator {
+ public:
+  explicit Operator(OperatorSpec spec) : spec_(std::move(spec)) {}
+  virtual ~Operator() = default;
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  const OperatorSpec& spec() const { return spec_; }
+  const std::string& kind() const { return spec_.kind; }
+
+  virtual int num_inputs() const { return 1; }
+  virtual int num_outputs() const { return 1; }
+
+  /// Validates input schemas against the spec and computes output schemas.
+  /// Must be called exactly once before Process.
+  Status Init(std::vector<SchemaPtr> input_schemas);
+
+  const SchemaPtr& input_schema(int i) const { return input_schemas_[i]; }
+  const SchemaPtr& output_schema(int i) const { return output_schemas_[i]; }
+
+  /// Processes one tuple from the given input arc.
+  Status Process(int input, const Tuple& t, SimTime now, Emitter* emitter);
+
+  /// Time-driven callback (WSort timeouts, aggregate timeouts). The engine
+  /// invokes it at its tick granularity.
+  virtual void OnTick(SimTime now, Emitter* emitter);
+
+  /// Flushes all operator state downstream. Used when draining a
+  /// sub-network during stabilization, and by batch-style tests.
+  virtual void Drain(Emitter* emitter);
+
+  /// True when the box holds window/join state between tuples.
+  virtual bool HasState() const { return false; }
+
+  /// For each input arc: the sequence number of the earliest tuple this box
+  /// still depends on (HA §6.2). kNoSeqNo when nothing was processed yet.
+  std::vector<SeqNo> Dependencies() const;
+
+  /// Per-tuple CPU cost charged by the node simulation; defaults per kind,
+  /// overridable via the "cost_us" spec param.
+  double cost_micros_per_tuple() const { return cost_micros_; }
+  void set_cost_micros_per_tuple(double c) { cost_micros_ = c; }
+
+  uint64_t tuples_in() const { return tuples_in_; }
+  uint64_t tuples_out() const { return tuples_out_; }
+  /// Observed selectivity (out/in); 1.0 until data has flowed.
+  double selectivity() const {
+    return tuples_in_ == 0
+               ? 1.0
+               : static_cast<double>(tuples_out_) / static_cast<double>(tuples_in_);
+  }
+
+ protected:
+  virtual Status InitImpl() = 0;
+  virtual Status ProcessImpl(int input, const Tuple& t, SimTime now,
+                             Emitter* emitter) = 0;
+  /// Earliest tuple seq contributing to retained state for the given input;
+  /// kNoSeqNo when the box holds no state for that input. Stateful
+  /// subclasses override.
+  virtual SeqNo StatefulDependency(int input) const;
+
+  void SetOutputSchema(int i, SchemaPtr schema) {
+    output_schemas_[i] = std::move(schema);
+  }
+
+  /// Counting wrapper so selectivity is measured at the base.
+  class CountingEmitter;
+
+  OperatorSpec spec_;
+  std::vector<SchemaPtr> input_schemas_;
+  std::vector<SchemaPtr> output_schemas_;
+
+ private:
+  double cost_micros_ = 1.0;
+  bool initialized_ = false;
+  std::vector<SeqNo> last_seq_;
+  uint64_t tuples_in_ = 0;
+  uint64_t tuples_out_ = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Instantiates an operator from its declarative spec. The single factory
+/// used by query construction, remote definition, and box splitting.
+Result<OperatorPtr> CreateOperator(const OperatorSpec& spec);
+
+/// Default per-tuple cost (microseconds) for a box kind; used when the spec
+/// does not carry an explicit "cost_us".
+double DefaultCostMicros(const std::string& kind);
+
+}  // namespace aurora
+
+#endif  // AURORA_OPS_OPERATOR_H_

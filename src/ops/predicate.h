@@ -1,0 +1,75 @@
+#ifndef AURORA_OPS_PREDICATE_H_
+#define AURORA_OPS_PREDICATE_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "tuple/serde.h"
+#include "tuple/tuple.h"
+
+namespace aurora {
+
+/// Comparison operators for predicate leaves.
+enum class CompareOp : uint8_t { kEq = 0, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpName(CompareOp op);
+
+/// \brief Declarative, serializable predicate over tuple attributes.
+///
+/// Predicates must be *data*, not closures, for two of the paper's
+/// mechanisms to work: remote definition (§4.4) ships predicates to another
+/// participant, and box splitting (§5.1) synthesizes routing predicates at
+/// run time (content-based, hash-partition, or rate-based choices — §5.2).
+class Predicate {
+ public:
+  /// Always-true predicate (vacuous filter).
+  static Predicate True();
+  /// field <op> constant.
+  static Predicate Compare(std::string field, CompareOp op, Value constant);
+  static Predicate And(Predicate a, Predicate b);
+  static Predicate Or(Predicate a, Predicate b);
+  static Predicate Not(Predicate a);
+  /// hash(field) % modulus == remainder — the "half of the available
+  /// streams" style partitioning predicate from §5.2.
+  static Predicate HashPartition(std::string field, uint32_t modulus,
+                                 uint32_t remainder);
+
+  bool Eval(const Tuple& t) const;
+
+  /// Logical complement; used to route the "other" half after a box split.
+  Predicate Negation() const { return Not(*this); }
+
+  /// Adds every attribute name this predicate reads to `fields`. Used by
+  /// the network optimizer to decide whether a filter commutes with an
+  /// upstream box.
+  void CollectFields(std::set<std::string>* fields) const;
+
+  std::string ToString() const;
+
+  void Encode(Encoder* enc) const;
+  static Result<Predicate> Decode(Decoder* dec);
+
+  bool is_true() const { return kind_ == Kind::kTrue; }
+
+ private:
+  enum class Kind : uint8_t { kTrue = 0, kCompare, kAnd, kOr, kNot, kHash };
+
+  Predicate() = default;
+
+  Kind kind_ = Kind::kTrue;
+  // kCompare / kHash:
+  std::string field_;
+  CompareOp op_ = CompareOp::kEq;
+  Value constant_;
+  uint32_t modulus_ = 0;
+  uint32_t remainder_ = 0;
+  // kAnd / kOr / kNot children:
+  std::vector<std::shared_ptr<const Predicate>> children_;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_OPS_PREDICATE_H_

@@ -1,0 +1,78 @@
+#include "qos/inference.h"
+
+#include <algorithm>
+#include <set>
+
+namespace aurora {
+
+QoSSpec InferThroughBox(const QoSSpec& output_side, double t_b_ms) {
+  QoSSpec inferred = output_side;
+  if (!output_side.latency.empty()) {
+    inferred.latency = output_side.latency.ShiftLeft(t_b_ms);
+  }
+  // Loss and value graphs pass through unchanged: a tuple dropped upstream
+  // is a tuple dropped at the output, and box processing does not change
+  // which delivered fraction the application perceives.
+  return inferred;
+}
+
+QoSSpec InferThroughChain(const QoSSpec& output_spec,
+                          const std::vector<double>& t_b_ms) {
+  double total = 0.0;
+  for (double t : t_b_ms) total += t;
+  return InferThroughBox(output_spec, total);
+}
+
+UtilityGraph PointwiseMin(const std::vector<UtilityGraph>& graphs) {
+  std::vector<const UtilityGraph*> live;
+  for (const auto& g : graphs) {
+    if (!g.empty()) live.push_back(&g);
+  }
+  if (live.empty()) return UtilityGraph();
+  if (live.size() == 1) return *live[0];
+  // Union of breakpoints; min is piecewise linear on that refinement
+  // (pointwise min of linear pieces may cross between breakpoints — add the
+  // crossings too for exactness).
+  std::set<double> xs;
+  for (const auto* g : live) {
+    for (const auto& p : g->points()) xs.insert(p.x);
+  }
+  // Add pairwise crossings inside each interval.
+  std::vector<double> base(xs.begin(), xs.end());
+  for (size_t i = 0; i + 1 < base.size(); ++i) {
+    double x0 = base[i], x1 = base[i + 1];
+    for (size_t a = 0; a < live.size(); ++a) {
+      for (size_t b = a + 1; b < live.size(); ++b) {
+        double a0 = live[a]->Eval(x0), a1 = live[a]->Eval(x1);
+        double b0 = live[b]->Eval(x0), b1 = live[b]->Eval(x1);
+        double da = a1 - a0, db = b1 - b0;
+        if ((a0 - b0) * (a1 - b1) < 0 && da != db) {
+          double frac = (b0 - a0) / (da - db);
+          if (frac > 0 && frac < 1) xs.insert(x0 + frac * (x1 - x0));
+        }
+      }
+    }
+  }
+  std::vector<UtilityGraph::Point> points;
+  for (double x : xs) {
+    double u = 1.0;
+    for (const auto* g : live) u = std::min(u, g->Eval(x));
+    points.push_back({x, u});
+  }
+  auto made = UtilityGraph::Make(std::move(points));
+  return made.ok() ? *made : UtilityGraph();
+}
+
+QoSSpec CombineSpecs(const std::vector<QoSSpec>& specs) {
+  QoSSpec out;
+  std::vector<UtilityGraph> lat, loss;
+  for (const auto& s : specs) {
+    lat.push_back(s.latency);
+    loss.push_back(s.loss);
+  }
+  out.latency = PointwiseMin(lat);
+  out.loss = PointwiseMin(loss);
+  return out;
+}
+
+}  // namespace aurora

@@ -1,0 +1,37 @@
+#ifndef AURORA_QOS_INFERENCE_H_
+#define AURORA_QOS_INFERENCE_H_
+
+#include <vector>
+
+#include "qos/qos_spec.h"
+
+namespace aurora {
+
+/// \brief QoS inference for internal nodes (paper §7.1, Fig. 9).
+///
+/// QoS is specified only at application outputs; internal Aurora* nodes
+/// need local specifications to make resource decisions. Given the spec on
+/// a box's output side and the box's average total processing time T_B
+/// (queueing included), the spec on its input side is
+///   Q_i(t) = Q_o(t + T_B),
+/// i.e. the latency graph shifted left by T_B. Applied box-by-box this
+/// pushes output QoS to any arc in the network.
+QoSSpec InferThroughBox(const QoSSpec& output_side, double t_b_ms);
+
+/// Inference across a chain of boxes with times `t_b_ms` (output-side
+/// first or in any order — shifts compose additively).
+QoSSpec InferThroughChain(const QoSSpec& output_spec,
+                          const std::vector<double>& t_b_ms);
+
+/// When an arc reaches several outputs, the local spec must satisfy the most
+/// stringent downstream requirement: pointwise minimum of the candidate
+/// latency graphs (union of breakpoints).
+UtilityGraph PointwiseMin(const std::vector<UtilityGraph>& graphs);
+
+/// Combines full specs for a multi-output arc: pointwise-min latency graph,
+/// pointwise-min loss graph.
+QoSSpec CombineSpecs(const std::vector<QoSSpec>& specs);
+
+}  // namespace aurora
+
+#endif  // AURORA_QOS_INFERENCE_H_

@@ -1,0 +1,101 @@
+#include "qos/qos_spec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace aurora {
+
+Result<UtilityGraph> UtilityGraph::Make(std::vector<Point> points) {
+  if (points.empty()) {
+    return Status::InvalidArgument("utility graph needs at least one point");
+  }
+  for (size_t i = 1; i < points.size(); ++i) {
+    if (points[i].x <= points[i - 1].x) {
+      return Status::InvalidArgument("utility graph x values must increase");
+    }
+  }
+  for (const auto& p : points) {
+    if (p.utility < 0.0 || p.utility > 1.0) {
+      return Status::InvalidArgument("utility must be within [0, 1]");
+    }
+  }
+  UtilityGraph g;
+  g.points_ = std::move(points);
+  return g;
+}
+
+double UtilityGraph::Eval(double x) const {
+  if (points_.empty()) return 1.0;
+  if (x <= points_.front().x) return points_.front().utility;
+  if (x >= points_.back().x) return points_.back().utility;
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), x,
+      [](const Point& p, double v) { return p.x < v; });
+  const Point& hi = *it;
+  const Point& lo = *(it - 1);
+  double frac = (x - lo.x) / (hi.x - lo.x);
+  return lo.utility + frac * (hi.utility - lo.utility);
+}
+
+UtilityGraph UtilityGraph::ShiftLeft(double dx) const {
+  UtilityGraph g;
+  g.points_.reserve(points_.size());
+  for (const auto& p : points_) {
+    g.points_.push_back(Point{p.x - dx, p.utility});
+  }
+  return g;
+}
+
+double UtilityGraph::CriticalX(double threshold) const {
+  if (points_.empty()) return std::numeric_limits<double>::infinity();
+  double best = -std::numeric_limits<double>::infinity();
+  bool any_below = false;
+  for (size_t i = 0; i + 1 < points_.size(); ++i) {
+    const Point& a = points_[i];
+    const Point& b = points_[i + 1];
+    if (a.utility >= threshold && b.utility < threshold) {
+      any_below = true;
+      // Crossing point within [a.x, b.x].
+      double frac = (a.utility - threshold) / (a.utility - b.utility);
+      best = std::max(best, a.x + frac * (b.x - a.x));
+    }
+  }
+  if (!any_below) {
+    if (points_.back().utility >= threshold) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return points_.front().x;  // below threshold everywhere past the start
+  }
+  return best;
+}
+
+std::string UtilityGraph::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (i > 0) out += ", ";
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "(%.3g, %.2f)", points_[i].x,
+                  points_[i].utility);
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+QoSSpec QoSSpec::Default() {
+  QoSSpec spec;
+  spec.latency = *UtilityGraph::Make({{100.0, 1.0}, {1000.0, 0.0}});
+  spec.loss = *UtilityGraph::Make({{0.0, 0.0}, {1.0, 1.0}});
+  return spec;
+}
+
+double QoSSpec::Utility(double latency_ms, double delivered_fraction) const {
+  double u = 1.0;
+  if (!latency.empty()) u *= latency.Eval(latency_ms);
+  if (!loss.empty()) u *= loss.Eval(delivered_fraction);
+  return u;
+}
+
+}  // namespace aurora

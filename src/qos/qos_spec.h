@@ -1,0 +1,73 @@
+#ifndef AURORA_QOS_QOS_SPEC_H_
+#define AURORA_QOS_QOS_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+
+namespace aurora {
+
+/// \brief Monotone piecewise-linear utility graph, the QoS representation
+/// of the Aurora papers (§7.1).
+///
+/// Defined by (x, utility) control points with utility in [0, 1]; evaluation
+/// clamps outside the covered range. x's meaning depends on the graph:
+/// latency in milliseconds, delivered fraction, or attribute value.
+class UtilityGraph {
+ public:
+  struct Point {
+    double x;
+    double utility;
+  };
+
+  UtilityGraph() = default;
+  static Result<UtilityGraph> Make(std::vector<Point> points);
+
+  /// Utility at x (linear interpolation, clamped at the ends).
+  double Eval(double x) const;
+
+  /// Graph g' with g'(x) = this(x + dx) — the §7.1 inference step
+  /// Q_i(t) = Q_o(t + T_B) shifts the latency graph left by T_B.
+  UtilityGraph ShiftLeft(double dx) const;
+
+  bool empty() const { return points_.empty(); }
+  const std::vector<Point>& points() const { return points_; }
+
+  /// Largest x with utility >= `threshold` (the "deadline" the graph
+  /// implies); +inf when utility never drops below it.
+  double CriticalX(double threshold) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Point> points_;  // sorted by x
+};
+
+/// \brief Per-application QoS expectations attached to an output (paper
+/// §2.1/§7.1): latency-based, loss-tolerance, and value-based graphs.
+struct QoSSpec {
+  /// Utility as a function of output latency in milliseconds. Decreasing.
+  UtilityGraph latency;
+  /// Utility as a function of the fraction of tuples delivered (1 = all).
+  /// Increasing; encodes how approximation-tolerant the application is.
+  UtilityGraph loss;
+  /// Optional: utility of results as a function of an output attribute
+  /// value (which tuples matter most when shedding must choose).
+  UtilityGraph value;
+  /// Attribute the value graph ranges over (empty when unused).
+  std::string value_field;
+
+  /// A permissive default: full utility up to 100 ms latency decaying to 0
+  /// at 1 s; linear loss utility.
+  static QoSSpec Default();
+
+  /// Combined utility for an observed (latency ms, delivered fraction).
+  /// Multiplicative composition: both requirements must hold.
+  double Utility(double latency_ms, double delivered_fraction) const;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_QOS_QOS_SPEC_H_

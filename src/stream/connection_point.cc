@@ -1,0 +1,69 @@
+#include "stream/connection_point.h"
+
+namespace aurora {
+
+void ConnectionPoint::Record(const Tuple& t, SimTime now) {
+  history_.push_back(t);
+  history_bytes_ += t.WireSize();
+  EnforceRetention(now);
+  for (const auto& [token, subscriber] : subscribers_) {
+    subscriber(t, now);
+  }
+}
+
+int ConnectionPoint::Subscribe(Subscriber subscriber) {
+  int token = next_token_++;
+  subscribers_.emplace_back(token, std::move(subscriber));
+  return token;
+}
+
+void ConnectionPoint::Unsubscribe(int token) {
+  for (auto it = subscribers_.begin(); it != subscribers_.end(); ++it) {
+    if (it->first == token) {
+      subscribers_.erase(it);
+      return;
+    }
+  }
+}
+
+size_t ConnectionPoint::num_subscribers() const { return subscribers_.size(); }
+
+void ConnectionPoint::EnforceRetention(SimTime now) {
+  if (policy_.max_tuples > 0) {
+    while (history_.size() > policy_.max_tuples) {
+      history_bytes_ -= history_.front().WireSize();
+      history_.pop_front();
+    }
+  }
+  if (policy_.max_age.micros() > 0) {
+    while (!history_.empty() &&
+           history_.front().timestamp() + policy_.max_age < now) {
+      history_bytes_ -= history_.front().WireSize();
+      history_.pop_front();
+    }
+  }
+}
+
+size_t ConnectionPoint::QueryHistory(
+    const std::function<bool(const Tuple&)>& filter,
+    const std::function<void(const Tuple&)>& sink) const {
+  size_t matched = 0;
+  for (const auto& t : history_) {
+    if (filter(t)) {
+      sink(t);
+      ++matched;
+    }
+  }
+  return matched;
+}
+
+void ConnectionPoint::LoadHistory(std::vector<Tuple> tuples) {
+  history_.clear();
+  history_bytes_ = 0;
+  for (auto& t : tuples) {
+    history_bytes_ += t.WireSize();
+    history_.push_back(std::move(t));
+  }
+}
+
+}  // namespace aurora

@@ -1,0 +1,85 @@
+#ifndef AURORA_STREAM_CONNECTION_POINT_H_
+#define AURORA_STREAM_CONNECTION_POINT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "tuple/tuple.h"
+
+namespace aurora {
+
+/// Retention policy for the historical storage behind a connection point.
+struct RetentionPolicy {
+  /// Keep at most this many tuples (0 = unbounded by count).
+  size_t max_tuples = 0;
+  /// Keep tuples no older than this window (0 = unbounded by age).
+  SimDuration max_age{};
+};
+
+/// \brief A predetermined arc in the flow graph where historical data is
+/// stored and ad hoc queries may attach (paper §2.2).
+///
+/// Connection points are also the only places where the distributed layer
+/// performs network transformations (paper §5.1): their choke/drain
+/// protocol is implemented by the stabilization code in src/distributed.
+class ConnectionPoint {
+ public:
+  ConnectionPoint(std::string name, RetentionPolicy policy)
+      : name_(std::move(name)), policy_(policy) {}
+
+  const std::string& name() const { return name_; }
+  const RetentionPolicy& policy() const { return policy_; }
+
+  /// Records a tuple passing through the point.
+  void Record(const Tuple& t, SimTime now);
+
+  /// All retained history, oldest first.
+  const std::deque<Tuple>& history() const { return history_; }
+  size_t history_size() const { return history_.size(); }
+  size_t history_bytes() const { return history_bytes_; }
+
+  /// Runs an ad hoc query over retained history: every stored tuple matching
+  /// the filter is passed to `sink`, oldest first. This is the "ad hoc query
+  /// attached at a connection point" path.
+  size_t QueryHistory(const std::function<bool(const Tuple&)>& filter,
+                      const std::function<void(const Tuple&)>& sink) const;
+
+  using Subscriber = std::function<void(const Tuple&, SimTime)>;
+  /// Subscribes a live listener: every tuple subsequently recorded at this
+  /// point is delivered to it. Returns a token for Unsubscribe.
+  int Subscribe(Subscriber subscriber);
+  void Unsubscribe(int token);
+  size_t num_subscribers() const;
+
+  /// Choke control used by network stabilization: while choked, the engine
+  /// holds tuples upstream of this point instead of forwarding them.
+  void Choke() { choked_ = true; }
+  void Unchoke() { choked_ = false; }
+  bool choked() const { return choked_; }
+
+  /// Deep copy of retained history; used when a connection point is split
+  /// and a replica moves to another machine (paper §5.2).
+  std::vector<Tuple> SnapshotHistory() const {
+    return {history_.begin(), history_.end()};
+  }
+  void LoadHistory(std::vector<Tuple> tuples);
+
+ private:
+  void EnforceRetention(SimTime now);
+
+  std::string name_;
+  RetentionPolicy policy_;
+  std::deque<Tuple> history_;
+  size_t history_bytes_ = 0;
+  bool choked_ = false;
+  std::vector<std::pair<int, Subscriber>> subscribers_;
+  int next_token_ = 1;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_STREAM_CONNECTION_POINT_H_

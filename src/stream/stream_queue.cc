@@ -1,0 +1,18 @@
+#include "stream/stream_queue.h"
+
+#include <algorithm>
+
+namespace aurora {
+
+size_t StreamQueue::Spill(size_t n) {
+  size_t newly = std::min(n, items_.size() - spilled_count_);
+  size_t freed = 0;
+  for (size_t i = spilled_count_; i < spilled_count_ + newly; ++i) {
+    freed += items_[i].WireSize();
+  }
+  spilled_count_ += newly;
+  spilled_bytes_ += freed;
+  return freed;
+}
+
+}  // namespace aurora

@@ -1,0 +1,81 @@
+#ifndef AURORA_STREAM_STREAM_QUEUE_H_
+#define AURORA_STREAM_STREAM_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "tuple/tuple.h"
+
+namespace aurora {
+
+/// \brief FIFO tuple queue sitting on an arc of the query network.
+///
+/// Tracks its memory footprint so the StorageManager can decide which queues
+/// to spill when main memory runs out (paper §2.3). Spilling is modeled: the
+/// oldest tuples are marked on-disk; they stay accessible but popping one
+/// counts a disk read, which the engine charges as extra processing cost.
+class StreamQueue {
+ public:
+  StreamQueue() = default;
+
+  void Push(Tuple t) {
+    bytes_ += t.WireSize();
+    total_pushed_++;
+    items_.push_back(std::move(t));
+  }
+
+  bool empty() const { return items_.empty(); }
+  size_t size() const { return items_.size(); }
+  /// Total bytes queued (resident + spilled).
+  size_t bytes() const { return bytes_; }
+  uint64_t total_pushed() const { return total_pushed_; }
+
+  const Tuple& Front() const { return items_.front(); }
+
+  Tuple Pop() {
+    Tuple t = std::move(items_.front());
+    items_.pop_front();
+    size_t sz = t.WireSize();
+    bytes_ -= sz;
+    if (spilled_count_ > 0) {
+      // The popped tuple is part of the spilled prefix: charge a read.
+      spilled_count_--;
+      spilled_bytes_ -= sz;
+      unspill_reads_++;
+    }
+    return t;
+  }
+
+  void Clear() {
+    items_.clear();
+    bytes_ = 0;
+    spilled_count_ = 0;
+    spilled_bytes_ = 0;
+  }
+
+  /// Marks the oldest `n` resident tuples as spilled to disk. Returns the
+  /// number of bytes newly moved out of memory.
+  size_t Spill(size_t n);
+
+  /// Number of queued tuples currently marked on-disk.
+  size_t spilled_count() const { return spilled_count_; }
+  /// Bytes of queue content currently in memory (unspilled suffix).
+  size_t resident_bytes() const { return bytes_ - spilled_bytes_; }
+  /// Cumulative count of pops that had to read from disk.
+  uint64_t unspill_reads() const { return unspill_reads_; }
+
+  /// Direct iteration for drain/inspection (HA output logs, stabilization).
+  const std::deque<Tuple>& items() const { return items_; }
+
+ private:
+  std::deque<Tuple> items_;
+  size_t bytes_ = 0;
+  size_t spilled_count_ = 0;
+  size_t spilled_bytes_ = 0;
+  uint64_t total_pushed_ = 0;
+  uint64_t unspill_reads_ = 0;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_STREAM_STREAM_QUEUE_H_

@@ -1,0 +1,48 @@
+#include "tuple/schema.h"
+
+namespace aurora {
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::NotFound("no field named '" + name + "' in " + ToString());
+}
+
+bool Schema::HasField(const std::string& name) const {
+  for (const auto& f : fields_) {
+    if (f.name == name) return true;
+  }
+  return false;
+}
+
+std::shared_ptr<Schema> Schema::AddField(Field extra) const {
+  std::vector<Field> fields = fields_;
+  fields.push_back(std::move(extra));
+  return Schema::Make(std::move(fields));
+}
+
+Result<std::shared_ptr<Schema>> Schema::Project(
+    const std::vector<std::string>& names) const {
+  std::vector<Field> fields;
+  fields.reserve(names.size());
+  for (const auto& n : names) {
+    AURORA_ASSIGN_OR_RETURN(size_t idx, IndexOf(n));
+    fields.push_back(fields_[idx]);
+  }
+  return Schema::Make(std::move(fields));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += ValueTypeName(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace aurora

@@ -1,0 +1,83 @@
+#ifndef AURORA_TUPLE_SERDE_H_
+#define AURORA_TUPLE_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "tuple/tuple.h"
+
+namespace aurora {
+
+/// \brief Append-only binary encoder for the inter-node wire format.
+///
+/// Fixed-width little-endian integers; strings are length-prefixed (u32).
+/// The format is deliberately simple: the paper's transport argument is
+/// about connection multiplexing and scheduling, not encoding efficiency,
+/// but every message that crosses a simulated link is genuinely encoded and
+/// decoded so that bandwidth accounting reflects real byte counts.
+class Encoder {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutDouble(double v);
+  void PutString(const std::string& s);
+
+  void PutValue(const Value& v);
+  void PutTuple(const Tuple& t);
+  void PutSchema(const Schema& s);
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  std::vector<uint8_t> TakeBuffer() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// \brief Bounds-checked decoder over a byte buffer.
+///
+/// Every accessor returns Result so that a corrupted or truncated message is
+/// surfaced as a Status instead of undefined behaviour.
+class Decoder {
+ public:
+  Decoder(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit Decoder(const std::vector<uint8_t>& buf)
+      : Decoder(buf.data(), buf.size()) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint16_t> GetU16();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int64_t> GetI64();
+  Result<double> GetDouble();
+  Result<std::string> GetString();
+
+  Result<Value> GetValue();
+  /// Decodes a tuple; the schema is attached but not re-validated per tuple.
+  Result<Tuple> GetTuple(const SchemaPtr& schema);
+  Result<SchemaPtr> GetSchema();
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  Status Need(size_t n) const;
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Round-trip helpers used by tests and the transport layer.
+std::vector<uint8_t> SerializeTuples(const std::vector<Tuple>& tuples);
+Result<std::vector<Tuple>> DeserializeTuples(const std::vector<uint8_t>& buf,
+                                             const SchemaPtr& schema);
+
+}  // namespace aurora
+
+#endif  // AURORA_TUPLE_SERDE_H_

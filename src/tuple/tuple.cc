@@ -1,0 +1,41 @@
+#include "tuple/tuple.h"
+
+#include "common/logging.h"
+
+namespace aurora {
+
+const Value& Tuple::Get(const std::string& field_name) const {
+  AURORA_CHECK(schema_ != nullptr) << "tuple has no schema";
+  auto idx = schema_->IndexOf(field_name);
+  AURORA_CHECK(idx.ok()) << idx.status().ToString();
+  return values_[*idx];
+}
+
+size_t Tuple::WireSize() const {
+  // 8-byte timestamp + 8-byte seq + 2-byte value count.
+  size_t size = 18;
+  for (const auto& v : values_) size += v.WireSize();
+  return size;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (schema_ && i < schema_->num_fields()) {
+      out += schema_->field(i).name;
+      out += "=";
+    }
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+Tuple MakeTuple(const SchemaPtr& schema, std::vector<Value> values) {
+  AURORA_CHECK(schema == nullptr || schema->num_fields() == values.size())
+      << "value count does not match schema " << schema->ToString();
+  return Tuple(schema, std::move(values));
+}
+
+}  // namespace aurora

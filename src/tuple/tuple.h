@@ -1,0 +1,70 @@
+#ifndef AURORA_TUPLE_TUPLE_H_
+#define AURORA_TUPLE_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "tuple/schema.h"
+#include "tuple/value.h"
+
+namespace aurora {
+
+/// Sequence number assigned by the transport when a tuple crosses a server
+/// boundary; the basis of the HA queue-truncation protocol (paper §6.2).
+/// Zero means "not yet assigned".
+using SeqNo = uint64_t;
+inline constexpr SeqNo kNoSeqNo = 0;
+
+/// \brief One stream tuple: a row of values plus stream-processing metadata.
+///
+/// Metadata carried per tuple:
+///  - `timestamp`: creation time at the data source; drives latency QoS.
+///  - `seq`: transport sequence number on the arc the tuple most recently
+///    crossed (HA truncation protocol).
+/// The schema pointer is shared by all tuples of a stream.
+class Tuple {
+ public:
+  Tuple() = default;
+  Tuple(SchemaPtr schema, std::vector<Value> values)
+      : schema_(std::move(schema)), values_(std::move(values)) {}
+
+  const SchemaPtr& schema() const { return schema_; }
+  size_t num_values() const { return values_.size(); }
+  const Value& value(size_t i) const { return values_[i]; }
+  Value& value(size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Value of the named field; aborts if absent (operator wiring validates
+  /// field presence at network-construction time).
+  const Value& Get(const std::string& field_name) const;
+
+  SimTime timestamp() const { return timestamp_; }
+  void set_timestamp(SimTime t) { timestamp_ = t; }
+
+  SeqNo seq() const { return seq_; }
+  void set_seq(SeqNo s) { seq_ = s; }
+
+  /// Serialized size in bytes (values + fixed header); used by the transport
+  /// to charge link bandwidth.
+  size_t WireSize() const;
+
+  std::string ToString() const;
+
+  bool ValuesEqual(const Tuple& other) const { return values_ == other.values_; }
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Value> values_;
+  SimTime timestamp_{};
+  SeqNo seq_ = kNoSeqNo;
+};
+
+/// Builder-style convenience for tests and examples:
+///   MakeTuple(schema, {1, 2.5, "x"}).
+Tuple MakeTuple(const SchemaPtr& schema, std::vector<Value> values);
+
+}  // namespace aurora
+
+#endif  // AURORA_TUPLE_TUPLE_H_

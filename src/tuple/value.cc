@@ -1,0 +1,169 @@
+#include "tuple/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace aurora {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  switch (rep_.index()) {
+    case 0:
+      return ValueType::kNull;
+    case 1:
+      return ValueType::kBool;
+    case 2:
+      return ValueType::kInt64;
+    case 3:
+      return ValueType::kDouble;
+    case 4:
+      return ValueType::kString;
+  }
+  return ValueType::kNull;
+}
+
+double Value::AsNumeric() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return static_cast<double>(AsInt());
+    case ValueType::kDouble:
+      return AsDouble();
+    default:
+      AURORA_CHECK(false) << "Value " << ToString() << " is not numeric";
+      return 0.0;
+  }
+}
+
+namespace {
+// Rank for the cross-type total order.
+int TypeRank(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return 1;
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return 2;
+    case ValueType::kString:
+      return 3;
+  }
+  return 4;
+}
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int ra = TypeRank(type());
+  int rb = TypeRank(other.type());
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool: {
+      bool a = AsBool(), b = other.AsBool();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case ValueType::kInt64:
+    case ValueType::kDouble: {
+      // Exact integer comparison when both are ints; numeric otherwise.
+      if (type() == ValueType::kInt64 && other.type() == ValueType::kInt64) {
+        int64_t a = AsInt(), b = other.AsInt();
+        return a == b ? 0 : (a < b ? -1 : 1);
+      }
+      double a = AsNumeric(), b = other.AsNumeric();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case ValueType::kString:
+      return AsString().compare(other.AsString());
+  }
+  return 0;
+}
+
+uint64_t Value::Hash() const {
+  auto mix = [](uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  switch (type()) {
+    case ValueType::kNull:
+      return mix(0x6e756c6cull);
+    case ValueType::kBool:
+      return mix(AsBool() ? 0x74727565ull : 0x66616c73ull);
+    case ValueType::kInt64:
+      return mix(static_cast<uint64_t>(AsInt()) ^ 0x1234ull);
+    case ValueType::kDouble: {
+      double d = AsDouble();
+      // Hash integral doubles identically to the equal int64 so that numeric
+      // groupby keys behave consistently.
+      if (d == std::floor(d) && std::abs(d) < 9e15) {
+        return mix(static_cast<uint64_t>(static_cast<int64_t>(d)) ^ 0x1234ull);
+      }
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return mix(bits ^ 0x5678ull);
+    }
+    case ValueType::kString: {
+      uint64_t h = 0xcbf29ce484222325ull;
+      for (char c : AsString()) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+      }
+      return mix(h);
+    }
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueType::kInt64:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", AsDouble());
+      return buf;
+    }
+    case ValueType::kString:
+      return "\"" + AsString() + "\"";
+  }
+  return "?";
+}
+
+size_t Value::WireSize() const {
+  // 1 tag byte + payload (see serde.cc for the format).
+  switch (type()) {
+    case ValueType::kNull:
+      return 1;
+    case ValueType::kBool:
+      return 2;
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return 9;
+    case ValueType::kString:
+      return 1 + 4 + AsString().size();
+  }
+  return 1;
+}
+
+}  // namespace aurora

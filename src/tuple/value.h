@@ -1,0 +1,74 @@
+#ifndef AURORA_TUPLE_VALUE_H_
+#define AURORA_TUPLE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/logging.h"
+
+namespace aurora {
+
+/// Column types supported by the stream engine. The CIDR'03 paper's examples
+/// use integer and aggregate (double) attributes; strings cover stream names
+/// and location-style predicates ("all streams generated in Cambridge").
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt64 = 2,
+  kDouble = 3,
+  kString = 4,
+};
+
+const char* ValueTypeName(ValueType type);
+
+/// \brief A single dynamically-typed attribute value.
+///
+/// Values are small and value-semantic; strings are owned. Ordering across
+/// numeric types compares numerically (int vs double), matching what WSort
+/// and groupby equality need.
+class Value {
+ public:
+  Value() : rep_(std::monostate{}) {}
+  Value(bool v) : rep_(v) {}                  // NOLINT(runtime/explicit)
+  Value(int64_t v) : rep_(v) {}               // NOLINT(runtime/explicit)
+  Value(int v) : rep_(static_cast<int64_t>(v)) {}  // NOLINT(runtime/explicit)
+  Value(double v) : rep_(v) {}                // NOLINT(runtime/explicit)
+  Value(std::string v) : rep_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : rep_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const;
+  bool is_null() const { return std::holds_alternative<std::monostate>(rep_); }
+
+  bool AsBool() const { return std::get<bool>(rep_); }
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  /// Numeric view: int64 and double both convert; other types abort.
+  double AsNumeric() const;
+
+  /// Total order over values: null < bool < numerics (by value) < string.
+  /// Used by WSort and by groupby key comparison.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Stable 64-bit hash, used for hash-partitioning split predicates.
+  uint64_t Hash() const;
+
+  std::string ToString() const;
+
+  /// Serialized size in bytes under the wire format in serde.h.
+  size_t WireSize() const;
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string> rep_;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_TUPLE_VALUE_H_

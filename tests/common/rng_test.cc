@@ -1,0 +1,115 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace aurora {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialMeanConverges) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(5.0);
+  double mean = sum / n;
+  EXPECT_NEAR(mean, 5.0, 0.2);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(ZipfTest, SkewZeroIsRoughlyUniform) {
+  ZipfGenerator zipf(10, 0.0);
+  Rng rng(17);
+  std::map<uint64_t, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) counts[zipf.Sample(&rng)]++;
+  for (const auto& [k, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.02);
+  }
+}
+
+TEST(ZipfTest, HighSkewConcentratesOnHead) {
+  ZipfGenerator zipf(1000, 1.2);
+  Rng rng(19);
+  int head = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Sample(&rng) < 10) ++head;
+  }
+  // With skew 1.2 the top 10 of 1000 keys draw well over a third of mass.
+  EXPECT_GT(static_cast<double>(head) / n, 0.35);
+}
+
+TEST(ZipfTest, SamplesAlwaysInRange) {
+  ZipfGenerator zipf(50, 0.8);
+  Rng rng(23);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(zipf.Sample(&rng), 50u);
+  }
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng parent(31);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.Next() == child.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace aurora

@@ -1,0 +1,94 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace aurora {
+namespace {
+
+TEST(StatusTest, OkIsDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("stream 'x'");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "stream 'x'");
+  EXPECT_EQ(st.ToString(), "NotFound: stream 'x'");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingPredicates) {
+  EXPECT_TRUE(Status::InvalidArgument("m").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("m").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("m").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("m").IsFailedPrecondition());
+  EXPECT_TRUE(Status::ResourceExhausted("m").IsResourceExhausted());
+  EXPECT_TRUE(Status::Unavailable("m").IsUnavailable());
+  EXPECT_TRUE(Status::Internal("m").IsInternal());
+  EXPECT_TRUE(Status::NotImplemented("m").IsNotImplemented());
+  EXPECT_TRUE(Status::TimedOut("m").IsTimedOut());
+}
+
+TEST(StatusTest, CopySemantics) {
+  Status a = Status::Internal("boom");
+  Status b = a;
+  EXPECT_EQ(a, b);
+  Status c;
+  c = a;
+  EXPECT_EQ(c.message(), "boom");
+  a = Status::OK();
+  EXPECT_TRUE(a.ok());
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status { return Status::NotFound("inner"); };
+  auto outer = [&]() -> Status {
+    AURORA_RETURN_NOT_OK(fails());
+    return Status::Internal("unreachable");
+  };
+  EXPECT_TRUE(outer().IsNotFound());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::OutOfRange("too big"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsOutOfRange());
+  EXPECT_EQ(std::move(r).ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueUnsafe();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::Unavailable("down");
+    return 5;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    AURORA_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v * 2;
+  };
+  EXPECT_EQ(*outer(false), 10);
+  EXPECT_TRUE(outer(true).status().IsUnavailable());
+}
+
+}  // namespace
+}  // namespace aurora

@@ -1,0 +1,176 @@
+// The DHT-based inter-participant catalog (§4.1): consistent hashing,
+// Chord-style lookups, replication, and failure behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dht/dht_catalog.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+TEST(ConsistentHashTest, OwnerIsDeterministic) {
+  ConsistentHashRing ring(4);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(ring.AddNode(i, "node" + std::to_string(i)));
+  }
+  ASSERT_OK_AND_ASSIGN(NodeId o1, ring.Owner("medusa/stream1"));
+  ASSERT_OK_AND_ASSIGN(NodeId o2, ring.Owner("medusa/stream1"));
+  EXPECT_EQ(o1, o2);
+}
+
+TEST(ConsistentHashTest, RemovalOnlyMovesVictimKeys) {
+  ConsistentHashRing ring(8);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(ring.AddNode(i, "node" + std::to_string(i)));
+  }
+  std::map<std::string, NodeId> before;
+  for (int k = 0; k < 500; ++k) {
+    std::string key = "key" + std::to_string(k);
+    before[key] = *ring.Owner(key);
+  }
+  ASSERT_OK(ring.RemoveNode(3));
+  int moved = 0;
+  for (const auto& [key, owner] : before) {
+    NodeId now = *ring.Owner(key);
+    if (owner != 3) {
+      EXPECT_EQ(now, owner) << key;  // unaffected keys stay put
+    } else {
+      EXPECT_NE(now, 3);
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 0);
+}
+
+TEST(ConsistentHashTest, VnodesSmoothLoad) {
+  auto spread = [](int vnodes) {
+    ConsistentHashRing ring(vnodes);
+    for (int i = 0; i < 10; ++i) {
+      (void)ring.AddNode(i, "node" + std::to_string(i));
+    }
+    auto shares = ring.OwnershipShares();
+    double max_share = 0.0;
+    for (const auto& [n, s] : shares) max_share = std::max(max_share, s);
+    return max_share;
+  };
+  // More virtual nodes → the largest ownership share shrinks toward 1/N.
+  EXPECT_LT(spread(64), spread(1));
+}
+
+TEST(ConsistentHashTest, LookupFindsOwnerWithFewHops) {
+  ConsistentHashRing ring(1);
+  const int n = 64;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_OK(ring.AddNode(i, "node" + std::to_string(i)));
+  }
+  for (int k = 0; k < 50; ++k) {
+    std::string key = "key" + std::to_string(k);
+    ASSERT_OK_AND_ASSIGN(auto result, ring.Lookup(k % n, key));
+    EXPECT_EQ(result.owner, *ring.Owner(key));
+    // Chord bound: O(log2 N) hops with slack.
+    EXPECT_LE(result.hops, 2 * static_cast<int>(std::log2(n)) + 2);
+  }
+}
+
+TEST(ConsistentHashTest, SuccessorsAreDistinct) {
+  ConsistentHashRing ring(4);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK(ring.AddNode(i, "node" + std::to_string(i)));
+  }
+  ASSERT_OK_AND_ASSIGN(auto succ, ring.Successors("some/key", 3));
+  ASSERT_EQ(succ.size(), 3u);
+  EXPECT_NE(succ[0], succ[1]);
+  EXPECT_NE(succ[1], succ[2]);
+  EXPECT_NE(succ[0], succ[2]);
+}
+
+TEST(DhtCatalogTest, PutGetRoundTrip) {
+  DhtCatalog catalog(4, 2);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_OK(catalog.AddNode(i, "node" + std::to_string(i)));
+  }
+  DhtEntry entry;
+  entry.kind = "stream";
+  entry.payload = {1, 2, 3};
+  entry.locations = {5};
+  QualifiedName name{"mit", "trafficfeed"};
+  ASSERT_OK(catalog.Put(name, entry));
+  ASSERT_OK_AND_ASSIGN(auto got, catalog.Get(0, name));
+  EXPECT_EQ(got.entry.kind, "stream");
+  EXPECT_EQ(got.entry.payload, (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_EQ(got.entry.locations, std::vector<NodeId>{5});
+  EXPECT_GE(got.hops, 0);
+}
+
+TEST(DhtCatalogTest, QualifiedNamesAreParticipantScoped) {
+  // §4.1: "each entity's name begins with the name of the participant who
+  // defined it".
+  QualifiedName a{"mit", "feed"};
+  QualifiedName b{"brown", "feed"};
+  EXPECT_NE(a.Key(), b.Key());
+  QualifiedName parsed = QualifiedName::Parse("mit/feed");
+  EXPECT_EQ(parsed.participant, "mit");
+  EXPECT_EQ(parsed.entity, "feed");
+}
+
+TEST(DhtCatalogTest, UpdateLocationsForLoadSharing) {
+  DhtCatalog catalog;
+  ASSERT_OK(catalog.AddNode(0, "n0"));
+  QualifiedName name{"mit", "feed"};
+  ASSERT_OK(catalog.Put(name, DhtEntry{"stream", {}, {0}}));
+  // §4.2: "Load sharing between nodes may later move or partition the
+  // data... the location information is always propagated".
+  ASSERT_OK(catalog.UpdateLocations(name, {1, 2}));
+  ASSERT_OK_AND_ASSIGN(auto got, catalog.Get(0, name));
+  EXPECT_EQ(got.entry.locations, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(DhtCatalogTest, EntriesSurviveNodeRemoval) {
+  DhtCatalog catalog(4, 3);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_OK(catalog.AddNode(i, "node" + std::to_string(i)));
+  }
+  for (int k = 0; k < 40; ++k) {
+    ASSERT_OK(catalog.Put(QualifiedName{"p", "e" + std::to_string(k)},
+                          DhtEntry{"stream", {static_cast<uint8_t>(k)}, {}}));
+  }
+  // Remove two nodes; with replication 3 everything must remain readable.
+  ASSERT_OK(catalog.RemoveNode(1));
+  ASSERT_OK(catalog.RemoveNode(4));
+  for (int k = 0; k < 40; ++k) {
+    ASSERT_OK_AND_ASSIGN(
+        auto got, catalog.Get(0, QualifiedName{"p", "e" + std::to_string(k)}));
+    EXPECT_EQ(got.entry.payload[0], static_cast<uint8_t>(k));
+  }
+}
+
+TEST(DhtCatalogTest, StorageSpreadsAcrossNodes) {
+  DhtCatalog catalog(8, 2);
+  const int n = 8;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_OK(catalog.AddNode(i, "node" + std::to_string(i)));
+  }
+  const int entries = 400;
+  for (int k = 0; k < entries; ++k) {
+    ASSERT_OK(catalog.Put(QualifiedName{"p", "e" + std::to_string(k)},
+                          DhtEntry{"stream", {}, {}}));
+  }
+  // Each node stores roughly entries * replication / n, within 3x.
+  double expected = 400.0 * 2 / n;
+  for (int i = 0; i < n; ++i) {
+    EXPECT_GT(catalog.StoredOn(i), expected / 3) << i;
+    EXPECT_LT(catalog.StoredOn(i), expected * 3) << i;
+  }
+}
+
+TEST(DhtCatalogTest, MissingEntryIsNotFound) {
+  DhtCatalog catalog;
+  ASSERT_OK(catalog.AddNode(0, "n0"));
+  EXPECT_TRUE(catalog.Get(0, QualifiedName{"x", "y"}).status().IsNotFound());
+  EXPECT_TRUE(catalog.Remove(QualifiedName{"x", "y"}).IsNotFound());
+}
+
+}  // namespace
+}  // namespace aurora

@@ -1,0 +1,111 @@
+// Naming, discovery, and source routing (paper §4.1–4.2): deployments
+// registered in the DHT catalog; sources push to any node and events are
+// forwarded via catalog lookups; locations track load-sharing moves.
+#include <gtest/gtest.h>
+
+#include "distributed/box_slider.h"
+#include "distributed/catalog_binding.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing_util::GetInt;
+using testing_util::SchemaAB;
+
+class CatalogBindingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = std::make_unique<OverlayNetwork>(&sim_);
+    system_ = std::make_unique<AuroraStarSystem>(&sim_, net_.get(),
+                                                 StarOptions{});
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_OK_AND_ASSIGN(
+          NodeId id,
+          system_->AddNode(NodeOptions{"n" + std::to_string(i), 1.0, {}}));
+      ASSERT_OK(catalog_.AddNode(id, "n" + std::to_string(i)));
+    }
+    net_->FullMesh(LinkOptions{});
+    binding_ = std::make_unique<CatalogBinding>(system_.get(), &catalog_,
+                                                "acme");
+    ASSERT_OK(query_.AddInput("ticks", SchemaAB()));
+    ASSERT_OK(query_.AddBox("t", TumbleSpec("cnt", "B", {"A"})));
+    ASSERT_OK(query_.AddOutput("out"));
+    ASSERT_OK(query_.ConnectInputToBox("ticks", "t"));
+    ASSERT_OK(query_.ConnectBoxToOutput("t", 0, "out"));
+    ASSERT_OK_AND_ASSIGN(deployed_,
+                         DeployQuery(system_.get(), query_, {{"t", 1}}));
+    ASSERT_OK(binding_->RegisterDeployment("tickcount", query_, deployed_));
+  }
+
+  Simulation sim_;
+  std::unique_ptr<OverlayNetwork> net_;
+  std::unique_ptr<AuroraStarSystem> system_;
+  DhtCatalog catalog_;
+  std::unique_ptr<CatalogBinding> binding_;
+  GlobalQuery query_;
+  DeployedQuery deployed_;
+};
+
+TEST_F(CatalogBindingTest, RegistrationIsDiscoverable) {
+  // The stream entry holds the home node and decodable metadata.
+  ASSERT_OK_AND_ASSIGN(auto stream,
+                       catalog_.Get(0, QualifiedName{"acme", "stream/ticks"}));
+  EXPECT_EQ(stream.entry.kind, "stream");
+  EXPECT_EQ(stream.entry.locations, std::vector<NodeId>{1});
+  Decoder dec(stream.entry.payload);
+  ASSERT_OK_AND_ASSIGN(std::string input_name, dec.GetString());
+  EXPECT_EQ(input_name, "ticks");
+  ASSERT_OK_AND_ASSIGN(SchemaPtr schema, dec.GetSchema());
+  EXPECT_TRUE(schema->Equals(*SchemaAB()));
+  // The query piece records the running location and the spec.
+  ASSERT_OK_AND_ASSIGN(std::vector<NodeId> where,
+                       binding_->LookupBox("tickcount", "t", 2));
+  EXPECT_EQ(where, std::vector<NodeId>{1});
+}
+
+TEST_F(CatalogBindingTest, SourceRoutingForwardsToHome) {
+  std::vector<Tuple> out;
+  ASSERT_OK(system_->CollectOutput(
+      1, "out", [&](const Tuple& t, SimTime) { out.push_back(t); }));
+  // The source pushes to node 0 and node 2; the catalog routes everything
+  // to the input's home (node 1).
+  for (int i = 0; i < 10; ++i) {
+    Tuple t = MakeTuple(SchemaAB(), {Value(i), Value(0)});
+    ASSERT_OK(binding_->RouteSourceTuple(i % 2 == 0 ? 0 : 2, "ticks", t));
+  }
+  sim_.RunFor(SimDuration::Seconds(1));
+  // 9 groups closed (each A=i its own run).
+  EXPECT_EQ(out.size(), 9u);
+  EXPECT_EQ(binding_->forwards(), 10u);
+  EXPECT_EQ(binding_->direct_deliveries(), 0u);
+  // Forwarding used the overlay (bytes on the wire).
+  EXPECT_GT(net_->LinkBytesSent(0, 1) + net_->LinkBytesSent(2, 1), 0u);
+}
+
+TEST_F(CatalogBindingTest, DirectDeliveryAtHomeNode) {
+  Tuple t = MakeTuple(SchemaAB(), {Value(1), Value(0)});
+  ASSERT_OK(binding_->RouteSourceTuple(1, "ticks", t));
+  EXPECT_EQ(binding_->direct_deliveries(), 1u);
+  EXPECT_EQ(binding_->forwards(), 0u);
+}
+
+TEST_F(CatalogBindingTest, UnknownStreamIsNotFound) {
+  Tuple t = MakeTuple(SchemaAB(), {Value(1), Value(0)});
+  Status st = binding_->RouteSourceTuple(0, "nope", t);
+  EXPECT_TRUE(st.IsNotFound()) << st.ToString();
+}
+
+TEST_F(CatalogBindingTest, MoveUpdatesLocation) {
+  BoxSlider slider(system_.get());
+  ASSERT_OK_AND_ASSIGN(SlideResult moved, slider.Slide(&deployed_, "t", 2));
+  (void)moved;
+  ASSERT_OK(binding_->UpdateBoxLocation("tickcount", "t",
+                                        deployed_.boxes.at("t").node));
+  ASSERT_OK_AND_ASSIGN(std::vector<NodeId> where,
+                       binding_->LookupBox("tickcount", "t", 0));
+  EXPECT_EQ(where, std::vector<NodeId>{2});
+}
+
+}  // namespace
+}  // namespace aurora

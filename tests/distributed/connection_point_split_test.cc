@@ -1,0 +1,166 @@
+// §5.2 "Handling Connection Points": splitting around a connection point
+// preserves its history at the source, optionally replicates it (history
+// and all) to the destination machine, and ad hoc queries keep working on
+// both sides.
+#include <gtest/gtest.h>
+
+#include "distributed/box_splitter.h"
+#include "distributed/catalog_binding.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing_util::GetInt;
+using testing_util::SchemaAB;
+
+class CpSplitTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = std::make_unique<OverlayNetwork>(&sim_);
+    system_ = std::make_unique<AuroraStarSystem>(&sim_, net_.get(),
+                                                 StarOptions{});
+    ASSERT_OK_AND_ASSIGN(m1_, system_->AddNode(NodeOptions{"m1", 1.0, {}}));
+    ASSERT_OK_AND_ASSIGN(m2_, system_->AddNode(NodeOptions{"m2", 1.0, {}}));
+    net_->FullMesh(LinkOptions{});
+    GlobalQuery q;
+    ASSERT_OK(q.AddInput("in", SchemaAB()));
+    ASSERT_OK(q.AddBox("f", FilterSpec(Predicate::True())));
+    ASSERT_OK(q.AddOutput("out"));
+    ASSERT_OK(q.ConnectInputToBox("in", "f"));
+    ASSERT_OK(q.ConnectBoxToOutput("f", 0, "out"));
+    ASSERT_OK_AND_ASSIGN(deployed_,
+                         DeployQuery(system_.get(), q, {{"f", m1_}}));
+    // Connection point on the filter's input arc.
+    AuroraEngine& e1 = system_->node(m1_).engine();
+    ASSERT_OK_AND_ASSIGN(ArcId arc,
+                         e1.FindArcInto(deployed_.boxes.at("f").box, 0));
+    RetentionPolicy policy;
+    policy.max_tuples = 500;
+    ASSERT_OK(e1.MakeConnectionPoint(arc, "cp", policy));
+  }
+
+  void Inject(int lo, int hi) {
+    for (int i = lo; i < hi; ++i) {
+      ASSERT_OK(system_->node(m1_).Inject(
+          "in", MakeTuple(SchemaAB(), {Value(i), Value(i % 10)})));
+      sim_.RunFor(SimDuration::Millis(1));
+    }
+  }
+
+  SplitResult Split(bool replicate) {
+    BoxSplitter splitter(system_.get());
+    SplitRequest req;
+    req.box_name = "f";
+    req.partition = Predicate::HashPartition("A", 2, 0);
+    req.dst_node = m2_;
+    req.replicate_connection_point = replicate;
+    auto result = splitter.Split(&deployed_, req);
+    AURORA_CHECK(result.ok()) << result.status().ToString();
+    return *result;
+  }
+
+  Simulation sim_;
+  std::unique_ptr<OverlayNetwork> net_;
+  std::unique_ptr<AuroraStarSystem> system_;
+  DeployedQuery deployed_;
+  NodeId m1_ = -1, m2_ = -1;
+};
+
+TEST_F(CpSplitTest, HistorySurvivesSplitAtTheSource) {
+  Inject(0, 40);
+  Split(/*replicate=*/false);
+  AuroraEngine& e1 = system_->node(m1_).engine();
+  ASSERT_OK_AND_ASSIGN(ConnectionPoint * cp, e1.GetConnectionPoint("cp"));
+  EXPECT_EQ(cp->history_size(), 40u);
+  // The point keeps recording post-split traffic (now at the router).
+  Inject(40, 60);
+  EXPECT_EQ(cp->history_size(), 60u);
+}
+
+TEST_F(CpSplitTest, ReplicaCarriesHistoryAndCostsBandwidth) {
+  Inject(0, 40);
+  uint64_t bytes_before = net_->LinkBytesSent(m1_, m2_);
+  Split(/*replicate=*/true);
+  AuroraEngine& e2 = system_->node(m2_).engine();
+  ASSERT_OK_AND_ASSIGN(ConnectionPoint * replica,
+                       e2.GetConnectionPoint("cp/replica"));
+  EXPECT_EQ(replica->history_size(), 40u);
+  sim_.RunFor(SimDuration::Millis(100));
+  // The copied history was charged to the link.
+  EXPECT_GT(net_->LinkBytesSent(m1_, m2_), bytes_before + 40 * 20);
+  // Post-split, the replica records only its machine's partition.
+  Inject(40, 80);
+  sim_.RunFor(SimDuration::Seconds(1));
+  EXPECT_GT(replica->history_size(), 40u);
+  EXPECT_LT(replica->history_size(), 80u);
+}
+
+TEST_F(CpSplitTest, AdHocQueriesWorkOnBothSides) {
+  Inject(0, 30);
+  Split(/*replicate=*/true);
+  sim_.RunFor(SimDuration::Millis(100));
+  int source_matches = 0, replica_matches = 0;
+  AuroraEngine& e1 = system_->node(m1_).engine();
+  AuroraEngine& e2 = system_->node(m2_).engine();
+  ASSERT_OK(e1.AttachAdHocQuery(
+                  "cp", Predicate::Compare("B", CompareOp::kEq, Value(5)),
+                  [&](const Tuple&, SimTime) { ++source_matches; })
+                .status());
+  ASSERT_OK(e2.AttachAdHocQuery(
+                  "cp/replica",
+                  Predicate::Compare("B", CompareOp::kEq, Value(5)),
+                  [&](const Tuple&, SimTime) { ++replica_matches; })
+                .status());
+  // History replay: B==5 ⇔ A in {5, 15, 25}: 3 matches on each side.
+  EXPECT_EQ(source_matches, 3);
+  EXPECT_EQ(replica_matches, 3);
+  // Live continuation on the source side sees all new matches.
+  Inject(30, 60);
+  sim_.RunFor(SimDuration::Seconds(1));
+  EXPECT_EQ(source_matches, 6);
+  // The replica sees only its machine's share of new matches.
+  EXPECT_GE(replica_matches, 3);
+  EXPECT_LE(replica_matches, 6);
+}
+
+TEST_F(CpSplitTest, PartitionedStreamRouting) {
+  // §4.2: the catalog may record several locations for a stream; sources
+  // push anywhere and tuples hash-partition across the locations.
+  DhtCatalog catalog;
+  ASSERT_OK(catalog.AddNode(m1_, "m1"));
+  ASSERT_OK(catalog.AddNode(m2_, "m2"));
+  CatalogBinding binding(system_.get(), &catalog, "acme");
+  // Both nodes expose an input named "part"; feed each into a local sink.
+  int at_m1 = 0, at_m2 = 0;
+  for (auto [node, counter] : {std::pair{m1_, &at_m1}, {m2_, &at_m2}}) {
+    AuroraEngine& engine = system_->node(node).engine();
+    PortId in = *engine.AddInput("part", SchemaAB());
+    PortId out = *engine.AddOutput("part_out");
+    ASSERT_OK(engine.Connect(Endpoint::InputPort(in),
+                             Endpoint::OutputPort(out)).status());
+    engine.SetOutputCallback(out, [counter](const Tuple&, SimTime) {
+      ++*counter;
+    });
+  }
+  Encoder enc;
+  enc.PutString("part");
+  enc.PutSchema(*SchemaAB());
+  DhtEntry entry;
+  entry.kind = "stream";
+  entry.payload = enc.TakeBuffer();
+  entry.locations = {m1_, m2_};
+  ASSERT_OK(catalog.Put(QualifiedName{"acme", "stream/partitioned"}, entry));
+
+  for (int i = 0; i < 100; ++i) {
+    Tuple t = MakeTuple(SchemaAB(), {Value(i), Value(0)});
+    ASSERT_OK(binding.RouteSourceTuple(m1_, "partitioned", t));
+  }
+  sim_.RunFor(SimDuration::Seconds(1));
+  EXPECT_EQ(at_m1 + at_m2, 100);
+  EXPECT_GT(at_m1, 20);  // both partitions carry a real share
+  EXPECT_GT(at_m2, 20);
+}
+
+}  // namespace
+}  // namespace aurora

@@ -1,0 +1,134 @@
+// Full-stack integration: one Aurora* system running with the load-share
+// daemon, upstream-backup HA, and the DHT catalog simultaneously — the
+// paper's complete §3 picture. A node crash during active load balancing
+// must not lose data, and the survivors keep balancing afterwards.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "distributed/catalog_binding.h"
+#include "distributed/load_daemon.h"
+#include "ha/upstream_backup.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing_util::GetInt;
+using testing_util::SchemaAB;
+
+TEST(FullStackTest, CrashDuringLoadBalancingLosesNothing) {
+  Simulation sim;
+  OverlayNetwork net(&sim);
+  AuroraStarSystem system(&sim, &net, StarOptions{});
+  DhtCatalog catalog;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 4; ++i) {
+    NodeId id = *system.AddNode(NodeOptions{"n" + std::to_string(i), 1.0, {}});
+    ASSERT_OK(catalog.AddNode(id, "n" + std::to_string(i)));
+    nodes.push_back(id);
+  }
+  net.FullMesh(LinkOptions{});
+
+  // Chain: src (cheap, n0) -> work (expensive, n1) -> tally (n2) -> out.
+  GlobalQuery q;
+  ASSERT_OK(q.AddInput("in", SchemaAB()));
+  ASSERT_OK(q.AddBox("src", FilterSpec(Predicate::True())));
+  OperatorSpec heavy = FilterSpec(Predicate::True());
+  heavy.SetParam("cost_us", Value(350.0));
+  ASSERT_OK(q.AddBox("work", heavy));
+  ASSERT_OK(q.AddBox("tally", TumbleSpec("cnt", "B", {"A"})));
+  ASSERT_OK(q.AddOutput("out"));
+  ASSERT_OK(q.ConnectInputToBox("in", "src"));
+  ASSERT_OK(q.ConnectBoxes("src", 0, "work", 0));
+  ASSERT_OK(q.ConnectBoxes("work", 0, "tally", 0));
+  ASSERT_OK(q.ConnectBoxToOutput("tally", 0, "out"));
+  ASSERT_OK_AND_ASSIGN(
+      DeployedQuery deployed,
+      DeployQuery(&system, q,
+                  {{"src", nodes[0]}, {"work", nodes[1]}, {"tally", nodes[2]}}));
+  CatalogBinding binding(&system, &catalog, "acme");
+  ASSERT_OK(binding.RegisterDeployment("pipeline", q, deployed));
+
+  std::set<int64_t> groups;
+  for (NodeId nd : nodes) {
+    (void)system.CollectOutput(nd, "out", [&](const Tuple& t, SimTime) {
+      groups.insert(GetInt(t, "A"));
+    });
+  }
+
+  HaManager ha(&system, HaOptions{});
+  ASSERT_OK(ha.Protect(&deployed, &q));
+  LoadDaemonOptions daemon_opts;
+  daemon_opts.action = RepartitionAction::kSlideOnly;
+  LoadShareDaemon daemon(&system, &deployed, daemon_opts);
+  daemon.Start();
+
+  // 3000 groups at ~1.4x of one node's capacity for the heavy box.
+  const int kGroups = 3000;
+  SchemaPtr schema = SchemaAB();
+  for (int i = 0; i < kGroups; ++i) {
+    sim.ScheduleAt(SimTime::Micros(i * 250), [&system, &nodes, schema, i]() {
+      (void)system.node(nodes[0]).Inject(
+          "in", MakeTuple(schema, {Value(i), Value(i % 10)}));
+    });
+  }
+  // Crash the tally node mid-run, while the daemon may be mid-migration.
+  sim.ScheduleAt(SimTime::Millis(300), [&]() { ha.CrashNode(nodes[2]); });
+  sim.RunUntil(SimTime::Seconds(6));
+
+  EXPECT_GE(ha.recoveries(), 1);
+  // HA recovered the tally onto a live node.
+  EXPECT_NE(deployed.boxes.at("tally").node, nodes[2]);
+  // No closed group lost despite crash + concurrent slides (the last group
+  // stays open).
+  int lost = 0;
+  for (int i = 0; i < kGroups - 1; ++i) {
+    if (!groups.count(i)) ++lost;
+  }
+  EXPECT_EQ(lost, 0);
+  // The catalog can be told about the final locations.
+  ASSERT_OK(binding.UpdateBoxLocation("pipeline", "tally",
+                                      deployed.boxes.at("tally").node));
+  ASSERT_OK_AND_ASSIGN(std::vector<NodeId> where,
+                       binding.LookupBox("pipeline", "tally", nodes[0]));
+  EXPECT_EQ(where.front(), deployed.boxes.at("tally").node);
+}
+
+TEST(FullStackTest, DaemonNeverSlidesOntoDeadNode) {
+  Simulation sim;
+  OverlayNetwork net(&sim);
+  AuroraStarSystem system(&sim, &net, StarOptions{});
+  NodeId busy = *system.AddNode(NodeOptions{"busy", 1.0, {}});
+  NodeId dead = *system.AddNode(NodeOptions{"dead", 1.0, {}});
+  NodeId alive = *system.AddNode(NodeOptions{"alive", 1.0, {}});
+  net.FullMesh(LinkOptions{});
+  GlobalQuery q;
+  ASSERT_OK(q.AddInput("in", SchemaAB()));
+  OperatorSpec heavy = FilterSpec(Predicate::True());
+  heavy.SetParam("cost_us", Value(600.0));
+  ASSERT_OK(q.AddBox("work", heavy));
+  ASSERT_OK(q.AddOutput("out"));
+  ASSERT_OK(q.ConnectInputToBox("in", "work"));
+  ASSERT_OK(q.ConnectBoxToOutput("work", 0, "out"));
+  ASSERT_OK_AND_ASSIGN(DeployedQuery deployed,
+                       DeployQuery(&system, q, {{"work", busy}}));
+  system.node(dead).SetUp(false);
+  LoadDaemonOptions opts;
+  opts.action = RepartitionAction::kSlideOnly;
+  LoadShareDaemon daemon(&system, &deployed, opts);
+  daemon.Start();
+  SchemaPtr schema = SchemaAB();
+  for (int i = 0; i < 4000; ++i) {
+    sim.ScheduleAt(SimTime::Micros(i * 300), [&system, busy, schema, i]() {
+      (void)system.node(busy).Inject(
+          "in", MakeTuple(schema, {Value(i), Value(0)}));
+    });
+  }
+  sim.RunUntil(SimTime::Seconds(3));
+  EXPECT_GT(daemon.slides(), 0u);
+  EXPECT_EQ(deployed.boxes.at("work").node, alive);
+}
+
+}  // namespace
+}  // namespace aurora

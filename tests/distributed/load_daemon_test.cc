@@ -1,0 +1,147 @@
+// The decentralized load-share daemon (§5): overload detection, pair-wise
+// offloading, capability and cooldown constraints.
+#include <gtest/gtest.h>
+
+#include "distributed/load_daemon.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing_util::SchemaAB;
+
+class LoadDaemonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = std::make_unique<OverlayNetwork>(&sim_);
+    system_ = std::make_unique<AuroraStarSystem>(&sim_, net_.get(),
+                                                 StarOptions{});
+    ASSERT_OK_AND_ASSIGN(n0_, system_->AddNode(NodeOptions{"n0", 1.0, {}}));
+    ASSERT_OK_AND_ASSIGN(n1_, system_->AddNode(NodeOptions{"n1", 1.0, {}}));
+    net_->FullMesh(LinkOptions{});
+  }
+
+  // Several expensive filter chains, all initially on n0.
+  DeployedQuery DeployHeavyQuery(int chains) {
+    for (int c = 0; c < chains; ++c) {
+      std::string idx = std::to_string(c);
+      EXPECT_OK(query_.AddInput("in" + idx, SchemaAB()));
+      OperatorSpec heavy = FilterSpec(Predicate::True());
+      heavy.SetParam("cost_us", Value(500.0));  // deliberately expensive
+      EXPECT_OK(query_.AddBox("f" + idx, heavy));
+      EXPECT_OK(query_.AddOutput("out" + idx));
+      EXPECT_OK(query_.ConnectInputToBox("in" + idx, "f" + idx));
+      EXPECT_OK(query_.ConnectBoxToOutput("f" + idx, 0, "out" + idx));
+      placement_["f" + idx] = n0_;
+    }
+    auto deployed = DeployQuery(system_.get(), query_, placement_);
+    EXPECT_TRUE(deployed.ok()) << deployed.status().ToString();
+    return *std::move(deployed);
+  }
+
+  void DriveTraffic(int chains, int per_ms, int duration_ms) {
+    for (int t = 0; t < duration_ms; ++t) {
+      sim_.ScheduleAt(SimTime::Millis(t), [this, chains, per_ms]() {
+        for (int c = 0; c < chains; ++c) {
+          for (int k = 0; k < per_ms; ++k) {
+            (void)system_->node(n0_).Inject(
+                "in" + std::to_string(c),
+                MakeTuple(SchemaAB(), {Value(k), Value(k)}));
+          }
+        }
+      });
+    }
+  }
+
+  Simulation sim_;
+  std::unique_ptr<OverlayNetwork> net_;
+  std::unique_ptr<AuroraStarSystem> system_;
+  GlobalQuery query_;
+  std::map<std::string, NodeId> placement_;
+  NodeId n0_ = -1, n1_ = -1;
+};
+
+TEST_F(LoadDaemonTest, OffloadsWhenOverloaded) {
+  DeployedQuery deployed = DeployHeavyQuery(4);
+  LoadDaemonOptions opts;
+  opts.action = RepartitionAction::kSlideOnly;
+  LoadShareDaemon daemon(system_.get(), &deployed, opts);
+  daemon.Start();
+  // 4 chains * 3/ms * 500us = 6x overload on n0.
+  DriveTraffic(4, 3, 1000);
+  sim_.RunUntil(SimTime::Seconds(2));
+
+  EXPECT_GT(daemon.slides(), 0u);
+  // At least one box now runs on the idle node.
+  int on_n1 = 0;
+  for (int c = 0; c < 4; ++c) {
+    if (deployed.boxes.at("f" + std::to_string(c)).node == n1_) ++on_n1;
+  }
+  EXPECT_GT(on_n1, 0);
+}
+
+TEST_F(LoadDaemonTest, NoActionUnderLightLoad) {
+  DeployedQuery deployed = DeployHeavyQuery(2);
+  LoadShareDaemon daemon(system_.get(), &deployed, LoadDaemonOptions{});
+  daemon.Start();
+  DriveTraffic(2, 1, 50);  // short and light
+  sim_.RunUntil(SimTime::Seconds(1));
+  EXPECT_EQ(daemon.slides(), 0u);
+  EXPECT_EQ(daemon.splits(), 0u);
+}
+
+TEST_F(LoadDaemonTest, CooldownLimitsThrash) {
+  DeployedQuery deployed = DeployHeavyQuery(1);
+  LoadDaemonOptions opts;
+  opts.action = RepartitionAction::kSlideOnly;
+  opts.cooldown = SimDuration::Seconds(100);  // effectively one move
+  opts.interval = SimDuration::Millis(50);
+  LoadShareDaemon daemon(system_.get(), &deployed, opts);
+  daemon.Start();
+  DriveTraffic(1, 10, 2000);
+  sim_.RunUntil(SimTime::Seconds(3));
+  // The single hot box can move at most once under the long cooldown, even
+  // though the daemon ran dozens of rounds.
+  EXPECT_LE(daemon.slides(), 1u);
+  EXPECT_GT(daemon.rounds(), 20u);
+}
+
+TEST_F(LoadDaemonTest, RespectsCapabilityOfTarget) {
+  // Replace n1 with a filter-only weak node and use a tumble-heavy query.
+  Simulation sim;
+  OverlayNetwork net(&sim);
+  AuroraStarSystem sys(&sim, &net, StarOptions{});
+  ASSERT_OK_AND_ASSIGN(NodeId big, sys.AddNode(NodeOptions{"big", 1.0, {}}));
+  ASSERT_OK_AND_ASSIGN(NodeId weak,
+                       sys.AddNode(NodeOptions{"weak", 1.0, {"filter"}}));
+  net.FullMesh(LinkOptions{});
+  GlobalQuery q;
+  ASSERT_OK(q.AddInput("in", SchemaAB()));
+  OperatorSpec heavy = TumbleSpec("cnt", "B", {"A"});
+  heavy.SetParam("cost_us", Value(800.0));
+  ASSERT_OK(q.AddBox("t", heavy));
+  ASSERT_OK(q.AddOutput("out"));
+  ASSERT_OK(q.ConnectInputToBox("in", "t"));
+  ASSERT_OK(q.ConnectBoxToOutput("t", 0, "out"));
+  ASSERT_OK_AND_ASSIGN(DeployedQuery deployed,
+                       DeployQuery(&sys, q, {{"t", big}}));
+  LoadDaemonOptions opts;
+  opts.action = RepartitionAction::kSlideOnly;
+  LoadShareDaemon daemon(&sys, &deployed, opts);
+  daemon.Start();
+  for (int t = 0; t < 1000; ++t) {
+    sim.ScheduleAt(SimTime::Millis(t), [&sys, big]() {
+      for (int k = 0; k < 5; ++k) {
+        (void)sys.node(big).Inject(
+            "in", MakeTuple(testing_util::SchemaAB(), {Value(k), Value(k)}));
+      }
+    });
+  }
+  sim.RunUntil(SimTime::Seconds(2));
+  // The only peer cannot run Tumble: the box must stay put.
+  EXPECT_EQ(daemon.slides(), 0u);
+  EXPECT_EQ(deployed.boxes.at("t").node, big);
+}
+
+}  // namespace
+}  // namespace aurora

@@ -1,0 +1,210 @@
+// Box sliding (paper §5.1, Fig. 4) with the stabilization protocol:
+// choke -> drain -> move -> rewire -> re-inject held tuples -> resume.
+#include <gtest/gtest.h>
+
+#include "distributed/box_slider.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing_util::GetInt;
+using testing_util::SchemaAB;
+
+class SlideTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = std::make_unique<OverlayNetwork>(&sim_);
+    system_ = std::make_unique<AuroraStarSystem>(&sim_, net_.get(),
+                                                 StarOptions{});
+    ASSERT_OK_AND_ASSIGN(n0_, system_->AddNode(NodeOptions{"n0", 1.0, {}}));
+    ASSERT_OK_AND_ASSIGN(n1_, system_->AddNode(NodeOptions{"n1", 1.0, {}}));
+    ASSERT_OK_AND_ASSIGN(
+        sensor_, system_->AddNode(NodeOptions{"sensor", 0.2, {"filter"}}));
+    net_->FullMesh(LinkOptions{});
+  }
+
+  // input -> Filter(B >= 3) -> output, with the filter on `filter_node`.
+  // Sources inject at the input's home node (the filter's node).
+  DeployedQuery DeployFilterQuery(NodeId filter_node) {
+    GlobalQuery q;
+    EXPECT_OK(q.AddInput("in", SchemaAB()));
+    EXPECT_OK(q.AddBox(
+        "f", FilterSpec(Predicate::Compare("B", CompareOp::kGe,
+                                           Value(static_cast<int64_t>(3))))));
+    EXPECT_OK(q.AddOutput("out"));
+    EXPECT_OK(q.ConnectInputToBox("in", "f"));
+    EXPECT_OK(q.ConnectBoxToOutput("f", 0, "out"));
+    auto deployed = DeployQuery(system_.get(), q, {{"f", filter_node}});
+    EXPECT_TRUE(deployed.ok()) << deployed.status().ToString();
+    return *std::move(deployed);
+  }
+
+  Tuple ABTuple(int64_t a, int64_t b) {
+    return MakeTuple(SchemaAB(), {Value(a), Value(b)});
+  }
+
+  Simulation sim_;
+  std::unique_ptr<OverlayNetwork> net_;
+  std::unique_ptr<AuroraStarSystem> system_;
+  NodeId n0_ = -1, n1_ = -1, sensor_ = -1;
+};
+
+TEST_F(SlideTest, SlideFilterMidStreamLosesNothing) {
+  DeployedQuery deployed = DeployFilterQuery(n1_);
+  std::vector<Tuple> out;
+  ASSERT_OK(system_->CollectOutput(
+      n1_, "out", [&](const Tuple& t, SimTime) { out.push_back(t); }));
+
+  // First half of the stream before the slide.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK(system_->node(n1_).Inject("in", ABTuple(i, i % 10)));
+  }
+  sim_.RunFor(SimDuration::Millis(100));
+
+  BoxSlider slider(system_.get());
+  ASSERT_OK_AND_ASSIGN(
+      SlideResult result,
+      slider.Slide(&deployed, "f", n0_, SlideMode::kRemoteDefinition));
+  EXPECT_EQ(result.dst_node, n0_);
+  EXPECT_EQ(deployed.boxes.at("f").node, n0_);
+
+  // Second half after the slide; output is relayed back to n1.
+  for (int i = 50; i < 100; ++i) {
+    ASSERT_OK(system_->node(n1_).Inject("in", ABTuple(i, i % 10)));
+  }
+  sim_.RunFor(SimDuration::Seconds(2));
+
+  // Reference: B % 10 >= 3 passes 7 of every 10.
+  ASSERT_EQ(out.size(), 70u);
+  for (size_t i = 0; i + 1 < out.size(); ++i) {
+    // Order preserved across the move.
+    EXPECT_LT(GetInt(out[i], "A"), GetInt(out[i + 1], "A"));
+  }
+  // Traffic flowed over the n1->n0 link after the slide.
+  EXPECT_GT(net_->LinkBytesSent(n1_, n0_), 0u);
+}
+
+TEST_F(SlideTest, HeldTuplesAreReinjectedInOrder) {
+  DeployedQuery deployed = DeployFilterQuery(n1_);
+  std::vector<Tuple> out;
+  ASSERT_OK(system_->CollectOutput(
+      n1_, "out", [&](const Tuple& t, SimTime) { out.push_back(t); }));
+
+  // Manually choke the filter's input arc, then let tuples arrive: they
+  // accumulate in the hold buffer (the stabilization window).
+  AuroraEngine& engine = system_->node(n1_).engine();
+  BoxId f = deployed.boxes.at("f").box;
+  ASSERT_OK_AND_ASSIGN(ArcId arc, engine.FindArcInto(f, 0));
+  ASSERT_OK(engine.ChokeArc(arc));
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_OK(system_->node(n1_).Inject("in", ABTuple(i, 5)));
+  }
+  sim_.RunFor(SimDuration::Millis(50));
+  EXPECT_EQ(out.size(), 0u);
+  EXPECT_EQ(engine.HeldTupleCount(arc), 20u);
+
+  // The slide must carry the held tuples to the new location.
+  BoxSlider slider(system_.get());
+  ASSERT_OK_AND_ASSIGN(
+      SlideResult result,
+      slider.Slide(&deployed, "f", n0_, SlideMode::kRemoteDefinition));
+  EXPECT_EQ(result.held_reinjected, 20u);
+  sim_.RunFor(SimDuration::Seconds(2));
+  ASSERT_EQ(out.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(GetInt(out[i], "A"), i);
+  }
+}
+
+TEST_F(SlideTest, StateMigrationPreservesOpenWindow) {
+  GlobalQuery q;
+  ASSERT_OK(q.AddInput("in", SchemaAB()));
+  ASSERT_OK(q.AddBox("t", TumbleSpec("cnt", "B", {"A"})));
+  ASSERT_OK(q.AddOutput("out"));
+  ASSERT_OK(q.ConnectInputToBox("in", "t"));
+  ASSERT_OK(q.ConnectBoxToOutput("t", 0, "out"));
+  ASSERT_OK_AND_ASSIGN(DeployedQuery deployed,
+                       DeployQuery(system_.get(), q, {{"t", n0_}}));
+  std::vector<Tuple> out;
+  auto collect = [&](const Tuple& t, SimTime) { out.push_back(t); };
+  ASSERT_OK(system_->CollectOutput(n0_, "out", collect));
+
+  // Open a window: three tuples with A=7.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_OK(system_->node(n0_).Inject("in", ABTuple(7, i)));
+  }
+  sim_.RunFor(SimDuration::Millis(50));
+  EXPECT_EQ(out.size(), 0u);
+
+  BoxSlider slider(system_.get());
+  ASSERT_OK_AND_ASSIGN(
+      SlideResult result,
+      slider.Slide(&deployed, "t", n1_, SlideMode::kStateMigration));
+  (void)result;
+
+  // Close the window after the move: count must include pre-move tuples.
+  ASSERT_OK(system_->node(n0_).Inject("in", ABTuple(8, 0)));
+  sim_.RunFor(SimDuration::Seconds(2));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(GetInt(out[0], "A"), 7);
+  EXPECT_EQ(GetInt(out[0], "Result"), 3);
+}
+
+TEST_F(SlideTest, RemoteDefinitionDrainsStateFirst) {
+  GlobalQuery q;
+  ASSERT_OK(q.AddInput("in", SchemaAB()));
+  ASSERT_OK(q.AddBox("t", TumbleSpec("cnt", "B", {"A"})));
+  ASSERT_OK(q.AddOutput("out"));
+  ASSERT_OK(q.ConnectInputToBox("in", "t"));
+  ASSERT_OK(q.ConnectBoxToOutput("t", 0, "out"));
+  ASSERT_OK_AND_ASSIGN(DeployedQuery deployed,
+                       DeployQuery(system_.get(), q, {{"t", n0_}}));
+  std::vector<Tuple> out;
+  ASSERT_OK(system_->CollectOutput(
+      n0_, "out", [&](const Tuple& t, SimTime) { out.push_back(t); }));
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_OK(system_->node(n0_).Inject("in", ABTuple(7, i)));
+  }
+  sim_.RunFor(SimDuration::Millis(50));
+
+  BoxSlider slider(system_.get());
+  ASSERT_OK(slider
+                .Slide(&deployed, "t", n1_, SlideMode::kRemoteDefinition)
+                .status());
+  // The open (A=7, cnt=3) window was flushed downstream, not lost.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(GetInt(out[0], "A"), 7);
+  EXPECT_EQ(GetInt(out[0], "Result"), 3);
+
+  // The fresh box on n1 keeps counting new arrivals.
+  ASSERT_OK(system_->node(n0_).Inject("in", ABTuple(9, 0)));
+  ASSERT_OK(system_->node(n0_).Inject("in", ABTuple(10, 0)));
+  sim_.RunFor(SimDuration::Seconds(2));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(GetInt(out[1], "A"), 9);
+  EXPECT_EQ(GetInt(out[1], "Result"), 1);
+}
+
+TEST_F(SlideTest, SlideToIncapableNodeFails) {
+  GlobalQuery q;
+  ASSERT_OK(q.AddInput("in", SchemaAB()));
+  ASSERT_OK(q.AddBox("t", TumbleSpec("cnt", "B", {"A"})));
+  ASSERT_OK(q.AddOutput("out"));
+  ASSERT_OK(q.ConnectInputToBox("in", "t"));
+  ASSERT_OK(q.ConnectBoxToOutput("t", 0, "out"));
+  ASSERT_OK_AND_ASSIGN(DeployedQuery deployed,
+                       DeployQuery(system_.get(), q, {{"t", n0_}}));
+  BoxSlider slider(system_.get());
+  // The weak sensor node supports only filters (§5.1).
+  auto result = slider.Slide(&deployed, "t", sensor_);
+  EXPECT_TRUE(result.status().IsFailedPrecondition());
+  // A filter CAN slide to the sensor node.
+  DeployedQuery filter_q = DeployFilterQuery(n1_);
+  auto ok = slider.Slide(&filter_q, "f", sensor_);
+  EXPECT_OK(ok.status());
+}
+
+}  // namespace
+}  // namespace aurora

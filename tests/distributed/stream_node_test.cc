@@ -1,0 +1,134 @@
+// StreamNode mechanics: sequence numbering, batching, utilization
+// accounting, and failure behaviour.
+#include <gtest/gtest.h>
+
+#include "distributed/aurora_star.h"
+#include "tests/test_util.h"
+#include "tuple/serde.h"
+
+namespace aurora {
+namespace {
+
+using testing_util::GetInt;
+using testing_util::SchemaAB;
+
+class StreamNodeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = std::make_unique<OverlayNetwork>(&sim_);
+    system_ = std::make_unique<AuroraStarSystem>(&sim_, net_.get(),
+                                                 StarOptions{});
+    ASSERT_OK_AND_ASSIGN(a_, system_->AddNode(NodeOptions{"a", 1.0, {}}));
+    ASSERT_OK_AND_ASSIGN(b_, system_->AddNode(NodeOptions{"b", 1.0, {}}));
+    net_->FullMesh(LinkOptions{});
+    // a: input -> filter -> remote output;  b: input -> output (collector).
+    AuroraEngine& ae = system_->node(a_).engine();
+    PortId in = *ae.AddInput("in", SchemaAB());
+    PortId out = *ae.AddOutput("xout");
+    BoxId f = *ae.AddBox(FilterSpec(Predicate::True()));
+    ASSERT_OK(ae.Connect(Endpoint::InputPort(in), Endpoint::BoxPort(f, 0)).status());
+    ASSERT_OK(ae.Connect(Endpoint::BoxPort(f, 0), Endpoint::OutputPort(out)).status());
+    ASSERT_OK(ae.InitializeBoxes());
+    AuroraEngine& be = system_->node(b_).engine();
+    PortId bin = *be.AddInput("xin", SchemaAB());
+    PortId bout = *be.AddOutput("final");
+    ASSERT_OK(be.Connect(Endpoint::InputPort(bin), Endpoint::OutputPort(bout)).status());
+    be.SetOutputCallback(bout, [this](const Tuple& t, SimTime) {
+      received_.push_back(t);
+    });
+    ASSERT_OK_AND_ASSIGN(stream_,
+                         system_->ConnectRemote(a_, "xout", b_, "xin"));
+  }
+
+  void Inject(int n) {
+    for (int i = 0; i < n; ++i) {
+      ASSERT_OK(system_->node(a_).Inject(
+          "in", MakeTuple(SchemaAB(), {Value(i), Value(0)})));
+      sim_.RunFor(SimDuration::Millis(1));
+    }
+  }
+
+  Simulation sim_;
+  std::unique_ptr<OverlayNetwork> net_;
+  std::unique_ptr<AuroraStarSystem> system_;
+  std::vector<Tuple> received_;
+  std::string stream_;
+  NodeId a_ = -1, b_ = -1;
+};
+
+TEST_F(StreamNodeTest, SequenceNumbersAreMonotonePerStream) {
+  Inject(20);
+  sim_.RunFor(SimDuration::Seconds(1));
+  ASSERT_EQ(received_.size(), 20u);
+  for (size_t i = 0; i < received_.size(); ++i) {
+    EXPECT_EQ(received_[i].seq(), i + 1);  // §6.2: monotonically increasing
+    EXPECT_EQ(GetInt(received_[i], "A"), static_cast<int64_t>(i));
+  }
+  EXPECT_EQ(system_->node(b_).LastReceivedSeq("xin"), 20u);
+}
+
+TEST_F(StreamNodeTest, BindingStatsTrackTraffic) {
+  Inject(15);
+  sim_.RunFor(SimDuration::Seconds(1));
+  const auto& binding = system_->node(a_).bindings().begin()->second;
+  EXPECT_EQ(binding.tuples_sent, 15u);
+  EXPECT_GT(binding.messages_sent, 0u);
+  EXPECT_LE(binding.messages_sent, 15u);  // batching never inflates
+  EXPECT_EQ(binding.stream, stream_);
+}
+
+TEST_F(StreamNodeTest, DownNodeRefusesInjection) {
+  system_->node(a_).SetUp(false);
+  Status st = system_->node(a_).Inject(
+      "in", MakeTuple(SchemaAB(), {Value(1), Value(0)}));
+  EXPECT_TRUE(st.IsUnavailable());
+  // Back up: traffic flows again.
+  system_->node(a_).SetUp(true);
+  Inject(3);
+  sim_.RunFor(SimDuration::Seconds(1));
+  EXPECT_EQ(received_.size(), 3u);
+}
+
+TEST_F(StreamNodeTest, UnknownStreamIsDroppedNotFatal) {
+  system_->node(b_).OnRemoteStream("ghost-stream", {});
+  Inject(2);
+  sim_.RunFor(SimDuration::Seconds(1));
+  EXPECT_EQ(received_.size(), 2u);
+}
+
+TEST_F(StreamNodeTest, UtilizationRisesUnderLoad) {
+  // Make the filter expensive and hammer it.
+  AuroraEngine& ae = system_->node(a_).engine();
+  for (BoxId id : ae.BoxIds()) {
+    (void)(*ae.BoxOp(id))->cost_micros_per_tuple();
+    (*ae.BoxOp(id))->set_cost_micros_per_tuple(800.0);
+  }
+  SchemaPtr schema = SchemaAB();
+  for (int i = 0; i < 3000; ++i) {
+    sim_.ScheduleAt(SimTime::Micros(i * 400), [this, schema, i]() {
+      (void)system_->node(a_).Inject(
+          "in", MakeTuple(schema, {Value(i), Value(0)}));
+    });
+  }
+  sim_.RunUntil(SimTime::Seconds(1));
+  EXPECT_GT(system_->node(a_).utilization(), 0.8);
+  EXPECT_LT(system_->node(b_).utilization(), 0.3);
+}
+
+TEST_F(StreamNodeTest, DuplicateBindingRejected) {
+  StreamNode& a = system_->node(a_);
+  Status st = a.BindRemoteOutput("xout", &system_->node(b_), "xin", "s2");
+  EXPECT_TRUE(st.IsAlreadyExists());
+}
+
+TEST_F(StreamNodeTest, BindingToMissingRemoteInputRejected) {
+  AuroraEngine& ae = system_->node(a_).engine();
+  PortId extra = *ae.AddOutput("extra");
+  (void)extra;
+  Status st = system_->node(a_).BindRemoteOutput(
+      "extra", &system_->node(b_), "no-such-input", "s3");
+  EXPECT_TRUE(st.IsNotFound());
+}
+
+}  // namespace
+}  // namespace aurora

@@ -1,0 +1,190 @@
+// Ad hoc queries at connection points (§2.2) and semantic (value-based)
+// load shedding (§7.1).
+#include <gtest/gtest.h>
+
+#include "engine/aurora_engine.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing_util::GetInt;
+using testing_util::SchemaAB;
+
+Tuple T(int64_t a, int64_t b) {
+  return MakeTuple(SchemaAB(), {Value(a), Value(b)});
+}
+
+struct CpEngine {
+  AuroraEngine engine;
+  PortId in = -1, out = -1;
+  ArcId cp_arc = -1;
+
+  CpEngine() {
+    in = *engine.AddInput("in", SchemaAB());
+    out = *engine.AddOutput("out");
+    BoxId f = *engine.AddBox(FilterSpec(Predicate::True()));
+    AURORA_CHECK(engine.Connect(Endpoint::InputPort(in),
+                                Endpoint::BoxPort(f, 0)).ok());
+    AURORA_CHECK(engine.Connect(Endpoint::BoxPort(f, 0),
+                                Endpoint::OutputPort(out)).ok());
+    AURORA_CHECK(engine.InitializeBoxes().ok());
+    cp_arc = *engine.FindArcInto(f, 0);
+    RetentionPolicy policy;
+    policy.max_tuples = 1000;
+    AURORA_CHECK(engine.MakeConnectionPoint(cp_arc, "cp", policy).ok());
+  }
+
+  void Push(int lo, int hi) {
+    for (int i = lo; i < hi; ++i) {
+      AURORA_CHECK(engine.PushInput(in, T(i, i % 10), SimTime::Millis(i)).ok());
+      AURORA_CHECK(engine.RunUntilQuiescent(SimTime::Millis(i)).ok());
+    }
+  }
+};
+
+TEST(AdHocQueryTest, ReplaysHistoryThenGoesLive) {
+  CpEngine rig;
+  rig.Push(0, 50);
+  std::vector<int64_t> seen;
+  ASSERT_OK_AND_ASSIGN(
+      int token,
+      rig.engine.AttachAdHocQuery(
+          "cp", Predicate::Compare("B", CompareOp::kEq, Value(3)),
+          [&](const Tuple& t, SimTime) { seen.push_back(GetInt(t, "A")); }));
+  // History: A in {3, 13, 23, 33, 43}.
+  EXPECT_EQ(seen.size(), 5u);
+  // Live continuation: new matching tuples keep arriving.
+  rig.Push(50, 70);
+  EXPECT_EQ(seen.size(), 7u);  // + 53, 63
+  EXPECT_EQ(seen.back(), 63);
+  // Detach stops delivery.
+  ASSERT_OK(rig.engine.DetachAdHocQuery("cp", token));
+  rig.Push(70, 90);
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(AdHocQueryTest, MultipleIndependentQueries) {
+  CpEngine rig;
+  rig.Push(0, 20);
+  int evens = 0, all = 0;
+  ASSERT_OK(rig.engine
+                .AttachAdHocQuery(
+                    "cp", Predicate::HashPartition("A", 2, 0),
+                    [&](const Tuple&, SimTime) { ++evens; })
+                .status());
+  ASSERT_OK(rig.engine
+                .AttachAdHocQuery("cp", Predicate::True(),
+                                  [&](const Tuple&, SimTime) { ++all; })
+                .status());
+  EXPECT_EQ(all, 20);
+  EXPECT_GT(evens, 0);
+  EXPECT_LT(evens, 20);
+  rig.Push(20, 30);
+  EXPECT_EQ(all, 30);
+}
+
+TEST(AdHocQueryTest, UnknownConnectionPointIsNotFound) {
+  CpEngine rig;
+  auto result = rig.engine.AttachAdHocQuery("nope", Predicate::True(),
+                                            [](const Tuple&, SimTime) {});
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+// ---------------------------------------------------------------------------
+// Semantic shedding
+// ---------------------------------------------------------------------------
+
+struct SemanticRig {
+  static EngineOptions Opts(SheddingPolicy policy) {
+    EngineOptions opts;
+    opts.shedder.policy = policy;
+    opts.shedder.capacity_us_per_sec = 500.0;  // tiny: force heavy shedding
+    opts.shedder.recompute_interval = SimDuration::Millis(50);
+    return opts;
+  }
+
+  AuroraEngine engine;
+  PortId in = -1, out = -1;
+  std::vector<int64_t> delivered;
+
+  explicit SemanticRig(SheddingPolicy policy) : engine(Opts(policy)) {
+    in = *engine.AddInput("in", SchemaAB());
+    out = *engine.AddOutput("out");
+    OperatorSpec work = FilterSpec(Predicate::True());
+    work.SetParam("cost_us", Value(50.0));
+    BoxId f = *engine.AddBox(work);
+    AURORA_CHECK(engine.Connect(Endpoint::InputPort(in),
+                                Endpoint::BoxPort(f, 0)).ok());
+    AURORA_CHECK(engine.Connect(Endpoint::BoxPort(f, 0),
+                                Endpoint::OutputPort(out)).ok());
+    AURORA_CHECK(engine.InitializeBoxes().ok());
+    // Value-based QoS: tuples with high B matter; low B is expendable.
+    QoSSpec spec;
+    spec.loss = *UtilityGraph::Make({{0.0, 0.0}, {1.0, 1.0}});
+    spec.value = *UtilityGraph::Make({{0.0, 0.0}, {9.0, 1.0}});
+    spec.value_field = "B";
+    AURORA_CHECK(engine.SetOutputQoS(out, spec).ok());
+    engine.RebuildShedderModel();
+    engine.SetOutputCallback(out, [this](const Tuple& t, SimTime) {
+      delivered.push_back(t.Get("B").AsInt());
+    });
+  }
+
+  void Offer(int n) {
+    for (int i = 0; i < n; ++i) {
+      SimTime now = SimTime::Micros(i * 250);  // 4000/s vs ~10/s capacity
+      (void)engine.PushInput(in, T(i, i % 10), now);
+      (void)engine.RunUntilQuiescent(now);
+    }
+  }
+};
+
+TEST(SemanticSheddingTest, KeepsHighValueTuples) {
+  SemanticRig rig(SheddingPolicy::kSemantic);
+  rig.Offer(4000);
+  ASSERT_GT(rig.engine.load_shedder().total_dropped(), 2000u);
+  ASSERT_FALSE(rig.delivered.empty());
+  // Everything delivered after shedding kicked in is high-value; overall
+  // the delivered mean must sit far above the offered mean (4.5).
+  double sum = 0;
+  for (int64_t b : rig.delivered) sum += static_cast<double>(b);
+  EXPECT_GT(sum / static_cast<double>(rig.delivered.size()), 6.5);
+}
+
+TEST(SemanticSheddingTest, RandomSheddingHasNoValueBias) {
+  SemanticRig rig(SheddingPolicy::kRandom);
+  rig.Offer(4000);
+  ASSERT_GT(rig.engine.load_shedder().total_dropped(), 2000u);
+  ASSERT_FALSE(rig.delivered.empty());
+  double sum = 0;
+  for (int64_t b : rig.delivered) sum += static_cast<double>(b);
+  double mean = sum / static_cast<double>(rig.delivered.size());
+  EXPECT_GT(mean, 3.5);
+  EXPECT_LT(mean, 5.5);  // ≈ the offered mean of 4.5
+}
+
+TEST(SemanticSheddingTest, FallsBackToRandomWithoutValueGraph) {
+  // No value QoS on the output: the semantic policy degrades gracefully.
+  EngineOptions opts = SemanticRig::Opts(SheddingPolicy::kSemantic);
+  AuroraEngine engine(opts);
+  PortId in = *engine.AddInput("in", SchemaAB());
+  PortId out = *engine.AddOutput("out");
+  OperatorSpec work = FilterSpec(Predicate::True());
+  work.SetParam("cost_us", Value(50.0));
+  BoxId f = *engine.AddBox(work);
+  ASSERT_OK(engine.Connect(Endpoint::InputPort(in), Endpoint::BoxPort(f, 0)).status());
+  ASSERT_OK(engine.Connect(Endpoint::BoxPort(f, 0), Endpoint::OutputPort(out)).status());
+  ASSERT_OK(engine.InitializeBoxes());
+  ASSERT_OK(engine.SetOutputQoS(out, QoSSpec::Default()));
+  engine.RebuildShedderModel();
+  for (int i = 0; i < 3000; ++i) {
+    SimTime now = SimTime::Micros(i * 250);
+    ASSERT_OK(engine.PushInput(in, T(i, i % 10), now));
+    ASSERT_OK(engine.RunUntilQuiescent(now));
+  }
+  EXPECT_GT(engine.load_shedder().total_dropped(), 1000u);
+}
+
+}  // namespace
+}  // namespace aurora

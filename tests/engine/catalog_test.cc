@@ -1,0 +1,65 @@
+// The intra-participant catalog (§4.1): schemas, streams with locations,
+// operator definitions offered for remote definition, query pieces.
+#include <gtest/gtest.h>
+
+#include "engine/catalog.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing_util::SchemaAB;
+
+TEST(CatalogTest, SchemaLifecycle) {
+  Catalog catalog;
+  ASSERT_OK(catalog.DefineSchema("packets", SchemaAB()));
+  EXPECT_TRUE(catalog.DefineSchema("packets", SchemaAB()).IsAlreadyExists());
+  ASSERT_OK_AND_ASSIGN(SchemaPtr schema, catalog.GetSchema("packets"));
+  EXPECT_TRUE(schema->Equals(*SchemaAB()));
+  EXPECT_TRUE(catalog.GetSchema("nope").status().IsNotFound());
+}
+
+TEST(CatalogTest, StreamLocationsTrackLoadSharing) {
+  Catalog catalog;
+  ASSERT_OK(catalog.DefineStream(StreamInfo{"ticks", SchemaAB(), {0}}));
+  // §4.2: "streams may be partitioned across several nodes for load
+  // balancing ... the location information is always propagated".
+  ASSERT_OK(catalog.SetStreamLocations("ticks", {1, 2}));
+  ASSERT_OK_AND_ASSIGN(StreamInfo info, catalog.GetStream("ticks"));
+  EXPECT_EQ(info.locations, (std::vector<NodeId>{1, 2}));
+  EXPECT_TRUE(catalog.SetStreamLocations("nope", {}).IsNotFound());
+}
+
+TEST(CatalogTest, OperatorDefinitionsForRemoteDefinition) {
+  Catalog catalog;
+  ASSERT_OK(catalog.DefineOperator(
+      "threshold", FilterSpec(Predicate::Compare("B", CompareOp::kGe,
+                                                 Value(30)))));
+  ASSERT_OK(catalog.DefineOperator("hourly", TumbleSpec("avg", "B", {"A"})));
+  EXPECT_EQ(catalog.ListOperators().size(), 2u);
+  ASSERT_OK_AND_ASSIGN(OperatorSpec spec, catalog.GetOperator("threshold"));
+  EXPECT_EQ(spec.kind, "filter");
+  // Definitions are instantiable.
+  ASSERT_OK_AND_ASSIGN(OperatorPtr op, CreateOperator(spec));
+  ASSERT_OK(op->Init({SchemaAB()}));
+}
+
+TEST(CatalogTest, QueryPieceBookkeeping) {
+  Catalog catalog;
+  QueryInfo info;
+  info.name = "monitoring";
+  info.pieces = {{0, {"filter1", "tumble1"}}, {1, {"join1"}}};
+  ASSERT_OK(catalog.DefineQuery(info));
+  ASSERT_OK_AND_ASSIGN(QueryInfo got, catalog.GetQuery("monitoring"));
+  ASSERT_EQ(got.pieces.size(), 2u);
+  EXPECT_EQ(got.pieces[0].node, 0);
+  // Repartitioning rewrites the pieces.
+  ASSERT_OK(catalog.SetQueryPieces(
+      "monitoring", {{1, {"filter1", "tumble1", "join1"}}}));
+  ASSERT_OK_AND_ASSIGN(QueryInfo moved, catalog.GetQuery("monitoring"));
+  EXPECT_EQ(moved.pieces.size(), 1u);
+  EXPECT_EQ(moved.pieces[0].node, 1);
+}
+
+}  // namespace
+}  // namespace aurora

@@ -1,0 +1,311 @@
+// Single-node Aurora run-time (§2.3, Fig. 3): topology management, train
+// scheduling, choke/hold, connection points, dynamic reconfiguration.
+#include <gtest/gtest.h>
+
+#include "engine/aurora_engine.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing_util::GetInt;
+using testing_util::PaperFigure2Stream;
+using testing_util::SchemaAB;
+
+Tuple T(int64_t a, int64_t b) {
+  return MakeTuple(SchemaAB(), {Value(a), Value(b)});
+}
+
+// input -> filter(B>=lo) -> tumble(cnt by A) -> output.
+struct Pipeline {
+  AuroraEngine engine;
+  PortId in = -1, out = -1;
+  BoxId filter = -1, tumble = -1;
+  std::vector<Tuple> collected;
+
+  explicit Pipeline(EngineOptions opts = {}, int64_t lo = 0) : engine(opts) {
+    in = *engine.AddInput("in", SchemaAB());
+    out = *engine.AddOutput("out");
+    filter = *engine.AddBox(
+        FilterSpec(Predicate::Compare("B", CompareOp::kGe, Value(lo))));
+    tumble = *engine.AddBox(TumbleSpec("cnt", "B", {"A"}));
+    AURORA_CHECK(engine.Connect(Endpoint::InputPort(in),
+                                Endpoint::BoxPort(filter, 0)).ok());
+    AURORA_CHECK(engine.Connect(Endpoint::BoxPort(filter, 0),
+                                Endpoint::BoxPort(tumble, 0)).ok());
+    AURORA_CHECK(engine.Connect(Endpoint::BoxPort(tumble, 0),
+                                Endpoint::OutputPort(out)).ok());
+    AURORA_CHECK(engine.InitializeBoxes().ok());
+    engine.SetOutputCallback(out, [this](const Tuple& t, SimTime) {
+      collected.push_back(t);
+    });
+  }
+};
+
+TEST(EngineTest, EndToEndPipeline) {
+  Pipeline p;
+  for (const Tuple& t : PaperFigure2Stream()) {
+    ASSERT_OK(p.engine.PushInput(p.in, t, t.timestamp()));
+  }
+  ASSERT_OK(p.engine.RunUntilQuiescent(SimTime::Millis(10)));
+  ASSERT_EQ(p.collected.size(), 2u);
+  EXPECT_EQ(GetInt(p.collected[0], "Result"), 2);
+  EXPECT_EQ(GetInt(p.collected[1], "Result"), 3);
+  EXPECT_GT(p.engine.total_cpu_micros(), 0.0);
+}
+
+TEST(EngineTest, SchemaMismatchOnPushRejected) {
+  Pipeline p;
+  SchemaPtr other = Schema::Make({Field{"X", ValueType::kString}});
+  Tuple t = MakeTuple(other, {Value("boom")});
+  EXPECT_TRUE(p.engine.PushInput(p.in, t, SimTime()).IsInvalidArgument());
+}
+
+TEST(EngineTest, UnconnectedBoxInputFailsInit) {
+  AuroraEngine engine;
+  *engine.AddInput("in", SchemaAB());
+  *engine.AddBox(UnionSpec(2));  // nothing wired
+  EXPECT_TRUE(engine.InitializeBoxes().IsFailedPrecondition());
+}
+
+TEST(EngineTest, DuplicateInputArcRejected) {
+  AuroraEngine engine;
+  PortId in = *engine.AddInput("in", SchemaAB());
+  BoxId f = *engine.AddBox(FilterSpec(Predicate::True()));
+  ASSERT_OK(engine.Connect(Endpoint::InputPort(in), Endpoint::BoxPort(f, 0))
+                .status());
+  EXPECT_TRUE(engine.Connect(Endpoint::InputPort(in), Endpoint::BoxPort(f, 0))
+                  .status()
+                  .IsAlreadyExists());
+}
+
+TEST(EngineTest, FanOutCopiesTuples) {
+  AuroraEngine engine;
+  PortId in = *engine.AddInput("in", SchemaAB());
+  PortId out1 = *engine.AddOutput("o1");
+  PortId out2 = *engine.AddOutput("o2");
+  ASSERT_OK(engine.Connect(Endpoint::InputPort(in),
+                           Endpoint::OutputPort(out1)).status());
+  ASSERT_OK(engine.Connect(Endpoint::InputPort(in),
+                           Endpoint::OutputPort(out2)).status());
+  int count1 = 0, count2 = 0;
+  engine.SetOutputCallback(out1, [&](const Tuple&, SimTime) { ++count1; });
+  engine.SetOutputCallback(out2, [&](const Tuple&, SimTime) { ++count2; });
+  ASSERT_OK(engine.PushInput(in, T(1, 1), SimTime()));
+  EXPECT_EQ(count1, 1);
+  EXPECT_EQ(count2, 1);
+}
+
+TEST(EngineTest, ChokeHoldsNewArrivalsButDrainsQueue) {
+  Pipeline p;
+  ArcId arc = *p.engine.FindArcInto(p.filter, 0);
+  ASSERT_OK(p.engine.PushInput(p.in, T(1, 1), SimTime()));
+  ASSERT_OK(p.engine.ChokeArc(arc));
+  ASSERT_OK(p.engine.PushInput(p.in, T(2, 2), SimTime()));
+  EXPECT_EQ(p.engine.ArcQueueSize(arc), 1u);   // pre-choke tuple drains
+  EXPECT_EQ(p.engine.HeldTupleCount(arc), 1u); // post-choke tuple held
+  ASSERT_OK(p.engine.RunUntilQuiescent(SimTime()));
+  EXPECT_EQ(p.engine.ArcQueueSize(arc), 0u);
+  // Unchoke releases the held tuple.
+  ASSERT_OK(p.engine.UnchokeArc(arc));
+  EXPECT_EQ(p.engine.ArcQueueSize(arc), 1u);
+  EXPECT_EQ(p.engine.HeldTupleCount(arc), 0u);
+}
+
+TEST(EngineTest, ConnectionPointRecordsAndServesAdHocQueries) {
+  Pipeline p;
+  ArcId arc = *p.engine.FindArcInto(p.tumble, 0);
+  RetentionPolicy policy;
+  policy.max_tuples = 100;
+  ASSERT_OK(p.engine.MakeConnectionPoint(arc, "cp", policy));
+  for (const Tuple& t : PaperFigure2Stream()) {
+    ASSERT_OK(p.engine.PushInput(p.in, t, t.timestamp()));
+  }
+  ASSERT_OK(p.engine.RunUntilQuiescent(SimTime::Millis(10)));
+  ASSERT_OK_AND_ASSIGN(ConnectionPoint * cp, p.engine.GetConnectionPoint("cp"));
+  EXPECT_EQ(cp->history_size(), 7u);
+  int matched = 0;
+  cp->QueryHistory([](const Tuple& t) { return t.Get("A").AsInt() == 2; },
+                   [&](const Tuple&) { ++matched; });
+  EXPECT_EQ(matched, 3);
+}
+
+TEST(EngineTest, RemoveBoxLifecycle) {
+  Pipeline p;
+  // A fully-wired box cannot be removed...
+  EXPECT_TRUE(p.engine.RemoveBox(p.filter).IsFailedPrecondition());
+  // ...until its arcs are gone.
+  ArcId in_arc = *p.engine.FindArcInto(p.filter, 0);
+  ArcId out_arc = p.engine.ArcsFrom(Endpoint::BoxPort(p.filter, 0))[0];
+  ASSERT_OK(p.engine.DisconnectArc(in_arc));
+  ASSERT_OK(p.engine.DisconnectArc(out_arc));
+  ASSERT_OK(p.engine.RemoveBox(p.filter));
+  EXPECT_EQ(p.engine.num_boxes(), 1u);
+}
+
+TEST(EngineTest, ExtractAndAdoptKeepsOperatorState) {
+  AuroraEngine a, b;
+  PortId in = *a.AddInput("in", SchemaAB());
+  PortId out = *a.AddOutput("out");
+  BoxId t = *a.AddBox(TumbleSpec("cnt", "B", {"A"}));
+  ASSERT_OK(a.Connect(Endpoint::InputPort(in), Endpoint::BoxPort(t, 0)).status());
+  ASSERT_OK(a.Connect(Endpoint::BoxPort(t, 0), Endpoint::OutputPort(out)).status());
+  ASSERT_OK(a.InitializeBoxes());
+  ASSERT_OK(a.PushInput(in, T(5, 1), SimTime()));
+  ASSERT_OK(a.PushInput(in, T(5, 2), SimTime()));
+  ASSERT_OK(a.RunUntilQuiescent(SimTime()));
+  // Open window (A=5, 2 tuples) moves with the operator.
+  ArcId in_arc = *a.FindArcInto(t, 0);
+  ArcId out_arc = a.ArcsFrom(Endpoint::BoxPort(t, 0))[0];
+  ASSERT_OK(a.DisconnectArc(in_arc));
+  ASSERT_OK(a.DisconnectArc(out_arc));
+  ASSERT_OK_AND_ASSIGN(OperatorPtr op, a.ExtractBoxOperator(t));
+  ASSERT_OK_AND_ASSIGN(BoxId t2, b.AdoptBoxOperator(std::move(op)));
+  PortId in2 = *b.AddInput("in", SchemaAB());
+  PortId out2 = *b.AddOutput("out");
+  ASSERT_OK(b.Connect(Endpoint::InputPort(in2), Endpoint::BoxPort(t2, 0)).status());
+  ASSERT_OK(b.Connect(Endpoint::BoxPort(t2, 0), Endpoint::OutputPort(out2)).status());
+  std::vector<Tuple> got;
+  b.SetOutputCallback(out2, [&](const Tuple& tp, SimTime) { got.push_back(tp); });
+  ASSERT_OK(b.PushInput(in2, T(6, 0), SimTime()));  // closes the A=5 window
+  ASSERT_OK(b.RunUntilQuiescent(SimTime()));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(GetInt(got[0], "A"), 5);
+  EXPECT_EQ(GetInt(got[0], "Result"), 2);
+}
+
+TEST(EngineTest, AdoptRejectsSchemaMismatch) {
+  AuroraEngine a, b;
+  BoxId f = *a.AddBox(FilterSpec(Predicate::True()));
+  PortId in = *a.AddInput("in", SchemaAB());
+  ASSERT_OK(a.Connect(Endpoint::InputPort(in), Endpoint::BoxPort(f, 0)).status());
+  ASSERT_OK(a.InitializeBoxes());
+  ArcId arc = *a.FindArcInto(f, 0);
+  ASSERT_OK(a.DisconnectArc(arc));
+  ASSERT_OK_AND_ASSIGN(OperatorPtr op, a.ExtractBoxOperator(f));
+  ASSERT_OK_AND_ASSIGN(BoxId f2, b.AdoptBoxOperator(std::move(op)));
+  PortId bad = *b.AddInput("bad", Schema::Make({Field{"X", ValueType::kString}}));
+  EXPECT_TRUE(b.Connect(Endpoint::InputPort(bad), Endpoint::BoxPort(f2, 0))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+class SchedulerPolicyTest : public ::testing::TestWithParam<SchedulerPolicy> {};
+
+TEST_P(SchedulerPolicyTest, AllPoliciesProcessEverything) {
+  EngineOptions opts;
+  opts.scheduler = GetParam();
+  opts.train_size = 8;
+  Pipeline p(opts);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(p.engine.PushInput(p.in, T(i, i % 5), SimTime()));
+  }
+  ASSERT_OK(p.engine.RunUntilQuiescent(SimTime()));
+  // 99 groups close (the last stays open), regardless of discipline.
+  EXPECT_EQ(p.collected.size(), 99u);
+  EXPECT_EQ(p.engine.TotalQueuedTuples(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, SchedulerPolicyTest,
+                         ::testing::Values(SchedulerPolicy::kRoundRobin,
+                                           SchedulerPolicy::kLongestQueue,
+                                           SchedulerPolicy::kMinOutputDistance,
+                                           SchedulerPolicy::kTupleAtATime));
+
+TEST(EngineTest, TrainDepthPushesTowardOutput) {
+  EngineOptions deep;
+  deep.train_depth = 4;
+  Pipeline p(deep);
+  for (const Tuple& t : PaperFigure2Stream()) {
+    ASSERT_OK(p.engine.PushInput(p.in, t, t.timestamp()));
+  }
+  // A single step pushes the whole train through filter AND tumble.
+  ASSERT_OK_AND_ASSIGN(double cost, p.engine.RunOneStep(SimTime::Millis(8)));
+  EXPECT_GT(cost, 0.0);
+  EXPECT_EQ(p.collected.size(), 2u);
+}
+
+TEST(EngineTest, QoSMonitorMeasuresLatency) {
+  Pipeline p;
+  ASSERT_OK(p.engine.SetOutputQoS(p.out, QoSSpec::Default()));
+  for (const Tuple& t : PaperFigure2Stream()) {
+    ASSERT_OK(p.engine.PushInput(p.in, t, t.timestamp()));
+  }
+  // Process 50ms after the last tuple was created.
+  ASSERT_OK(p.engine.RunUntilQuiescent(SimTime::Millis(57)));
+  EXPECT_EQ(p.engine.qos_monitor().Delivered(p.out), 2u);
+  // Tuple #1 (created at 1ms) reached the output at 57ms → 56ms latency.
+  EXPECT_GT(p.engine.qos_monitor().AvgLatencyMs(p.out), 40.0);
+  // Default QoS gives full utility below 100ms.
+  EXPECT_DOUBLE_EQ(p.engine.qos_monitor().CurrentUtility(p.out), 1.0);
+}
+
+TEST(EngineTest, StorageManagerSpillsUnderMemoryPressure) {
+  EngineOptions opts;
+  opts.memory_budget_bytes = 600;  // a handful of tuples
+  Pipeline p(opts);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(p.engine.PushInput(p.in, T(i, 0), SimTime()));
+  }
+  EXPECT_GT(p.engine.storage_manager().total_spilled_bytes(), 0u);
+  // Everything still processes correctly (spilled tuples are readable).
+  ASSERT_OK(p.engine.RunUntilQuiescent(SimTime()));
+  EXPECT_EQ(p.collected.size(), 99u);
+}
+
+TEST(EngineTest, SpillReadsChargeExtraCpu) {
+  EngineOptions opts;
+  opts.memory_budget_bytes = 600;
+  opts.spill_read_cost_us = 50.0;
+  Pipeline spilled(opts);
+  Pipeline unspilled;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(spilled.engine.PushInput(spilled.in, T(i, 0), SimTime()));
+    ASSERT_OK(unspilled.engine.PushInput(unspilled.in, T(i, 0), SimTime()));
+  }
+  ASSERT_OK(spilled.engine.RunUntilQuiescent(SimTime()));
+  ASSERT_OK(unspilled.engine.RunUntilQuiescent(SimTime()));
+  EXPECT_GT(spilled.engine.total_cpu_micros(),
+            unspilled.engine.total_cpu_micros() * 1.5);
+}
+
+TEST(EngineTest, InferArcQoSShiftsLatencyGraph) {
+  // Fig. 9: the QoS at an internal arc is the output QoS shifted left by
+  // the downstream processing time.
+  Pipeline p;
+  QoSSpec out_spec;
+  out_spec.latency = *UtilityGraph::Make({{100.0, 1.0}, {200.0, 0.0}});
+  ASSERT_OK(p.engine.SetOutputQoS(p.out, out_spec));
+  ArcId arc = *p.engine.FindArcInto(p.filter, 0);
+  ASSERT_OK_AND_ASSIGN(QoSSpec inferred, p.engine.InferArcQoS(arc));
+  // Downstream of that arc: filter (1us) + tumble (3us) => shift 0.004ms.
+  double shift = 100.0 - inferred.latency.points()[0].x;
+  EXPECT_NEAR(shift, 0.004, 1e-6);
+  // After traffic, measured T_B (includes queueing) replaces the default.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK(p.engine.PushInput(p.in, T(i, 0), SimTime::Millis(i)));
+  }
+  ASSERT_OK(p.engine.RunUntilQuiescent(SimTime::Millis(60)));
+  ASSERT_OK_AND_ASSIGN(QoSSpec measured, p.engine.InferArcQoS(arc));
+  double measured_shift = 100.0 - measured.latency.points()[0].x;
+  EXPECT_GT(measured_shift, shift);  // queueing time now included
+}
+
+TEST(EngineTest, DeferredOperatorErrorSurfaces) {
+  AuroraEngine engine;
+  PortId in = *engine.AddInput("in", SchemaAB());
+  PortId out = *engine.AddOutput("out");
+  // Map with division by a field that is zero → runtime error.
+  BoxId m = *engine.AddBox(MapSpec(
+      {{"Q", Expr::Arith(ArithOp::kDiv, Expr::FieldRef("A"),
+                         Expr::FieldRef("B"))}}));
+  ASSERT_OK(engine.Connect(Endpoint::InputPort(in), Endpoint::BoxPort(m, 0)).status());
+  ASSERT_OK(engine.Connect(Endpoint::BoxPort(m, 0), Endpoint::OutputPort(out)).status());
+  ASSERT_OK(engine.InitializeBoxes());
+  ASSERT_OK(engine.PushInput(in, T(1, 0), SimTime()));
+  Status st = engine.RunUntilQuiescent(SimTime());
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace aurora

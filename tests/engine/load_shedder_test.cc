@@ -1,0 +1,120 @@
+// Load shedding (§2.3, §7.1): drop probabilities under overload, policy
+// differences between random and QoS-aware shedding.
+#include <gtest/gtest.h>
+
+#include "engine/aurora_engine.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing_util::SchemaAB;
+
+Tuple T(int64_t a, int64_t b) {
+  return MakeTuple(SchemaAB(), {Value(a), Value(b)});
+}
+
+// Two inputs -> two filters -> two outputs. The "cheap" output tolerates
+// loss (flat loss graph); the "precious" one does not.
+struct TwoStreamEngine {
+  static EngineOptions WithShedder(LoadShedder::Options shed) {
+    EngineOptions opts;
+    opts.shedder = shed;
+    return opts;
+  }
+
+  AuroraEngine engine;
+  PortId in_cheap = -1, in_precious = -1, out_cheap = -1, out_precious = -1;
+
+  explicit TwoStreamEngine(LoadShedder::Options shed)
+      : engine(WithShedder(shed)) {
+    in_cheap = *engine.AddInput("cheap", SchemaAB());
+    in_precious = *engine.AddInput("precious", SchemaAB());
+    out_cheap = *engine.AddOutput("out_cheap");
+    out_precious = *engine.AddOutput("out_precious");
+    BoxId f1 = *engine.AddBox(FilterSpec(Predicate::True()));
+    BoxId f2 = *engine.AddBox(FilterSpec(Predicate::True()));
+    AURORA_CHECK(engine.Connect(Endpoint::InputPort(in_cheap),
+                                Endpoint::BoxPort(f1, 0)).ok());
+    AURORA_CHECK(engine.Connect(Endpoint::InputPort(in_precious),
+                                Endpoint::BoxPort(f2, 0)).ok());
+    AURORA_CHECK(engine.Connect(Endpoint::BoxPort(f1, 0),
+                                Endpoint::OutputPort(out_cheap)).ok());
+    AURORA_CHECK(engine.Connect(Endpoint::BoxPort(f2, 0),
+                                Endpoint::OutputPort(out_precious)).ok());
+    AURORA_CHECK(engine.InitializeBoxes().ok());
+    QoSSpec cheap;
+    cheap.loss = *UtilityGraph::Make({{0.0, 0.8}, {1.0, 1.0}});  // tolerant
+    QoSSpec precious;
+    precious.loss = *UtilityGraph::Make({{0.0, 0.0}, {1.0, 1.0}});  // strict
+    AURORA_CHECK(engine.SetOutputQoS(out_cheap, cheap).ok());
+    AURORA_CHECK(engine.SetOutputQoS(out_precious, precious).ok());
+    engine.RebuildShedderModel();
+  }
+
+  // Pushes `n` tuples per input over `duration`, interleaved.
+  void Offer(int n, SimDuration duration) {
+    for (int i = 0; i < n; ++i) {
+      SimTime now = SimTime::Micros(duration.micros() * i / n);
+      (void)engine.PushInput(in_cheap, T(i, 0), now);
+      (void)engine.PushInput(in_precious, T(i, 1), now);
+      (void)engine.RunUntilQuiescent(now);
+    }
+  }
+};
+
+LoadShedder::Options MakeOptions(SheddingPolicy policy, double capacity) {
+  LoadShedder::Options o;
+  o.policy = policy;
+  o.capacity_us_per_sec = capacity;
+  o.recompute_interval = SimDuration::Millis(50);
+  return o;
+}
+
+TEST(LoadShedderTest, NoSheddingUnderLightLoad) {
+  // 2000 tuples/s * 1us each << 1e6 us/s capacity.
+  TwoStreamEngine e(MakeOptions(SheddingPolicy::kQoSAware, 1e6));
+  e.Offer(1000, SimDuration::Seconds(1));
+  EXPECT_EQ(e.engine.load_shedder().total_dropped(), 0u);
+}
+
+TEST(LoadShedderTest, RandomShedsUnderOverload) {
+  // Tiny capacity: 200 us/s against ~2000 us/s offered.
+  TwoStreamEngine e(MakeOptions(SheddingPolicy::kRandom, 200.0));
+  e.Offer(1000, SimDuration::Seconds(1));
+  uint64_t dropped = e.engine.load_shedder().total_dropped();
+  EXPECT_GT(dropped, 500u);
+  // Random shedding hits both streams roughly equally.
+  double p_cheap = e.engine.load_shedder().drop_probability(e.in_cheap);
+  double p_precious = e.engine.load_shedder().drop_probability(e.in_precious);
+  EXPECT_NEAR(p_cheap, p_precious, 1e-9);
+}
+
+TEST(LoadShedderTest, QoSAwareShedsTolerantStreamFirst) {
+  // Moderate overload: shedding the cheap stream alone suffices.
+  TwoStreamEngine e(MakeOptions(SheddingPolicy::kQoSAware, 1200.0));
+  e.Offer(2000, SimDuration::Seconds(1));
+  double p_cheap = e.engine.load_shedder().drop_probability(e.in_cheap);
+  double p_precious = e.engine.load_shedder().drop_probability(e.in_precious);
+  // The loss-tolerant stream takes (nearly) all the shedding.
+  EXPECT_GT(p_cheap, 0.3);
+  EXPECT_LT(p_precious, p_cheap);
+}
+
+TEST(LoadShedderTest, DropsAttributedToDownstreamOutputs) {
+  TwoStreamEngine e(MakeOptions(SheddingPolicy::kRandom, 200.0));
+  e.Offer(1000, SimDuration::Seconds(1));
+  const QoSMonitor& qos = e.engine.qos_monitor();
+  EXPECT_GT(qos.Dropped(e.out_cheap) + qos.Dropped(e.out_precious), 0u);
+  EXPECT_LT(qos.DeliveredFraction(e.out_cheap), 1.0);
+}
+
+TEST(LoadShedderTest, OfferedLoadEstimateTracksRate) {
+  TwoStreamEngine e(MakeOptions(SheddingPolicy::kRandom, 1e6));
+  e.Offer(5000, SimDuration::Seconds(1));
+  // ~10000 tuples/s at 1us + downstream ≈ 1e4 us/s scale.
+  EXPECT_GT(e.engine.load_shedder().offered_load(), 5e3);
+}
+
+}  // namespace
+}  // namespace aurora

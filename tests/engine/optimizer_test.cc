@@ -1,0 +1,196 @@
+// Network re-optimization (§2.3): filter pushdown over Map and Union,
+// selectivity-ordered filter chains — and the CPU savings they buy.
+#include <gtest/gtest.h>
+
+#include "engine/optimizer.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing_util::GetInt;
+using testing_util::SchemaAB;
+
+Tuple T(int64_t a, int64_t b) {
+  return MakeTuple(SchemaAB(), {Value(a), Value(b)});
+}
+
+OperatorSpec IdentityMapSpec(double cost_us = 50.0) {
+  OperatorSpec spec = MapSpec(
+      {{"A", Expr::FieldRef("A")}, {"B", Expr::FieldRef("B")}});
+  spec.SetParam("cost_us", Value(cost_us));
+  return spec;
+}
+
+TEST(OptimizerTest, PushesFilterAheadOfIdentityMap) {
+  AuroraEngine engine;
+  PortId in = *engine.AddInput("in", SchemaAB());
+  PortId out = *engine.AddOutput("out");
+  BoxId map = *engine.AddBox(IdentityMapSpec());
+  BoxId filter = *engine.AddBox(
+      FilterSpec(Predicate::Compare("B", CompareOp::kLt, Value(2))));
+  ASSERT_OK(engine.Connect(Endpoint::InputPort(in), Endpoint::BoxPort(map, 0)).status());
+  ASSERT_OK(engine.Connect(Endpoint::BoxPort(map, 0), Endpoint::BoxPort(filter, 0)).status());
+  ASSERT_OK(engine.Connect(Endpoint::BoxPort(filter, 0), Endpoint::OutputPort(out)).status());
+  ASSERT_OK(engine.InitializeBoxes());
+
+  NetworkOptimizer optimizer(&engine);
+  ASSERT_OK_AND_ASSIGN(int changes, optimizer.Optimize());
+  EXPECT_EQ(changes, 1);
+  EXPECT_EQ(optimizer.map_pushdowns(), 1u);
+
+  // Semantics preserved; the expensive map now only sees passing tuples.
+  std::vector<Tuple> got;
+  engine.SetOutputCallback(out, [&](const Tuple& t, SimTime) { got.push_back(t); });
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(engine.PushInput(in, T(i, i % 5), SimTime()));
+  }
+  ASSERT_OK(engine.RunUntilQuiescent(SimTime()));
+  ASSERT_EQ(got.size(), 4u);  // B in {0,1}: i%5 < 2
+  ASSERT_OK_AND_ASSIGN(Operator * map_op, engine.BoxOp(map));
+  EXPECT_EQ(map_op->tuples_in(), 4u);  // only survivors reach the map
+}
+
+TEST(OptimizerTest, MapPushdownSavesCpu) {
+  auto run = [](bool optimize) {
+    AuroraEngine engine;
+    PortId in = *engine.AddInput("in", SchemaAB());
+    PortId out = *engine.AddOutput("out");
+    BoxId map = *engine.AddBox(IdentityMapSpec(100.0));
+    BoxId filter = *engine.AddBox(
+        FilterSpec(Predicate::Compare("B", CompareOp::kLt, Value(1))));
+    AURORA_CHECK(engine.Connect(Endpoint::InputPort(in), Endpoint::BoxPort(map, 0)).ok());
+    AURORA_CHECK(engine.Connect(Endpoint::BoxPort(map, 0), Endpoint::BoxPort(filter, 0)).ok());
+    AURORA_CHECK(engine.Connect(Endpoint::BoxPort(filter, 0), Endpoint::OutputPort(out)).ok());
+    AURORA_CHECK(engine.InitializeBoxes().ok());
+    if (optimize) {
+      NetworkOptimizer opt(&engine);
+      AURORA_CHECK(opt.Optimize().ok());
+    }
+    for (int i = 0; i < 200; ++i) {
+      AURORA_CHECK(engine.PushInput(in, T(i, i % 10), SimTime()).ok());
+    }
+    AURORA_CHECK(engine.RunUntilQuiescent(SimTime()).ok());
+    return engine.total_cpu_micros();
+  };
+  // 10% selectivity before a 100us map: ~10x less map work.
+  EXPECT_LT(run(true), run(false) * 0.2);
+}
+
+TEST(OptimizerTest, DoesNotPushPastNonIdentityProjection) {
+  AuroraEngine engine;
+  PortId in = *engine.AddInput("in", SchemaAB());
+  PortId out = *engine.AddOutput("out");
+  // B is rewritten, so Filter(B < 2) must NOT move ahead of the map.
+  BoxId map = *engine.AddBox(MapSpec(
+      {{"A", Expr::FieldRef("A")},
+       {"B", Expr::Arith(ArithOp::kMul, Expr::FieldRef("B"),
+                         Expr::Constant(Value(2)))}}));
+  BoxId filter = *engine.AddBox(
+      FilterSpec(Predicate::Compare("B", CompareOp::kLt, Value(2))));
+  ASSERT_OK(engine.Connect(Endpoint::InputPort(in), Endpoint::BoxPort(map, 0)).status());
+  ASSERT_OK(engine.Connect(Endpoint::BoxPort(map, 0), Endpoint::BoxPort(filter, 0)).status());
+  ASSERT_OK(engine.Connect(Endpoint::BoxPort(filter, 0), Endpoint::OutputPort(out)).status());
+  ASSERT_OK(engine.InitializeBoxes());
+  NetworkOptimizer optimizer(&engine);
+  ASSERT_OK_AND_ASSIGN(int changes, optimizer.Optimize());
+  EXPECT_EQ(changes, 0);
+  (void)filter;
+}
+
+TEST(OptimizerTest, ReplicatesFilterOntoUnionInputs) {
+  AuroraEngine engine;
+  PortId in1 = *engine.AddInput("in1", SchemaAB());
+  PortId in2 = *engine.AddInput("in2", SchemaAB());
+  PortId out = *engine.AddOutput("out");
+  BoxId u = *engine.AddBox(UnionSpec(2));
+  BoxId f = *engine.AddBox(
+      FilterSpec(Predicate::Compare("B", CompareOp::kGe, Value(5))));
+  ASSERT_OK(engine.Connect(Endpoint::InputPort(in1), Endpoint::BoxPort(u, 0)).status());
+  ASSERT_OK(engine.Connect(Endpoint::InputPort(in2), Endpoint::BoxPort(u, 1)).status());
+  ASSERT_OK(engine.Connect(Endpoint::BoxPort(u, 0), Endpoint::BoxPort(f, 0)).status());
+  ASSERT_OK(engine.Connect(Endpoint::BoxPort(f, 0), Endpoint::OutputPort(out)).status());
+  ASSERT_OK(engine.InitializeBoxes());
+  NetworkOptimizer optimizer(&engine);
+  ASSERT_OK_AND_ASSIGN(int changes, optimizer.Optimize());
+  EXPECT_EQ(changes, 1);
+  EXPECT_EQ(optimizer.union_pushdowns(), 1u);
+  // Now three filter instances feed/are fed by the union... two copies.
+  EXPECT_EQ(engine.num_boxes(), 3u);  // union + 2 filter copies
+
+  std::vector<Tuple> got;
+  engine.SetOutputCallback(out, [&](const Tuple& t, SimTime) { got.push_back(t); });
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(engine.PushInput(i % 2 ? in1 : in2, T(i, i), SimTime()));
+  }
+  ASSERT_OK(engine.RunUntilQuiescent(SimTime()));
+  EXPECT_EQ(got.size(), 5u);  // B >= 5
+}
+
+TEST(OptimizerTest, ReordersFiltersBySelectivity) {
+  AuroraEngine engine;
+  PortId in = *engine.AddInput("in", SchemaAB());
+  PortId out = *engine.AddOutput("out");
+  // F1 passes 90%, F2 passes 10% — F2 should run first.
+  BoxId f1 = *engine.AddBox(
+      FilterSpec(Predicate::Compare("B", CompareOp::kLt, Value(90))));
+  BoxId f2 = *engine.AddBox(
+      FilterSpec(Predicate::Compare("B", CompareOp::kLt, Value(10))));
+  ASSERT_OK(engine.Connect(Endpoint::InputPort(in), Endpoint::BoxPort(f1, 0)).status());
+  ASSERT_OK(engine.Connect(Endpoint::BoxPort(f1, 0), Endpoint::BoxPort(f2, 0)).status());
+  ASSERT_OK(engine.Connect(Endpoint::BoxPort(f2, 0), Endpoint::OutputPort(out)).status());
+  ASSERT_OK(engine.InitializeBoxes());
+
+  // No evidence yet: the optimizer must not act on guesses.
+  NetworkOptimizer optimizer(&engine);
+  ASSERT_OK_AND_ASSIGN(int premature, optimizer.Optimize());
+  EXPECT_EQ(premature, 0);
+
+  // Gather statistics, then optimize at a quiescent point.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_OK(engine.PushInput(in, T(i, i % 100), SimTime()));
+  }
+  ASSERT_OK(engine.RunUntilQuiescent(SimTime()));
+  ASSERT_OK_AND_ASSIGN(int changes, optimizer.Optimize());
+  EXPECT_EQ(changes, 1);
+  EXPECT_EQ(optimizer.filter_reorders(), 1u);
+  // The selective filter now feeds the permissive one.
+  ASSERT_OK_AND_ASSIGN(ArcId arc, engine.FindArcInto(f1, 0));
+  EXPECT_EQ(engine.ArcFrom(arc).id, f2);
+  // Stable: a second pass does nothing.
+  ASSERT_OK_AND_ASSIGN(int again, optimizer.Optimize());
+  EXPECT_EQ(again, 0);
+
+  // Semantics unchanged.
+  std::vector<Tuple> got;
+  engine.SetOutputCallback(out, [&](const Tuple& t, SimTime) { got.push_back(t); });
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(engine.PushInput(in, T(i, i), SimTime()));
+  }
+  ASSERT_OK(engine.RunUntilQuiescent(SimTime()));
+  EXPECT_EQ(got.size(), 10u);
+}
+
+TEST(OptimizerTest, SkipsWhenQueuesAreBusy) {
+  AuroraEngine engine;
+  PortId in = *engine.AddInput("in", SchemaAB());
+  PortId out = *engine.AddOutput("out");
+  BoxId map = *engine.AddBox(IdentityMapSpec());
+  BoxId filter = *engine.AddBox(
+      FilterSpec(Predicate::Compare("B", CompareOp::kLt, Value(2))));
+  ASSERT_OK(engine.Connect(Endpoint::InputPort(in), Endpoint::BoxPort(map, 0)).status());
+  ASSERT_OK(engine.Connect(Endpoint::BoxPort(map, 0), Endpoint::BoxPort(filter, 0)).status());
+  ASSERT_OK(engine.Connect(Endpoint::BoxPort(filter, 0), Endpoint::OutputPort(out)).status());
+  ASSERT_OK(engine.InitializeBoxes());
+  // Tuples still queued: the transformation must wait for stabilization.
+  ASSERT_OK(engine.PushInput(in, T(1, 1), SimTime()));
+  NetworkOptimizer optimizer(&engine);
+  ASSERT_OK_AND_ASSIGN(int busy_changes, optimizer.Optimize());
+  EXPECT_EQ(busy_changes, 0);
+  ASSERT_OK(engine.RunUntilQuiescent(SimTime()));
+  ASSERT_OK_AND_ASSIGN(int idle_changes, optimizer.Optimize());
+  EXPECT_EQ(idle_changes, 1);
+}
+
+}  // namespace
+}  // namespace aurora

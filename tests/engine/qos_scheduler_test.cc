@@ -1,0 +1,131 @@
+// QoS-slack scheduling (§2.3/§7.1): under backlog, the box serving the
+// tightest-deadline output runs first, so the urgent output's latency
+// stays inside its QoS graph while the relaxed one absorbs the delay.
+#include <gtest/gtest.h>
+
+#include "engine/aurora_engine.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing_util::SchemaAB;
+
+Tuple T(int64_t a, int64_t b) {
+  return MakeTuple(SchemaAB(), {Value(a), Value(b)});
+}
+
+struct TwoDeadlineRig {
+  AuroraEngine engine;
+  PortId in_urgent = -1, in_relaxed = -1, out_urgent = -1, out_relaxed = -1;
+  BoxId f_urgent = -1, f_relaxed = -1;
+
+  explicit TwoDeadlineRig(SchedulerPolicy policy) : engine([&] {
+    EngineOptions opts;
+    opts.scheduler = policy;
+    opts.train_size = 4;
+    return opts;
+  }()) {
+    in_urgent = *engine.AddInput("urgent", SchemaAB());
+    in_relaxed = *engine.AddInput("relaxed", SchemaAB());
+    out_urgent = *engine.AddOutput("out_urgent");
+    out_relaxed = *engine.AddOutput("out_relaxed");
+    OperatorSpec work = FilterSpec(Predicate::True());
+    work.SetParam("cost_us", Value(100.0));
+    f_urgent = *engine.AddBox(work);
+    f_relaxed = *engine.AddBox(work);
+    AURORA_CHECK(engine.Connect(Endpoint::InputPort(in_urgent),
+                                Endpoint::BoxPort(f_urgent, 0)).ok());
+    AURORA_CHECK(engine.Connect(Endpoint::InputPort(in_relaxed),
+                                Endpoint::BoxPort(f_relaxed, 0)).ok());
+    AURORA_CHECK(engine.Connect(Endpoint::BoxPort(f_urgent, 0),
+                                Endpoint::OutputPort(out_urgent)).ok());
+    AURORA_CHECK(engine.Connect(Endpoint::BoxPort(f_relaxed, 0),
+                                Endpoint::OutputPort(out_relaxed)).ok());
+    AURORA_CHECK(engine.InitializeBoxes().ok());
+    QoSSpec urgent;  // deadline: 10ms
+    urgent.latency = *UtilityGraph::Make({{5.0, 1.0}, {15.0, 0.0}});
+    QoSSpec relaxed;  // deadline: 1s
+    relaxed.latency = *UtilityGraph::Make({{500.0, 1.0}, {1500.0, 0.0}});
+    AURORA_CHECK(engine.SetOutputQoS(out_urgent, urgent).ok());
+    AURORA_CHECK(engine.SetOutputQoS(out_relaxed, relaxed).ok());
+    engine.RefreshQoSDeadlines();
+  }
+};
+
+TEST(QoSSchedulerTest, DeadlinesInferredPerBox) {
+  TwoDeadlineRig rig(SchedulerPolicy::kQoSSlack);
+  // Internal deadlines reflect the output graphs (CriticalX at 0.5: 10ms
+  // and 1000ms, minus negligible box time).
+  // Verified indirectly: the urgent box must be scheduled first below.
+  SUCCEED();
+}
+
+TEST(QoSSchedulerTest, UrgentBoxRunsFirstUnderBacklog) {
+  TwoDeadlineRig rig(SchedulerPolicy::kQoSSlack);
+  // Backlog both boxes equally; tuples share the same age.
+  SimTime t0;
+  for (int i = 0; i < 8; ++i) {
+    Tuple a = T(i, 0);
+    a.set_timestamp(t0);
+    ASSERT_OK(rig.engine.PushInput(rig.in_relaxed, a, t0));
+    Tuple b = T(i, 0);
+    b.set_timestamp(t0);
+    ASSERT_OK(rig.engine.PushInput(rig.in_urgent, b, t0));
+  }
+  // One step at t=2ms: the urgent box must win despite equal queue length
+  // (kLongestQueue or round-robin would be arbitrary/alternating).
+  ASSERT_OK(rig.engine.RunOneStep(SimTime::Millis(2)).status());
+  ASSERT_OK_AND_ASSIGN(Operator * urgent_op, rig.engine.BoxOp(rig.f_urgent));
+  ASSERT_OK_AND_ASSIGN(Operator * relaxed_op, rig.engine.BoxOp(rig.f_relaxed));
+  EXPECT_GT(urgent_op->tuples_in(), 0u);
+  EXPECT_EQ(relaxed_op->tuples_in(), 0u);
+}
+
+TEST(QoSSchedulerTest, SlackOrderingBeatsRoundRobinOnUrgentLatency) {
+  auto run = [](SchedulerPolicy policy) {
+    TwoDeadlineRig rig(policy);
+    // Sustained equal backlog, processed over time.
+    for (int ms = 0; ms < 50; ++ms) {
+      SimTime now = SimTime::Millis(ms);
+      Tuple a = T(ms, 0);
+      a.set_timestamp(now);
+      (void)rig.engine.PushInput(rig.in_relaxed, a, now);
+      Tuple b = T(ms, 0);
+      b.set_timestamp(now);
+      (void)rig.engine.PushInput(rig.in_urgent, b, now);
+      // Limited CPU: only a couple of steps per ms.
+      (void)rig.engine.RunOneStep(now);
+    }
+    (void)rig.engine.RunUntilQuiescent(SimTime::Millis(60));
+    return rig.engine.qos_monitor().AvgLatencyMs(rig.out_urgent);
+  };
+  double slack_latency = run(SchedulerPolicy::kQoSSlack);
+  double rr_latency = run(SchedulerPolicy::kRoundRobin);
+  // The slack scheduler keeps the urgent output markedly fresher.
+  EXPECT_LT(slack_latency, rr_latency * 0.8)
+      << "slack=" << slack_latency << " rr=" << rr_latency;
+}
+
+TEST(QoSSchedulerTest, NoSpecsMeansEveryBoxIsEquallyLazy) {
+  EngineOptions opts;
+  opts.scheduler = SchedulerPolicy::kQoSSlack;
+  AuroraEngine engine(opts);
+  PortId in = *engine.AddInput("in", SchemaAB());
+  PortId out = *engine.AddOutput("out");
+  BoxId f = *engine.AddBox(FilterSpec(Predicate::True()));
+  ASSERT_OK(engine.Connect(Endpoint::InputPort(in), Endpoint::BoxPort(f, 0)).status());
+  ASSERT_OK(engine.Connect(Endpoint::BoxPort(f, 0), Endpoint::OutputPort(out)).status());
+  ASSERT_OK(engine.InitializeBoxes());
+  engine.RefreshQoSDeadlines();
+  int count = 0;
+  engine.SetOutputCallback(out, [&](const Tuple&, SimTime) { ++count; });
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(engine.PushInput(in, T(i, 0), SimTime()));
+  }
+  ASSERT_OK(engine.RunUntilQuiescent(SimTime()));
+  EXPECT_EQ(count, 10);  // still processes everything
+}
+
+}  // namespace
+}  // namespace aurora

@@ -1,0 +1,151 @@
+// Recovery edge cases beyond the basic middle-server crash: failure of the
+// terminal server (application output must move with it), successive
+// failures of different servers, and the §6.4 virtual-machine model.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ha/upstream_backup.h"
+#include "ha/vm_tradeoff.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing_util::GetInt;
+using testing_util::SchemaAB;
+
+class RecoveryEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = std::make_unique<OverlayNetwork>(&sim_);
+    system_ = std::make_unique<AuroraStarSystem>(&sim_, net_.get(),
+                                                 StarOptions{});
+    ASSERT_OK_AND_ASSIGN(s1_, system_->AddNode(NodeOptions{"s1", 1.0, {}}));
+    ASSERT_OK_AND_ASSIGN(s2_, system_->AddNode(NodeOptions{"s2", 1.0, {}}));
+    ASSERT_OK_AND_ASSIGN(s3_, system_->AddNode(NodeOptions{"s3", 1.0, {}}));
+    net_->FullMesh(LinkOptions{});
+    ASSERT_OK(query_.AddInput("in", SchemaAB()));
+    ASSERT_OK(query_.AddBox("f", FilterSpec(Predicate::Compare(
+                                     "B", CompareOp::kGe, Value(0)))));
+    ASSERT_OK(query_.AddBox(
+        "m", MapSpec({{"A", Expr::FieldRef("A")}, {"B", Expr::FieldRef("B")}})));
+    ASSERT_OK(query_.AddBox("t", TumbleSpec("cnt", "B", {"A"})));
+    ASSERT_OK(query_.AddOutput("out"));
+    ASSERT_OK(query_.ConnectInputToBox("in", "f"));
+    ASSERT_OK(query_.ConnectBoxes("f", 0, "m", 0));
+    ASSERT_OK(query_.ConnectBoxes("m", 0, "t", 0));
+    ASSERT_OK(query_.ConnectBoxToOutput("t", 0, "out"));
+    ASSERT_OK_AND_ASSIGN(
+        deployed_, DeployQuery(system_.get(), query_,
+                               {{"f", s1_}, {"m", s2_}, {"t", s3_}}));
+    ASSERT_OK(system_->CollectOutput(s3_, "out",
+                                     [this](const Tuple& t, SimTime) {
+                                       groups_.insert(GetInt(t, "A"));
+                                     }));
+  }
+
+  void Inject(int lo, int hi) {
+    for (int i = lo; i < hi; ++i) {
+      sim_.ScheduleAt(SimTime::Millis(i), [this, i]() {
+        Tuple t = MakeTuple(SchemaAB(), {Value(i), Value(i % 10)});
+        (void)system_->node(s1_).Inject("in", t);
+      });
+    }
+  }
+
+  int Lost(int expected_groups) const {
+    int lost = 0;
+    for (int i = 0; i < expected_groups; ++i) {
+      if (!groups_.count(i)) ++lost;
+    }
+    return lost;
+  }
+
+  Simulation sim_;
+  std::unique_ptr<OverlayNetwork> net_;
+  std::unique_ptr<AuroraStarSystem> system_;
+  GlobalQuery query_;
+  DeployedQuery deployed_;
+  std::set<int64_t> groups_;
+  NodeId s1_ = -1, s2_ = -1, s3_ = -1;
+};
+
+TEST_F(RecoveryEdgeTest, TerminalServerFailureMovesApplicationOutput) {
+  HaManager ha(system_.get(), HaOptions{});
+  ASSERT_OK(ha.Protect(&deployed_, &query_));
+  Inject(0, 300);
+  sim_.ScheduleAt(SimTime::Millis(150), [&]() { ha.CrashNode(s3_); });
+  sim_.RunUntil(SimTime::Seconds(3));
+  EXPECT_EQ(ha.recoveries(), 1);
+  // The Tumble and the application output now live on s2 (the upstream
+  // neighbour), and the callback still fires.
+  EXPECT_EQ(deployed_.boxes.at("t").node, s2_);
+  EXPECT_EQ(deployed_.outputs.at("out").first, s2_);
+  EXPECT_EQ(Lost(299), 0);
+}
+
+TEST_F(RecoveryEdgeTest, SuccessiveFailuresOfDifferentServers) {
+  HaManager ha(system_.get(), HaOptions{});
+  ASSERT_OK(ha.Protect(&deployed_, &query_));
+  Inject(0, 600);
+  // s3 dies first; its piece moves to s2. Later s2 (now hosting m AND t)
+  // dies too; everything ends up on s1.
+  sim_.ScheduleAt(SimTime::Millis(150), [&]() { ha.CrashNode(s3_); });
+  sim_.ScheduleAt(SimTime::Millis(400), [&]() { ha.CrashNode(s2_); });
+  sim_.RunUntil(SimTime::Seconds(4));
+  EXPECT_EQ(ha.failures_detected(), 2);
+  EXPECT_EQ(ha.recoveries(), 2);
+  EXPECT_EQ(deployed_.boxes.at("m").node, s1_);
+  EXPECT_EQ(deployed_.boxes.at("t").node, s1_);
+  EXPECT_EQ(Lost(599), 0);
+}
+
+TEST_F(RecoveryEdgeTest, SeqArrayTruncationAlsoRecoversCleanly) {
+  HaOptions opts;
+  opts.method = TruncationMethod::kSeqArrays;
+  opts.checkpoint_interval = SimDuration::Millis(30);
+  HaManager ha(system_.get(), opts);
+  ASSERT_OK(ha.Protect(&deployed_, &query_));
+  Inject(0, 400);
+  sim_.ScheduleAt(SimTime::Millis(200), [&]() { ha.CrashNode(s2_); });
+  sim_.RunUntil(SimTime::Seconds(3));
+  EXPECT_GT(ha.truncated_tuples(), 100u);
+  EXPECT_EQ(Lost(399), 0);
+}
+
+TEST_F(RecoveryEdgeTest, ManualRecoveryWithoutAutoDetect) {
+  HaOptions opts;
+  opts.auto_recover = false;
+  HaManager ha(system_.get(), opts);
+  ASSERT_OK(ha.Protect(&deployed_, &query_));
+  Inject(0, 200);
+  sim_.ScheduleAt(SimTime::Millis(100), [&]() { ha.CrashNode(s2_); });
+  sim_.RunUntil(SimTime::Seconds(1));
+  EXPECT_GE(ha.failures_detected(), 1);
+  EXPECT_EQ(ha.recoveries(), 0);  // nothing happened automatically
+  ASSERT_OK(ha.RecoverNode(s2_, s1_));
+  sim_.RunUntil(SimTime::Seconds(3));
+  EXPECT_EQ(Lost(199), 0);
+}
+
+TEST(VmTradeoffTest, EndpointsMatchTheTwoProtocols) {
+  auto points = ComputeVmTradeoff(8, 500, 20.0);
+  ASSERT_EQ(points.size(), 8u);
+  // K=1: one backup message per tuple (upstream backup), full-chain redo.
+  EXPECT_DOUBLE_EQ(points[0].runtime_messages_per_tuple, 1.0);
+  EXPECT_DOUBLE_EQ(points[0].recovery_box_activations, 500.0 * 8);
+  // K=n: one message per box activation (process pairs), one-box redo.
+  EXPECT_DOUBLE_EQ(points[7].runtime_messages_per_tuple, 8.0);
+  EXPECT_DOUBLE_EQ(points[7].recovery_box_activations, 500.0);
+  // Monotone tradeoff in between.
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GT(points[i].runtime_messages_per_tuple,
+              points[i - 1].runtime_messages_per_tuple);
+    EXPECT_LT(points[i].recovery_box_activations,
+              points[i - 1].recovery_box_activations);
+  }
+}
+
+}  // namespace
+}  // namespace aurora

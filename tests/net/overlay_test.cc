@@ -1,0 +1,144 @@
+// Overlay network (§4): bandwidth serialization, propagation latency,
+// multi-hop routing, and failure-induced drops.
+#include <gtest/gtest.h>
+
+#include "net/overlay_network.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+Message Msg(size_t payload_bytes) {
+  Message m;
+  m.kind = "t";
+  m.payload.resize(payload_bytes);
+  return m;
+}
+
+TEST(OverlayTest, LatencyAndBandwidthTiming) {
+  Simulation sim;
+  OverlayNetwork net(&sim);
+  NodeId a = net.AddNode(NodeOptions{"a", 1.0, {}});
+  NodeId b = net.AddNode(NodeOptions{"b", 1.0, {}});
+  LinkOptions link;
+  link.bandwidth_bytes_per_sec = 1e6;  // 1 MB/s
+  link.latency = SimDuration::Millis(10);
+  ASSERT_OK(net.AddLink(a, b, link));
+
+  SimTime delivered;
+  Message m = Msg(9'959);  // 9959 payload + 40 header + 1 kind = 10'000 bytes
+  ASSERT_OK(net.Send(a, b, m, [&](const Message&) { delivered = sim.Now(); }));
+  sim.RunAll();
+  // 10 KB at 1 MB/s = 10 ms serialization + 10 ms propagation.
+  EXPECT_NEAR(delivered.millis(), 20.0, 0.1);
+  EXPECT_EQ(net.MessagesDelivered(), 1u);
+  EXPECT_EQ(net.LinkBytesSent(a, b), 10'000u);
+}
+
+TEST(OverlayTest, LinkSerializesFifo) {
+  Simulation sim;
+  OverlayNetwork net(&sim);
+  NodeId a = net.AddNode(NodeOptions{"a", 1.0, {}});
+  NodeId b = net.AddNode(NodeOptions{"b", 1.0, {}});
+  LinkOptions link;
+  link.bandwidth_bytes_per_sec = 1e6;
+  link.latency = SimDuration::Millis(0);
+  ASSERT_OK(net.AddLink(a, b, link));
+  std::vector<double> arrivals;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_OK(net.Send(a, b, Msg(9'959),
+                       [&](const Message&) { arrivals.push_back(sim.Now().millis()); }));
+  }
+  sim.RunAll();
+  ASSERT_EQ(arrivals.size(), 3u);
+  // Back-to-back serializations: ~10, 20, 30 ms.
+  EXPECT_NEAR(arrivals[0], 10.0, 0.5);
+  EXPECT_NEAR(arrivals[1], 20.0, 0.5);
+  EXPECT_NEAR(arrivals[2], 30.0, 0.5);
+}
+
+TEST(OverlayTest, MultiHopRouting) {
+  Simulation sim;
+  OverlayNetwork net(&sim);
+  NodeId a = net.AddNode(NodeOptions{"a", 1.0, {}});
+  NodeId b = net.AddNode(NodeOptions{"b", 1.0, {}});
+  NodeId c = net.AddNode(NodeOptions{"c", 1.0, {}});
+  LinkOptions link;
+  link.latency = SimDuration::Millis(5);
+  ASSERT_OK(net.AddLink(a, b, link));
+  ASSERT_OK(net.AddLink(b, c, link));  // no direct a-c link
+
+  bool delivered = false;
+  ASSERT_OK(net.Send(a, c, Msg(100), [&](const Message& m) {
+    delivered = true;
+    EXPECT_EQ(m.src, a);
+    EXPECT_EQ(m.dst, c);
+  }));
+  sim.RunAll();
+  EXPECT_TRUE(delivered);
+  // Both hops carried the bytes.
+  EXPECT_GT(net.LinkBytesSent(a, b), 0u);
+  EXPECT_GT(net.LinkBytesSent(b, c), 0u);
+  EXPECT_GE(sim.Now().millis(), 10.0);  // two propagation delays
+}
+
+TEST(OverlayTest, NoRouteDropsMessage) {
+  Simulation sim;
+  OverlayNetwork net(&sim);
+  NodeId a = net.AddNode(NodeOptions{"a", 1.0, {}});
+  NodeId b = net.AddNode(NodeOptions{"b", 1.0, {}});
+  bool delivered = false;
+  ASSERT_OK(net.Send(a, b, Msg(10), [&](const Message&) { delivered = true; }));
+  sim.RunAll();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net.MessagesDropped(), 1u);
+}
+
+TEST(OverlayTest, DownNodeDropsInFlight) {
+  Simulation sim;
+  OverlayNetwork net(&sim);
+  NodeId a = net.AddNode(NodeOptions{"a", 1.0, {}});
+  NodeId b = net.AddNode(NodeOptions{"b", 1.0, {}});
+  LinkOptions link;
+  link.latency = SimDuration::Millis(10);
+  ASSERT_OK(net.AddLink(a, b, link));
+  bool delivered = false;
+  ASSERT_OK(net.Send(a, b, Msg(10), [&](const Message&) { delivered = true; }));
+  // b dies while the message is on the wire.
+  sim.Schedule(SimDuration::Millis(1), [&]() { net.SetNodeUp(b, false); });
+  sim.RunAll();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net.MessagesDropped(), 1u);
+  // After b recovers, traffic flows again.
+  net.SetNodeUp(b, true);
+  ASSERT_OK(net.Send(a, b, Msg(10), [&](const Message&) { delivered = true; }));
+  sim.RunAll();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(OverlayTest, LocalDeliveryBypassesLinks) {
+  Simulation sim;
+  OverlayNetwork net(&sim);
+  NodeId a = net.AddNode(NodeOptions{"a", 1.0, {}});
+  bool delivered = false;
+  ASSERT_OK(net.Send(a, a, Msg(10), [&](const Message&) { delivered = true; }));
+  sim.RunAll();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(net.TotalBytesSent(), 0u);
+}
+
+TEST(OverlayTest, CapabilitiesAndLookup) {
+  Simulation sim;
+  OverlayNetwork net(&sim);
+  NodeId s = net.AddNode(NodeOptions{"sensor", 0.1, {"filter"}});
+  NodeId full = net.AddNode(NodeOptions{"server", 1.0, {}});
+  EXPECT_TRUE(net.NodeSupports(s, "filter"));
+  EXPECT_FALSE(net.NodeSupports(s, "tumble"));
+  EXPECT_TRUE(net.NodeSupports(full, "join"));
+  ASSERT_OK_AND_ASSIGN(NodeId found, net.FindNode("sensor"));
+  EXPECT_EQ(found, s);
+  EXPECT_TRUE(net.FindNode("nope").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace aurora

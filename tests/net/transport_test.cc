@@ -1,0 +1,150 @@
+// Message transport (§4.3): the multiplexed weighted scheduler shares the
+// connection by prescribed weights; per-stream connections cost more and
+// share equally regardless of weights.
+#include <gtest/gtest.h>
+
+#include "net/transport.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+struct TransportRig {
+  Simulation sim;
+  OverlayNetwork net{&sim};
+  NodeId a, b;
+
+  explicit TransportRig(double bandwidth = 1e6) {
+    a = net.AddNode(NodeOptions{"a", 1.0, {}});
+    b = net.AddNode(NodeOptions{"b", 1.0, {}});
+    LinkOptions link;
+    link.bandwidth_bytes_per_sec = bandwidth;
+    link.latency = SimDuration::Millis(1);
+    AURORA_CHECK(net.AddLink(a, b, link).ok());
+  }
+
+  Message Msg(size_t n) {
+    Message m;
+    m.kind = "t";
+    m.payload.resize(n);
+    return m;
+  }
+};
+
+TransportOptions Mode(TransportMode mode) {
+  TransportOptions opts;
+  opts.mode = mode;
+  return opts;
+}
+
+TEST(TransportTest, DeliversInFifoOrderPerStream) {
+  TransportRig rig;
+  Transport tx(&rig.sim, &rig.net, rig.a, rig.b,
+               Mode(TransportMode::kMultiplexed));
+  ASSERT_OK(tx.RegisterStream("s", 1.0));
+  std::vector<size_t> sizes;
+  tx.SetDeliveryHandler([&](const std::string&, const Message& m) {
+    sizes.push_back(m.payload.size());
+  });
+  for (size_t n : {10, 20, 30}) ASSERT_OK(tx.Send("s", rig.Msg(n)));
+  rig.sim.RunAll();
+  EXPECT_EQ(sizes, (std::vector<size_t>{10, 20, 30}));
+  EXPECT_EQ(tx.delivered_count("s"), 3u);
+}
+
+TEST(TransportTest, UnregisteredStreamRejected) {
+  TransportRig rig;
+  Transport tx(&rig.sim, &rig.net, rig.a, rig.b,
+               Mode(TransportMode::kMultiplexed));
+  EXPECT_TRUE(tx.Send("nope", rig.Msg(1)).IsNotFound());
+  ASSERT_OK(tx.RegisterStream("s", 1.0));
+  EXPECT_TRUE(tx.RegisterStream("s", 1.0).IsAlreadyExists());
+  EXPECT_TRUE(tx.RegisterStream("w", 0.0).IsInvalidArgument());
+}
+
+// Saturates the link from three streams with weights 1:2:4 and returns the
+// per-stream delivered byte counts.
+std::map<std::string, uint64_t> RunWeightedLoad(TransportMode mode) {
+  TransportRig rig(/*bandwidth=*/100'000);  // slow link → backlog
+  Transport tx(&rig.sim, &rig.net, rig.a, rig.b, Mode(mode));
+  AURORA_CHECK(tx.RegisterStream("w1", 1.0).ok());
+  AURORA_CHECK(tx.RegisterStream("w2", 2.0).ok());
+  AURORA_CHECK(tx.RegisterStream("w4", 4.0).ok());
+  // Offer far more than the link can carry in the measurement window.
+  for (int i = 0; i < 300; ++i) {
+    for (const char* s : {"w1", "w2", "w4"}) {
+      (void)tx.Send(s, [&] {
+        Message m;
+        m.kind = "t";
+        m.payload.resize(160);
+        return m;
+      }());
+    }
+  }
+  rig.sim.RunUntil(SimTime::Seconds(0.5));  // deliver ~50 KB of ~180 KB
+  return {{"w1", tx.delivered_bytes("w1")},
+          {"w2", tx.delivered_bytes("w2")},
+          {"w4", tx.delivered_bytes("w4")}};
+}
+
+TEST(TransportTest, MultiplexedSharesByWeight) {
+  auto bytes = RunWeightedLoad(TransportMode::kMultiplexed);
+  double total = 0;
+  for (auto& [s, b] : bytes) total += static_cast<double>(b);
+  ASSERT_GT(total, 0);
+  // Shares track the 1:2:4 weights (±5 percentage points).
+  EXPECT_NEAR(bytes["w1"] / total, 1.0 / 7.0, 0.05);
+  EXPECT_NEAR(bytes["w2"] / total, 2.0 / 7.0, 0.05);
+  EXPECT_NEAR(bytes["w4"] / total, 4.0 / 7.0, 0.05);
+}
+
+TEST(TransportTest, PerStreamConnectionsIgnoreWeights) {
+  auto bytes = RunWeightedLoad(TransportMode::kPerStreamConnections);
+  double total = 0;
+  for (auto& [s, b] : bytes) total += static_cast<double>(b);
+  ASSERT_GT(total, 0);
+  // Round-robin TCP-style sharing: everyone gets ~1/3 despite the weights.
+  EXPECT_NEAR(bytes["w1"] / total, 1.0 / 3.0, 0.05);
+  EXPECT_NEAR(bytes["w4"] / total, 1.0 / 3.0, 0.05);
+}
+
+TEST(TransportTest, PerStreamModeCostsMoreOverhead) {
+  auto run = [](TransportMode mode, int streams) {
+    TransportRig rig;
+    Transport tx(&rig.sim, &rig.net, rig.a, rig.b, Mode(mode));
+    for (int s = 0; s < streams; ++s) {
+      AURORA_CHECK(tx.RegisterStream("s" + std::to_string(s), 1.0).ok());
+    }
+    for (int i = 0; i < 50; ++i) {
+      for (int s = 0; s < streams; ++s) {
+        Message m;
+        m.kind = "t";
+        m.payload.resize(100);
+        (void)tx.Send("s" + std::to_string(s), std::move(m));
+      }
+    }
+    rig.sim.RunAll();
+    return tx.overhead_bytes();
+  };
+  // "As the number of message streams grows, the overhead of running
+  //  several TCP connections becomes prohibitive" (§4.3).
+  uint64_t mux = run(TransportMode::kMultiplexed, 20);
+  uint64_t per_stream = run(TransportMode::kPerStreamConnections, 20);
+  EXPECT_GT(per_stream, mux);
+}
+
+TEST(TransportTest, QueueAccounting) {
+  TransportRig rig(/*bandwidth=*/1'000);  // very slow
+  Transport tx(&rig.sim, &rig.net, rig.a, rig.b,
+               Mode(TransportMode::kMultiplexed));
+  ASSERT_OK(tx.RegisterStream("s", 1.0));
+  for (int i = 0; i < 10; ++i) ASSERT_OK(tx.Send("s", rig.Msg(100)));
+  EXPECT_GT(tx.queued_messages(), 0u);
+  EXPECT_GT(tx.queued_bytes(), 0u);
+  rig.sim.RunAll();
+  EXPECT_EQ(tx.queued_messages(), 0u);
+  EXPECT_EQ(tx.delivered_count("s"), 10u);
+}
+
+}  // namespace
+}  // namespace aurora

@@ -1,0 +1,163 @@
+// Filter, Map, and Union — the stateless boxes of §2.2 — plus base-class
+// behaviour (selectivity accounting, lineage stamping, input validation).
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing_util::CollectingEmitter;
+using testing_util::GetInt;
+using testing_util::PaperFigure2Stream;
+using testing_util::RunUnaryOp;
+using testing_util::SchemaAB;
+
+TEST(FilterTest, PassesMatchingTuples) {
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Tuple> out,
+      RunUnaryOp(FilterSpec(Predicate::Compare("B", CompareOp::kGe, Value(3))),
+                 SchemaAB(), PaperFigure2Stream()));
+  // Figure 2 tuples with B >= 3: #2 (B=3), #5 (B=6), #6 (B=5).
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(GetInt(out[0], "B"), 3);
+  EXPECT_EQ(GetInt(out[1], "B"), 6);
+  EXPECT_EQ(GetInt(out[2], "B"), 5);
+}
+
+TEST(FilterTest, TwoWayRoutesRejects) {
+  auto spec =
+      FilterSpec(Predicate::Compare("B", CompareOp::kLt, Value(3)), true);
+  ASSERT_OK_AND_ASSIGN(OperatorPtr op, CreateOperator(spec));
+  ASSERT_OK(op->Init({SchemaAB()}));
+  EXPECT_EQ(op->num_outputs(), 2);
+  CollectingEmitter emitter;
+  for (const Tuple& t : PaperFigure2Stream()) {
+    ASSERT_OK(op->Process(0, t, SimTime(), &emitter));
+  }
+  // B < 3: tuples 1,3,4,7 on output 0; 2,5,6 on output 1.
+  EXPECT_EQ(emitter.OnOutput(0).size(), 4u);
+  EXPECT_EQ(emitter.OnOutput(1).size(), 3u);
+  // Together they partition the input (split-router transparency).
+  EXPECT_EQ(emitter.emissions().size(), 7u);
+}
+
+TEST(FilterTest, SelectivityIsMeasured) {
+  auto spec = FilterSpec(Predicate::Compare("B", CompareOp::kGe, Value(3)));
+  ASSERT_OK_AND_ASSIGN(OperatorPtr op, CreateOperator(spec));
+  ASSERT_OK(op->Init({SchemaAB()}));
+  CollectingEmitter emitter;
+  for (const Tuple& t : PaperFigure2Stream()) {
+    ASSERT_OK(op->Process(0, t, SimTime(), &emitter));
+  }
+  EXPECT_EQ(op->tuples_in(), 7u);
+  EXPECT_EQ(op->tuples_out(), 3u);
+  EXPECT_NEAR(op->selectivity(), 3.0 / 7.0, 1e-9);
+}
+
+TEST(FilterTest, LineageSeqPreserved) {
+  auto spec = FilterSpec(Predicate::True());
+  ASSERT_OK_AND_ASSIGN(OperatorPtr op, CreateOperator(spec));
+  ASSERT_OK(op->Init({SchemaAB()}));
+  CollectingEmitter emitter;
+  Tuple t = MakeTuple(SchemaAB(), {Value(1), Value(2)});
+  t.set_seq(77);
+  ASSERT_OK(op->Process(0, t, SimTime(), &emitter));
+  EXPECT_EQ(emitter.OnOutput(0)[0].seq(), 77u);
+}
+
+TEST(FilterTest, RequiresPredicate) {
+  OperatorSpec spec;
+  spec.kind = "filter";
+  ASSERT_OK_AND_ASSIGN(OperatorPtr op, CreateOperator(spec));
+  EXPECT_TRUE(op->Init({SchemaAB()}).IsInvalidArgument());
+}
+
+TEST(MapTest, ProjectsAndComputes) {
+  auto spec = MapSpec({{"A", Expr::FieldRef("A")},
+                       {"Sum", Expr::Arith(ArithOp::kAdd, Expr::FieldRef("A"),
+                                           Expr::FieldRef("B"))}});
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> out,
+                       RunUnaryOp(spec, SchemaAB(), PaperFigure2Stream()));
+  ASSERT_EQ(out.size(), 7u);
+  EXPECT_EQ(out[0].schema()->ToString(), "(A:int64, Sum:int64)");
+  EXPECT_EQ(GetInt(out[0], "Sum"), 3);   // 1+2
+  EXPECT_EQ(GetInt(out[6], "Sum"), 6);   // 4+2
+}
+
+TEST(MapTest, LineageStampedFromInput) {
+  auto spec = MapSpec({{"A", Expr::FieldRef("A")}});
+  ASSERT_OK_AND_ASSIGN(OperatorPtr op, CreateOperator(spec));
+  ASSERT_OK(op->Init({SchemaAB()}));
+  CollectingEmitter emitter;
+  Tuple t = MakeTuple(SchemaAB(), {Value(1), Value(2)});
+  t.set_seq(42);
+  ASSERT_OK(op->Process(0, t, SimTime(), &emitter));
+  // Map builds a fresh tuple; the base class stamps the input's seq.
+  EXPECT_EQ(emitter.OnOutput(0)[0].seq(), 42u);
+}
+
+TEST(MapTest, PreservesTimestamp) {
+  auto spec = MapSpec({{"B", Expr::FieldRef("B")}});
+  ASSERT_OK_AND_ASSIGN(OperatorPtr op, CreateOperator(spec));
+  ASSERT_OK(op->Init({SchemaAB()}));
+  CollectingEmitter emitter;
+  Tuple t = MakeTuple(SchemaAB(), {Value(1), Value(2)});
+  t.set_timestamp(SimTime::Millis(5));
+  ASSERT_OK(op->Process(0, t, SimTime::Millis(9), &emitter));
+  EXPECT_EQ(emitter.OnOutput(0)[0].timestamp(), SimTime::Millis(5));
+}
+
+TEST(UnionTest, MergesArrivalOrder) {
+  auto spec = UnionSpec(3);
+  ASSERT_OK_AND_ASSIGN(OperatorPtr op, CreateOperator(spec));
+  ASSERT_OK(op->Init({SchemaAB(), SchemaAB(), SchemaAB()}));
+  CollectingEmitter emitter;
+  for (int i = 0; i < 6; ++i) {
+    Tuple t = MakeTuple(SchemaAB(), {Value(i), Value(0)});
+    ASSERT_OK(op->Process(i % 3, t, SimTime(), &emitter));
+  }
+  std::vector<Tuple> out = emitter.OnOutput(0);
+  ASSERT_EQ(out.size(), 6u);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(GetInt(out[i], "A"), i);
+}
+
+TEST(UnionTest, RejectsMismatchedSchemas) {
+  auto spec = UnionSpec(2);
+  ASSERT_OK_AND_ASSIGN(OperatorPtr op, CreateOperator(spec));
+  SchemaPtr other = Schema::Make({Field{"X", ValueType::kString}});
+  EXPECT_TRUE(op->Init({SchemaAB(), other}).IsInvalidArgument());
+}
+
+TEST(OperatorBaseTest, ProcessBeforeInitRejected) {
+  auto spec = UnionSpec(2);
+  ASSERT_OK_AND_ASSIGN(OperatorPtr op, CreateOperator(spec));
+  ASSERT_OK(op->Init({SchemaAB(), SchemaAB()}));
+  CollectingEmitter emitter;
+  Tuple t = MakeTuple(SchemaAB(), {Value(0), Value(0)});
+  EXPECT_TRUE(op->Process(5, t, SimTime(), &emitter).IsInvalidArgument());
+}
+
+TEST(OperatorBaseTest, DoubleInitRejected) {
+  auto spec = FilterSpec(Predicate::True());
+  ASSERT_OK_AND_ASSIGN(OperatorPtr op, CreateOperator(spec));
+  ASSERT_OK(op->Init({SchemaAB()}));
+  EXPECT_TRUE(op->Init({SchemaAB()}).IsFailedPrecondition());
+}
+
+TEST(OperatorBaseTest, CostOverridableViaSpec) {
+  auto spec = FilterSpec(Predicate::True());
+  spec.SetParam("cost_us", Value(9.5));
+  ASSERT_OK_AND_ASSIGN(OperatorPtr op, CreateOperator(spec));
+  ASSERT_OK(op->Init({SchemaAB()}));
+  EXPECT_DOUBLE_EQ(op->cost_micros_per_tuple(), 9.5);
+}
+
+TEST(OperatorFactoryTest, UnknownKindIsError) {
+  OperatorSpec spec;
+  spec.kind = "teleport";
+  EXPECT_TRUE(CreateOperator(spec).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace aurora

@@ -1,0 +1,151 @@
+// Randomized property sweeps over operator invariants, parameterized by
+// seed and workload shape.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.h"
+#include "ops/wsort_op.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing_util::CollectingEmitter;
+using testing_util::GetInt;
+using testing_util::RunUnaryOp;
+using testing_util::SchemaAB;
+
+struct SeedCase {
+  uint64_t seed;
+  int n;
+};
+
+class WSortPropertyTest : public ::testing::TestWithParam<SeedCase> {};
+
+// Invariant: whatever arrives, the emitted sequence (including drain) is
+// non-decreasing in the sort key, and emitted + dropped == received.
+TEST_P(WSortPropertyTest, OutputSortedAndAccounted) {
+  const auto& c = GetParam();
+  Rng rng(c.seed);
+  auto spec = WSortSpec({"A"}, /*timeout_us=*/5'000);
+  ASSERT_OK_AND_ASSIGN(OperatorPtr op, CreateOperator(spec));
+  ASSERT_OK(op->Init({SchemaAB()}));
+  auto* wsort = static_cast<WSortOp*>(op.get());
+  CollectingEmitter emitter;
+  SimTime now;
+  for (int i = 0; i < c.n; ++i) {
+    Tuple t = MakeTuple(SchemaAB(),
+                        {Value(rng.UniformInt(0, 50)), Value(i)});
+    now += SimDuration::Millis(static_cast<int64_t>(rng.Uniform(4)));
+    t.set_timestamp(now);
+    ASSERT_OK(op->Process(0, t, now, &emitter));
+    op->OnTick(now, &emitter);
+  }
+  op->Drain(&emitter);
+  std::vector<Tuple> out = emitter.OnOutput(0);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LE(GetInt(out[i - 1], "A"), GetInt(out[i], "A")) << "at " << i;
+  }
+  EXPECT_EQ(out.size() + wsort->dropped(), static_cast<size_t>(c.n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WSortPropertyTest,
+                         ::testing::Values(SeedCase{1, 50}, SeedCase{2, 200},
+                                           SeedCase{3, 500}, SeedCase{4, 31},
+                                           SeedCase{5, 1000}));
+
+class TumblePropertyTest : public ::testing::TestWithParam<SeedCase> {};
+
+// Invariant: with agg=cnt, the sum of all window counts (after drain)
+// equals the number of input tuples, and each window's count equals its
+// run length.
+TEST_P(TumblePropertyTest, CountsPartitionTheInput) {
+  const auto& c = GetParam();
+  Rng rng(c.seed);
+  SchemaPtr schema = SchemaAB();
+  std::vector<Tuple> stream;
+  int64_t group = 0;
+  std::vector<int64_t> run_lengths;
+  while (static_cast<int>(stream.size()) < c.n) {
+    int64_t run = rng.UniformInt(1, 6);
+    run = std::min<int64_t>(run, c.n - static_cast<int64_t>(stream.size()));
+    run_lengths.push_back(run);
+    for (int64_t j = 0; j < run; ++j) {
+      stream.push_back(MakeTuple(schema, {Value(group), Value(j)}));
+    }
+    ++group;
+  }
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Tuple> out,
+      RunUnaryOp(TumbleSpec("cnt", "B", {"A"}), schema, stream, true));
+  ASSERT_EQ(out.size(), run_lengths.size());
+  int64_t total = 0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(GetInt(out[i], "Result"), run_lengths[i]) << "window " << i;
+    total += GetInt(out[i], "Result");
+  }
+  EXPECT_EQ(total, c.n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TumblePropertyTest,
+                         ::testing::Values(SeedCase{10, 40}, SeedCase{11, 123},
+                                           SeedCase{12, 400},
+                                           SeedCase{13, 999}));
+
+class JoinPropertyTest : public ::testing::TestWithParam<SeedCase> {};
+
+// Invariant: the join result is independent of which side a pair's tuples
+// arrive on first (symmetric hash join).
+TEST_P(JoinPropertyTest, SymmetricInArrivalOrder) {
+  const auto& c = GetParam();
+  SchemaPtr left = SchemaAB();
+  SchemaPtr right = Schema::Make(
+      {Field{"K", ValueType::kInt64}, Field{"V", ValueType::kInt64}});
+  // A batch of left/right tuples with random keys, all within the window.
+  Rng rng(c.seed);
+  std::vector<Tuple> lefts, rights;
+  for (int i = 0; i < c.n; ++i) {
+    Tuple l = MakeTuple(left, {Value(rng.UniformInt(0, 9)), Value(i)});
+    l.set_timestamp(SimTime::Millis(1));
+    lefts.push_back(std::move(l));
+    Tuple r = MakeTuple(right, {Value(rng.UniformInt(0, 9)), Value(i)});
+    r.set_timestamp(SimTime::Millis(1));
+    rights.push_back(std::move(r));
+  }
+  auto run = [&](bool left_first) {
+    auto op = std::move(CreateOperator(JoinSpec("A", "K", 1'000'000))).ValueUnsafe();
+    AURORA_CHECK(op->Init({left, right}).ok());
+    CollectingEmitter emitter;
+    if (left_first) {
+      for (const auto& l : lefts) {
+        (void)op->Process(0, l, SimTime::Millis(1), &emitter);
+      }
+      for (const auto& r : rights) {
+        (void)op->Process(1, r, SimTime::Millis(1), &emitter);
+      }
+    } else {
+      for (const auto& r : rights) {
+        (void)op->Process(1, r, SimTime::Millis(1), &emitter);
+      }
+      for (const auto& l : lefts) {
+        (void)op->Process(0, l, SimTime::Millis(1), &emitter);
+      }
+    }
+    // Canonicalize: multiset of (left B, right V) pairs.
+    std::multiset<std::pair<int64_t, int64_t>> pairs;
+    for (const auto& t : emitter.OnOutput(0)) {
+      pairs.insert({t.Get("B").AsInt(), t.Get("V").AsInt()});
+    }
+    return pairs;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, JoinPropertyTest,
+                         ::testing::Values(SeedCase{20, 20}, SeedCase{21, 60},
+                                           SeedCase{22, 150}));
+
+}  // namespace
+}  // namespace aurora

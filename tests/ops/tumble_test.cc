@@ -1,0 +1,162 @@
+// Reproduces the paper's worked Tumble examples:
+//  - §2.2 / Figure 2: Tumble(avg(B), groupby A) over the 7-tuple sample
+//    stream emits (A=1, Result=2.5) upon tuple #3 and (A=2, Result=3.0)
+//    upon tuple #6, with a third window (A=4) still open.
+//  - §5.1 / Figure 6: Tumble(cnt, groupby A) emits (1,2) and (2,3).
+#include <gtest/gtest.h>
+
+#include "ops/tumble_op.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing_util::CollectingEmitter;
+using testing_util::GetDouble;
+using testing_util::GetInt;
+using testing_util::PaperFigure2Stream;
+using testing_util::RunUnaryOp;
+using testing_util::SchemaAB;
+
+TEST(TumbleTest, PaperFigure2AvgExample) {
+  auto spec = TumbleSpec("avg", "B", {"A"});
+  ASSERT_OK_AND_ASSIGN(OperatorPtr op, CreateOperator(spec));
+  ASSERT_OK(op->Init({SchemaAB()}));
+  CollectingEmitter emitter;
+  std::vector<Tuple> stream = PaperFigure2Stream();
+
+  // Tuples #1 and #2: nothing emitted yet.
+  ASSERT_OK(op->Process(0, stream[0], stream[0].timestamp(), &emitter));
+  ASSERT_OK(op->Process(0, stream[1], stream[1].timestamp(), &emitter));
+  EXPECT_EQ(emitter.emissions().size(), 0u);
+
+  // Tuple #3 (first with A != 1) closes the A=1 window: (A=1, Result=2.5).
+  ASSERT_OK(op->Process(0, stream[2], stream[2].timestamp(), &emitter));
+  ASSERT_EQ(emitter.emissions().size(), 1u);
+  EXPECT_EQ(GetInt(emitter.OnOutput(0)[0], "A"), 1);
+  EXPECT_DOUBLE_EQ(GetDouble(emitter.OnOutput(0)[0], "Result"), 2.5);
+
+  // Tuples #4, #5 extend the A=2 window.
+  ASSERT_OK(op->Process(0, stream[3], stream[3].timestamp(), &emitter));
+  ASSERT_OK(op->Process(0, stream[4], stream[4].timestamp(), &emitter));
+  EXPECT_EQ(emitter.emissions().size(), 1u);
+
+  // Tuple #6 (A=4) closes the A=2 window: (A=2, Result=3.0).
+  ASSERT_OK(op->Process(0, stream[5], stream[5].timestamp(), &emitter));
+  ASSERT_EQ(emitter.emissions().size(), 2u);
+  EXPECT_EQ(GetInt(emitter.OnOutput(0)[1], "A"), 2);
+  EXPECT_DOUBLE_EQ(GetDouble(emitter.OnOutput(0)[1], "Result"), 3.0);
+
+  // Tuple #7 keeps the A=4 window open — "a third tuple with A = 4 would
+  // not get emitted until a later tuple arrives with A not equal to 4".
+  ASSERT_OK(op->Process(0, stream[6], stream[6].timestamp(), &emitter));
+  EXPECT_EQ(emitter.emissions().size(), 2u);
+}
+
+TEST(TumbleTest, PaperFigure6CntExample) {
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Tuple> out,
+      RunUnaryOp(TumbleSpec("cnt", "B", {"A"}), SchemaAB(),
+                 PaperFigure2Stream()));
+  // Without splitting: (A=1, result=2) and (A=2, result=3); A=4 still open.
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(GetInt(out[0], "A"), 1);
+  EXPECT_EQ(GetInt(out[0], "Result"), 2);
+  EXPECT_EQ(GetInt(out[1], "A"), 2);
+  EXPECT_EQ(GetInt(out[1], "Result"), 3);
+}
+
+TEST(TumbleTest, DrainFlushesOpenWindow) {
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Tuple> out,
+      RunUnaryOp(TumbleSpec("cnt", "B", {"A"}), SchemaAB(),
+                 PaperFigure2Stream(), /*drain=*/true));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(GetInt(out[2], "A"), 4);
+  EXPECT_EQ(GetInt(out[2], "Result"), 2);
+}
+
+TEST(TumbleTest, InterleavedGroupsCloseOnEveryChange) {
+  // Run-based windows: A=1,A=2,A=1 produces three windows.
+  SchemaPtr schema = SchemaAB();
+  std::vector<Tuple> tuples = {
+      MakeTuple(schema, {Value(1), Value(10)}),
+      MakeTuple(schema, {Value(2), Value(20)}),
+      MakeTuple(schema, {Value(1), Value(30)}),
+  };
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Tuple> out,
+      RunUnaryOp(TumbleSpec("sum", "B", {"A"}), schema, tuples,
+                 /*drain=*/true));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(GetInt(out[0], "A"), 1);
+  EXPECT_EQ(GetInt(out[0], "Result"), 10);
+  EXPECT_EQ(GetInt(out[1], "A"), 2);
+  EXPECT_EQ(GetInt(out[1], "Result"), 20);
+  EXPECT_EQ(GetInt(out[2], "A"), 1);
+  EXPECT_EQ(GetInt(out[2], "Result"), 30);
+}
+
+TEST(TumbleTest, EveryNPolicyCountWindowsPerGroup) {
+  OperatorSpec spec = TumbleSpec("sum", "B", {"A"});
+  spec.SetParam("emit", Value(std::string("every_n")));
+  spec.SetParam("n", Value(static_cast<int64_t>(2)));
+  SchemaPtr schema = SchemaAB();
+  // Interleaved groups; each group's window closes after 2 tuples.
+  std::vector<Tuple> tuples = {
+      MakeTuple(schema, {Value(1), Value(1)}),
+      MakeTuple(schema, {Value(2), Value(10)}),
+      MakeTuple(schema, {Value(1), Value(2)}),   // closes A=1: 3
+      MakeTuple(schema, {Value(2), Value(20)}),  // closes A=2: 30
+      MakeTuple(schema, {Value(1), Value(4)}),   // new A=1 window stays open
+  };
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> out,
+                       RunUnaryOp(spec, schema, tuples));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(GetInt(out[0], "A"), 1);
+  EXPECT_EQ(GetInt(out[0], "Result"), 3);
+  EXPECT_EQ(GetInt(out[1], "A"), 2);
+  EXPECT_EQ(GetInt(out[1], "Result"), 30);
+}
+
+TEST(TumbleTest, NoGroupbySingleRun) {
+  OperatorSpec spec = TumbleSpec("cnt", "B", {});
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Tuple> out,
+      RunUnaryOp(spec, SchemaAB(), PaperFigure2Stream(), /*drain=*/true));
+  // One global run over all seven tuples.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(GetInt(out[0], "Result"), 7);
+}
+
+TEST(TumbleTest, StatefulDependencyTracksOpenWindow) {
+  auto spec = TumbleSpec("cnt", "B", {"A"});
+  ASSERT_OK_AND_ASSIGN(OperatorPtr op, CreateOperator(spec));
+  ASSERT_OK(op->Init({SchemaAB()}));
+  CollectingEmitter emitter;
+  std::vector<Tuple> stream = PaperFigure2Stream();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK(op->Process(0, stream[i], stream[i].timestamp(), &emitter));
+  }
+  // Open window holds tuples #3..#5 (A=2) → earliest dependency is seq 3.
+  std::vector<SeqNo> deps = op->Dependencies();
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0], 3u);
+}
+
+TEST(TumbleTest, RejectsUnknownAggregate) {
+  auto spec = TumbleSpec("median", "B", {"A"});
+  ASSERT_OK_AND_ASSIGN(OperatorPtr op, CreateOperator(spec));
+  Status st = op->Init({SchemaAB()});
+  EXPECT_TRUE(st.IsInvalidArgument());
+}
+
+TEST(TumbleTest, RejectsMissingField) {
+  auto spec = TumbleSpec("cnt", "Z", {"A"});
+  ASSERT_OK_AND_ASSIGN(OperatorPtr op, CreateOperator(spec));
+  Status st = op->Init({SchemaAB()});
+  EXPECT_TRUE(st.IsNotFound()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace aurora

@@ -1,0 +1,178 @@
+// XSection/Slide window aggregates, the windowed Join, and Resample — the
+// remaining operators of §2.2.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing_util::CollectingEmitter;
+using testing_util::GetDouble;
+using testing_util::GetInt;
+using testing_util::RunUnaryOp;
+using testing_util::SchemaAB;
+
+Tuple T(int64_t a, int64_t b, int64_t ts_ms = 0) {
+  Tuple t = MakeTuple(SchemaAB(), {Value(a), Value(b)});
+  t.set_timestamp(SimTime::Millis(ts_ms));
+  return t;
+}
+
+TEST(XSectionTest, TumblingCountWindows) {
+  // window == advance: disjoint count windows.
+  auto spec = XSectionSpec("sum", "B", 3, 3);
+  std::vector<Tuple> in;
+  for (int i = 1; i <= 9; ++i) in.push_back(T(0, i));
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> out,
+                       RunUnaryOp(spec, SchemaAB(), in));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(GetInt(out[0], "Result"), 6);    // 1+2+3
+  EXPECT_EQ(GetInt(out[1], "Result"), 15);   // 4+5+6
+  EXPECT_EQ(GetInt(out[2], "Result"), 24);   // 7+8+9
+}
+
+TEST(SlideTest, SlidingWindowPerTuple) {
+  auto spec = SlideSpec("sum", "B", 3);
+  std::vector<Tuple> in;
+  for (int i = 1; i <= 6; ++i) in.push_back(T(0, i));
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> out,
+                       RunUnaryOp(spec, SchemaAB(), in));
+  // First window fires when full (1,2,3), then slides by one.
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(GetInt(out[0], "Result"), 6);
+  EXPECT_EQ(GetInt(out[1], "Result"), 9);
+  EXPECT_EQ(GetInt(out[2], "Result"), 12);
+  EXPECT_EQ(GetInt(out[3], "Result"), 15);
+}
+
+TEST(XSectionTest, PerGroupWindows) {
+  auto spec = XSectionSpec("cnt", "B", 2, 2, {"A"});
+  std::vector<Tuple> in = {T(1, 0), T(2, 0), T(1, 0), T(2, 0), T(1, 0)};
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> out,
+                       RunUnaryOp(spec, SchemaAB(), in));
+  // Each group fills a 2-window independently.
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(GetInt(out[0], "A"), 1);
+  EXPECT_EQ(GetInt(out[1], "A"), 2);
+}
+
+TEST(XSectionTest, ValidatesWindowParams) {
+  ASSERT_OK_AND_ASSIGN(OperatorPtr op,
+                       CreateOperator(XSectionSpec("sum", "B", 0, 1)));
+  EXPECT_TRUE(op->Init({SchemaAB()}).IsInvalidArgument());
+  ASSERT_OK_AND_ASSIGN(OperatorPtr op2,
+                       CreateOperator(XSectionSpec("sum", "B", 3, 5)));
+  EXPECT_TRUE(op2->Init({SchemaAB()}).IsInvalidArgument());
+}
+
+SchemaPtr RightSchema() {
+  return Schema::Make({Field{"K", ValueType::kInt64},
+                       Field{"V", ValueType::kInt64}});
+}
+
+TEST(JoinTest, MatchesWithinWindow) {
+  auto spec = JoinSpec("A", "K", /*window_us=*/100'000);
+  ASSERT_OK_AND_ASSIGN(OperatorPtr op, CreateOperator(spec));
+  ASSERT_OK(op->Init({SchemaAB(), RightSchema()}));
+  EXPECT_EQ(op->output_schema(0)->ToString(),
+            "(A:int64, B:int64, K:int64, V:int64)");
+  CollectingEmitter emitter;
+  ASSERT_OK(op->Process(0, T(1, 10, 0), SimTime::Millis(0), &emitter));
+  Tuple r = MakeTuple(RightSchema(), {Value(1), Value(99)});
+  r.set_timestamp(SimTime::Millis(50));
+  ASSERT_OK(op->Process(1, r, SimTime::Millis(50), &emitter));
+  ASSERT_EQ(emitter.emissions().size(), 1u);
+  const Tuple joined = emitter.OnOutput(0)[0];
+  EXPECT_EQ(GetInt(joined, "B"), 10);
+  EXPECT_EQ(GetInt(joined, "V"), 99);
+}
+
+TEST(JoinTest, OutsideWindowNoMatch) {
+  auto spec = JoinSpec("A", "K", 10'000);  // 10ms
+  ASSERT_OK_AND_ASSIGN(OperatorPtr op, CreateOperator(spec));
+  ASSERT_OK(op->Init({SchemaAB(), RightSchema()}));
+  CollectingEmitter emitter;
+  ASSERT_OK(op->Process(0, T(1, 10, 0), SimTime::Millis(0), &emitter));
+  Tuple r = MakeTuple(RightSchema(), {Value(1), Value(99)});
+  r.set_timestamp(SimTime::Millis(50));
+  ASSERT_OK(op->Process(1, r, SimTime::Millis(50), &emitter));
+  EXPECT_TRUE(emitter.emissions().empty());
+}
+
+TEST(JoinTest, SelectivityCanExceedOne) {
+  // §5.1 motivates sliding a join downstream because it "produces more
+  // data than the input".
+  auto spec = JoinSpec("A", "K", 1'000'000);
+  ASSERT_OK_AND_ASSIGN(OperatorPtr op, CreateOperator(spec));
+  ASSERT_OK(op->Init({SchemaAB(), RightSchema()}));
+  CollectingEmitter emitter;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_OK(op->Process(0, T(7, i, 1), SimTime::Millis(1), &emitter));
+  }
+  Tuple r = MakeTuple(RightSchema(), {Value(7), Value(0)});
+  r.set_timestamp(SimTime::Millis(2));
+  ASSERT_OK(op->Process(1, r, SimTime::Millis(2), &emitter));
+  EXPECT_EQ(emitter.emissions().size(), 4u);
+  EXPECT_GT(op->selectivity(), 0.5);
+}
+
+TEST(JoinTest, RenamesCollidingRightFields) {
+  auto spec = JoinSpec("A", "A", 1000);
+  ASSERT_OK_AND_ASSIGN(OperatorPtr op, CreateOperator(spec));
+  ASSERT_OK(op->Init({SchemaAB(), SchemaAB()}));
+  EXPECT_EQ(op->output_schema(0)->ToString(),
+            "(A:int64, B:int64, r_A:int64, r_B:int64)");
+}
+
+TEST(ResampleTest, LinearInterpolationAtBoundaries) {
+  auto spec = ResampleSpec("B", /*interval_us=*/10'000);  // every 10ms
+  ASSERT_OK_AND_ASSIGN(OperatorPtr op, CreateOperator(spec));
+  ASSERT_OK(op->Init({SchemaAB()}));
+  CollectingEmitter emitter;
+  ASSERT_OK(op->Process(0, T(0, 0, 0), SimTime::Millis(0), &emitter));
+  ASSERT_OK(op->Process(0, T(0, 100, 20), SimTime::Millis(20), &emitter));
+  // The first sample lands exactly on a boundary (0 ms), so boundaries at
+  // 0, 10, and 20 ms interpolate between (0ms,0) and (20ms,100).
+  std::vector<Tuple> out = emitter.OnOutput(0);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(GetDouble(out[0], "B"), 0.0);
+  EXPECT_DOUBLE_EQ(GetDouble(out[1], "B"), 50.0);
+  EXPECT_DOUBLE_EQ(GetDouble(out[2], "B"), 100.0);
+  EXPECT_EQ(GetInt(out[1], "ts"), 10'000);
+}
+
+TEST(ResampleTest, IrregularInputRegularOutput) {
+  auto spec = ResampleSpec("B", 5'000);
+  ASSERT_OK_AND_ASSIGN(OperatorPtr op, CreateOperator(spec));
+  ASSERT_OK(op->Init({SchemaAB()}));
+  CollectingEmitter emitter;
+  // Irregular arrivals at 1, 2, 13, 31 ms.
+  for (auto [ms, v] : std::vector<std::pair<int, int>>{
+           {1, 10}, {2, 20}, {13, 130}, {31, 310}}) {
+    ASSERT_OK(op->Process(0, T(0, v, ms), SimTime::Millis(ms), &emitter));
+  }
+  std::vector<Tuple> out = emitter.OnOutput(0);
+  // Boundaries: 5,10 (from 2→13 segment), 15,20,25,30 (13→31 segment).
+  ASSERT_EQ(out.size(), 6u);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_EQ(GetInt(out[i], "ts") - GetInt(out[i - 1], "ts"), 5'000);
+  }
+}
+
+TEST(WindowAggTest, LineageStampsEarliestInWindow) {
+  auto spec = XSectionSpec("sum", "B", 3, 3);
+  ASSERT_OK_AND_ASSIGN(OperatorPtr op, CreateOperator(spec));
+  ASSERT_OK(op->Init({SchemaAB()}));
+  CollectingEmitter emitter;
+  for (int i = 0; i < 3; ++i) {
+    Tuple t = T(0, i);
+    t.set_seq(static_cast<SeqNo>(50 + i));
+    ASSERT_OK(op->Process(0, t, SimTime(), &emitter));
+  }
+  ASSERT_EQ(emitter.emissions().size(), 1u);
+  EXPECT_EQ(emitter.OnOutput(0)[0].seq(), 50u);
+}
+
+}  // namespace
+}  // namespace aurora

@@ -1,0 +1,125 @@
+// QoS utility graphs and the Fig. 9 inference rule Q_i(t) = Q_o(t + T_B).
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "qos/inference.h"
+#include "qos/qos_spec.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+TEST(UtilityGraphTest, EvalInterpolatesAndClamps) {
+  ASSERT_OK_AND_ASSIGN(UtilityGraph g,
+                       UtilityGraph::Make({{100, 1.0}, {200, 0.0}}));
+  EXPECT_DOUBLE_EQ(g.Eval(50), 1.0);    // clamp left
+  EXPECT_DOUBLE_EQ(g.Eval(100), 1.0);
+  EXPECT_DOUBLE_EQ(g.Eval(150), 0.5);   // interpolation
+  EXPECT_DOUBLE_EQ(g.Eval(200), 0.0);
+  EXPECT_DOUBLE_EQ(g.Eval(500), 0.0);   // clamp right
+}
+
+TEST(UtilityGraphTest, ValidatesInput) {
+  EXPECT_TRUE(UtilityGraph::Make({}).status().IsInvalidArgument());
+  EXPECT_TRUE(UtilityGraph::Make({{2, 0.5}, {1, 0.6}})
+                  .status()
+                  .IsInvalidArgument());  // x not increasing
+  EXPECT_TRUE(UtilityGraph::Make({{1, 1.5}}).status().IsInvalidArgument());
+}
+
+TEST(UtilityGraphTest, ShiftLeftImplementsInferenceRule) {
+  ASSERT_OK_AND_ASSIGN(UtilityGraph q_o,
+                       UtilityGraph::Make({{100, 1.0}, {200, 0.0}}));
+  UtilityGraph q_i = q_o.ShiftLeft(30.0);
+  // Q_i(t) == Q_o(t + 30) for all t.
+  for (double t : {0.0, 70.0, 120.0, 170.0, 400.0}) {
+    EXPECT_DOUBLE_EQ(q_i.Eval(t), q_o.Eval(t + 30.0)) << "t=" << t;
+  }
+}
+
+TEST(UtilityGraphTest, CriticalX) {
+  ASSERT_OK_AND_ASSIGN(UtilityGraph g,
+                       UtilityGraph::Make({{100, 1.0}, {200, 0.0}}));
+  EXPECT_NEAR(g.CriticalX(0.5), 150.0, 1e-9);
+  ASSERT_OK_AND_ASSIGN(UtilityGraph flat, UtilityGraph::Make({{0, 1.0}}));
+  EXPECT_TRUE(std::isinf(flat.CriticalX(0.5)));
+}
+
+TEST(QoSSpecTest, UtilityComposesLatencyAndLoss) {
+  QoSSpec spec;
+  spec.latency = *UtilityGraph::Make({{100, 1.0}, {200, 0.0}});
+  spec.loss = *UtilityGraph::Make({{0.0, 0.0}, {1.0, 1.0}});
+  EXPECT_DOUBLE_EQ(spec.Utility(100, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(spec.Utility(150, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(spec.Utility(100, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(spec.Utility(150, 0.5), 0.25);
+}
+
+TEST(InferenceTest, ChainComposesAdditively) {
+  // Fig. 9: S1 -> S2 -> S3 with QoS at S3's output; inferring through the
+  // chain shifts by the total downstream processing time.
+  QoSSpec out;
+  out.latency = *UtilityGraph::Make({{100, 1.0}, {200, 0.0}});
+  QoSSpec at_s2 = InferThroughBox(out, 20.0);
+  QoSSpec at_s1 = InferThroughChain(out, {20.0, 30.0});
+  EXPECT_DOUBLE_EQ(at_s2.latency.Eval(80), 1.0);
+  EXPECT_DOUBLE_EQ(at_s2.latency.Eval(130), 0.5);
+  // At S1, deadline is 50ms earlier than at S3.
+  EXPECT_DOUBLE_EQ(at_s1.latency.Eval(50), 1.0);
+  EXPECT_DOUBLE_EQ(at_s1.latency.Eval(100), 0.5);
+  EXPECT_DOUBLE_EQ(at_s1.latency.Eval(150), 0.0);
+}
+
+TEST(InferenceTest, LossGraphPassesThroughUnchanged) {
+  QoSSpec out;
+  out.latency = *UtilityGraph::Make({{100, 1.0}, {200, 0.0}});
+  out.loss = *UtilityGraph::Make({{0.0, 0.2}, {1.0, 1.0}});
+  QoSSpec inferred = InferThroughBox(out, 50.0);
+  EXPECT_DOUBLE_EQ(inferred.loss.Eval(0.5), out.loss.Eval(0.5));
+}
+
+TEST(InferenceTest, PointwiseMinIsMostStringent) {
+  ASSERT_OK_AND_ASSIGN(UtilityGraph a,
+                       UtilityGraph::Make({{100, 1.0}, {200, 0.0}}));
+  ASSERT_OK_AND_ASSIGN(UtilityGraph b,
+                       UtilityGraph::Make({{50, 1.0}, {300, 0.0}}));
+  UtilityGraph combined = PointwiseMin({a, b});
+  for (double x : {25.0, 75.0, 125.0, 175.0, 250.0, 400.0}) {
+    EXPECT_NEAR(combined.Eval(x), std::min(a.Eval(x), b.Eval(x)), 1e-9)
+        << "x=" << x;
+  }
+}
+
+TEST(InferenceTest, PointwiseMinCapturesCrossings) {
+  // Graphs that cross between breakpoints: the min must follow the lower
+  // envelope exactly, including at the crossing.
+  ASSERT_OK_AND_ASSIGN(UtilityGraph a,
+                       UtilityGraph::Make({{0, 1.0}, {100, 0.0}}));
+  ASSERT_OK_AND_ASSIGN(UtilityGraph b,
+                       UtilityGraph::Make({{0, 0.0}, {100, 1.0}}));
+  UtilityGraph combined = PointwiseMin({a, b});
+  EXPECT_NEAR(combined.Eval(50), 0.5, 1e-9);
+  EXPECT_NEAR(combined.Eval(25), 0.25, 1e-9);  // follows b below crossing
+  EXPECT_NEAR(combined.Eval(75), 0.25, 1e-9);  // follows a above crossing
+}
+
+TEST(InferenceTest, CombineSpecsMergesBothGraphs) {
+  QoSSpec s1, s2;
+  s1.latency = *UtilityGraph::Make({{100, 1.0}, {200, 0.0}});
+  s1.loss = *UtilityGraph::Make({{0.0, 0.0}, {1.0, 1.0}});
+  s2.latency = *UtilityGraph::Make({{50, 1.0}, {150, 0.0}});
+  s2.loss = *UtilityGraph::Make({{0.0, 0.5}, {1.0, 1.0}});
+  QoSSpec combined = CombineSpecs({s1, s2});
+  EXPECT_NEAR(combined.latency.Eval(150),
+              std::min(s1.latency.Eval(150), s2.latency.Eval(150)), 1e-9);
+  EXPECT_NEAR(combined.loss.Eval(0.0), 0.0, 1e-9);
+}
+
+TEST(QoSSpecTest, DefaultIsPermissive) {
+  QoSSpec d = QoSSpec::Default();
+  EXPECT_DOUBLE_EQ(d.Utility(50, 1.0), 1.0);
+  EXPECT_LT(d.Utility(800, 1.0), 0.5);
+}
+
+}  // namespace
+}  // namespace aurora

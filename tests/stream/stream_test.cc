@@ -1,0 +1,122 @@
+// StreamQueue spill accounting and ConnectionPoint historical storage
+// (paper §2.2–2.3).
+#include <gtest/gtest.h>
+
+#include "stream/connection_point.h"
+#include "stream/stream_queue.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing_util::SchemaAB;
+
+Tuple T(int64_t a, int64_t b, int64_t ts_ms = 0) {
+  Tuple t = MakeTuple(SchemaAB(), {Value(a), Value(b)});
+  t.set_timestamp(SimTime::Millis(ts_ms));
+  return t;
+}
+
+TEST(StreamQueueTest, FifoOrder) {
+  StreamQueue q;
+  for (int i = 0; i < 5; ++i) q.Push(T(i, 0));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(q.Pop().Get("A").AsInt(), i);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(StreamQueueTest, ByteAccounting) {
+  StreamQueue q;
+  Tuple t = T(1, 2);
+  size_t each = t.WireSize();
+  q.Push(t);
+  q.Push(t);
+  EXPECT_EQ(q.bytes(), 2 * each);
+  q.Pop();
+  EXPECT_EQ(q.bytes(), each);
+}
+
+TEST(StreamQueueTest, SpillMarksOldestAndChargesReads) {
+  StreamQueue q;
+  for (int i = 0; i < 10; ++i) q.Push(T(i, 0));
+  size_t freed = q.Spill(4);
+  EXPECT_GT(freed, 0u);
+  EXPECT_EQ(q.spilled_count(), 4u);
+  EXPECT_EQ(q.resident_bytes(), q.bytes() - freed);
+  // Popping the spilled prefix counts disk reads.
+  for (int i = 0; i < 4; ++i) q.Pop();
+  EXPECT_EQ(q.unspill_reads(), 4u);
+  EXPECT_EQ(q.spilled_count(), 0u);
+  // Resident pops are free.
+  q.Pop();
+  EXPECT_EQ(q.unspill_reads(), 4u);
+}
+
+TEST(StreamQueueTest, SpillMoreThanResidentClamps) {
+  StreamQueue q;
+  for (int i = 0; i < 3; ++i) q.Push(T(i, 0));
+  q.Spill(100);
+  EXPECT_EQ(q.spilled_count(), 3u);
+  EXPECT_EQ(q.resident_bytes(), 0u);
+}
+
+TEST(ConnectionPointTest, RecordsHistory) {
+  ConnectionPoint cp("cp", RetentionPolicy{});
+  for (int i = 0; i < 5; ++i) cp.Record(T(i, i), SimTime::Millis(i));
+  EXPECT_EQ(cp.history_size(), 5u);
+  EXPECT_GT(cp.history_bytes(), 0u);
+}
+
+TEST(ConnectionPointTest, CountRetentionEvictsOldest) {
+  RetentionPolicy policy;
+  policy.max_tuples = 3;
+  ConnectionPoint cp("cp", policy);
+  for (int i = 0; i < 10; ++i) cp.Record(T(i, 0), SimTime::Millis(i));
+  ASSERT_EQ(cp.history_size(), 3u);
+  EXPECT_EQ(cp.history().front().Get("A").AsInt(), 7);
+}
+
+TEST(ConnectionPointTest, AgeRetentionEvictsExpired) {
+  RetentionPolicy policy;
+  policy.max_age = SimDuration::Millis(10);
+  ConnectionPoint cp("cp", policy);
+  for (int i = 0; i < 20; ++i) cp.Record(T(i, 0, i), SimTime::Millis(i));
+  // At t=19ms, tuples older than 9ms are gone.
+  EXPECT_LE(cp.history_size(), 11u);
+  EXPECT_GE(cp.history().front().Get("A").AsInt(), 9);
+}
+
+TEST(ConnectionPointTest, AdHocQueryOverHistory) {
+  ConnectionPoint cp("cp", RetentionPolicy{});
+  for (int i = 0; i < 10; ++i) cp.Record(T(i, i % 2), SimTime());
+  std::vector<int64_t> seen;
+  size_t matched = cp.QueryHistory(
+      [](const Tuple& t) { return t.Get("B").AsInt() == 1; },
+      [&](const Tuple& t) { seen.push_back(t.Get("A").AsInt()); });
+  EXPECT_EQ(matched, 5u);
+  EXPECT_EQ(seen, (std::vector<int64_t>{1, 3, 5, 7, 9}));
+}
+
+TEST(ConnectionPointTest, SnapshotAndLoadForSplitMigration) {
+  // §5.2 "Handling Connection Points": splitting a CP copies its data.
+  ConnectionPoint cp("cp", RetentionPolicy{});
+  for (int i = 0; i < 4; ++i) cp.Record(T(i, 0), SimTime());
+  std::vector<Tuple> snapshot = cp.SnapshotHistory();
+  ConnectionPoint replica("cp2", RetentionPolicy{});
+  replica.LoadHistory(snapshot);
+  EXPECT_EQ(replica.history_size(), 4u);
+  EXPECT_EQ(replica.history_bytes(), cp.history_bytes());
+}
+
+TEST(ConnectionPointTest, ChokeFlag) {
+  ConnectionPoint cp("cp", RetentionPolicy{});
+  EXPECT_FALSE(cp.choked());
+  cp.Choke();
+  EXPECT_TRUE(cp.choked());
+  cp.Unchoke();
+  EXPECT_FALSE(cp.choked());
+}
+
+}  // namespace
+}  // namespace aurora

@@ -1,0 +1,108 @@
+#ifndef AURORA_TESTS_TEST_UTIL_H_
+#define AURORA_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ops/operator.h"
+#include "tuple/tuple.h"
+
+namespace aurora {
+namespace testing_util {
+
+#define ASSERT_OK(expr)                                        \
+  do {                                                         \
+    auto _st = (expr);                                         \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                   \
+  } while (0)
+
+#define EXPECT_OK(expr)                                        \
+  do {                                                         \
+    auto _st = (expr);                                         \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                   \
+  } while (0)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, expr)                        \
+  ASSERT_OK_AND_ASSIGN_IMPL(                                   \
+      AURORA_CONCAT_(_test_res_, __LINE__), lhs, expr)
+#define ASSERT_OK_AND_ASSIGN_IMPL(tmp, lhs, expr)              \
+  auto tmp = (expr);                                           \
+  ASSERT_TRUE(tmp.ok()) << tmp.status().ToString();            \
+  lhs = std::move(tmp).ValueUnsafe();
+
+/// Emitter that records everything an operator produces.
+class CollectingEmitter : public Emitter {
+ public:
+  void Emit(int output, Tuple t) override {
+    emissions_.emplace_back(output, std::move(t));
+  }
+
+  const std::vector<std::pair<int, Tuple>>& emissions() const {
+    return emissions_;
+  }
+  /// Tuples emitted on a specific output, in order.
+  std::vector<Tuple> OnOutput(int output) const {
+    std::vector<Tuple> out;
+    for (const auto& [o, t] : emissions_) {
+      if (o == output) out.push_back(t);
+    }
+    return out;
+  }
+  void Clear() { emissions_.clear(); }
+
+ private:
+  std::vector<std::pair<int, Tuple>> emissions_;
+};
+
+/// Schema (A:int64, B:int64) used by the paper's Figure 2 example.
+inline SchemaPtr SchemaAB() {
+  return Schema::Make({Field{"A", ValueType::kInt64},
+                       Field{"B", ValueType::kInt64}});
+}
+
+/// The seven-tuple sample stream of paper Figure 2, with sequence numbers
+/// 1..7 and timestamps 1ms..7ms.
+inline std::vector<Tuple> PaperFigure2Stream() {
+  SchemaPtr schema = SchemaAB();
+  std::vector<std::pair<int64_t, int64_t>> rows = {
+      {1, 2}, {1, 3}, {2, 2}, {2, 1}, {2, 6}, {4, 5}, {4, 2}};
+  std::vector<Tuple> tuples;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    Tuple t = MakeTuple(schema, {Value(rows[i].first), Value(rows[i].second)});
+    t.set_seq(static_cast<SeqNo>(i + 1));
+    t.set_timestamp(SimTime::Millis(static_cast<int64_t>(i + 1)));
+    tuples.push_back(std::move(t));
+  }
+  return tuples;
+}
+
+/// Builds + initializes an operator and runs `tuples` through input 0.
+inline Result<std::vector<Tuple>> RunUnaryOp(const OperatorSpec& spec,
+                                             const SchemaPtr& schema,
+                                             const std::vector<Tuple>& tuples,
+                                             bool drain = false) {
+  AURORA_ASSIGN_OR_RETURN(OperatorPtr op, CreateOperator(spec));
+  AURORA_RETURN_NOT_OK(op->Init({schema}));
+  CollectingEmitter emitter;
+  for (const auto& t : tuples) {
+    AURORA_RETURN_NOT_OK(op->Process(0, t, t.timestamp(), &emitter));
+  }
+  if (drain) op->Drain(&emitter);
+  return emitter.OnOutput(0);
+}
+
+/// Int value of field `name` in tuple `t`.
+inline int64_t GetInt(const Tuple& t, const std::string& name) {
+  return t.Get(name).AsInt();
+}
+inline double GetDouble(const Tuple& t, const std::string& name) {
+  return t.Get(name).AsNumeric();
+}
+
+}  // namespace testing_util
+}  // namespace aurora
+
+#endif  // AURORA_TESTS_TEST_UTIL_H_

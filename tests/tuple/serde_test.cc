@@ -1,0 +1,133 @@
+#include "tuple/serde.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing_util::PaperFigure2Stream;
+using testing_util::SchemaAB;
+
+TEST(SerdeTest, PrimitiveRoundTrips) {
+  Encoder enc;
+  enc.PutU8(0xAB);
+  enc.PutU16(0x1234);
+  enc.PutU32(0xDEADBEEF);
+  enc.PutU64(0x0123456789ABCDEFull);
+  enc.PutI64(-42);
+  enc.PutDouble(3.14159);
+  enc.PutString("stream processing");
+
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(*dec.GetU8(), 0xAB);
+  EXPECT_EQ(*dec.GetU16(), 0x1234);
+  EXPECT_EQ(*dec.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(*dec.GetU64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(*dec.GetI64(), -42);
+  EXPECT_DOUBLE_EQ(*dec.GetDouble(), 3.14159);
+  EXPECT_EQ(*dec.GetString(), "stream processing");
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(SerdeTest, ValueRoundTripsAllTypes) {
+  std::vector<Value> values = {Value::Null(), Value(true), Value(false),
+                               Value(-7), Value(123456789.25), Value("abc")};
+  Encoder enc;
+  for (const auto& v : values) enc.PutValue(v);
+  Decoder dec(enc.buffer());
+  for (const auto& v : values) {
+    ASSERT_OK_AND_ASSIGN(Value got, dec.GetValue());
+    EXPECT_EQ(got, v);
+    EXPECT_EQ(got.type(), v.type());
+  }
+}
+
+TEST(SerdeTest, TupleRoundTripPreservesMetadata) {
+  Tuple t = MakeTuple(SchemaAB(), {Value(1), Value(2)});
+  t.set_timestamp(SimTime::Millis(123));
+  t.set_seq(99);
+  Encoder enc;
+  enc.PutTuple(t);
+  Decoder dec(enc.buffer());
+  ASSERT_OK_AND_ASSIGN(Tuple got, dec.GetTuple(SchemaAB()));
+  EXPECT_TRUE(got.ValuesEqual(t));
+  EXPECT_EQ(got.timestamp(), SimTime::Millis(123));
+  EXPECT_EQ(got.seq(), 99u);
+}
+
+TEST(SerdeTest, SchemaRoundTrip) {
+  SchemaPtr schema = Schema::Make({Field{"id", ValueType::kInt64},
+                                   Field{"name", ValueType::kString},
+                                   Field{"score", ValueType::kDouble}});
+  Encoder enc;
+  enc.PutSchema(*schema);
+  Decoder dec(enc.buffer());
+  ASSERT_OK_AND_ASSIGN(SchemaPtr got, dec.GetSchema());
+  EXPECT_TRUE(got->Equals(*schema));
+}
+
+TEST(SerdeTest, BatchRoundTrip) {
+  std::vector<Tuple> tuples = PaperFigure2Stream();
+  std::vector<uint8_t> bytes = SerializeTuples(tuples);
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> got,
+                       DeserializeTuples(bytes, SchemaAB()));
+  ASSERT_EQ(got.size(), tuples.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_TRUE(got[i].ValuesEqual(tuples[i]));
+    EXPECT_EQ(got[i].seq(), tuples[i].seq());
+  }
+}
+
+TEST(SerdeTest, TruncatedBufferIsError) {
+  std::vector<Tuple> tuples = PaperFigure2Stream();
+  std::vector<uint8_t> bytes = SerializeTuples(tuples);
+  bytes.resize(bytes.size() / 2);
+  auto result = DeserializeTuples(bytes, SchemaAB());
+  EXPECT_TRUE(result.status().IsOutOfRange()) << result.status().ToString();
+}
+
+TEST(SerdeTest, TrailingGarbageIsError) {
+  std::vector<uint8_t> bytes = SerializeTuples(PaperFigure2Stream());
+  bytes.push_back(0xFF);
+  auto result = DeserializeTuples(bytes, SchemaAB());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(SerdeTest, BadValueTagIsError) {
+  Encoder enc;
+  enc.PutU8(200);  // not a ValueType
+  Decoder dec(enc.buffer());
+  EXPECT_TRUE(dec.GetValue().status().IsInvalidArgument());
+}
+
+TEST(SerdeTest, WireSizeMatchesEncodedSize) {
+  for (const Tuple& t : PaperFigure2Stream()) {
+    Encoder enc;
+    enc.PutTuple(t);
+    EXPECT_EQ(enc.size(), t.WireSize());
+  }
+}
+
+TEST(SchemaTest, IndexOfAndProject) {
+  SchemaPtr s = SchemaAB();
+  ASSERT_OK_AND_ASSIGN(size_t idx, s->IndexOf("B"));
+  EXPECT_EQ(idx, 1u);
+  EXPECT_TRUE(s->IndexOf("Z").status().IsNotFound());
+  ASSERT_OK_AND_ASSIGN(SchemaPtr proj, s->Project({"B"}));
+  EXPECT_EQ(proj->num_fields(), 1u);
+  EXPECT_EQ(proj->field(0).name, "B");
+  EXPECT_TRUE(s->Project({"B", "Q"}).status().IsNotFound());
+}
+
+TEST(SchemaTest, AddFieldCreatesNewSchema) {
+  SchemaPtr s = SchemaAB();
+  SchemaPtr extended = s->AddField(Field{"Result", ValueType::kDouble});
+  EXPECT_EQ(s->num_fields(), 2u);
+  EXPECT_EQ(extended->num_fields(), 3u);
+  EXPECT_TRUE(extended->HasField("Result"));
+}
+
+}  // namespace
+}  // namespace aurora

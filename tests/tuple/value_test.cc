@@ -1,0 +1,73 @@
+#include "tuple/value.h"
+
+#include <gtest/gtest.h>
+
+namespace aurora {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value(true).type(), ValueType::kBool);
+  EXPECT_TRUE(Value(true).AsBool());
+  EXPECT_EQ(Value(static_cast<int64_t>(7)).AsInt(), 7);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, NumericView) {
+  EXPECT_DOUBLE_EQ(Value(3).AsNumeric(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(3.5).AsNumeric(), 3.5);
+}
+
+TEST(ValueTest, CompareWithinTypes) {
+  EXPECT_LT(Value(1).Compare(Value(2)), 0);
+  EXPECT_EQ(Value(2).Compare(Value(2)), 0);
+  EXPECT_GT(Value(3).Compare(Value(2)), 0);
+  EXPECT_LT(Value("abc").Compare(Value("abd")), 0);
+  EXPECT_LT(Value(false).Compare(Value(true)), 0);
+}
+
+TEST(ValueTest, CrossNumericComparison) {
+  // int64 and double compare numerically.
+  EXPECT_EQ(Value(2).Compare(Value(2.0)), 0);
+  EXPECT_LT(Value(2).Compare(Value(2.5)), 0);
+  EXPECT_GT(Value(3).Compare(Value(2.5)), 0);
+}
+
+TEST(ValueTest, CrossTypeTotalOrder) {
+  // null < bool < numeric < string.
+  EXPECT_LT(Value::Null().Compare(Value(true)), 0);
+  EXPECT_LT(Value(true).Compare(Value(0)), 0);
+  EXPECT_LT(Value(99999).Compare(Value("a")), 0);
+}
+
+TEST(ValueTest, EqualIntAndDoubleHashAlike) {
+  // Required so hash-partition split predicates route (A=2) and (A=2.0) to
+  // the same machine.
+  EXPECT_EQ(Value(2).Hash(), Value(2.0).Hash());
+  EXPECT_NE(Value(2).Hash(), Value(3).Hash());
+}
+
+TEST(ValueTest, HashSpreadsStrings) {
+  EXPECT_NE(Value("a").Hash(), Value("b").Hash());
+  EXPECT_NE(Value("ab").Hash(), Value("ba").Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value("x").ToString(), "\"x\"");
+}
+
+TEST(ValueTest, WireSizeMatchesTypeFootprint) {
+  EXPECT_EQ(Value::Null().WireSize(), 1u);
+  EXPECT_EQ(Value(true).WireSize(), 2u);
+  EXPECT_EQ(Value(7).WireSize(), 9u);
+  EXPECT_EQ(Value(7.0).WireSize(), 9u);
+  EXPECT_EQ(Value("abcd").WireSize(), 1u + 4u + 4u);
+}
+
+}  // namespace
+}  // namespace aurora

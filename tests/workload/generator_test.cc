@@ -1,0 +1,111 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing_util::SchemaAB;
+
+TEST(ArrivalTest, ConstantRateExact) {
+  auto arrivals = ArrivalProcess::Constant(100.0);  // 100/s
+  Rng rng(1);
+  EXPECT_EQ(arrivals->NextInterarrival(&rng).micros(), 10'000);
+}
+
+TEST(ArrivalTest, PoissonMeanMatchesRate) {
+  auto arrivals = ArrivalProcess::Poisson(200.0);
+  Rng rng(2);
+  double sum_s = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum_s += arrivals->NextInterarrival(&rng).seconds();
+  EXPECT_NEAR(sum_s / n, 1.0 / 200.0, 5e-4);
+}
+
+TEST(ArrivalTest, BurstyAlternatesRates) {
+  auto arrivals =
+      ArrivalProcess::Bursty(100.0, 10.0, SimDuration::Seconds(1));
+  Rng rng(3);
+  // Count arrivals in consecutive 1s windows; they must alternate between
+  // ~100 and ~1000.
+  std::vector<int> per_window;
+  double t = 0;
+  int count = 0;
+  int window = 0;
+  while (window < 6) {
+    t += arrivals->NextInterarrival(&rng).seconds();
+    if (t >= window + 1) {
+      per_window.push_back(count);
+      count = 0;
+      ++window;
+    }
+    ++count;
+  }
+  // Adjacent windows differ by a large factor somewhere.
+  bool saw_burst = false;
+  for (size_t i = 1; i < per_window.size(); ++i) {
+    double hi = std::max(per_window[i], per_window[i - 1]);
+    double lo = std::max(1, std::min(per_window[i], per_window[i - 1]));
+    if (hi / lo > 4.0) saw_burst = true;
+  }
+  EXPECT_TRUE(saw_burst);
+}
+
+TEST(FieldGenTest, UniformIntRange) {
+  auto gen = FieldGen::UniformInt(5, 9);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    int64_t v = gen->Next(&rng).AsInt();
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(FieldGenTest, SequentialCounts) {
+  auto gen = FieldGen::Sequential();
+  Rng rng(5);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(gen->Next(&rng).AsInt(), i);
+}
+
+TEST(FieldGenTest, ChoicePicksFromOptions) {
+  auto gen = FieldGen::Choice({"boston", "cambridge"});
+  Rng rng(6);
+  for (int i = 0; i < 20; ++i) {
+    std::string v = gen->Next(&rng).AsString();
+    EXPECT_TRUE(v == "boston" || v == "cambridge");
+  }
+}
+
+TEST(StreamGeneratorTest, ProducesSchemaConformantTuples) {
+  std::vector<std::unique_ptr<FieldGen>> gens;
+  gens.push_back(FieldGen::Sequential());
+  gens.push_back(FieldGen::UniformInt(0, 9));
+  StreamGenerator gen(SchemaAB(), std::move(gens),
+                      ArrivalProcess::Constant(1000.0), /*seed=*/7);
+  Tuple t = gen.Next(SimTime::Millis(5));
+  EXPECT_TRUE(t.schema()->Equals(*SchemaAB()));
+  EXPECT_EQ(t.timestamp(), SimTime::Millis(5));
+  EXPECT_EQ(t.Get("A").AsInt(), 0);
+  EXPECT_EQ(gen.Next(SimTime::Millis(6)).Get("A").AsInt(), 1);
+  EXPECT_EQ(gen.NextGap().micros(), 1'000);
+}
+
+TEST(StreamGeneratorTest, SameSeedSameStream) {
+  auto make = [] {
+    std::vector<std::unique_ptr<FieldGen>> gens;
+    gens.push_back(FieldGen::UniformInt(0, 1000));
+    gens.push_back(FieldGen::ZipfInt(100, 1.0));
+    return StreamGenerator(SchemaAB(), std::move(gens),
+                           ArrivalProcess::Poisson(100.0), 42);
+  };
+  StreamGenerator g1 = make(), g2 = make();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(g1.Next(SimTime()).ValuesEqual(g2.Next(SimTime())));
+    EXPECT_EQ(g1.NextGap().micros(), g2.NextGap().micros());
+  }
+}
+
+}  // namespace
+}  // namespace aurora
