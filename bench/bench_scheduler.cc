@@ -38,13 +38,15 @@ struct ChainEngine {
   }
 };
 
-void RunWorkload(benchmark::State& state, EngineOptions opts) {
+void RunWorkload(benchmark::State& state, EngineOptions opts,
+                 const std::string& label) {
   SchemaPtr schema = SchemaAB();
   const int kTuples = 20'000;
   uint64_t delivered = 0;
   double cpu_us = 0;
   uint64_t activations = 0;
   for (auto _ : state) {
+    ResetObservability();
     ChainEngine chain(opts);
     for (int i = 0; i < kTuples; ++i) {
       Tuple t = MakeTuple(schema, {Value(i), Value(1 + i % 7)});
@@ -61,6 +63,15 @@ void RunWorkload(benchmark::State& state, EngineOptions opts) {
   state.counters["box_activations"] = static_cast<double>(activations);
   state.counters["tuples_per_activation"] =
       3.0 * kTuples / static_cast<double>(activations);
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  if (const LatencyHistogram* h = reg.FindHistogram("engine.box_exec_us")) {
+    state.counters["box_exec_us_p50"] = h->Quantile(0.5);
+    state.counters["box_exec_us_p99"] = h->Quantile(0.99);
+  }
+  if (const Counter* c = reg.FindCounter("engine.sched.decisions")) {
+    state.counters["sched_decisions"] = static_cast<double>(c->value());
+  }
+  DumpMetricsSnapshot("scheduler_" + label);
   state.SetItemsProcessed(state.iterations() * kTuples);
 }
 
@@ -68,14 +79,14 @@ void BM_TrainSize(benchmark::State& state) {
   EngineOptions opts;
   opts.scheduler = SchedulerPolicy::kLongestQueue;
   opts.train_size = static_cast<int>(state.range(0));
-  RunWorkload(state, opts);
+  RunWorkload(state, opts, "train" + std::to_string(state.range(0)));
 }
 BENCHMARK(BM_TrainSize)->ArgName("train")->Arg(1)->Arg(8)->Arg(64)->Arg(512);
 
 void BM_TupleAtATimeBaseline(benchmark::State& state) {
   EngineOptions opts;
   opts.scheduler = SchedulerPolicy::kTupleAtATime;
-  RunWorkload(state, opts);
+  RunWorkload(state, opts, "tuple_at_a_time");
 }
 BENCHMARK(BM_TupleAtATimeBaseline);
 
@@ -83,7 +94,7 @@ void BM_TrainDepth(benchmark::State& state) {
   EngineOptions opts;
   opts.train_size = 64;
   opts.train_depth = static_cast<int>(state.range(0));
-  RunWorkload(state, opts);
+  RunWorkload(state, opts, "depth" + std::to_string(state.range(0)));
 }
 BENCHMARK(BM_TrainDepth)->ArgName("depth")->Arg(1)->Arg(2)->Arg(4);
 
@@ -91,7 +102,7 @@ void BM_Policy(benchmark::State& state) {
   EngineOptions opts;
   opts.scheduler = static_cast<SchedulerPolicy>(state.range(0));
   opts.train_size = 64;
-  RunWorkload(state, opts);
+  RunWorkload(state, opts, "policy" + std::to_string(state.range(0)));
 }
 BENCHMARK(BM_Policy)
     ->ArgName("policy")  // 0=RR, 1=longest queue, 2=min output distance

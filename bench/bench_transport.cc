@@ -17,6 +17,7 @@ namespace {
 void BM_WeightedShareFidelity(benchmark::State& state) {
   const auto mode = static_cast<TransportMode>(state.range(0));
   for (auto _ : state) {
+    ResetObservability();
     Cluster cluster(2, [] {
       LinkOptions link;
       link.bandwidth_bytes_per_sec = 100'000;
@@ -51,6 +52,18 @@ void BM_WeightedShareFidelity(benchmark::State& state) {
       rms += (share - want) * (share - want);
     }
     state.counters["rms_error_vs_weights"] = std::sqrt(rms / 3.0);
+    // Registry-derived numbers for the run, and the snapshot artifact.
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    if (const Counter* c = reg.FindCounter("net.link.0->1.bytes")) {
+      state.counters["link_bytes"] = static_cast<double>(c->value());
+    }
+    if (const LatencyHistogram* h =
+            reg.FindHistogram("net.transport.queue_delay_us")) {
+      state.counters["queue_delay_us_p50"] = h->Quantile(0.5);
+      state.counters["queue_delay_us_p99"] = h->Quantile(0.99);
+    }
+    DumpMetricsSnapshot("transport_share_mode" +
+                        std::to_string(state.range(0)));
   }
 }
 BENCHMARK(BM_WeightedShareFidelity)
@@ -65,6 +78,7 @@ void BM_OverheadVsStreams(benchmark::State& state) {
   const auto mode = static_cast<TransportMode>(state.range(0));
   const int n_streams = static_cast<int>(state.range(1));
   for (auto _ : state) {
+    ResetObservability();
     Cluster cluster(2);
     TransportOptions opts;
     opts.mode = mode;
@@ -87,6 +101,9 @@ void BM_OverheadVsStreams(benchmark::State& state) {
         static_cast<double>(tx.overhead_bytes());
     state.counters["overhead_per_message"] =
         static_cast<double>(tx.overhead_bytes()) / (n_streams * kPerStream);
+    DumpMetricsSnapshot("transport_overhead_mode" +
+                        std::to_string(state.range(0)) + "_s" +
+                        std::to_string(n_streams));
   }
 }
 BENCHMARK(BM_OverheadVsStreams)

@@ -3,9 +3,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cctype>
+#include <fstream>
 #include <memory>
+#include <string>
 
 #include "distributed/deployment.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workload/generator.h"
 
 namespace aurora {
@@ -48,6 +53,29 @@ inline void InjectAtRate(Cluster* cluster, NodeId node,
       (void)cluster->system->node(node).Inject(input, t);
     });
   }
+}
+
+/// Zeroes the metrics registry and trace buffer. Call at the start of each
+/// benchmark iteration so a run's snapshot covers that run only (cached
+/// metric pointers stay valid — Reset keeps registrations).
+inline void ResetObservability() {
+  MetricsRegistry::Global().Reset();
+  Tracer::Global().Clear();
+}
+
+/// Writes the registry's JSON snapshot to `obs_<label>.json` in the working
+/// directory — the per-run artifact EXPERIMENTS.md numbers come from.
+/// Filename-hostile characters in the label (benchmark names contain
+/// '/' and ':') are mapped to '_'.
+inline void DumpMetricsSnapshot(const std::string& label) {
+  std::string file = label;
+  for (char& c : file) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' && c != '.') {
+      c = '_';
+    }
+  }
+  std::ofstream out("obs_" + file + ".json");
+  out << MetricsRegistry::Global().SnapshotJson() << "\n";
 }
 
 }  // namespace bench

@@ -1,13 +1,44 @@
 #include "common/logging.h"
 
+#include <cctype>
+#include <cstring>
+
 namespace aurora {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+
+LogLevel LevelFromEnv() {
+  const char* env = std::getenv("AURORA_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return LogLevel::kWarn;
+  if (std::isdigit(static_cast<unsigned char>(*env))) {
+    int n = std::atoi(env);
+    if (n >= 0 && n <= static_cast<int>(LogLevel::kFatal)) {
+      return static_cast<LogLevel>(n);
+    }
+    return LogLevel::kWarn;
+  }
+  std::string name;
+  for (const char* p = env; *p; ++p) {
+    name.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "fatal") return LogLevel::kFatal;
+  return LogLevel::kWarn;
+}
+
+/// Initialized from AURORA_LOG_LEVEL on first access.
+LogLevel& MutableLevel() {
+  static LogLevel level = LevelFromEnv();
+  return level;
+}
+
 }  // namespace
 
-LogLevel GetLogLevel() { return g_level; }
-void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return MutableLevel(); }
+void SetLogLevel(LogLevel level) { MutableLevel() = level; }
 
 namespace internal {
 

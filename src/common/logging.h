@@ -11,7 +11,10 @@ namespace aurora {
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kFatal = 4 };
 
 /// Global log threshold; messages below it are discarded. Defaults to kWarn
-/// so tests and benchmarks stay quiet unless a failure needs context.
+/// so tests and benchmarks stay quiet unless a failure needs context. The
+/// AURORA_LOG_LEVEL environment variable ("debug", "info", "warn", "error",
+/// "fatal", or 0-4) overrides the default at first use, so debug logs can be
+/// enabled without recompiling.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
@@ -52,7 +55,15 @@ struct LogVoidify {
                AURORA_LOG_INTERNAL(::aurora::LogLevel::kFatal)         \
                    << "Check failed: " #cond " "
 
+/// Debug-only invariant check: behaves like AURORA_CHECK in debug builds
+/// and compiles out (condition not evaluated) under NDEBUG, so release
+/// benchmarks do not pay for it. `true || (cond)` keeps the condition
+/// syntax-checked and its operands "used" without ever evaluating it.
+#ifdef NDEBUG
+#define AURORA_DCHECK(cond) AURORA_CHECK(true || (cond))
+#else
 #define AURORA_DCHECK(cond) AURORA_CHECK(cond)
+#endif
 
 }  // namespace aurora
 

@@ -1,5 +1,8 @@
 #include "distributed/box_slider.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace aurora {
 
 Result<SlideResult> BoxSlider::Slide(DeployedQuery* deployed,
@@ -244,6 +247,16 @@ Result<SlideResult> BoxSlider::Slide(DeployedQuery* deployed,
   it->second = DeployedQuery::PlacedBox{dst_node, new_box};
   a_node.Kick();
   b_node.Kick();
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("lb.slides")->Add();
+  reg.GetCounter("lb.held_reinjected")->Add(result.held_reinjected);
+  Tracer& tracer = Tracer::Global();
+  if (tracer.enabled()) {
+    tracer.Record({0, SpanKind::kMigration, src_node,
+                   "slide:" + box_name + ":" + std::to_string(src_node) +
+                       "->" + std::to_string(dst_node),
+                   now.micros(), system_->sim()->Now().micros()});
+  }
   return result;
 }
 

@@ -1,5 +1,7 @@
 #include "distributed/box_splitter.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ops/aggregate.h"
 #include "tuple/serde.h"
 
@@ -193,6 +195,14 @@ Result<SplitResult> BoxSplitter::Split(DeployedQuery* deployed,
     result.merge_name = req.box_name + "/merge";
     deployed->boxes[result.wsort_name] = {src_node, wsort};
     deployed->boxes[result.merge_name] = {src_node, merge_tumble};
+  }
+  MetricsRegistry::Global().GetCounter("lb.splits")->Add();
+  Tracer& tracer = Tracer::Global();
+  if (tracer.enabled()) {
+    tracer.Record({0, SpanKind::kMigration, src_node,
+                   "split:" + req.box_name + ":" + std::to_string(src_node) +
+                       "->" + std::to_string(req.dst_node),
+                   now.micros(), system_->sim()->Now().micros()});
   }
   return result;
 }

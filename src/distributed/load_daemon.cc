@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace aurora {
 
 void LoadShareDaemon::Start() {
@@ -123,6 +125,9 @@ int LoadShareDaemon::RunOnce() {
     }
   }
   last_round_ = now;
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("lb.rounds")->Add();
+  reg.GetCounter("lb.actions")->Add(static_cast<uint64_t>(actions));
   return actions;
 }
 

@@ -1,5 +1,7 @@
 #include "distributed/stream_node.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tuple/serde.h"
 
 namespace aurora {
@@ -17,7 +19,12 @@ StreamNode::StreamNode(Simulation* sim, OverlayNetwork* net, NodeId id,
       id_(id),
       engine_(engine_opts),
       transport_opts_(transport_opts),
-      tick_interval_(tick_interval) {}
+      tick_interval_(tick_interval) {
+  engine_.set_trace_node(static_cast<int>(id));
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  m_tuples_sent_ = reg.GetCounter("node.tuples_sent");
+  m_msgs_sent_ = reg.GetCounter("node.msgs_sent");
+}
 
 void StreamNode::Start() {
   if (started_) return;
@@ -148,8 +155,15 @@ void StreamNode::OnRemoteTuples(const std::string& input_name,
     return;
   }
   SeqNo& last = last_received_[input_name];
+  Tracer& tracer = Tracer::Global();
   for (auto& t : *tuples) {
     if (t.seq() != kNoSeqNo && t.seq() > last) last = t.seq();
+    if (tracer.enabled() && t.trace_id() != 0) {
+      // Recorded at the receiver: the hop is complete once the batch lands.
+      tracer.Record({t.trace_id(), SpanKind::kTransportHop,
+                     static_cast<int>(id_), "stream:" + input_name,
+                     sim_->Now().micros(), sim_->Now().micros()});
+    }
     Status st = engine_.PushInput(*port, std::move(t), sim_->Now());
     if (!st.ok()) {
       AURORA_LOG(Error) << "node " << id_ << ": push failed: " << st.ToString();
@@ -223,6 +237,8 @@ void StreamNode::FlushPending() {
     msg.payload = SerializeTuples(binding.pending);
     binding.tuples_sent += binding.pending.size();
     binding.messages_sent++;
+    m_tuples_sent_->Add(binding.pending.size());
+    m_msgs_sent_->Add();
     binding.pending.clear();
     Transport* transport = TransportTo(binding.dst);
     Status st = transport->Send(binding.stream, std::move(msg));

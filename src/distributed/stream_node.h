@@ -184,6 +184,9 @@ class StreamNode {
   SimTime window_start_{};
   double busy_us_in_window_ = 0.0;
   double utilization_ = 0.0;
+  // Registry mirrors of cross-node traffic (process-wide totals).
+  Counter* m_tuples_sent_;
+  Counter* m_msgs_sent_;
 };
 
 }  // namespace aurora

@@ -3,11 +3,21 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace aurora {
 
 AuroraEngine::AuroraEngine(EngineOptions opts)
-    : opts_(opts), storage_(opts.memory_budget_bytes), shedder_(opts.shedder) {}
+    : opts_(opts), storage_(opts.memory_budget_bytes), shedder_(opts.shedder) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  m_tuples_in_ = reg.GetCounter("engine.tuples_in");
+  m_tuples_shed_ = reg.GetCounter("engine.tuples_shed");
+  m_activations_ = reg.GetCounter("engine.activations");
+  m_sched_decisions_ = reg.GetCounter("engine.sched.decisions");
+  m_box_exec_us_ = reg.GetHistogram("engine.box_exec_us");
+  m_queue_wait_ms_ = reg.GetHistogram("engine.queue_wait_ms");
+  m_queue_depth_ = reg.GetGauge("engine.queue_depth");
+}
 
 // ---------------------------------------------------------------------------
 // Topology construction
@@ -594,7 +604,12 @@ class AuroraEngine::RoutingEmitter : public Emitter {
                  std::vector<BoxId>* touched)
       : engine_(engine), box_(box), now_(now), touched_(touched) {}
 
+  /// Lineage id the current input tuple carries; emitted tuples that don't
+  /// already have one (freshly constructed by the operator) inherit it.
+  void set_trace_id(uint64_t id) { trace_id_ = id; }
+
   void Emit(int output, Tuple t) override {
+    if (trace_id_ != 0 && t.trace_id() == 0) t.set_trace_id(trace_id_);
     engine_->Route(Endpoint::BoxPort(box_, output), t, now_, touched_);
   }
 
@@ -603,6 +618,7 @@ class AuroraEngine::RoutingEmitter : public Emitter {
   BoxId box_;
   SimTime now_;
   std::vector<BoxId>* touched_;
+  uint64_t trace_id_ = 0;
 };
 
 void AuroraEngine::Route(const Endpoint& from, const Tuple& t, SimTime now,
@@ -631,6 +647,11 @@ void AuroraEngine::Route(const Endpoint& from, const Tuple& t, SimTime now,
 void AuroraEngine::DeliverToOutput(PortId port, const Tuple& t, SimTime now) {
   double latency_ms = std::max(0.0, (now - t.timestamp()).millis());
   qos_.RecordDelivery(port, latency_ms);
+  Tracer& tracer = Tracer::Global();
+  if (tracer.enabled() && t.trace_id() != 0) {
+    tracer.Record({t.trace_id(), SpanKind::kDelivery, trace_node_,
+                   "out:" + outputs_[port].name, now.micros(), now.micros()});
+  }
   if (outputs_[port].callback) outputs_[port].callback(t, now);
 }
 
@@ -646,7 +667,9 @@ Status AuroraEngine::PushInput(PortId input, Tuple t, SimTime now) {
                                    " does not match input schema " +
                                    inputs_[input].schema->ToString());
   }
+  m_tuples_in_->Add();
   if (shedder_.ShouldDrop(input, t, now)) {
+    m_tuples_shed_->Add();
     // Attribute the drop to every output downstream of this input so the
     // QoS monitor's delivered-fraction reflects shedding.
     for (const auto& info : shedder_.inputs()) {
@@ -657,6 +680,12 @@ Status AuroraEngine::PushInput(PortId input, Tuple t, SimTime now) {
     return Status::OK();
   }
   if (t.timestamp().micros() == 0) t.set_timestamp(now);
+  Tracer& tracer = Tracer::Global();
+  if (tracer.enabled()) {
+    if (t.trace_id() == 0) t.set_trace_id(tracer.NextTraceId());
+    tracer.Record({t.trace_id(), SpanKind::kEnqueue, trace_node_,
+                   "in:" + inputs_[input].name, now.micros(), now.micros()});
+  }
   Route(Endpoint::InputPort(input), t, now, nullptr);
   storage_.EnforceBudget(AllQueues());
   return Status::OK();
@@ -830,10 +859,20 @@ double AuroraEngine::ActivateBox(BoxId box_id, SimTime now,
     Tuple t = a.queue.Pop();
     int64_t enq_us = a.enqueue_us.front();
     a.enqueue_us.pop_front();
-    wait_sum_ms += static_cast<double>(now.micros() - enq_us) / 1000.0;
-    cost_us += box.op->cost_micros_per_tuple();
+    double wait_ms = static_cast<double>(now.micros() - enq_us) / 1000.0;
+    wait_sum_ms += wait_ms;
+    m_queue_wait_ms_->Record(wait_ms);
+    double tuple_cost_us = box.op->cost_micros_per_tuple();
+    cost_us += tuple_cost_us;
     cost_us += static_cast<double>(a.queue.unspill_reads() - reads_before) *
                opts_.spill_read_cost_us;
+    Tracer& tracer = Tracer::Global();
+    if (tracer.enabled() && t.trace_id() != 0) {
+      tracer.Record({t.trace_id(), SpanKind::kBoxExec, trace_node_,
+                     "box:" + box.spec.kind, now.micros(),
+                     now.micros() + static_cast<int64_t>(tuple_cost_us)});
+    }
+    emitter.set_trace_id(t.trace_id());
     Status st = box.op->Process(in, t, now, &emitter);
     if (!st.ok() && deferred_error_.ok()) deferred_error_ = st;
     processed++;
@@ -843,6 +882,8 @@ double AuroraEngine::ActivateBox(BoxId box_id, SimTime now,
                     (cost_us / processed) / 1000.0;
     qos_.RecordBoxWork(box_id, t_b_ms, processed);
     total_activations_++;
+    m_activations_->Add();
+    m_box_exec_us_->Record(cost_us);
   }
   return cost_us;
 }
@@ -855,6 +896,7 @@ Result<double> AuroraEngine::RunOneStep(SimTime now) {
   }
   auto pick = PickBox(now);
   if (!pick.ok()) return 0.0;
+  m_sched_decisions_->Add();
   std::vector<BoxId> touched;
   double cost_us = ActivateBox(*pick, now, &touched);
   // Push the train toward the output (train_depth > 1): activate the boxes
@@ -868,6 +910,7 @@ Result<double> AuroraEngine::RunOneStep(SimTime now) {
   }
   storage_.EnforceBudget(AllQueues());
   total_cpu_micros_ += cost_us;
+  m_queue_depth_->Set(static_cast<double>(TotalQueuedTuples()));
   if (!deferred_error_.ok()) {
     Status err = deferred_error_;
     deferred_error_ = Status::OK();

@@ -14,6 +14,7 @@
 #include "engine/qos_monitor.h"
 #include "engine/storage_manager.h"
 #include "engine/topology.h"
+#include "obs/metrics.h"
 #include "ops/operator.h"
 #include "qos/inference.h"
 #include "stream/connection_point.h"
@@ -219,6 +220,11 @@ class AuroraEngine {
   /// Sum of queued tuples over all arcs.
   size_t TotalQueuedTuples() const;
 
+  /// Node id stamped on lineage spans this engine records (src/obs/trace.h);
+  /// -1 for a standalone (non-distributed) engine. Set by StreamNode.
+  void set_trace_node(int node) { trace_node_ = node; }
+  int trace_node() const { return trace_node_; }
+
  private:
   struct InputPort {
     std::string name;
@@ -289,6 +295,16 @@ class AuroraEngine {
   int rr_next_box_ = 0;
   double total_cpu_micros_ = 0.0;
   uint64_t total_activations_ = 0;
+  int trace_node_ = -1;
+  // Cached registry metrics (process-wide aggregates across engines; the
+  // per-output QoS series are per-engine, via QoSMonitor's prefix).
+  Counter* m_tuples_in_;
+  Counter* m_tuples_shed_;
+  Counter* m_activations_;
+  Counter* m_sched_decisions_;
+  LatencyHistogram* m_box_exec_us_;
+  LatencyHistogram* m_queue_wait_ms_;
+  Gauge* m_queue_depth_;
   Status deferred_error_;  // first error raised inside an emitter callback
 };
 

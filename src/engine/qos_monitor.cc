@@ -1,12 +1,42 @@
 #include "engine/qos_monitor.h"
 
+#include <atomic>
+
 namespace aurora {
 
+namespace {
+// Monitor instance ids keep concurrent engines (e.g. one per StreamNode in a
+// distributed sim) from aliasing each other's registry series.
+int NextInstanceId() {
+  static std::atomic<int> next{0};
+  return next.fetch_add(1);
+}
+}  // namespace
+
+QoSMonitor::QoSMonitor()
+    : prefix_("qos." + std::to_string(NextInstanceId()) + ".") {}
+
+QoSMonitor::OutputStats& QoSMonitor::Stats(PortId output) {
+  auto it = outputs_.find(output);
+  if (it != outputs_.end()) return it->second;
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const std::string base = prefix_ + "out." + std::to_string(output) + ".";
+  OutputStats s;
+  s.delivered = reg.GetCounter(base + "delivered");
+  s.dropped = reg.GetCounter(base + "dropped");
+  s.latency_ms = reg.GetHistogram(base + "latency_ms");
+  return outputs_.emplace(output, s).first->second;
+}
+
+const QoSMonitor::OutputStats* QoSMonitor::FindStats(PortId output) const {
+  auto it = outputs_.find(output);
+  return it == outputs_.end() ? nullptr : &it->second;
+}
+
 void QoSMonitor::RecordDelivery(PortId output, double latency_ms) {
-  OutputStats& s = outputs_[output];
-  s.delivered++;
-  s.latency_sum_ms += latency_ms;
-  s.latency_ewma.Add(latency_ms);
+  OutputStats& s = Stats(output);
+  s.delivered->Add();
+  s.latency_ms->Record(latency_ms);
   const QoSSpec* spec = GetSpec(output);
   double u = 1.0;
   if (spec != nullptr && !spec->latency.empty()) {
@@ -15,20 +45,22 @@ void QoSMonitor::RecordDelivery(PortId output, double latency_ms) {
   s.latency_utility_sum += u;
 }
 
+void QoSMonitor::RecordDrop(PortId output) { Stats(output).dropped->Add(); }
+
 double QoSMonitor::AvgLatencyMs(PortId output) const {
-  auto it = outputs_.find(output);
-  if (it == outputs_.end() || it->second.delivered == 0) return 0.0;
-  return it->second.latency_sum_ms / static_cast<double>(it->second.delivered);
+  const OutputStats* s = FindStats(output);
+  if (s == nullptr || s->latency_ms->count() == 0) return 0.0;
+  return s->latency_ms->mean();
 }
 
 uint64_t QoSMonitor::Delivered(PortId output) const {
-  auto it = outputs_.find(output);
-  return it == outputs_.end() ? 0 : it->second.delivered;
+  const OutputStats* s = FindStats(output);
+  return s == nullptr ? 0 : s->delivered->value();
 }
 
 uint64_t QoSMonitor::Dropped(PortId output) const {
-  auto it = drops_.find(output);
-  return it == drops_.end() ? 0 : it->second;
+  const OutputStats* s = FindStats(output);
+  return s == nullptr ? 0 : s->dropped->value();
 }
 
 double QoSMonitor::DeliveredFraction(PortId output) const {
@@ -41,11 +73,11 @@ double QoSMonitor::DeliveredFraction(PortId output) const {
 double QoSMonitor::CurrentUtility(PortId output) const {
   const QoSSpec* spec = GetSpec(output);
   if (spec == nullptr) return 1.0;
-  auto it = outputs_.find(output);
+  const OutputStats* s = FindStats(output);
   double latency_part = 1.0;
-  if (it != outputs_.end() && it->second.delivered > 0) {
-    latency_part = it->second.latency_utility_sum /
-                   static_cast<double>(it->second.delivered);
+  if (s != nullptr && s->delivered->value() > 0) {
+    latency_part =
+        s->latency_utility_sum / static_cast<double>(s->delivered->value());
   }
   double loss_part =
       spec->loss.empty() ? 1.0 : spec->loss.Eval(DeliveredFraction(output));

@@ -2,10 +2,12 @@
 #define AURORA_ENGINE_QOS_MONITOR_H_
 
 #include <map>
+#include <string>
 #include <vector>
 
 #include "common/sim_time.h"
 #include "engine/topology.h"
+#include "obs/metrics.h"
 #include "qos/qos_spec.h"
 
 namespace aurora {
@@ -34,8 +36,16 @@ class Ewma {
 /// per box: smoothed total processing time T_B (queue wait + execution) and
 /// activation counts — the operational statistics §7.1 relies on for QoS
 /// inference at internal nodes.
+///
+/// Per-output counts and latencies live in the process-wide MetricsRegistry
+/// under `qos.<instance>.out.<port>.*` (each monitor gets a unique instance
+/// id so engines never share series); this class holds only the registered
+/// pointers plus the derived utility sums, so bench snapshots and the
+/// monitor's own queries read the same numbers.
 class QoSMonitor {
  public:
+  QoSMonitor();
+
   void SetSpec(PortId output, QoSSpec spec) { specs_[output] = std::move(spec); }
   const QoSSpec* GetSpec(PortId output) const {
     auto it = specs_.find(output);
@@ -43,7 +53,7 @@ class QoSMonitor {
   }
 
   void RecordDelivery(PortId output, double latency_ms);
-  void RecordDrop(PortId output) { drops_[output]++; }
+  void RecordDrop(PortId output);
 
   /// Mean latency of tuples delivered to the output, in ms.
   double AvgLatencyMs(PortId output) const;
@@ -68,14 +78,19 @@ class QoSMonitor {
 
  private:
   struct OutputStats {
-    uint64_t delivered = 0;
-    double latency_sum_ms = 0.0;
+    Counter* delivered = nullptr;
+    Counter* dropped = nullptr;
+    LatencyHistogram* latency_ms = nullptr;
     double latency_utility_sum = 0.0;
-    Ewma latency_ewma{0.05};
   };
+  /// Registry-backed stats for the output, registered on first use under
+  /// `qos.<instance>.out.<port>.*`.
+  OutputStats& Stats(PortId output);
+  const OutputStats* FindStats(PortId output) const;
+
+  std::string prefix_;  // "qos.<instance>."
   std::map<PortId, QoSSpec> specs_;
   std::map<PortId, OutputStats> outputs_;
-  std::map<PortId, uint64_t> drops_;
   std::map<BoxId, Ewma> box_tb_ms_;
 };
 

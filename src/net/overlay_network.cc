@@ -17,13 +17,23 @@ Result<NodeId> OverlayNetwork::FindNode(const std::string& name) const {
   return Status::NotFound("no node named '" + name + "'");
 }
 
+void OverlayNetwork::InstallLink(NodeId a, NodeId b, const LinkOptions& opts) {
+  LinkRt& link = links_[{a, b}];
+  link = LinkRt{opts, {}, 0, nullptr, nullptr};
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const std::string base =
+      "net.link." + std::to_string(a) + "->" + std::to_string(b) + ".";
+  link.bytes_counter = reg.GetCounter(base + "bytes");
+  link.msgs_counter = reg.GetCounter(base + "msgs");
+}
+
 Status OverlayNetwork::AddLink(NodeId a, NodeId b, LinkOptions opts) {
   if (a < 0 || b < 0 || a >= static_cast<int>(nodes_.size()) ||
       b >= static_cast<int>(nodes_.size()) || a == b) {
     return Status::InvalidArgument("bad link endpoints");
   }
-  links_[{a, b}] = LinkRt{opts, {}, 0};
-  links_[{b, a}] = LinkRt{opts, {}, 0};
+  InstallLink(a, b, opts);
+  InstallLink(b, a, opts);
   RecomputeRoutes();
   return Status::OK();
 }
@@ -31,8 +41,8 @@ Status OverlayNetwork::AddLink(NodeId a, NodeId b, LinkOptions opts) {
 void OverlayNetwork::FullMesh(LinkOptions opts) {
   for (NodeId a = 0; a < static_cast<NodeId>(nodes_.size()); ++a) {
     for (NodeId b = a + 1; b < static_cast<NodeId>(nodes_.size()); ++b) {
-      links_[{a, b}] = LinkRt{opts, {}, 0};
-      links_[{b, a}] = LinkRt{opts, {}, 0};
+      InstallLink(a, b, opts);
+      InstallLink(b, a, opts);
     }
   }
   RecomputeRoutes();
@@ -96,6 +106,8 @@ void OverlayNetwork::TransmitHop(NodeId from, NodeId to, size_t bytes,
   link.busy_until = start + tx;
   link.bytes_sent += bytes;
   total_bytes_ += bytes;
+  link.bytes_counter->Add(bytes);
+  link.msgs_counter->Add();
   sim_->ScheduleAt(link.busy_until + link.opts.latency, std::move(arrive));
 }
 
@@ -110,6 +122,7 @@ Status OverlayNetwork::Send(NodeId from, NodeId to, Message msg,
     sim_->Schedule(SimDuration::Micros(1),
                    [this, msg = std::move(msg), on_deliver]() {
                      messages_delivered_++;
+                     m_delivered_->Add();
                      if (on_deliver) on_deliver(msg);
                    });
     return Status::OK();
@@ -124,11 +137,13 @@ void OverlayNetwork::Forward(NodeId at, NodeId to, Message msg,
                              DeliveryFn on_deliver) {
   if (!nodes_[at].up) {
     messages_dropped_++;
+    m_dropped_->Add();
     return;
   }
   auto hop_it = next_hop_.find({at, to});
   if (hop_it == next_hop_.end()) {
     messages_dropped_++;
+    m_dropped_->Add();
     return;
   }
   NodeId hop = hop_it->second;
@@ -137,10 +152,12 @@ void OverlayNetwork::Forward(NodeId at, NodeId to, Message msg,
               [this, hop, to, msg = std::move(msg), on_deliver]() mutable {
                 if (!nodes_[hop].up) {
                   messages_dropped_++;
+                  m_dropped_->Add();
                   return;
                 }
                 if (hop == to) {
                   messages_delivered_++;
+                  m_delivered_->Add();
                   if (on_deliver) on_deliver(msg);
                 } else {
                   Forward(hop, to, std::move(msg), std::move(on_deliver));

@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "net/message.h"
+#include "obs/metrics.h"
 #include "sim/simulation.h"
 
 namespace aurora {
@@ -40,7 +41,11 @@ struct NodeOptions {
 /// heartbeat protocol (§6.3) detects.
 class OverlayNetwork {
  public:
-  explicit OverlayNetwork(Simulation* sim) : sim_(sim) {}
+  explicit OverlayNetwork(Simulation* sim) : sim_(sim) {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    m_delivered_ = reg.GetCounter("net.delivered");
+    m_dropped_ = reg.GetCounter("net.dropped");
+  }
 
   NodeId AddNode(NodeOptions opts);
   size_t num_nodes() const { return nodes_.size(); }
@@ -89,12 +94,17 @@ class OverlayNetwork {
     LinkOptions opts;
     SimTime busy_until{};
     uint64_t bytes_sent = 0;
+    // Registry mirrors, `net.link.<a>-><b>.bytes/.msgs`.
+    Counter* bytes_counter = nullptr;
+    Counter* msgs_counter = nullptr;
   };
   struct NodeRt {
     NodeOptions opts;
     bool up = true;
   };
 
+  /// Creates the directed link and registers its counters.
+  void InstallLink(NodeId a, NodeId b, const LinkOptions& opts);
   void RecomputeRoutes();
   /// Transmits over one directed link; schedules `arrive` at the far end.
   void TransmitHop(NodeId from, NodeId to, size_t bytes,
@@ -109,6 +119,8 @@ class OverlayNetwork {
   uint64_t total_bytes_ = 0;
   uint64_t messages_delivered_ = 0;
   uint64_t messages_dropped_ = 0;
+  Counter* m_delivered_ = nullptr;
+  Counter* m_dropped_ = nullptr;
 };
 
 }  // namespace aurora

@@ -7,9 +7,17 @@ namespace aurora {
 Transport::Transport(Simulation* sim, OverlayNetwork* net, NodeId src,
                      NodeId dst, TransportOptions opts)
     : sim_(sim), net_(net), src_(src), dst_(dst), opts_(opts) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const std::string base = "net.transport." + std::to_string(src) + "->" +
+                           std::to_string(dst) + ".";
+  m_wire_bytes_ = reg.GetCounter(base + "wire_bytes");
+  m_payload_bytes_ = reg.GetCounter(base + "payload_bytes");
+  m_msgs_ = reg.GetCounter(base + "msgs");
+  m_queue_delay_us_ = reg.GetHistogram("net.transport.queue_delay_us");
   if (opts_.mode == TransportMode::kMultiplexed) {
     // One shared connection: pay setup once up front.
     total_wire_bytes_ += opts_.connection_setup_bytes;
+    m_wire_bytes_->Add(opts_.connection_setup_bytes);
   }
 }
 
@@ -25,6 +33,7 @@ Status Transport::RegisterStream(const std::string& name, double weight) {
   if (opts_.mode == TransportMode::kPerStreamConnections) {
     // Each stream opens its own connection: handshake bytes on the wire.
     total_wire_bytes_ += opts_.connection_setup_bytes;
+    m_wire_bytes_->Add(opts_.connection_setup_bytes);
   }
   return Status::OK();
 }
@@ -37,6 +46,7 @@ Status Transport::Send(const std::string& stream, Message msg) {
   msg.stream = stream;
   it->second.queued_bytes += msg.WireSize();
   it->second.queue.push_back(std::move(msg));
+  it->second.enqueue_us.push_back(sim_->Now().micros());
   MaybeDispatch();
   return Status::OK();
 }
@@ -99,6 +109,10 @@ void Transport::DispatchMessage(const std::string& stream, size_t extra_bytes) {
   AURORA_CHECK(!st.queue.empty());
   Message msg = std::move(st.queue.front());
   st.queue.pop_front();
+  int64_t enq_us = st.enqueue_us.front();
+  st.enqueue_us.pop_front();
+  m_queue_delay_us_->Record(
+      static_cast<double>(sim_->Now().micros() - enq_us));
   size_t wire = msg.WireSize();
   st.queued_bytes -= wire;
   // Pad the message so the link charges the mode's overhead too.
@@ -107,6 +121,9 @@ void Transport::DispatchMessage(const std::string& stream, size_t extra_bytes) {
   padded_msg.payload.resize(padded_msg.payload.size() + extra_bytes);
   total_wire_bytes_ += padded;
   payload_bytes_ += msg.payload.size();
+  m_wire_bytes_->Add(padded);
+  m_payload_bytes_->Add(msg.payload.size());
+  m_msgs_->Add();
   in_flight_ = true;
   Status st_send = net_->Send(
       src_, dst_, std::move(padded_msg),

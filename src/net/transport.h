@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "net/overlay_network.h"
+#include "obs/metrics.h"
 
 namespace aurora {
 
@@ -89,6 +90,7 @@ class Transport {
   struct StreamState {
     double weight = 1.0;
     std::deque<Message> queue;
+    std::deque<int64_t> enqueue_us;  // parallel to queue; feeds queue_delay_us
     double last_finish_tag = 0.0;
     uint64_t delivered = 0;
     uint64_t delivered_bytes = 0;
@@ -113,6 +115,12 @@ class Transport {
   DeliveryHandler handler_;
   uint64_t total_wire_bytes_ = 0;
   uint64_t payload_bytes_ = 0;
+  // Registry mirrors: per-pair byte/message counters plus the process-wide
+  // sender-side queueing-delay histogram.
+  Counter* m_wire_bytes_;
+  Counter* m_payload_bytes_;
+  Counter* m_msgs_;
+  LatencyHistogram* m_queue_delay_us_;
 };
 
 }  // namespace aurora

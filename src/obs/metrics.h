@@ -1,0 +1,140 @@
+#ifndef AURORA_OBS_METRICS_H_
+#define AURORA_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace aurora {
+
+/// \brief Monotonic event count (tuples processed, bytes on a link, ...).
+///
+/// Counters only grow between registry resets; rates are derived by
+/// differencing two snapshots.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// \brief Point-in-time level (queue depth, utilization). Tracks the maximum
+/// ever set, which is the metric's high-water mark.
+class Gauge {
+ public:
+  void Set(double v) {
+    value_ = v;
+    if (v > max_) max_ = v;
+  }
+  void Add(double delta) { Set(value_ + delta); }
+  double value() const { return value_; }
+  /// High-water mark since the last reset.
+  double max() const { return max_; }
+  void Reset() {
+    value_ = 0.0;
+    max_ = 0.0;
+  }
+
+ private:
+  double value_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// \brief Log-bucketed histogram for latency-like positive values.
+///
+/// Buckets grow geometrically from `min_bound` by `growth`, so quantile
+/// queries have bounded relative error (≤ growth-1 before intra-bucket
+/// interpolation) over many orders of magnitude at O(#buckets) memory.
+/// Exact count/sum/min/max are kept alongside, so mean() and Quantile(1.0)
+/// are exact.
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(double min_bound = 1e-3, double growth = 1.15);
+
+  void Record(double v);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+
+  /// Value at quantile q in [0, 1], linearly interpolated within the
+  /// containing bucket and clamped to the observed [min, max]. Monotone in
+  /// q by construction (p50 <= p95 <= p99 <= max). 0 when empty.
+  double Quantile(double q) const;
+
+  void Reset();
+
+ private:
+  /// Bucket index for a value; bucket 0 holds everything below min_bound_.
+  size_t BucketIndex(double v) const;
+  /// Lower/upper value bounds of a bucket.
+  double BucketLo(size_t idx) const;
+  double BucketHi(size_t idx) const;
+
+  double min_bound_;
+  double growth_;
+  double inv_log_growth_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// \brief Process-wide named-metric registry (the single source of truth the
+/// benches and EXPERIMENTS.md numbers come from).
+///
+/// Names are dotted paths, `layer.entity.metric` (see docs/OBSERVABILITY.md
+/// for the scheme). Get* registers on first use and returns a pointer that
+/// stays valid for the registry's lifetime — hot paths cache the pointer
+/// once and pay one add per event. Reset() zeroes values but keeps
+/// registrations, so cached pointers survive (benches reset between runs).
+///
+/// Counters, gauges, and histograms are separate namespaces. The registry is
+/// not thread-safe; the whole system runs on the single-threaded simulation.
+class MetricsRegistry {
+ public:
+  /// The process-wide instance every instrumented layer reports into.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  LatencyHistogram* GetHistogram(const std::string& name);
+
+  /// Lookup without registering; nullptr when absent.
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const LatencyHistogram* FindHistogram(const std::string& name) const;
+
+  size_t num_metrics() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Zeroes every metric, keeping registrations (and pointers) intact.
+  void Reset();
+
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}}, names sorted. Histograms export count, sum, min,
+  /// max, mean, p50, p95, p99.
+  std::string SnapshotJson() const;
+
+  /// Flat CSV, one `name,type,field,value` row per exported field — the
+  /// timeseries-friendly format (append a run/time column downstream).
+  std::string SnapshotCsv() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_OBS_METRICS_H_

@@ -1,0 +1,79 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace aurora {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kEnqueue:
+      return "enqueue";
+    case SpanKind::kBoxExec:
+      return "box_exec";
+    case SpanKind::kTransportHop:
+      return "transport_hop";
+    case SpanKind::kDelivery:
+      return "delivery";
+    case SpanKind::kMigration:
+      return "migration";
+  }
+  return "?";
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Record(TraceSpan span) {
+  if (!enabled_) return;
+  if (spans_.size() >= capacity_) {
+    dropped_++;
+    return;
+  }
+  spans_.push_back(std::move(span));
+}
+
+std::vector<TraceSpan> Tracer::SpansFor(uint64_t trace_id) const {
+  std::vector<TraceSpan> out;
+  for (const auto& span : spans_) {
+    if (span.trace_id == trace_id) out.push_back(span);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceSpan& a, const TraceSpan& b) {
+                     return a.start_us < b.start_us;
+                   });
+  return out;
+}
+
+void Tracer::Clear() {
+  spans_.clear();
+  dropped_ = 0;
+}
+
+std::string Tracer::ExportJson() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const TraceSpan& s = spans_[i];
+    os << (i ? ",\n " : "\n ") << "{\"trace_id\": " << s.trace_id
+       << ", \"kind\": \"" << SpanKindName(s.kind) << "\", \"node\": " << s.node
+       << ", \"site\": \"" << s.site << "\", \"start_us\": " << s.start_us
+       << ", \"end_us\": " << s.end_us << "}";
+  }
+  os << "\n]";
+  return os.str();
+}
+
+std::string Tracer::ExportCsv() const {
+  std::ostringstream os;
+  os << "trace_id,kind,node,site,start_us,end_us\n";
+  for (const auto& s : spans_) {
+    os << s.trace_id << "," << SpanKindName(s.kind) << "," << s.node << ","
+       << s.site << "," << s.start_us << "," << s.end_us << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace aurora

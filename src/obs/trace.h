@@ -1,0 +1,87 @@
+#ifndef AURORA_OBS_TRACE_H_
+#define AURORA_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aurora {
+
+/// Lifecycle stages a traced tuple passes through. Load-movement events
+/// (box slides/splits) are recorded as kMigration spans with trace_id 0 —
+/// they belong to the system timeline, not to one tuple.
+enum class SpanKind : uint8_t {
+  kEnqueue,       ///< tuple entered an engine input (PushInput)
+  kBoxExec,       ///< a box consumed the tuple during an activation
+  kTransportHop,  ///< tuple arrived at a node over a transport stream
+  kDelivery,      ///< tuple reached an application output port
+  kMigration,     ///< a box slide/split reconfigured the network
+};
+
+const char* SpanKindName(SpanKind kind);
+
+/// One event on a tuple's lineage, keyed by simulated time.
+struct TraceSpan {
+  uint64_t trace_id = 0;  ///< 0 = system-level span (migrations)
+  SpanKind kind = SpanKind::kEnqueue;
+  /// Overlay node the span executed on; -1 for a standalone engine.
+  int node = -1;
+  /// Where within the node: "in:<input>", "box:<kind>", "stream:<input>",
+  /// "out:<output>", "slide:<box>:<src>-><dst>".
+  std::string site;
+  int64_t start_us = 0;  ///< sim-time the stage began
+  int64_t end_us = 0;    ///< sim-time it finished (== start for events)
+};
+
+/// \brief Process-wide per-tuple lineage recorder.
+///
+/// Disabled by default so the hot paths pay one predictable branch; when
+/// enabled, the engine assigns each source tuple a fresh trace id (carried
+/// across operators and over the wire via Tuple::trace_id) and every layer
+/// appends spans here. Spans are recorded in simulation-event order, so a
+/// tuple's spans are already causally ordered; SpansFor additionally sorts
+/// by start time (stable) as a belt-and-braces guarantee.
+///
+/// Capacity-bounded: past `capacity` spans, new records are counted in
+/// dropped() instead of stored. Not thread-safe (single-threaded sim).
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  /// Fresh nonzero tuple lineage id.
+  uint64_t NextTraceId() { return next_trace_id_++; }
+
+  /// Stores the span (no-op while disabled; counted as dropped at capacity).
+  void Record(TraceSpan span);
+
+  void set_capacity(size_t capacity) { capacity_ = capacity; }
+  size_t capacity() const { return capacity_; }
+  uint64_t dropped() const { return dropped_; }
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  /// All spans of one tuple, stably sorted by start_us (record order breaks
+  /// ties, which is causal order in the simulation).
+  std::vector<TraceSpan> SpansFor(uint64_t trace_id) const;
+
+  /// Drops recorded spans and the dropped counter; trace ids stay monotonic.
+  void Clear();
+
+  /// JSON array of span objects, in record order.
+  std::string ExportJson() const;
+  /// CSV timeseries: trace_id,kind,node,site,start_us,end_us per row.
+  std::string ExportCsv() const;
+
+ private:
+  bool enabled_ = false;
+  uint64_t next_trace_id_ = 1;
+  size_t capacity_ = 1 << 20;
+  uint64_t dropped_ = 0;
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_OBS_TRACE_H_

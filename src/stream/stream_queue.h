@@ -22,6 +22,8 @@ class StreamQueue {
     bytes_ += t.WireSize();
     total_pushed_++;
     items_.push_back(std::move(t));
+    if (items_.size() > peak_size_) peak_size_ = items_.size();
+    if (bytes_ > peak_bytes_) peak_bytes_ = bytes_;
   }
 
   bool empty() const { return items_.empty(); }
@@ -29,6 +31,10 @@ class StreamQueue {
   /// Total bytes queued (resident + spilled).
   size_t bytes() const { return bytes_; }
   uint64_t total_pushed() const { return total_pushed_; }
+  /// High-water marks since construction (not cleared by Clear()), the
+  /// per-queue numbers the observability layer exports.
+  size_t peak_size() const { return peak_size_; }
+  size_t peak_bytes() const { return peak_bytes_; }
 
   const Tuple& Front() const { return items_.front(); }
 
@@ -70,6 +76,8 @@ class StreamQueue {
  private:
   std::deque<Tuple> items_;
   size_t bytes_ = 0;
+  size_t peak_size_ = 0;
+  size_t peak_bytes_ = 0;
   size_t spilled_count_ = 0;
   size_t spilled_bytes_ = 0;
   uint64_t total_pushed_ = 0;

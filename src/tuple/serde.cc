@@ -51,6 +51,7 @@ void Encoder::PutValue(const Value& v) {
 void Encoder::PutTuple(const Tuple& t) {
   PutI64(t.timestamp().micros());
   PutU64(t.seq());
+  PutU64(t.trace_id());
   PutU16(static_cast<uint16_t>(t.num_values()));
   for (size_t i = 0; i < t.num_values(); ++i) PutValue(t.value(i));
 }
@@ -149,6 +150,7 @@ Result<Value> Decoder::GetValue() {
 Result<Tuple> Decoder::GetTuple(const SchemaPtr& schema) {
   AURORA_ASSIGN_OR_RETURN(int64_t ts, GetI64());
   AURORA_ASSIGN_OR_RETURN(uint64_t seq, GetU64());
+  AURORA_ASSIGN_OR_RETURN(uint64_t trace_id, GetU64());
   AURORA_ASSIGN_OR_RETURN(uint16_t count, GetU16());
   std::vector<Value> values;
   values.reserve(count);
@@ -159,6 +161,7 @@ Result<Tuple> Decoder::GetTuple(const SchemaPtr& schema) {
   Tuple t(schema, std::move(values));
   t.set_timestamp(SimTime::Micros(ts));
   t.set_seq(seq);
+  t.set_trace_id(trace_id);
   return t;
 }
 

@@ -12,8 +12,8 @@ const Value& Tuple::Get(const std::string& field_name) const {
 }
 
 size_t Tuple::WireSize() const {
-  // 8-byte timestamp + 8-byte seq + 2-byte value count.
-  size_t size = 18;
+  // 8-byte timestamp + 8-byte seq + 8-byte trace id + 2-byte value count.
+  size_t size = 26;
   for (const auto& v : values_) size += v.WireSize();
   return size;
 }

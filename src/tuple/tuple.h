@@ -23,6 +23,10 @@ inline constexpr SeqNo kNoSeqNo = 0;
 ///  - `timestamp`: creation time at the data source; drives latency QoS.
 ///  - `seq`: transport sequence number on the arc the tuple most recently
 ///    crossed (HA truncation protocol).
+///  - `trace_id`: lineage id assigned by the engine when the process-wide
+///    Tracer is enabled (src/obs/trace.h); 0 = untraced. Propagated to
+///    derived tuples and across the wire so a tuple's spans can be stitched
+///    across nodes.
 /// The schema pointer is shared by all tuples of a stream.
 class Tuple {
  public:
@@ -46,6 +50,9 @@ class Tuple {
   SeqNo seq() const { return seq_; }
   void set_seq(SeqNo s) { seq_ = s; }
 
+  uint64_t trace_id() const { return trace_id_; }
+  void set_trace_id(uint64_t id) { trace_id_ = id; }
+
   /// Serialized size in bytes (values + fixed header); used by the transport
   /// to charge link bandwidth.
   size_t WireSize() const;
@@ -59,6 +66,7 @@ class Tuple {
   std::vector<Value> values_;
   SimTime timestamp_{};
   SeqNo seq_ = kNoSeqNo;
+  uint64_t trace_id_ = 0;
 };
 
 /// Builder-style convenience for tests and examples:

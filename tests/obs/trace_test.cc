@@ -1,0 +1,135 @@
+// Tuple-lineage tracing across a two-node deployment: a traced tuple's
+// spans must appear in causal sim-time order — enqueue and box execution on
+// the first node, then the transport hop, processing, and delivery on the
+// second (the ISSUE's acceptance scenario).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "distributed/deployment.h"
+#include "obs/trace.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing_util::SchemaAB;
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = std::make_unique<OverlayNetwork>(&sim_);
+    system_ =
+        std::make_unique<AuroraStarSystem>(&sim_, net_.get(), StarOptions{});
+    Tracer::Global().Clear();
+    Tracer::Global().set_enabled(true);
+  }
+  void TearDown() override {
+    Tracer::Global().set_enabled(false);
+    Tracer::Global().Clear();
+  }
+
+  Simulation sim_;
+  std::unique_ptr<OverlayNetwork> net_;
+  std::unique_ptr<AuroraStarSystem> system_;
+};
+
+TEST_F(TraceTest, SpansAreCausallyOrderedAcrossTwoNodes) {
+  ASSERT_OK_AND_ASSIGN(NodeId n0, system_->AddNode(NodeOptions{"n0", 1.0, {}}));
+  ASSERT_OK_AND_ASSIGN(NodeId n1, system_->AddNode(NodeOptions{"n1", 1.0, {}}));
+  ASSERT_OK(net_->AddLink(n0, n1, LinkOptions{}));
+
+  GlobalQuery q;
+  ASSERT_OK(q.AddInput("in", SchemaAB()));
+  ASSERT_OK(q.AddBox("f", FilterSpec(Predicate::True())));
+  ASSERT_OK(q.AddBox("m", MapSpec({{"A", Expr::FieldRef("A")},
+                                   {"B", Expr::FieldRef("B")}})));
+  ASSERT_OK(q.AddOutput("out"));
+  ASSERT_OK(q.ConnectInputToBox("in", "f"));
+  ASSERT_OK(q.ConnectBoxes("f", 0, "m", 0));
+  ASSERT_OK(q.ConnectBoxToOutput("m", 0, "out"));
+  ASSERT_OK_AND_ASSIGN(DeployedQuery deployed,
+                       DeployQuery(system_.get(), q, {{"f", n0}, {"m", n1}}));
+
+  std::vector<uint64_t> delivered_ids;
+  ASSERT_OK(system_->CollectOutput(n1, "out", [&](const Tuple& t, SimTime) {
+    delivered_ids.push_back(t.trace_id());
+  }));
+
+  SchemaPtr schema = SchemaAB();
+  for (int i = 0; i < 3; ++i) {
+    Tuple t = MakeTuple(schema, {Value(i), Value(i + 1)});
+    ASSERT_OK(system_->node(n0).Inject("in", t));
+  }
+  sim_.RunFor(SimDuration::Seconds(2));
+
+  ASSERT_EQ(delivered_ids.size(), 3u);
+  for (uint64_t id : delivered_ids) {
+    ASSERT_NE(id, 0u) << "delivered tuple lost its trace id";
+    std::vector<TraceSpan> spans = Tracer::Global().SpansFor(id);
+    ASSERT_GE(spans.size(), 5u);
+
+    // Causal sim-time order end to end.
+    for (size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_GE(spans[i].start_us, spans[i - 1].start_us)
+          << "span " << i << " (" << SpanKindName(spans[i].kind)
+          << ") out of order";
+    }
+
+    // Stage sequence: source enqueue + filter exec on node 0, then the hop
+    // to node 1, the map exec there, and final delivery on node 1.
+    EXPECT_EQ(spans.front().kind, SpanKind::kEnqueue);
+    EXPECT_EQ(spans.front().node, n0);
+    EXPECT_EQ(spans.front().site, "in:in");
+    EXPECT_EQ(spans.back().kind, SpanKind::kDelivery);
+    EXPECT_EQ(spans.back().node, n1);
+
+    auto index_of = [&](SpanKind kind, int node) -> int {
+      for (size_t i = 0; i < spans.size(); ++i) {
+        if (spans[i].kind == kind && spans[i].node == node) {
+          return static_cast<int>(i);
+        }
+      }
+      return -1;
+    };
+    int exec0 = index_of(SpanKind::kBoxExec, n0);
+    int hop1 = index_of(SpanKind::kTransportHop, n1);
+    int exec1 = index_of(SpanKind::kBoxExec, n1);
+    ASSERT_GE(exec0, 0) << "no box execution recorded on node 0";
+    ASSERT_GE(hop1, 0) << "no transport hop recorded at node 1";
+    ASSERT_GE(exec1, 0) << "no box execution recorded on node 1";
+    EXPECT_LT(exec0, hop1);
+    EXPECT_LT(hop1, exec1);
+    EXPECT_EQ(spans[exec0].site, "box:filter");
+    EXPECT_EQ(spans[exec1].site, "box:map");
+    EXPECT_EQ(spans[hop1].site.rfind("stream:", 0), 0u)
+        << "hop site: " << spans[hop1].site;
+  }
+
+  // Distinct source tuples get distinct lineage ids.
+  EXPECT_NE(delivered_ids[0], delivered_ids[1]);
+  EXPECT_NE(delivered_ids[1], delivered_ids[2]);
+}
+
+TEST_F(TraceTest, DisabledTracerRecordsNothing) {
+  Tracer::Global().set_enabled(false);
+  Tracer::Global().Record(
+      {1, SpanKind::kEnqueue, 0, "in:x", 0, 0});
+  EXPECT_TRUE(Tracer::Global().spans().empty());
+}
+
+TEST_F(TraceTest, CapacityBoundDropsExcessSpans) {
+  Tracer& tracer = Tracer::Global();
+  size_t old_cap = tracer.capacity();
+  tracer.set_capacity(2);
+  for (int i = 0; i < 5; ++i) {
+    tracer.Record({1, SpanKind::kEnqueue, 0, "in:x", i, i});
+  }
+  EXPECT_EQ(tracer.spans().size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 3u);
+  tracer.set_capacity(old_cap);
+}
+
+}  // namespace
+}  // namespace aurora
