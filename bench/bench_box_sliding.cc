@@ -77,4 +77,4 @@ BENCHMARK(BM_UpstreamSlide)
 }  // namespace bench
 }  // namespace aurora
 
-BENCHMARK_MAIN();
+AURORA_BENCH_MAIN()

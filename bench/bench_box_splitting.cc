@@ -111,4 +111,4 @@ BENCHMARK(BM_SplitRemapBalance)->Iterations(1)->Unit(benchmark::kMillisecond);
 }  // namespace bench
 }  // namespace aurora
 
-BENCHMARK_MAIN();
+AURORA_BENCH_MAIN()

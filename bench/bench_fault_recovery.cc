@@ -1,0 +1,180 @@
+// Experiment C5 (paper §6.2–6.4): end-to-end crash recovery under the
+// deterministic fault injector.
+//
+// Sweeps crash time (how much retained log a crash strands) × HA failure
+// timeout × HA mode on a three-server chain with a chaos-perturbed ingest
+// link. Claims measured:
+//   - MTTD tracks failure_timeout within one heartbeat interval;
+//   - upstream-backup recovery work scales with the retained log size,
+//     while the process-pair baseline redoes only in-process tuples;
+//   - the whole run is bit-reproducible: two invocations with the same
+//     --seed emit identical obs_fault_recovery_*.json artifacts.
+#include "bench/bench_util.h"
+#include "fault/injector.h"
+#include "ha/process_pair.h"
+#include "ha/upstream_backup.h"
+
+namespace aurora {
+namespace bench {
+namespace {
+
+struct RunResult {
+  double mttd_ms = 0.0;
+  double mttr_ms = 0.0;
+  double recovery_work_tuples = 0.0;
+  double protocol_messages = 0.0;
+  double retained_at_crash = 0.0;
+  double tuples_lost = 0.0;
+  double delivered = 0.0;
+  double chaos_dropped = 0.0;
+  double dup_dropped = 0.0;
+};
+
+// One chain run: f@0 -> m@1 -> t@2 (+ node 3 as process-pair backup), with
+// the injector crashing node 1 at `crash_at` and restarting it 1s later.
+RunResult RunOnce(bool process_pair, SimDuration failure_timeout,
+                  SimTime crash_at, uint64_t seed) {
+  RunResult r;
+  Cluster cluster(4);
+  GlobalQuery q;
+  AURORA_CHECK(q.AddInput("in", SchemaAB()).ok());
+  AURORA_CHECK(q.AddBox("f", FilterSpec(Predicate::True())).ok());
+  AURORA_CHECK(q.AddBox("m", MapSpec({{"A", Expr::FieldRef("A")},
+                                      {"B", Expr::FieldRef("B")}}))
+                   .ok());
+  AURORA_CHECK(q.AddBox("t", TumbleSpec("cnt", "B", {"A"})).ok());
+  AURORA_CHECK(q.AddOutput("out").ok());
+  AURORA_CHECK(q.ConnectInputToBox("in", "f").ok());
+  AURORA_CHECK(q.ConnectBoxes("f", 0, "m", 0).ok());
+  AURORA_CHECK(q.ConnectBoxes("m", 0, "t", 0).ok());
+  AURORA_CHECK(q.ConnectBoxToOutput("t", 0, "out").ok());
+  auto deployed =
+      DeployQuery(cluster.system.get(), q, {{"f", 0}, {"m", 1}, {"t", 2}});
+  AURORA_CHECK(deployed.ok());
+  uint64_t delivered = 0;
+  AURORA_CHECK(cluster.system
+                   ->CollectOutput(2, "out",
+                                   [&](const Tuple&, SimTime) { ++delivered; })
+                   .ok());
+
+  const int kTuples = 4000;
+  InjectAtRate(&cluster, 0, "in", kTuples, 2000.0, /*mod=*/1'000'000);
+
+  // Mild chaos on the ingest link plus the crash/restart cycle. The plan is
+  // shared text, not code, so tests and EXPERIMENTS.md can quote it.
+  FaultPlan plan;
+  plan.PerturbLinkAt(SimTime::Millis(0), 0, 1, /*drop_p=*/0.01,
+                     /*dup_p=*/0.01, /*reorder_p=*/0.02);
+  plan.CrashAt(crash_at, 1);
+  plan.RestartAt(crash_at + SimDuration::Seconds(1), 1);
+
+  HaOptions opts;
+  opts.failure_timeout = failure_timeout;
+  // The process-pair comparison measures the pair's own failover; keep the
+  // upstream-backup machinery from re-routing the query underneath it.
+  opts.auto_recover = !process_pair;
+  HaManager ha(cluster.system.get(), opts);
+  AURORA_CHECK(ha.Protect(&*deployed, &q).ok());
+
+  std::unique_ptr<ProcessPairModel> pp;
+  if (process_pair) {
+    pp = std::make_unique<ProcessPairModel>(cluster.system.get(), 1, 3);
+    pp->Start();
+  }
+
+  // Snapshot the stranded log just before the crash fires (events at equal
+  // times run in scheduling order; InjectorOptions arms after this).
+  size_t retained_at_crash = 0;
+  size_t in_process_at_crash = 0;
+  cluster.sim.ScheduleAt(crash_at, [&]() {
+    retained_at_crash = ha.TotalRetainedTuples();
+    in_process_at_crash =
+        cluster.system->node(1).engine().TotalQueuedTuples();
+  });
+
+  InjectorOptions iopts;
+  iopts.seed = seed;
+  iopts.ha = process_pair ? nullptr : &ha;
+  Injector injector(cluster.system.get(), plan, iopts);
+  AURORA_CHECK(injector.Arm().ok());
+
+  cluster.sim.RunUntil(SimTime::Seconds(4));
+
+  r.retained_at_crash = static_cast<double>(retained_at_crash);
+  r.tuples_lost = static_cast<double>(injector.tuples_lost());
+  r.delivered = static_cast<double>(delivered);
+  r.chaos_dropped = static_cast<double>(cluster.net->ChaosDropped());
+  r.dup_dropped = 0.0;
+  for (int n = 0; n < 4; ++n) {
+    r.dup_dropped += static_cast<double>(
+        cluster.system->node(n).duplicate_tuples_dropped());
+  }
+  if (process_pair) {
+    // The pair fails over instantly at detection; redone work is only what
+    // was in process at the primary when it died.
+    r.mttd_ms = failure_timeout.seconds() * 1e3;
+    r.mttr_ms = r.mttd_ms;
+    r.recovery_work_tuples = static_cast<double>(in_process_at_crash);
+    r.protocol_messages = static_cast<double>(pp->checkpoint_messages());
+  } else {
+    r.mttd_ms = injector.mttd_ms().empty() ? 0.0 : injector.mttd_ms().front();
+    r.mttr_ms = injector.mttr_ms().empty() ? 0.0 : injector.mttr_ms().front();
+    r.recovery_work_tuples = static_cast<double>(ha.replayed_tuples());
+    r.protocol_messages =
+        static_cast<double>(ha.checkpoint_messages() + ha.heartbeat_messages());
+  }
+  return r;
+}
+
+void BM_FaultRecovery(benchmark::State& state) {
+  const bool process_pair = state.range(0) != 0;
+  const SimDuration timeout = SimDuration::Millis(state.range(1));
+  const SimTime crash_at = SimTime::Millis(state.range(2));
+  // --iters N samples N consecutive seeds starting at --seed; counters
+  // report the last sample (each sample dumps its own obs artifact).
+  const int samples = GlobalIters() > 0 ? GlobalIters() : 1;
+  for (auto _ : state) {
+    RunResult r;
+    for (int s = 0; s < samples; ++s) {
+      const uint64_t seed = GlobalSeed() + static_cast<uint64_t>(s);
+      ResetObservability();
+      r = RunOnce(process_pair, timeout, crash_at, seed);
+      DumpMetricsSnapshot(
+          "fault_recovery_" + std::string(process_pair ? "pp" : "ub") +
+          "_to" + std::to_string(state.range(1)) + "ms_crash" +
+          std::to_string(state.range(2)) + "ms_seed" + std::to_string(seed));
+    }
+    state.counters["mttd_ms"] = r.mttd_ms;
+    state.counters["mttr_ms"] = r.mttr_ms;
+    state.counters["recovery_work_tuples"] = r.recovery_work_tuples;
+    state.counters["retained_at_crash"] = r.retained_at_crash;
+    state.counters["protocol_messages"] = r.protocol_messages;
+    state.counters["tuples_lost"] = r.tuples_lost;
+    state.counters["delivered"] = r.delivered;
+    state.counters["chaos_dropped"] = r.chaos_dropped;
+    state.counters["dup_dropped"] = r.dup_dropped;
+  }
+}
+BENCHMARK(BM_FaultRecovery)
+    ->ArgNames({"process_pair", "timeout_ms", "crash_ms"})
+    // Failure-timeout sweep (MTTD tracks it) at a fixed mid-run crash.
+    ->Args({0, 100, 1500})
+    ->Args({0, 250, 1500})
+    ->Args({0, 500, 1500})
+    ->Args({1, 100, 1500})
+    ->Args({1, 250, 1500})
+    ->Args({1, 500, 1500})
+    // Crash-time sweep (recovery work tracks the stranded log) at the
+    // default timeout.
+    ->Args({0, 250, 500})
+    ->Args({0, 250, 2500})
+    ->Args({1, 250, 500})
+    ->Args({1, 250, 2500})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace aurora
+
+AURORA_BENCH_MAIN()

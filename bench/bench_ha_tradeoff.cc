@@ -144,4 +144,4 @@ BENCHMARK(BM_TruncationMethod)
 }  // namespace bench
 }  // namespace aurora
 
-BENCHMARK_MAIN();
+AURORA_BENCH_MAIN()

@@ -92,4 +92,4 @@ BENCHMARK(BM_DaemonBalancesSkew)
 }  // namespace bench
 }  // namespace aurora
 
-BENCHMARK_MAIN();
+AURORA_BENCH_MAIN()

@@ -93,4 +93,4 @@ BENCHMARK(BM_EconomyAnneals)
 }  // namespace bench
 }  // namespace aurora
 
-BENCHMARK_MAIN();
+AURORA_BENCH_MAIN()

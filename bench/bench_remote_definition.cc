@@ -86,4 +86,4 @@ BENCHMARK(BM_RemoteDefinition)
 }  // namespace bench
 }  // namespace aurora
 
-BENCHMARK_MAIN();
+AURORA_BENCH_MAIN()

@@ -81,4 +81,4 @@ BENCHMARK(BM_BandwidthAwareOffload)
 }  // namespace bench
 }  // namespace aurora
 
-BENCHMARK_MAIN();
+AURORA_BENCH_MAIN()

@@ -114,4 +114,4 @@ BENCHMARK(BM_Policy)
 }  // namespace bench
 }  // namespace aurora
 
-BENCHMARK_MAIN();
+AURORA_BENCH_MAIN()

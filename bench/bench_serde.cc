@@ -70,4 +70,4 @@ BENCHMARK(BM_PredicateEval);
 }  // namespace bench
 }  // namespace aurora
 
-BENCHMARK_MAIN();
+AURORA_BENCH_MAIN()

@@ -121,4 +121,4 @@ BENCHMARK(BM_OverheadVsStreams)
 }  // namespace bench
 }  // namespace aurora
 
-BENCHMARK_MAIN();
+AURORA_BENCH_MAIN()

@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cctype>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -78,7 +79,63 @@ inline void DumpMetricsSnapshot(const std::string& label) {
   out << MetricsRegistry::Global().SnapshotJson() << "\n";
 }
 
+/// Process-wide seed from the `--seed=N` flag (default 1). Benches thread
+/// it into StreamGenerator workloads and the fault injector, so one
+/// invocation is reproducible end to end: two runs with the same seed emit
+/// identical obs_*.json artifacts.
+inline uint64_t& GlobalSeed() {
+  static uint64_t seed = 1;
+  return seed;
+}
+
+/// Iteration override from `--iters=N` (0 = each bench's default). The CI
+/// chaos smoke passes `--iters 1` to bound sweep cost.
+inline int& GlobalIters() {
+  static int iters = 0;
+  return iters;
+}
+
+/// Strips `--seed[=]N` and `--iters[=]N` from argv before Google Benchmark
+/// parses the rest (it rejects flags it does not know).
+inline void ParseBenchFlags(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string arg = argv[i];
+    auto take_value = [&](const std::string& name, std::string* value) {
+      if (arg.rfind("--" + name + "=", 0) == 0) {
+        *value = arg.substr(name.size() + 3);
+        return true;
+      }
+      if (arg == "--" + name && i + 1 < *argc) {
+        *value = argv[++i];
+        return true;
+      }
+      return false;
+    };
+    std::string value;
+    if (take_value("seed", &value)) {
+      GlobalSeed() = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (take_value("iters", &value)) {
+      GlobalIters() = static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
 }  // namespace bench
 }  // namespace aurora
+
+/// Drop-in replacement for BENCHMARK_MAIN() that understands --seed/--iters.
+#define AURORA_BENCH_MAIN()                                             \
+  int main(int argc, char** argv) {                                     \
+    ::aurora::bench::ParseBenchFlags(&argc, argv);                      \
+    ::benchmark::Initialize(&argc, argv);                               \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                              \
+    ::benchmark::Shutdown();                                            \
+    return 0;                                                           \
+  }
 
 #endif  // AURORA_BENCH_BENCH_UTIL_H_

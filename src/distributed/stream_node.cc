@@ -24,6 +24,8 @@ StreamNode::StreamNode(Simulation* sim, OverlayNetwork* net, NodeId id,
   MetricsRegistry& reg = MetricsRegistry::Global();
   m_tuples_sent_ = reg.GetCounter("node.tuples_sent");
   m_msgs_sent_ = reg.GetCounter("node.msgs_sent");
+  m_dup_dropped_ = reg.GetCounter("node.stream.dup_dropped");
+  m_crash_lost_ = reg.GetCounter("node.crash.tuples_lost");
 }
 
 void StreamNode::Start() {
@@ -135,11 +137,17 @@ void StreamNode::OnRemoteStream(const std::string& stream,
                      << stream << "'";
     return;
   }
-  OnRemoteTuples(it->second, payload);
+  DeliverTuples(it->second, &stream, payload);
 }
 
 void StreamNode::OnRemoteTuples(const std::string& input_name,
                                 const std::vector<uint8_t>& payload) {
+  DeliverTuples(input_name, nullptr, payload);
+}
+
+void StreamNode::DeliverTuples(const std::string& input_name,
+                               const std::string* stream,
+                               const std::vector<uint8_t>& payload) {
   if (!up_) return;
   auto port = engine_.FindInput(input_name);
   if (!port.ok()) {
@@ -155,8 +163,21 @@ void StreamNode::OnRemoteTuples(const std::string& input_name,
     return;
   }
   SeqNo& last = last_received_[input_name];
+  SeqNo* dedup = stream ? &stream_dedup_watermark_[*stream] : nullptr;
   Tracer& tracer = Tracer::Global();
   for (auto& t : *tuples) {
+    if (dedup != nullptr && t.seq() != kNoSeqNo) {
+      // Streams are FIFO per transport connection, so a sequence number at
+      // or below the watermark is a duplicate (chaos duplication) or an
+      // overtaken copy (chaos reorder) — suppressing it keeps delivery
+      // at-most-once per stream.
+      if (t.seq() <= *dedup) {
+        dup_tuples_dropped_++;
+        m_dup_dropped_->Add();
+        continue;
+      }
+      *dedup = t.seq();
+    }
     if (t.seq() != kNoSeqNo && t.seq() > last) last = t.seq();
     if (tracer.enabled() && t.trace_id() != 0) {
       // Recorded at the receiver: the hop is complete once the batch lands.
@@ -252,6 +273,23 @@ void StreamNode::SetUp(bool up) {
   up_ = up;
   net_->SetNodeUp(id_, up);
   if (up) Kick();
+}
+
+size_t StreamNode::Crash() {
+  SetUp(false);
+  size_t lost = 0;
+  for (auto& [name, binding] : bindings_) {
+    lost += binding.pending.size();
+    lost += binding.output_log.size();
+    binding.pending.clear();
+    binding.output_log.clear();
+  }
+  last_received_.clear();
+  stream_dedup_watermark_.clear();
+  if (lost > 0) m_crash_lost_->Add(lost);
+  AURORA_LOG(Debug) << "node " << id_ << ": crashed, lost " << lost
+                    << " buffered tuples";
+  return lost;
 }
 
 void StreamNode::RetainOutputLogs(bool retain) {

@@ -87,6 +87,18 @@ class StreamNode {
   void SetUp(bool up);
   bool up() const { return up_; }
 
+  /// Fail-stop crash (fault injection): goes down AND wipes the node's
+  /// volatile sender state — unsent pending batches, retained output logs,
+  /// and received-sequence watermarks — exactly what a real process loses.
+  /// Upstream-backup recovery replays the *upstream* neighbours' logs, so
+  /// the wiped state is never read again (§6.3). Returns the number of
+  /// tuples lost from this node's own buffers.
+  size_t Crash();
+
+  /// Tuples dropped as duplicates by per-stream sequence tracking (chaos
+  /// duplication or retransmits; see OnRemoteStream).
+  uint64_t duplicate_tuples_dropped() const { return dup_tuples_dropped_; }
+
   // ---- HA hooks (used by src/ha) ------------------------------------------
 
   /// A retained sent tuple plus its lineage: the sequence number (in the
@@ -161,6 +173,10 @@ class StreamNode {
   void Step();
   void FlushPending();
   Transport* TransportTo(StreamNode* dst);
+  /// Deserializes and pushes a batch; `stream` (when non-null) enables
+  /// per-stream duplicate suppression by sequence number.
+  void DeliverTuples(const std::string& input_name, const std::string* stream,
+                     const std::vector<uint8_t>& payload);
 
   Simulation* sim_;
   OverlayNetwork* net_;
@@ -172,6 +188,13 @@ class StreamNode {
   std::map<std::string, RemoteBinding> bindings_;
   std::map<std::string, std::string> stream_to_input_;
   std::map<std::string, SeqNo> last_received_;
+  /// Highest sequence seen per incoming *stream* — the dedup watermark.
+  /// Streams are FIFO per transport, so in normal operation sequences only
+  /// grow and this never drops anything; under chaos duplication (or
+  /// overtaking reorder) stale tuples are suppressed, which keeps the §6
+  /// recovery invariant "only in-process tuples are redone" intact.
+  std::map<std::string, SeqNo> stream_dedup_watermark_;
+  uint64_t dup_tuples_dropped_ = 0;
   bool retain_logs_ = false;
   bool step_scheduled_ = false;
   bool up_ = true;
@@ -187,6 +210,8 @@ class StreamNode {
   // Registry mirrors of cross-node traffic (process-wide totals).
   Counter* m_tuples_sent_;
   Counter* m_msgs_sent_;
+  Counter* m_dup_dropped_;
+  Counter* m_crash_lost_;
 };
 
 }  // namespace aurora

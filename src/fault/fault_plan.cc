@@ -1,0 +1,247 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace aurora {
+
+namespace {
+
+/// "500ms" / "2s" / "250us" -> SimTime; false on malformed input.
+bool ParseTime(const std::string& token, SimTime* out) {
+  size_t unit_at = token.find_first_not_of("0123456789.-");
+  if (unit_at == std::string::npos || unit_at == 0) return false;
+  double value = 0.0;
+  try {
+    value = std::stod(token.substr(0, unit_at));
+  } catch (...) {
+    return false;
+  }
+  if (value < 0.0) return false;
+  std::string unit = token.substr(unit_at);
+  if (unit == "us") {
+    *out = SimTime::Micros(static_cast<int64_t>(value));
+  } else if (unit == "ms") {
+    *out = SimTime::Micros(static_cast<int64_t>(value * 1e3));
+  } else if (unit == "s") {
+    *out = SimTime::Micros(static_cast<int64_t>(value * 1e6));
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseProbability(const std::string& token, double* out) {
+  try {
+    *out = std::stod(token);
+  } catch (...) {
+    return false;
+  }
+  return *out >= 0.0 && *out <= 1.0;
+}
+
+std::string FormatTime(SimTime t) {
+  int64_t us = t.micros();
+  char buf[32];
+  if (us % 1000000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%llds", static_cast<long long>(us / 1000000));
+  } else if (us % 1000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldms", static_cast<long long>(us / 1000));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(us));
+  }
+  return buf;
+}
+
+}  // namespace
+
+const char* FaultEventKindName(FaultEventKind kind) {
+  switch (kind) {
+    case FaultEventKind::kCrash:
+      return "crash";
+    case FaultEventKind::kRestart:
+      return "restart";
+    case FaultEventKind::kPartition:
+      return "partition";
+    case FaultEventKind::kHeal:
+      return "heal";
+    case FaultEventKind::kPerturbLink:
+      return "perturb";
+    case FaultEventKind::kSlowNode:
+      return "slow";
+  }
+  return "?";
+}
+
+Result<FaultPlan> FaultPlan::Parse(const std::string& spec) {
+  FaultPlan plan;
+  std::istringstream lines(spec);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(lines, line)) {
+    line_no++;
+    // Strip comments, then tokenize.
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream tokens(line);
+    std::vector<std::string> tok;
+    std::string t;
+    while (tokens >> t) tok.push_back(t);
+    if (tok.empty()) continue;
+    auto fail = [&](const std::string& why) {
+      return Status::InvalidArgument("fault plan line " +
+                                     std::to_string(line_no) + ": " + why);
+    };
+    if (tok.size() < 3 || tok[0] != "at") {
+      return fail("expected 'at <time> <event> ...'");
+    }
+    FaultEvent ev;
+    if (!ParseTime(tok[1], &ev.at)) return fail("bad time '" + tok[1] + "'");
+    const std::string& kind = tok[2];
+    auto node_arg = [&](size_t i, int* out) {
+      try {
+        *out = std::stoi(tok.at(i));
+      } catch (...) {
+        return false;
+      }
+      return *out >= 0;
+    };
+    if (kind == "crash" || kind == "restart") {
+      if (tok.size() != 4 || !node_arg(3, &ev.node)) {
+        return fail("expected '" + kind + " <node>'");
+      }
+      ev.kind = kind == "crash" ? FaultEventKind::kCrash
+                                : FaultEventKind::kRestart;
+    } else if (kind == "partition" || kind == "heal") {
+      if (tok.size() != 5 || !node_arg(3, &ev.a) || !node_arg(4, &ev.b)) {
+        return fail("expected '" + kind + " <a> <b>'");
+      }
+      ev.kind = kind == "partition" ? FaultEventKind::kPartition
+                                    : FaultEventKind::kHeal;
+    } else if (kind == "perturb") {
+      if (tok.size() < 5 || !node_arg(3, &ev.a) || !node_arg(4, &ev.b)) {
+        return fail("expected 'perturb <a> <b> [drop=p] [dup=p] [reorder=p]'");
+      }
+      ev.kind = FaultEventKind::kPerturbLink;
+      for (size_t i = 5; i < tok.size(); ++i) {
+        size_t eq = tok[i].find('=');
+        if (eq == std::string::npos) return fail("bad option '" + tok[i] + "'");
+        std::string key = tok[i].substr(0, eq);
+        std::string val = tok[i].substr(eq + 1);
+        bool ok = true;
+        if (key == "drop") {
+          ok = ParseProbability(val, &ev.drop_p);
+        } else if (key == "dup") {
+          ok = ParseProbability(val, &ev.dup_p);
+        } else if (key == "reorder") {
+          ok = ParseProbability(val, &ev.reorder_p);
+        } else if (key == "reorder_delay") {
+          ok = ParseTime(val, &ev.reorder_delay);
+        } else {
+          return fail("unknown perturb option '" + key + "'");
+        }
+        if (!ok) return fail("bad value '" + val + "' for '" + key + "'");
+      }
+    } else if (kind == "slow") {
+      if (tok.size() != 5 || !node_arg(3, &ev.node)) {
+        return fail("expected 'slow <node> <factor>'");
+      }
+      try {
+        ev.speed_factor = std::stod(tok[4]);
+      } catch (...) {
+        return fail("bad speed factor '" + tok[4] + "'");
+      }
+      if (ev.speed_factor <= 0.0) return fail("speed factor must be > 0");
+      ev.kind = FaultEventKind::kSlowNode;
+    } else {
+      return fail("unknown event '" + kind + "'");
+    }
+    plan.events_.push_back(ev);
+  }
+  plan.SortByTime();
+  return plan;
+}
+
+FaultPlan& FaultPlan::CrashAt(SimTime at, int node) {
+  return Add({at, FaultEventKind::kCrash, node});
+}
+
+FaultPlan& FaultPlan::RestartAt(SimTime at, int node) {
+  return Add({at, FaultEventKind::kRestart, node});
+}
+
+FaultPlan& FaultPlan::PartitionAt(SimTime at, int a, int b) {
+  FaultEvent ev{at, FaultEventKind::kPartition};
+  ev.a = a;
+  ev.b = b;
+  return Add(ev);
+}
+
+FaultPlan& FaultPlan::HealAt(SimTime at, int a, int b) {
+  FaultEvent ev{at, FaultEventKind::kHeal};
+  ev.a = a;
+  ev.b = b;
+  return Add(ev);
+}
+
+FaultPlan& FaultPlan::PerturbLinkAt(SimTime at, int a, int b, double drop_p,
+                                    double dup_p, double reorder_p,
+                                    SimDuration reorder_delay) {
+  FaultEvent ev{at, FaultEventKind::kPerturbLink};
+  ev.a = a;
+  ev.b = b;
+  ev.drop_p = drop_p;
+  ev.dup_p = dup_p;
+  ev.reorder_p = reorder_p;
+  ev.reorder_delay = reorder_delay;
+  return Add(ev);
+}
+
+FaultPlan& FaultPlan::SlowNodeAt(SimTime at, int node, double speed_factor) {
+  FaultEvent ev{at, FaultEventKind::kSlowNode, node};
+  ev.speed_factor = speed_factor;
+  return Add(ev);
+}
+
+FaultPlan& FaultPlan::Add(FaultEvent event) {
+  events_.push_back(event);
+  SortByTime();
+  return *this;
+}
+
+void FaultPlan::SortByTime() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& x, const FaultEvent& y) {
+                     return x.at < y.at;
+                   });
+}
+
+std::string FaultPlan::ToSpec() const {
+  std::ostringstream os;
+  for (const FaultEvent& ev : events_) {
+    os << "at " << FormatTime(ev.at) << " " << FaultEventKindName(ev.kind);
+    switch (ev.kind) {
+      case FaultEventKind::kCrash:
+      case FaultEventKind::kRestart:
+        os << " " << ev.node;
+        break;
+      case FaultEventKind::kPartition:
+      case FaultEventKind::kHeal:
+        os << " " << ev.a << " " << ev.b;
+        break;
+      case FaultEventKind::kPerturbLink:
+        os << " " << ev.a << " " << ev.b << " drop=" << ev.drop_p
+           << " dup=" << ev.dup_p << " reorder=" << ev.reorder_p
+           << " reorder_delay=" << FormatTime(ev.reorder_delay);
+        break;
+      case FaultEventKind::kSlowNode:
+        os << " " << ev.node << " " << ev.speed_factor;
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace aurora

@@ -1,0 +1,93 @@
+#ifndef AURORA_FAULT_FAULT_PLAN_H_
+#define AURORA_FAULT_FAULT_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+
+namespace aurora {
+
+/// What one scheduled fault event does to the running system.
+enum class FaultEventKind {
+  kCrash,        ///< node goes down; its volatile sender state is wiped
+  kRestart,      ///< node re-joins the overlay (HA recovery has moved on)
+  kPartition,    ///< both directions of a link go down; routes recompute
+  kHeal,         ///< the partitioned link comes back; routes recompute
+  kPerturbLink,  ///< set drop/duplicate/reorder probabilities on a link
+  kSlowNode,     ///< multiply the node's CPU speed by a factor
+};
+
+const char* FaultEventKindName(FaultEventKind kind);
+
+/// One timed entry of a FaultPlan. Field use depends on `kind`:
+/// crash/restart/slow use `node`; partition/heal/perturb use `a`/`b`
+/// (applied to both directions of the link).
+struct FaultEvent {
+  SimTime at{};
+  FaultEventKind kind = FaultEventKind::kCrash;
+  int node = -1;
+  int a = -1;
+  int b = -1;
+  /// kPerturbLink probabilities, all in [0, 1].
+  double drop_p = 0.0;
+  double dup_p = 0.0;
+  double reorder_p = 0.0;
+  /// Extra delay a reordered message suffers (later traffic overtakes it).
+  SimDuration reorder_delay = SimDuration::Millis(20);
+  /// kSlowNode: new relative CPU speed multiplier (0.5 = half speed).
+  double speed_factor = 1.0;
+};
+
+/// \brief Declarative chaos schedule: a list of timed fault events that
+/// benches and tests share, parseable from a small line-based text spec.
+///
+/// Spec format — one event per line, `#` comments and blank lines ignored;
+/// times accept `us`, `ms`, or `s` suffixes:
+///
+///   at 500ms crash 2
+///   at 900ms restart 2
+///   at 1s   partition 0 1
+///   at 2s   heal 0 1
+///   at 0ms  perturb 0 1 drop=0.05 dup=0.02 reorder=0.1 reorder_delay=20ms
+///   at 1s   slow 1 0.5
+///
+/// Events sort by time (stable: spec order breaks ties), so a plan applied
+/// to the deterministic simulation always replays identically.
+class FaultPlan {
+ public:
+  /// Parses the text spec; returns InvalidArgument with the offending line
+  /// on malformed input.
+  static Result<FaultPlan> Parse(const std::string& spec);
+
+  // ---- Programmatic builder (same events the parser produces) ------------
+
+  FaultPlan& CrashAt(SimTime at, int node);
+  FaultPlan& RestartAt(SimTime at, int node);
+  FaultPlan& PartitionAt(SimTime at, int a, int b);
+  FaultPlan& HealAt(SimTime at, int a, int b);
+  FaultPlan& PerturbLinkAt(SimTime at, int a, int b, double drop_p,
+                           double dup_p = 0.0, double reorder_p = 0.0,
+                           SimDuration reorder_delay = SimDuration::Millis(20));
+  FaultPlan& SlowNodeAt(SimTime at, int node, double speed_factor);
+  FaultPlan& Add(FaultEvent event);
+
+  /// Events in time order (stable on insertion order at equal times).
+  const std::vector<FaultEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  /// Round-trips the plan back to the text spec format (Parse(ToSpec())
+  /// yields an equivalent plan).
+  std::string ToSpec() const;
+
+ private:
+  void SortByTime();
+
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_FAULT_FAULT_PLAN_H_

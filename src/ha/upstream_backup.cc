@@ -2,7 +2,15 @@
 
 #include <deque>
 
+#include "obs/trace.h"
+
 namespace aurora {
+
+HaManager::~HaManager() {
+  checkpoint_timer_.Cancel();
+  heartbeat_timer_.Cancel();
+  detector_.Clear();
+}
 
 Status HaManager::Protect(DeployedQuery* deployed, const GlobalQuery* query) {
   if (protected_) return Status::FailedPrecondition("already protecting");
@@ -17,15 +25,19 @@ Status HaManager::Protect(DeployedQuery* deployed, const GlobalQuery* query) {
 }
 
 void HaManager::StartTimers() {
-  system_->sim()->SchedulePeriodic(opts_.checkpoint_interval, [this]() {
-    RunCheckpointRound();
-    return true;
-  });
-  system_->sim()->SchedulePeriodic(opts_.heartbeat_interval, [this]() {
-    HeartbeatRound();
-    CheckFailures();
-    return true;
-  });
+  checkpoint_timer_ =
+      system_->sim()->SchedulePeriodicCancelable(opts_.checkpoint_interval,
+                                                 [this]() {
+                                                   RunCheckpointRound();
+                                                   return true;
+                                                 });
+  heartbeat_timer_ =
+      system_->sim()->SchedulePeriodicCancelable(opts_.heartbeat_interval,
+                                                 [this]() {
+                                                   HeartbeatRound();
+                                                   CheckFailures();
+                                                   return true;
+                                                 });
 }
 
 std::vector<HaManager::BindingRef> HaManager::BindingsInto(NodeId dst) const {
@@ -142,7 +154,7 @@ void HaManager::HeartbeatRound() {
       (void)system_->net()->Send(
           dst, src, std::move(hb), [this, src, dst](const Message&) {
             if (system_->node(src).up()) {
-              last_heard_[{src, dst}] = system_->sim()->Now();
+              detector_.RecordHeartbeat(src, dst, system_->sim()->Now());
             }
           });
     }
@@ -151,33 +163,41 @@ void HaManager::HeartbeatRound() {
 
 void HaManager::CheckFailures() {
   SimTime now = system_->sim()->Now();
+  // Maintain the armed pair set: only live watchers may judge (a dead
+  // watcher's own silence must not convict its live neighbours), and a
+  // freshly seen binding gets a full timeout's grace on arming.
   for (size_t i = 0; i < system_->num_nodes(); ++i) {
     NodeId watcher = static_cast<NodeId>(i);
-    if (!system_->node(watcher).up()) continue;  // only live watchers judge
+    if (!system_->node(watcher).up()) {
+      detector_.ForgetWatcher(watcher);
+      continue;
+    }
     for (const auto& [output_name, binding] :
          system_->node(watcher).bindings()) {
       if (binding.dst == nullptr) continue;
       NodeId watched = binding.dst->id();
       if (known_failed_.count(watched)) continue;
-      auto key = std::make_pair(watcher, watched);
-      auto it = last_heard_.find(key);
-      if (it == last_heard_.end()) {
-        // New pair: arm the timer, grant a full timeout's grace.
-        last_heard_[key] = now;
-        continue;
+      detector_.Arm(watcher, watched, now);
+    }
+  }
+  for (const auto& s : detector_.CheckSilence(now)) {
+    if (known_failed_.count(s.watched)) continue;
+    known_failed_.insert(s.watched);
+    failures_detected_++;
+    Tracer& tracer = Tracer::Global();
+    if (tracer.enabled()) {
+      tracer.Record({0, SpanKind::kFault, s.watcher,
+                     "detect:node" + std::to_string(s.watched),
+                     s.last_heard.micros(), now.micros()});
+    }
+    if (on_failure_) on_failure_(s.watched, s.watcher, now);
+    if (opts_.auto_recover) {
+      // The detecting upstream neighbour acts as the backup (Fig. 8).
+      Status st = RecoverNode(s.watched, s.watcher);
+      if (!st.ok()) {
+        AURORA_LOG(Error) << "recovery of node " << s.watched
+                          << " failed: " << st.ToString();
       }
-      if (now - it->second <= opts_.failure_timeout) continue;
-      known_failed_.insert(watched);
-      failures_detected_++;
-      if (opts_.auto_recover) {
-        // The detecting upstream neighbour acts as the backup (Fig. 8).
-        Status st = RecoverNode(watched, watcher);
-        if (!st.ok()) {
-          AURORA_LOG(Error) << "recovery of node " << watched
-                            << " failed: " << st.ToString();
-        }
-      }
-      break;  // bindings_ mutated by recovery; restart on next round
     }
   }
 }
@@ -190,6 +210,10 @@ Status HaManager::RecoverNode(NodeId failed, NodeId backup) {
   }
   if (failed == backup) return Status::InvalidArgument("backup == failed");
   known_failed_.insert(failed);
+  // Clean shutdown of the failed node's detector state: it neither watches
+  // nor is watched any more, so no stale pair can raise a late suspicion.
+  detector_.ForgetWatched(failed);
+  detector_.ForgetWatcher(failed);
   StreamNode& b_node = system_->node(backup);
   StreamNode& f_node = system_->node(failed);
   AuroraEngine& be = b_node.engine();
@@ -394,6 +418,13 @@ Status HaManager::RecoverNode(NodeId failed, NodeId backup) {
   }
   b_node.Kick();
   recoveries_++;
+  Tracer& tracer = Tracer::Global();
+  if (tracer.enabled()) {
+    tracer.Record({0, SpanKind::kFault, backup,
+                   "recover:node" + std::to_string(failed), now.micros(),
+                   system_->sim()->Now().micros()});
+  }
+  if (on_recovery_) on_recovery_(failed, backup, system_->sim()->Now());
   return Status::OK();
 }
 

@@ -1,12 +1,14 @@
 #ifndef AURORA_HA_UPSTREAM_BACKUP_H_
 #define AURORA_HA_UPSTREAM_BACKUP_H_
 
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "distributed/deployment.h"
+#include "fault/failure_detector.h"
 
 namespace aurora {
 
@@ -32,6 +34,10 @@ struct HaOptions {
   SimDuration heartbeat_interval = SimDuration::Millis(50);
   /// Silence longer than this marks the downstream neighbour failed (§6.3).
   SimDuration failure_timeout = SimDuration::Millis(250);
+  /// Consecutive silent detector rounds before declaring (see
+  /// FailureDetectorOptions::suspicion_threshold). Raise above 1 to ride out
+  /// heartbeat loss on chaos-perturbed links.
+  int suspicion_threshold = 1;
   SimDuration checkpoint_interval = SimDuration::Millis(100);
   TruncationMethod method = TruncationMethod::kFlowMessages;
   /// Recover automatically on detection; otherwise callers invoke
@@ -51,8 +57,21 @@ struct HaOptions {
 /// server".
 class HaManager {
  public:
+  /// Observes failure detections / completed recoveries (fault injection
+  /// wires MTTD/MTTR instrumentation through these).
+  using FailureObserver =
+      std::function<void(NodeId failed, NodeId watcher, SimTime detected_at)>;
+  using RecoveryObserver =
+      std::function<void(NodeId failed, NodeId backup, SimTime recovered_at)>;
+
   HaManager(AuroraStarSystem* system, HaOptions opts)
-      : system_(system), opts_(opts) {}
+      : system_(system),
+        opts_(opts),
+        detector_(FailureDetectorOptions{opts.failure_timeout,
+                                         opts.suspicion_threshold}) {}
+  /// Cancels the periodic timers and drops detector state, so a manager
+  /// destroyed mid-simulation can never fire a spurious late detection.
+  ~HaManager();
 
   /// Enables log retention on every current remote binding and starts the
   /// checkpoint and heartbeat timers. `deployed`/`query` describe the query
@@ -78,6 +97,15 @@ class HaManager {
   /// replays the relevant output logs (§6.3). Normally invoked by the
   /// failure detector with backup = the failed node's upstream neighbour.
   Status RecoverNode(NodeId failed, NodeId backup);
+
+  void SetFailureObserver(FailureObserver observer) {
+    on_failure_ = std::move(observer);
+  }
+  void SetRecoveryObserver(RecoveryObserver observer) {
+    on_recovery_ = std::move(observer);
+  }
+
+  const HeartbeatFailureDetector& detector() const { return detector_; }
 
   // ---- Statistics --------------------------------------------------------
 
@@ -107,12 +135,15 @@ class HaManager {
   DeployedQuery* deployed_ = nullptr;
   const GlobalQuery* query_ = nullptr;
   bool protected_ = false;
-  /// Per (watcher, watched) pair: when the watcher last heard a heartbeat
-  /// from its downstream neighbour. Only live watchers can declare a
-  /// failure; entries are (re)armed when a pair is first seen so a freshly
-  /// created binding gets a full timeout's grace.
-  std::map<std::pair<NodeId, NodeId>, SimTime> last_heard_;
+  /// Shared heartbeat detector (src/fault): each upstream watcher's pair is
+  /// (re)armed when its binding is first seen, granting a full timeout's
+  /// grace; live heartbeats refute suspicion.
+  HeartbeatFailureDetector detector_;
   std::set<NodeId> known_failed_;
+  PeriodicTimer checkpoint_timer_;
+  PeriodicTimer heartbeat_timer_;
+  FailureObserver on_failure_;
+  RecoveryObserver on_recovery_;
   uint64_t checkpoint_messages_ = 0;
   uint64_t heartbeat_messages_ = 0;
   uint64_t truncated_tuples_ = 0;

@@ -164,6 +164,7 @@ Status MedusaSystem::CancelContentContract(int id) {
   for (auto& c : content_) {
     if (c.id == id) {
       c.active = false;
+      detector_.ForgetWatcher(c.id);
       return Status::OK();
     }
   }
@@ -189,22 +190,38 @@ void MedusaSystem::Transfer(const std::string& from, const std::string& to,
 
 void MedusaSystem::SettleContracts() {
   SimTime now = star_->sim()->Now();
+  // Liveness pass: every active contract watches its seller node through
+  // the shared heartbeat detector (§6.3 reused across layers). An up
+  // seller's settle round doubles as its heartbeat; a fully silent round
+  // raises the suspicion consumed by the billing pass below.
+  for (auto& c : content_) {
+    if (!c.active) continue;
+    auto src = FindStreamSource(c.stream);
+    if (!src.ok()) continue;
+    detector_.Arm(c.id, *src, now);
+    if (star_->node(*src).up()) detector_.RecordHeartbeat(c.id, *src, now);
+  }
+  (void)detector_.CheckSilence(now);
   for (auto& c : content_) {
     if (!c.active) continue;
     if (c.period.micros() > 0 && now > c.established + c.period) {
       c.active = false;  // the time period expired
+      detector_.ForgetWatcher(c.id);
       continue;
     }
     auto src = FindStreamSource(c.stream);
     if (!src.ok()) continue;
     c.settle_checks++;
-    if (!star_->node(*src).up()) {
+    if (detector_.IsSuspected(*src)) {
       c.down_checks++;
       // Availability clause: breach voids the contract.
       if (c.availability_guarantee > 0.0 && c.settle_checks > 4) {
         double uptime = 1.0 - static_cast<double>(c.down_checks) /
                                   static_cast<double>(c.settle_checks);
-        if (uptime < c.availability_guarantee) c.active = false;
+        if (uptime < c.availability_guarantee) {
+          c.active = false;
+          detector_.ForgetWatcher(c.id);
+        }
       }
       continue;
     }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "distributed/box_slider.h"
+#include "fault/failure_detector.h"
 #include "medusa/contracts.h"
 #include "medusa/participant.h"
 
@@ -35,7 +36,14 @@ struct MedusaOptions {
 class MedusaSystem {
  public:
   MedusaSystem(AuroraStarSystem* system, MedusaOptions opts)
-      : star_(system), opts_(opts), slider_(system) {}
+      : star_(system),
+        opts_(opts),
+        slider_(system),
+        // Buyers watch seller nodes through the shared detector: a settle
+        // round doubles as the heartbeat, so silence shorter than a round
+        // can never convict and a full silent round always does.
+        detector_(FailureDetectorOptions{
+            SimDuration::Micros(opts.settle_interval.micros() / 2), 1}) {}
 
   AuroraStarSystem* star() { return star_; }
 
@@ -120,6 +128,9 @@ class MedusaSystem {
   const std::vector<SuggestedContract>& suggestions() const {
     return suggestions_;
   }
+  /// The availability-clause failure detector (contract id = watcher,
+  /// seller NodeId = watched).
+  const HeartbeatFailureDetector& detector() const { return detector_; }
 
  private:
   /// Locates the (node, binding stream) pair for a stream name; returns the
@@ -133,6 +144,7 @@ class MedusaSystem {
   AuroraStarSystem* star_;
   MedusaOptions opts_;
   BoxSlider slider_;
+  HeartbeatFailureDetector detector_;
   std::map<std::string, std::unique_ptr<Participant>> participants_;
   std::vector<ContentContract> content_;
   std::vector<MovementContract> movement_;

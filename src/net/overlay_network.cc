@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <deque>
 
+#include "common/logging.h"
+
 namespace aurora {
 
 NodeId OverlayNetwork::AddNode(NodeOptions opts) {
@@ -19,7 +21,8 @@ Result<NodeId> OverlayNetwork::FindNode(const std::string& name) const {
 
 void OverlayNetwork::InstallLink(NodeId a, NodeId b, const LinkOptions& opts) {
   LinkRt& link = links_[{a, b}];
-  link = LinkRt{opts, {}, 0, nullptr, nullptr};
+  link = LinkRt{};
+  link.opts = opts;
   MetricsRegistry& reg = MetricsRegistry::Global();
   const std::string base =
       "net.link." + std::to_string(a) + "->" + std::to_string(b) + ".";
@@ -58,6 +61,36 @@ Result<LinkOptions> OverlayNetwork::GetLinkOptions(NodeId a, NodeId b) const {
   return it->second.opts;
 }
 
+Status OverlayNetwork::SetLinkUp(NodeId a, NodeId b, bool up) {
+  auto it = links_.find({a, b});
+  if (it == links_.end()) return Status::NotFound("no such link");
+  if (it->second.up != up) {
+    it->second.up = up;
+    RecomputeRoutes();
+  }
+  return Status::OK();
+}
+
+bool OverlayNetwork::IsLinkUp(NodeId a, NodeId b) const {
+  auto it = links_.find({a, b});
+  return it != links_.end() && it->second.up;
+}
+
+Status OverlayNetwork::SetLinkPerturbation(NodeId a, NodeId b,
+                                           LinkPerturbation pert) {
+  auto it = links_.find({a, b});
+  if (it == links_.end()) return Status::NotFound("no such link");
+  it->second.pert = pert;
+  return Status::OK();
+}
+
+Result<LinkPerturbation> OverlayNetwork::GetLinkPerturbation(NodeId a,
+                                                             NodeId b) const {
+  auto it = links_.find({a, b});
+  if (it == links_.end()) return Status::NotFound("no such link");
+  return it->second.pert;
+}
+
 bool OverlayNetwork::NodeSupports(NodeId id, const std::string& kind) const {
   const auto& supported = nodes_[id].opts.supported_kinds;
   if (supported.empty()) return true;
@@ -77,7 +110,7 @@ void OverlayNetwork::RecomputeRoutes() {
       NodeId at = frontier.front();
       frontier.pop_front();
       for (const auto& [key, link] : links_) {
-        if (key.first != at) continue;
+        if (key.first != at || !link.up) continue;  // partitioned: no route
         NodeId next = key.second;
         if (seen[next]) continue;
         seen[next] = true;
@@ -96,6 +129,7 @@ void OverlayNetwork::RecomputeRoutes() {
 }
 
 void OverlayNetwork::TransmitHop(NodeId from, NodeId to, size_t bytes,
+                                 SimDuration extra_delay,
                                  std::function<void()> arrive) {
   auto it = links_.find({from, to});
   AURORA_CHECK(it != links_.end());
@@ -108,7 +142,8 @@ void OverlayNetwork::TransmitHop(NodeId from, NodeId to, size_t bytes,
   total_bytes_ += bytes;
   link.bytes_counter->Add(bytes);
   link.msgs_counter->Add();
-  sim_->ScheduleAt(link.busy_until + link.opts.latency, std::move(arrive));
+  sim_->ScheduleAt(link.busy_until + link.opts.latency + extra_delay,
+                   std::move(arrive));
 }
 
 Status OverlayNetwork::Send(NodeId from, NodeId to, Message msg,
@@ -133,36 +168,79 @@ Status OverlayNetwork::Send(NodeId from, NodeId to, Message msg,
   return Status::OK();
 }
 
+void OverlayNetwork::DropForDownNode(NodeId at, const Message& msg) {
+  messages_dropped_++;
+  messages_dropped_down_++;
+  m_dropped_->Add();
+  m_dropped_down_->Add();
+  AURORA_LOG(Debug) << "dropping '" << msg.kind << "' message " << msg.src
+                    << "->" << msg.dst << ": node " << at << " is down";
+}
+
 void OverlayNetwork::Forward(NodeId at, NodeId to, Message msg,
                              DeliveryFn on_deliver) {
   if (!nodes_[at].up) {
-    messages_dropped_++;
-    m_dropped_->Add();
+    DropForDownNode(at, msg);
     return;
   }
   auto hop_it = next_hop_.find({at, to});
   if (hop_it == next_hop_.end()) {
     messages_dropped_++;
+    messages_dropped_unroutable_++;
     m_dropped_->Add();
+    m_dropped_unroutable_->Add();
+    AURORA_LOG(Debug) << "dropping '" << msg.kind << "' message " << msg.src
+                      << "->" << msg.dst << ": no route from " << at;
     return;
   }
   NodeId hop = hop_it->second;
+
+  // Per-link chaos (fault injection): drop, duplicate, or delay the message
+  // on this hop. Rng draws happen in simulation-event order, so a fixed
+  // seed replays identically.
+  const LinkPerturbation& pert = links_.find({at, hop})->second.pert;
+  int copies = 1;
+  SimDuration extra_delay{};
+  if (pert.Active()) {
+    if (pert.drop_p > 0.0 && chaos_rng_.OneIn(pert.drop_p)) {
+      messages_dropped_++;
+      chaos_dropped_++;
+      m_dropped_->Add();
+      m_chaos_dropped_->Add();
+      return;
+    }
+    if (pert.dup_p > 0.0 && chaos_rng_.OneIn(pert.dup_p)) {
+      copies = 2;
+      chaos_duplicated_++;
+      m_chaos_duplicated_->Add();
+    }
+    if (pert.reorder_p > 0.0 && chaos_rng_.OneIn(pert.reorder_p)) {
+      extra_delay = pert.reorder_delay;
+      chaos_reordered_++;
+      m_chaos_reordered_->Add();
+    }
+  }
+
   size_t bytes = msg.WireSize();
-  TransmitHop(at, hop, bytes,
-              [this, hop, to, msg = std::move(msg), on_deliver]() mutable {
-                if (!nodes_[hop].up) {
-                  messages_dropped_++;
-                  m_dropped_->Add();
-                  return;
-                }
-                if (hop == to) {
-                  messages_delivered_++;
-                  m_delivered_->Add();
-                  if (on_deliver) on_deliver(msg);
-                } else {
-                  Forward(hop, to, std::move(msg), std::move(on_deliver));
-                }
-              });
+  auto make_arrival = [this, hop, to, on_deliver](Message m) {
+    return [this, hop, to, m = std::move(m), on_deliver]() mutable {
+      if (!nodes_[hop].up) {
+        DropForDownNode(hop, m);
+        return;
+      }
+      if (hop == to) {
+        messages_delivered_++;
+        m_delivered_->Add();
+        if (on_deliver) on_deliver(m);
+      } else {
+        Forward(hop, to, std::move(m), std::move(on_deliver));
+      }
+    };
+  };
+  for (int c = 0; c < copies; ++c) {
+    Message m = (c + 1 < copies) ? msg : std::move(msg);
+    TransmitHop(at, hop, bytes, extra_delay, make_arrival(std::move(m)));
+  }
 }
 
 SimTime OverlayNetwork::LinkBusyUntil(NodeId from, NodeId to) const {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/rng.h"
 #include "net/message.h"
 #include "obs/metrics.h"
 #include "sim/simulation.h"
@@ -19,6 +20,22 @@ struct LinkOptions {
   double bandwidth_bytes_per_sec = 10e6;
   /// One-way propagation delay.
   SimDuration latency = SimDuration::Millis(5);
+};
+
+/// Seeded chaos applied per directed link (fault-injection hooks; see
+/// src/fault). Draws come from the network's perturbation Rng in
+/// simulation-event order, so a fixed seed replays bit-identically.
+struct LinkPerturbation {
+  /// Probability a message entering the link is silently dropped.
+  double drop_p = 0.0;
+  /// Probability the message is transmitted twice (both copies charged).
+  double dup_p = 0.0;
+  /// Probability the message's delivery is delayed by `reorder_delay`, so
+  /// later traffic on the link overtakes it.
+  double reorder_p = 0.0;
+  SimDuration reorder_delay = SimDuration::Millis(20);
+
+  bool Active() const { return drop_p > 0.0 || dup_p > 0.0 || reorder_p > 0.0; }
 };
 
 struct NodeOptions {
@@ -45,6 +62,11 @@ class OverlayNetwork {
     MetricsRegistry& reg = MetricsRegistry::Global();
     m_delivered_ = reg.GetCounter("net.delivered");
     m_dropped_ = reg.GetCounter("net.dropped");
+    m_dropped_down_ = reg.GetCounter("net.link.dropped_down");
+    m_dropped_unroutable_ = reg.GetCounter("net.link.dropped_unroutable");
+    m_chaos_dropped_ = reg.GetCounter("net.chaos.dropped");
+    m_chaos_duplicated_ = reg.GetCounter("net.chaos.duplicated");
+    m_chaos_reordered_ = reg.GetCounter("net.chaos.reordered");
   }
 
   NodeId AddNode(NodeOptions opts);
@@ -69,6 +91,28 @@ class OverlayNetwork {
   void SetNodeUp(NodeId id, bool up) { nodes_[id].up = up; }
   bool IsNodeUp(NodeId id) const { return nodes_[id].up; }
 
+  /// Changes a node's relative CPU speed at run time (fault injection's
+  /// CPU-slowdown events; StreamNode reads the live value every step).
+  void SetNodeSpeed(NodeId id, double speed) { nodes_[id].opts.speed = speed; }
+
+  // ---- Fault-injection hooks (src/fault) --------------------------------
+
+  /// Takes one *direction* of a link down (partition) or back up (heal) and
+  /// recomputes routes. Traffic that then finds no route is dropped and
+  /// counted under `net.link.dropped_unroutable`. NotFound without a link.
+  Status SetLinkUp(NodeId a, NodeId b, bool up);
+  bool IsLinkUp(NodeId a, NodeId b) const;
+
+  /// Installs seeded drop/duplicate/reorder behaviour on the directed link.
+  /// Overwrites any previous perturbation; a default-constructed value
+  /// clears it. NotFound without a link.
+  Status SetLinkPerturbation(NodeId a, NodeId b, LinkPerturbation pert);
+  Result<LinkPerturbation> GetLinkPerturbation(NodeId a, NodeId b) const;
+
+  /// Reseeds the perturbation Rng. Chaos runs call this once up front so
+  /// two runs with the same seed and schedule are bit-identical.
+  void SeedPerturbations(uint64_t seed) { chaos_rng_ = Rng(seed); }
+
   using DeliveryFn = std::function<void(const Message&)>;
 
   /// Sends a message from `from` toward `to` along shortest-hop routes,
@@ -88,12 +132,25 @@ class OverlayNetwork {
   uint64_t TotalBytesSent() const { return total_bytes_; }
   uint64_t MessagesDelivered() const { return messages_delivered_; }
   uint64_t MessagesDropped() const { return messages_dropped_; }
+  /// Drops caused by a down node on the path (sender, forwarder, or final
+  /// hop) — the loss chaos runs assert against.
+  uint64_t MessagesDroppedDown() const { return messages_dropped_down_; }
+  /// Drops caused by a missing route (partitions, no link).
+  uint64_t MessagesDroppedUnroutable() const {
+    return messages_dropped_unroutable_;
+  }
+  uint64_t ChaosDropped() const { return chaos_dropped_; }
+  uint64_t ChaosDuplicated() const { return chaos_duplicated_; }
+  uint64_t ChaosReordered() const { return chaos_reordered_; }
 
  private:
   struct LinkRt {
     LinkOptions opts;
     SimTime busy_until{};
     uint64_t bytes_sent = 0;
+    /// False while this direction is partitioned away.
+    bool up = true;
+    LinkPerturbation pert;
     // Registry mirrors, `net.link.<a>-><b>.bytes/.msgs`.
     Counter* bytes_counter = nullptr;
     Counter* msgs_counter = nullptr;
@@ -106,10 +163,13 @@ class OverlayNetwork {
   /// Creates the directed link and registers its counters.
   void InstallLink(NodeId a, NodeId b, const LinkOptions& opts);
   void RecomputeRoutes();
-  /// Transmits over one directed link; schedules `arrive` at the far end.
+  /// Transmits over one directed link; schedules `arrive` at the far end
+  /// `extra_delay` after the normal arrival time (reorder perturbation).
   void TransmitHop(NodeId from, NodeId to, size_t bytes,
-                   std::function<void()> arrive);
+                   SimDuration extra_delay, std::function<void()> arrive);
   void Forward(NodeId at, NodeId to, Message msg, DeliveryFn on_deliver);
+  /// Bumps the shared + down-specific drop counters and debug-logs.
+  void DropForDownNode(NodeId at, const Message& msg);
 
   Simulation* sim_;
   std::vector<NodeRt> nodes_;
@@ -119,8 +179,20 @@ class OverlayNetwork {
   uint64_t total_bytes_ = 0;
   uint64_t messages_delivered_ = 0;
   uint64_t messages_dropped_ = 0;
+  uint64_t messages_dropped_down_ = 0;
+  uint64_t messages_dropped_unroutable_ = 0;
+  uint64_t chaos_dropped_ = 0;
+  uint64_t chaos_duplicated_ = 0;
+  uint64_t chaos_reordered_ = 0;
+  /// Drives every probabilistic perturbation; reseed via SeedPerturbations.
+  Rng chaos_rng_{0x9e3779b97f4a7c15ull};
   Counter* m_delivered_ = nullptr;
   Counter* m_dropped_ = nullptr;
+  Counter* m_dropped_down_ = nullptr;
+  Counter* m_dropped_unroutable_ = nullptr;
+  Counter* m_chaos_dropped_ = nullptr;
+  Counter* m_chaos_duplicated_ = nullptr;
+  Counter* m_chaos_reordered_ = nullptr;
 };
 
 }  // namespace aurora

@@ -17,6 +17,8 @@ const char* SpanKindName(SpanKind kind) {
       return "delivery";
     case SpanKind::kMigration:
       return "migration";
+    case SpanKind::kFault:
+      return "fault";
   }
   return "?";
 }

@@ -16,6 +16,7 @@ enum class SpanKind : uint8_t {
   kTransportHop,  ///< tuple arrived at a node over a transport stream
   kDelivery,      ///< tuple reached an application output port
   kMigration,     ///< a box slide/split reconfigured the network
+  kFault,         ///< an injected fault event or a detection/recovery step
 };
 
 const char* SpanKindName(SpanKind kind);

@@ -3,12 +3,49 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/sim_time.h"
 
 namespace aurora {
+
+/// \brief RAII cancellation handle for a periodic schedule.
+///
+/// Returned by Simulation::SchedulePeriodicCancelable; destroying (or
+/// Cancel()-ing) the handle stops future firings. Subsystems with a shorter
+/// lifetime than the simulation (HA managers, fault injectors) hold one per
+/// timer so their periodic callbacks can never run after destruction.
+class PeriodicTimer {
+ public:
+  PeriodicTimer() = default;
+  explicit PeriodicTimer(std::shared_ptr<bool> alive)
+      : alive_(std::move(alive)) {}
+  PeriodicTimer(PeriodicTimer&&) = default;
+  PeriodicTimer& operator=(PeriodicTimer&& other) {
+    Cancel();
+    alive_ = std::move(other.alive_);
+    return *this;
+  }
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+  ~PeriodicTimer() { Cancel(); }
+
+  /// Stops future firings (idempotent). The already-queued next event still
+  /// runs but becomes a no-op and does not reschedule.
+  void Cancel() {
+    if (alive_) {
+      *alive_ = false;
+      alive_.reset();
+    }
+  }
+  bool active() const { return alive_ != nullptr && *alive_; }
+
+ private:
+  std::shared_ptr<bool> alive_;
+};
 
 /// \brief Deterministic discrete-event simulation kernel.
 ///
@@ -33,6 +70,11 @@ class Simulation {
   /// Schedules `fn` every `interval`, starting one interval from now, until
   /// it returns false.
   void SchedulePeriodic(SimDuration interval, std::function<bool()> fn);
+
+  /// Like SchedulePeriodic, but the returned handle cancels the timer when
+  /// destroyed — use when the callback's owner may die before the sim.
+  [[nodiscard]] PeriodicTimer SchedulePeriodicCancelable(
+      SimDuration interval, std::function<bool()> fn);
 
   /// Runs the earliest pending event. Returns false when none remain.
   bool RunOne();

@@ -1,0 +1,109 @@
+// FaultPlan text-spec parsing, builder equivalence, and time ordering.
+#include <gtest/gtest.h>
+
+#include "fault/fault_plan.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+TEST(FaultPlanTest, ParsesEveryEventKind) {
+  ASSERT_OK_AND_ASSIGN(FaultPlan plan, FaultPlan::Parse(R"(
+# chaos schedule shared by benches and tests
+at 0ms  perturb 0 1 drop=0.05 dup=0.02 reorder=0.1 reorder_delay=20ms
+at 500ms crash 2
+at 900ms restart 2
+at 1s   partition 0 1
+at 2s   heal 0 1
+at 1s   slow 1 0.5
+)"));
+  ASSERT_EQ(plan.size(), 6u);
+  const auto& ev = plan.events();
+  EXPECT_EQ(ev[0].kind, FaultEventKind::kPerturbLink);
+  EXPECT_DOUBLE_EQ(ev[0].drop_p, 0.05);
+  EXPECT_DOUBLE_EQ(ev[0].dup_p, 0.02);
+  EXPECT_DOUBLE_EQ(ev[0].reorder_p, 0.1);
+  EXPECT_EQ(ev[0].reorder_delay.micros(), 20000);
+  EXPECT_EQ(ev[1].kind, FaultEventKind::kCrash);
+  EXPECT_EQ(ev[1].node, 2);
+  EXPECT_EQ(ev[1].at, SimTime::Millis(500));
+  EXPECT_EQ(ev[2].kind, FaultEventKind::kRestart);
+  // Equal times keep spec order (stable sort): partition before slow.
+  EXPECT_EQ(ev[3].kind, FaultEventKind::kPartition);
+  EXPECT_EQ(ev[3].a, 0);
+  EXPECT_EQ(ev[3].b, 1);
+  EXPECT_EQ(ev[4].kind, FaultEventKind::kSlowNode);
+  EXPECT_DOUBLE_EQ(ev[4].speed_factor, 0.5);
+  EXPECT_EQ(ev[5].kind, FaultEventKind::kHeal);
+}
+
+TEST(FaultPlanTest, EventsSortByTimeNotSpecOrder) {
+  ASSERT_OK_AND_ASSIGN(FaultPlan plan, FaultPlan::Parse(
+                                           "at 2s crash 1\n"
+                                           "at 1s crash 0\n"));
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan.events()[0].node, 0);
+  EXPECT_EQ(plan.events()[1].node, 1);
+}
+
+TEST(FaultPlanTest, BuilderMatchesParser) {
+  ASSERT_OK_AND_ASSIGN(FaultPlan parsed, FaultPlan::Parse(
+                                             "at 500ms crash 2\n"
+                                             "at 1500ms restart 2\n"));
+  FaultPlan built;
+  built.CrashAt(SimTime::Millis(500), 2).RestartAt(SimTime::Millis(1500), 2);
+  ASSERT_EQ(built.size(), parsed.size());
+  for (size_t i = 0; i < built.size(); ++i) {
+    EXPECT_EQ(built.events()[i].kind, parsed.events()[i].kind);
+    EXPECT_EQ(built.events()[i].at, parsed.events()[i].at);
+    EXPECT_EQ(built.events()[i].node, parsed.events()[i].node);
+  }
+}
+
+TEST(FaultPlanTest, ToSpecRoundTrips) {
+  FaultPlan plan;
+  plan.PerturbLinkAt(SimTime::Millis(0), 0, 1, 0.05, 0.02, 0.1)
+      .CrashAt(SimTime::Millis(500), 2)
+      .PartitionAt(SimTime::Seconds(1), 0, 1)
+      .HealAt(SimTime::Seconds(2), 0, 1)
+      .SlowNodeAt(SimTime::Seconds(3), 1, 0.25)
+      .RestartAt(SimTime::Seconds(4), 2);
+  ASSERT_OK_AND_ASSIGN(FaultPlan reparsed, FaultPlan::Parse(plan.ToSpec()));
+  ASSERT_EQ(reparsed.size(), plan.size());
+  for (size_t i = 0; i < plan.size(); ++i) {
+    const FaultEvent& a = plan.events()[i];
+    const FaultEvent& b = reparsed.events()[i];
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.at, b.at);
+    EXPECT_EQ(a.node, b.node);
+    EXPECT_EQ(a.a, b.a);
+    EXPECT_EQ(a.b, b.b);
+    EXPECT_DOUBLE_EQ(a.drop_p, b.drop_p);
+    EXPECT_DOUBLE_EQ(a.dup_p, b.dup_p);
+    EXPECT_DOUBLE_EQ(a.reorder_p, b.reorder_p);
+    EXPECT_DOUBLE_EQ(a.speed_factor, b.speed_factor);
+  }
+}
+
+TEST(FaultPlanTest, RejectsMalformedLines) {
+  EXPECT_FALSE(FaultPlan::Parse("crash 2").ok());          // missing "at"
+  EXPECT_FALSE(FaultPlan::Parse("at 500 crash 2").ok());   // no time unit
+  EXPECT_FALSE(FaultPlan::Parse("at 1s explode 2").ok());  // unknown verb
+  EXPECT_FALSE(FaultPlan::Parse("at 1s crash").ok());      // missing operand
+  EXPECT_FALSE(
+      FaultPlan::Parse("at 0s perturb 0 1 drop=1.5").ok());  // p > 1
+  // Errors carry the offending line number.
+  Status st = FaultPlan::Parse("at 1s crash 0\nat 2s explode 1\n").status();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("line 2"), std::string::npos) << st.ToString();
+}
+
+TEST(FaultPlanTest, IgnoresCommentsAndBlankLines) {
+  ASSERT_OK_AND_ASSIGN(FaultPlan plan, FaultPlan::Parse(
+                                           "\n# only a comment\n\n"
+                                           "at 1s crash 0  # trailing\n"));
+  EXPECT_EQ(plan.size(), 1u);
+}
+
+}  // namespace
+}  // namespace aurora
