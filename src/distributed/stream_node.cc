@@ -1,5 +1,8 @@
 #include "distributed/stream_node.h"
 
+#include <algorithm>
+#include <cstdint>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tuple/serde.h"
@@ -26,6 +29,8 @@ StreamNode::StreamNode(Simulation* sim, OverlayNetwork* net, NodeId id,
   m_msgs_sent_ = reg.GetCounter("node.msgs_sent");
   m_dup_dropped_ = reg.GetCounter("node.stream.dup_dropped");
   m_crash_lost_ = reg.GetCounter("node.crash.tuples_lost");
+  m_flow_grants_ = reg.GetCounter("net.flow.credit_grants");
+  m_flow_granted_bytes_ = reg.GetCounter("net.flow.granted_bytes");
 }
 
 void StreamNode::Start() {
@@ -35,6 +40,14 @@ void StreamNode::Start() {
   sim_->SchedulePeriodic(tick_interval_, [this]() {
     if (!up_) return true;  // keep the timer; skip while down
     engine_.Tick(sim_->Now());
+    if (flow_enabled()) {
+      // The input backlog drains without any new arrival, so credit must
+      // also be re-granted on the clock, not just on data delivery.
+      for (auto& [stream, in] : incoming_) {
+        MaybeGrantCredit(stream, in, /*force=*/false);
+      }
+      UpdateFlowBlocked();
+    }
     FlushPending();
     Kick();
     return true;
@@ -49,8 +62,11 @@ Transport* StreamNode::TransportTo(StreamNode* dst) {
   // Delivery executes logically at the destination node.
   transport->SetDeliveryHandler(
       [dst](const std::string& stream, const Message& msg) {
-        if (!dst->up()) return;
-        dst->OnRemoteStream(stream, msg.payload);
+        dst->OnRemoteMessage(stream, msg);
+      });
+  transport->SetFlowProbeHandler(
+      [dst](const std::string& stream, uint64_t sent_offset) {
+        dst->OnFlowProbe(stream, sent_offset);
       });
   Transport* raw = transport.get();
   transports_[dst->id()] = std::move(transport);
@@ -80,7 +96,7 @@ Status StreamNode::BindRemoteOutput(const std::string& output_name,
   binding.stream = stream_name;
   binding.weight = weight;
   binding.retain_log = retain_logs_;
-  dst->RegisterIncomingStream(stream_name, remote_input);
+  dst->RegisterIncomingStream(stream_name, remote_input, this);
   bindings_[output_name] = std::move(binding);
   engine_.SetOutputCallback(port, [this, output_name](const Tuple& t, SimTime) {
     auto it = bindings_.find(output_name);
@@ -131,13 +147,102 @@ Status StreamNode::UnbindRemoteOutput(const std::string& output_name) {
 
 void StreamNode::OnRemoteStream(const std::string& stream,
                                 const std::vector<uint8_t>& payload) {
-  auto it = stream_to_input_.find(stream);
-  if (it == stream_to_input_.end()) {
+  auto it = incoming_.find(stream);
+  if (it == incoming_.end()) {
     AURORA_LOG(Warn) << "node " << id_ << ": tuples on unregistered stream '"
                      << stream << "'";
     return;
   }
-  DeliverTuples(it->second, &stream, payload);
+  DeliverTuples(it->second.input_name, &stream, payload);
+}
+
+void StreamNode::OnRemoteMessage(const std::string& stream,
+                                 const Message& msg) {
+  if (!up_) return;
+  auto it = incoming_.find(stream);
+  if (flow_enabled() && it != incoming_.end()) {
+    it->second.received_offset =
+        std::max(it->second.received_offset, msg.flow_offset);
+  }
+  OnRemoteStream(stream, msg.payload);
+  if (flow_enabled() && it != incoming_.end()) {
+    MaybeGrantCredit(stream, it->second, /*force=*/false);
+  }
+}
+
+void StreamNode::OnFlowProbe(const std::string& stream, uint64_t sent_offset) {
+  if (!up_ || !flow_enabled()) return;
+  auto it = incoming_.find(stream);
+  if (it == incoming_.end()) return;
+  it->second.received_offset =
+      std::max(it->second.received_offset, sent_offset);
+  // Force a (re)grant: the probe means the sender is stalled, so either the
+  // previous grant was lost or data beyond our watermark was — both heal by
+  // restating the current limit.
+  MaybeGrantCredit(stream, it->second, /*force=*/true);
+}
+
+void StreamNode::MaybeGrantCredit(const std::string& stream, IncomingStream& in,
+                                  bool force) {
+  if (!flow_enabled() || in.src == nullptr) return;
+  if (in.input_port < 0) {
+    auto port = engine_.FindInput(in.input_name);
+    if (!port.ok()) return;
+    in.input_port = *port;
+  }
+  // Free window = credit budget minus what is already queued locally: the
+  // sender may have at most the window in flight beyond what we've seen.
+  uint64_t window = transport_opts_.credit_window_bytes;
+  uint64_t backlog = engine_.InputBacklogBytes(in.input_port);
+  uint64_t free = backlog >= window ? 0 : window - backlog;
+  uint64_t limit = in.received_offset + free;
+  if (limit <= in.granted_limit && !force) return;
+  if (limit < in.granted_limit) limit = in.granted_limit;  // never shrink
+  uint64_t newly = limit - in.granted_limit;
+  in.granted_limit = limit;
+  m_flow_grants_->Add();
+  if (newly > 0) m_flow_granted_bytes_->Add(newly);
+  Message grant;
+  grant.kind = "flow_grant";
+  grant.stream = stream;
+  grant.flow_offset = limit;
+  StreamNode* src = in.src;
+  Status sent = net_->Send(id_, src->id(), std::move(grant),
+                           [src, stream](const Message& m) {
+                             src->OnFlowGrant(stream, m.flow_offset);
+                           });
+  if (!sent.ok()) {
+    AURORA_LOG(Warn) << "node " << id_
+                     << ": credit grant send failed: " << sent.ToString();
+  }
+}
+
+void StreamNode::OnFlowGrant(const std::string& stream, uint64_t limit) {
+  if (!up_ || !flow_enabled()) return;
+  for (auto& [name, binding] : bindings_) {
+    if (binding.stream != stream) continue;
+    auto it = transports_.find(binding.dst->id());
+    if (it != transports_.end()) it->second->GrantCredit(stream, limit);
+    break;
+  }
+  UpdateFlowBlocked();
+  FlushPending();
+  Kick();
+}
+
+void StreamNode::UpdateFlowBlocked() {
+  bool blocked = false;
+  if (flow_enabled()) {
+    for (const auto& [name, binding] : bindings_) {
+      auto it = transports_.find(binding.dst->id());
+      if (it != transports_.end() && it->second->StreamBlocked(binding.stream)) {
+        blocked = true;
+        break;
+      }
+    }
+  }
+  flow_blocked_ = blocked;
+  engine_.SetIngestBlocked(blocked);
 }
 
 void StreamNode::OnRemoteTuples(const std::string& input_name,
@@ -185,7 +290,10 @@ void StreamNode::DeliverTuples(const std::string& input_name,
                      static_cast<int>(id_), "stream:" + input_name,
                      sim_->Now().micros(), sim_->Now().micros()});
     }
-    Status st = engine_.PushInput(*port, std::move(t), sim_->Now());
+    // Remote arrivals bypass the ingestion gate: they already consumed
+    // transport credit, so dropping them here would lose accepted data.
+    Status st = engine_.PushInput(*port, std::move(t), sim_->Now(),
+                                  /*gate_ingest=*/false);
     if (!st.ok()) {
       AURORA_LOG(Error) << "node " << id_ << ": push failed: " << st.ToString();
     }
@@ -207,7 +315,10 @@ Status StreamNode::Inject(const std::string& input_name, Tuple t) {
 }
 
 void StreamNode::Kick() {
-  if (!up_ || step_scheduled_ || !engine_.HasWork()) return;
+  // While out of downstream credit the node stops consuming: its input
+  // backlog grows, which in turn stops its own credit grants — that is how
+  // back-pressure cascades upstream toward the sources.
+  if (!up_ || flow_blocked_ || step_scheduled_ || !engine_.HasWork()) return;
   ScheduleStep();
 }
 
@@ -245,28 +356,56 @@ void StreamNode::Step() {
 }
 
 void StreamNode::FlushPending() {
+  // With flow control on, a pending buffer held through a blocked spell is
+  // sent in window/4-byte chunks with a credit re-check between them, so
+  // the transport queue overshoots the credit window by at most one chunk.
+  // Flow off keeps the legacy one-message-per-flush batching.
+  const size_t chunk_cap =
+      flow_enabled()
+          ? std::max<size_t>(1, transport_opts_.credit_window_bytes / 4)
+          : SIZE_MAX;
   for (auto& [name, binding] : bindings_) {
-    if (binding.pending.empty()) continue;
-    for (auto& t : binding.pending) {
-      SeqNo lineage = t.seq();  // in the incoming stream's space
-      t.set_seq(binding.next_seq++);
-      if (binding.retain_log) binding.output_log.push_back(LogEntry{t, lineage});
-    }
-    Message msg;
-    msg.kind = "tuples";
-    msg.stream = binding.stream;
-    msg.payload = SerializeTuples(binding.pending);
-    binding.tuples_sent += binding.pending.size();
-    binding.messages_sent++;
-    m_tuples_sent_->Add(binding.pending.size());
-    m_msgs_sent_->Add();
-    binding.pending.clear();
-    Transport* transport = TransportTo(binding.dst);
-    Status st = transport->Send(binding.stream, std::move(msg));
-    if (!st.ok()) {
-      AURORA_LOG(Error) << "node " << id_ << ": send failed: " << st.ToString();
+    Transport* tx = nullptr;
+    while (!binding.pending.empty()) {
+      if (tx == nullptr) tx = TransportTo(binding.dst);
+      if (flow_enabled() && tx->StreamBlocked(binding.stream)) {
+        // Out of credit: hold the batch (sequence numbers are assigned at
+        // send time, so holding is transparent to dedup and HA logs).
+        break;
+      }
+      size_t n = 0, bytes = 0;
+      while (n < binding.pending.size() && (n == 0 || bytes < chunk_cap)) {
+        bytes += binding.pending[n].WireSize();
+        ++n;
+      }
+      std::vector<Tuple> batch(binding.pending.begin(),
+                               binding.pending.begin() + n);
+      binding.pending.erase(binding.pending.begin(),
+                            binding.pending.begin() + n);
+      for (auto& t : batch) {
+        SeqNo lineage = t.seq();  // in the incoming stream's space
+        t.set_seq(binding.next_seq++);
+        if (binding.retain_log) {
+          binding.output_log.push_back(LogEntry{t, lineage});
+        }
+      }
+      Message msg;
+      msg.kind = "tuples";
+      msg.stream = binding.stream;
+      msg.tuple_count = static_cast<uint32_t>(batch.size());
+      msg.payload = SerializeTuples(batch);
+      binding.tuples_sent += batch.size();
+      binding.messages_sent++;
+      m_tuples_sent_->Add(batch.size());
+      m_msgs_sent_->Add();
+      Status st = tx->Send(binding.stream, std::move(msg));
+      if (!st.ok()) {
+        AURORA_LOG(Error) << "node " << id_
+                          << ": send failed: " << st.ToString();
+      }
     }
   }
+  if (flow_enabled()) UpdateFlowBlocked();
 }
 
 void StreamNode::SetUp(bool up) {
@@ -286,6 +425,15 @@ size_t StreamNode::Crash() {
   }
   last_received_.clear();
   stream_dedup_watermark_.clear();
+  // Receiver-side flow state is volatile too: offsets restart at zero. The
+  // senders' cumulative offsets survive on their side, so their next credit
+  // probes walk our watermark forward again (see FLOW_CONTROL.md).
+  for (auto& [stream, in] : incoming_) {
+    in.received_offset = 0;
+    in.granted_limit = transport_opts_.credit_window_bytes;
+  }
+  flow_blocked_ = false;
+  engine_.SetIngestBlocked(false);
   if (lost > 0) m_crash_lost_->Add(lost);
   AURORA_LOG(Debug) << "node " << id_ << ": crashed, lost " << lost
                     << " buffered tuples";

@@ -53,16 +53,47 @@ class StreamNode {
   Result<std::string> BindingNameForOutputPort(PortId port) const;
 
   /// Registers which local engine input a named incoming transport stream
-  /// feeds. Called by the sender-side binding setup.
+  /// feeds. Called by the sender-side binding setup; `src` (the sending
+  /// node) is needed for credit-based flow control — grants travel back to
+  /// it over the network.
   void RegisterIncomingStream(const std::string& stream,
-                              const std::string& input_name) {
-    stream_to_input_[stream] = input_name;
+                              const std::string& input_name,
+                              StreamNode* src = nullptr) {
+    IncomingStream& in = incoming_[stream];
+    in.input_name = input_name;
+    if (src != nullptr) in.src = src;
+    in.granted_limit = transport_opts_.credit_window_bytes;
   }
 
   /// Called (via transport delivery) when a batch of tuples arrives on a
   /// registered stream.
   void OnRemoteStream(const std::string& stream,
                       const std::vector<uint8_t>& payload);
+
+  /// Full delivery entry point used by the transport: tracks the stream's
+  /// received flow offset, delivers the payload, and re-grants credit.
+  void OnRemoteMessage(const std::string& stream, const Message& msg);
+
+  /// Credit probe from a stalled sender: `sent_offset` is its cumulative
+  /// dispatched bytes. Data lost on the wire (chaos) leaves the receiver's
+  /// watermark behind the sender's; adopting the larger offset re-opens the
+  /// window so the stream cannot deadlock on loss.
+  void OnFlowProbe(const std::string& stream, uint64_t sent_offset);
+
+  /// Cumulative credit grant arriving back at this (sending) node.
+  void OnFlowGrant(const std::string& stream, uint64_t limit);
+
+  /// True while some remote binding is out of credit, which pauses engine
+  /// stepping and makes Inject() reject with "blocked upstream".
+  bool flow_blocked() const { return flow_blocked_; }
+
+  /// Sender-side transport toward `dst`, or nullptr if no traffic has been
+  /// bound there yet. Read-only: lets tests and observability inspect queue
+  /// depth and credit state without going through the metrics registry.
+  const Transport* PeerTransport(NodeId dst) const {
+    auto it = transports_.find(dst);
+    return it == transports_.end() ? nullptr : it->second.get();
+  }
 
   /// Pushes a batch of serialized tuples into a local engine input.
   void OnRemoteTuples(const std::string& input_name,
@@ -169,6 +200,17 @@ class StreamNode {
   uint64_t steps_executed() const { return steps_executed_; }
 
  private:
+  /// Receiver-side flow state of one incoming stream (see FLOW_CONTROL.md).
+  struct IncomingStream {
+    std::string input_name;
+    StreamNode* src = nullptr;  // grants are sent back to this node
+    PortId input_port = -1;     // resolved lazily from input_name
+    /// Highest cumulative payload-byte offset received (or probed).
+    uint64_t received_offset = 0;
+    /// Last cumulative limit granted to the sender.
+    uint64_t granted_limit = 0;
+  };
+
   void ScheduleStep();
   void Step();
   void FlushPending();
@@ -177,6 +219,15 @@ class StreamNode {
   /// per-stream duplicate suppression by sequence number.
   void DeliverTuples(const std::string& input_name, const std::string* stream,
                      const std::vector<uint8_t>& payload);
+  bool flow_enabled() const { return transport_opts_.credit_window_bytes > 0; }
+  /// Re-grants credit on the stream when the input backlog leaves room for
+  /// more than already granted; `force` resends the current limit even when
+  /// unchanged (probe replies, healing lost grants).
+  void MaybeGrantCredit(const std::string& stream, IncomingStream& in,
+                        bool force);
+  /// Recomputes flow_blocked_ from the bindings' transport credit state and
+  /// mirrors it into the engine's ingestion gate.
+  void UpdateFlowBlocked();
 
   Simulation* sim_;
   OverlayNetwork* net_;
@@ -186,7 +237,7 @@ class StreamNode {
   SimDuration tick_interval_;
   std::map<NodeId, std::unique_ptr<Transport>> transports_;
   std::map<std::string, RemoteBinding> bindings_;
-  std::map<std::string, std::string> stream_to_input_;
+  std::map<std::string, IncomingStream> incoming_;
   std::map<std::string, SeqNo> last_received_;
   /// Highest sequence seen per incoming *stream* — the dedup watermark.
   /// Streams are FIFO per transport, so in normal operation sequences only
@@ -199,6 +250,7 @@ class StreamNode {
   bool step_scheduled_ = false;
   bool up_ = true;
   bool started_ = false;
+  bool flow_blocked_ = false;
   /// CPU accounting: the node may not start another step before this time,
   /// enforcing its processing capacity even across idle gaps.
   SimTime busy_until_{};
@@ -212,6 +264,8 @@ class StreamNode {
   Counter* m_msgs_sent_;
   Counter* m_dup_dropped_;
   Counter* m_crash_lost_;
+  Counter* m_flow_grants_;
+  Counter* m_flow_granted_bytes_;
 };
 
 }  // namespace aurora

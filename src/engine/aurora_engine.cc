@@ -12,6 +12,8 @@ AuroraEngine::AuroraEngine(EngineOptions opts)
   MetricsRegistry& reg = MetricsRegistry::Global();
   m_tuples_in_ = reg.GetCounter("engine.tuples_in");
   m_tuples_shed_ = reg.GetCounter("engine.tuples_shed");
+  m_tuples_blocked_ = reg.GetCounter("engine.tuples_blocked_upstream");
+  m_ingest_blocked_ = reg.GetGauge("engine.ingest.blocked");
   m_activations_ = reg.GetCounter("engine.activations");
   m_sched_decisions_ = reg.GetCounter("engine.sched.decisions");
   m_box_exec_us_ = reg.GetHistogram("engine.box_exec_us");
@@ -655,7 +657,8 @@ void AuroraEngine::DeliverToOutput(PortId port, const Tuple& t, SimTime now) {
   if (outputs_[port].callback) outputs_[port].callback(t, now);
 }
 
-Status AuroraEngine::PushInput(PortId input, Tuple t, SimTime now) {
+Status AuroraEngine::PushInput(PortId input, Tuple t, SimTime now,
+                               bool gate_ingest) {
   if (input < 0 || input >= static_cast<int>(inputs_.size())) {
     return Status::InvalidArgument("bad input port");
   }
@@ -678,6 +681,17 @@ Status AuroraEngine::PushInput(PortId input, Tuple t, SimTime now) {
       break;
     }
     return Status::OK();
+  }
+  // The gate comes *after* the shedder so its arrival estimator keeps
+  // seeing true offered load while the node is back-pressured.
+  if (gate_ingest && ingest_blocked_) {
+    m_tuples_blocked_->Add();
+    for (const auto& info : shedder_.inputs()) {
+      if (info.input != input) continue;
+      for (PortId out : info.outputs) qos_.RecordDrop(out);
+      break;
+    }
+    return Status::Unavailable("blocked upstream: out of downstream credit");
   }
   if (t.timestamp().micros() == 0) t.set_timestamp(now);
   Tracer& tracer = Tracer::Global();
@@ -999,6 +1013,23 @@ size_t AuroraEngine::TotalQueuedTuples() const {
   return total;
 }
 
+void AuroraEngine::SetIngestBlocked(bool blocked) {
+  ingest_blocked_ = blocked;
+  m_ingest_blocked_->Set(blocked ? 1.0 : 0.0);
+}
+
+size_t AuroraEngine::InputBacklogBytes(PortId input) const {
+  if (input < 0 || input >= static_cast<int>(inputs_.size())) return 0;
+  size_t bytes = 0;
+  for (ArcId arc : inputs_[input].out_arcs) {
+    const ArcRt& a = arcs_[arc];
+    if (a.removed) continue;
+    bytes += a.queue.bytes();
+    for (const auto& [t, us] : a.hold) bytes += t.WireSize();
+  }
+  return bytes;
+}
+
 void AuroraEngine::RebuildShedderModel() {
   // Expected downstream CPU cost of one tuple entering `endpoint`, using
   // measured selectivities where available.
@@ -1046,6 +1077,10 @@ void AuroraEngine::RebuildShedderModel() {
           inputs_[i].schema->HasField(spec->value_field)) {
         info.value_field = spec->value_field;
         info.value_graph = spec->value;
+        // Resolve the field index once here so the per-tuple shedding
+        // decision is an array access, not a field-name scan.
+        auto idx = inputs_[i].schema->IndexOf(spec->value_field);
+        if (idx.ok()) info.value_index = static_cast<int>(*idx);
       }
     }
     info.utility_slope = std::max(1e-6, slope);

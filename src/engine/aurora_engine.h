@@ -175,7 +175,11 @@ class AuroraEngine {
 
   // ---- Data path -------------------------------------------------------
 
-  Status PushInput(PortId input, Tuple t, SimTime now);
+  /// `gate_ingest` applies the blocked-upstream ingestion gate (see
+  /// SetIngestBlocked). Source-side injection gates; remote deliveries that
+  /// already consumed transport credit must pass `false` so credited data
+  /// is never dropped at the door.
+  Status PushInput(PortId input, Tuple t, SimTime now, bool gate_ingest = true);
   Status PushInputByName(const std::string& name, Tuple t, SimTime now);
   void SetOutputCallback(PortId output, OutputCallback cb);
   /// Delivers a tuple directly to an output port (bypassing boxes). Used
@@ -205,6 +209,18 @@ class AuroraEngine {
   /// Rebuilds the load shedder's per-input cost/utility model from current
   /// topology, measured selectivities, and output QoS specs.
   void RebuildShedderModel();
+
+  // ---- Flow control (credit back-pressure; set by StreamNode) -----------
+
+  /// While blocked, gated PushInput calls are rejected with Unavailable
+  /// ("blocked upstream") and attributed as QoS drops — the node is out of
+  /// downstream credit, so offered load must be visible to shedding/QoS
+  /// instead of silently growing queues.
+  void SetIngestBlocked(bool blocked);
+  bool ingest_blocked() const { return ingest_blocked_; }
+  /// Bytes currently queued on all arcs fed by the input port (its backlog
+  /// against a receive-side credit budget).
+  size_t InputBacklogBytes(PortId input) const;
 
   // ---- Components and statistics ----------------------------------------
 
@@ -296,10 +312,13 @@ class AuroraEngine {
   double total_cpu_micros_ = 0.0;
   uint64_t total_activations_ = 0;
   int trace_node_ = -1;
+  bool ingest_blocked_ = false;
   // Cached registry metrics (process-wide aggregates across engines; the
   // per-output QoS series are per-engine, via QoSMonitor's prefix).
   Counter* m_tuples_in_;
   Counter* m_tuples_shed_;
+  Counter* m_tuples_blocked_;
+  Gauge* m_ingest_blocked_;
   Counter* m_activations_;
   Counter* m_sched_decisions_;
   LatencyHistogram* m_box_exec_us_;

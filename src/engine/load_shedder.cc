@@ -30,13 +30,28 @@ bool LoadShedder::ShouldDrop(PortId input, const Tuple& t, SimTime now) {
   if (drop_p_[idx] <= 0.0) return false;
   const InputInfo& info = inputs_[idx];
   if (opts_.policy == SheddingPolicy::kSemantic &&
-      !info.value_graph.empty() && t.schema() != nullptr &&
-      t.schema()->HasField(info.value_field)) {
+      !info.value_graph.empty() && t.schema() != nullptr) {
     // Drop the least valuable tuples first: a tuple survives when its
     // value-utility exceeds the needed shedding fraction. (For a utility
     // uniformly spread over [0,1] this sheds ~drop_p of the volume while
-    // keeping the most valuable content.)
-    double utility = info.value_graph.Eval(t.Get(info.value_field).AsNumeric());
+    // keeping the most valuable content.) The field index is resolved once
+    // at model-build time; the name-scan branch only serves hand-built
+    // InputInfos that never set value_index.
+    double raw = 0.0;
+    if (info.value_index >= 0 &&
+        info.value_index < static_cast<int>(t.num_values())) {
+      raw = t.value(info.value_index).AsNumeric();
+    } else if (t.schema()->HasField(info.value_field)) {
+      raw = t.Get(info.value_field).AsNumeric();
+    } else {
+      // No semantic attribute on this tuple: fall through to random drop.
+      if (rng_.NextDouble() < drop_p_[idx]) {
+        total_dropped_++;
+        return true;
+      }
+      return false;
+    }
+    double utility = info.value_graph.Eval(raw);
     if (utility < drop_p_[idx]) {
       total_dropped_++;
       return true;

@@ -61,6 +61,10 @@ class LoadShedder {
     /// this attribute's value; empty graph = no semantic information.
     std::string value_field;
     UtilityGraph value_graph;
+    /// Index of value_field in the input's schema, resolved once at model
+    /// (re)build time so the per-tuple path reads value(i) instead of
+    /// scanning field names; -1 = unresolved (fall back to name lookup).
+    int value_index = -1;
   };
 
   LoadShedder() : LoadShedder(Options()) {}

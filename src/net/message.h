@@ -25,6 +25,17 @@ struct Message {
   std::vector<uint8_t> payload;
   NodeId src = -1;
   NodeId dst = -1;
+  /// Number of original messages coalesced into this frame (tuple trains);
+  /// 0 or 1 = a plain single message. Train sub-messages are length-framed
+  /// inside `payload`, so their cost is already part of WireSize().
+  uint32_t train_count = 0;
+  /// Tuples carried (data messages; feeds the train-size histograms).
+  uint32_t tuple_count = 0;
+  /// Credit flow control: cumulative payload bytes sent on this message's
+  /// stream *including* this message (data), the sender's cumulative sent
+  /// bytes (probes), or the granted cumulative limit (grants). Lives in the
+  /// fixed header, so it adds no WireSize() beyond kMessageHeaderBytes.
+  uint64_t flow_offset = 0;
 
   size_t WireSize() const {
     return kMessageHeaderBytes + kind.size() + stream.size() + payload.size();

@@ -128,6 +128,22 @@ void OverlayNetwork::RecomputeRoutes() {
   }
 }
 
+bool OverlayNetwork::PathUp(NodeId from, NodeId to) const {
+  const int n = static_cast<int>(nodes_.size());
+  if (from < 0 || to < 0 || from >= n || to >= n) return false;
+  if (!nodes_[from].up || !nodes_[to].up) return false;
+  // Walk the next-hop chain; routes already avoid downed *links*, so only
+  // downed intermediate nodes remain to be checked.
+  NodeId at = from;
+  while (at != to) {
+    auto it = next_hop_.find({at, to});
+    if (it == next_hop_.end()) return false;
+    at = it->second;
+    if (!nodes_[at].up) return false;
+  }
+  return true;
+}
+
 void OverlayNetwork::TransmitHop(NodeId from, NodeId to, size_t bytes,
                                  SimDuration extra_delay,
                                  std::function<void()> arrive) {

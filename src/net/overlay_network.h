@@ -125,6 +125,12 @@ class OverlayNetwork {
   /// message sent now (link FIFO backlog); SimTime::Max() without a link.
   SimTime LinkBusyUntil(NodeId from, NodeId to) const;
 
+  /// True when a message sent now from->to would reach its destination:
+  /// both endpoints up, a route exists, and every node along it is up.
+  /// Flow-controlled transports poll this to *pause* instead of letting a
+  /// partition drop their in-flight data.
+  bool PathUp(NodeId from, NodeId to) const;
+
   // ---- Statistics -------------------------------------------------------
 
   /// Total payload+header bytes ever serialized onto the directed link.

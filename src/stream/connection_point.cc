@@ -1,13 +1,41 @@
 #include "stream/connection_point.h"
 
+#include <algorithm>
+
 namespace aurora {
 
 void ConnectionPoint::Record(const Tuple& t, SimTime now) {
   history_.push_back(t);
   history_bytes_ += t.WireSize();
   EnforceRetention(now);
-  for (const auto& [token, subscriber] : subscribers_) {
-    subscriber(t, now);
+  // Callbacks may Subscribe/Unsubscribe reentrantly, which would invalidate
+  // any iterator (and reallocation would move a std::function out from
+  // under its own call). Iterate by index over the subscribers present at
+  // entry, invoke a *copy* of each callable, skip tokens unsubscribed
+  // earlier in this pass, and erase deferred removals only once the
+  // outermost notification unwinds.
+  notify_depth_++;
+  const size_t n = subscribers_.size();
+  for (size_t i = 0; i < n; ++i) {
+    int token = subscribers_[i].first;
+    if (std::find(deferred_unsubs_.begin(), deferred_unsubs_.end(), token) !=
+        deferred_unsubs_.end()) {
+      continue;
+    }
+    Subscriber cb = subscribers_[i].second;
+    cb(t, now);
+  }
+  notify_depth_--;
+  if (notify_depth_ == 0 && !deferred_unsubs_.empty()) {
+    for (int token : deferred_unsubs_) {
+      for (auto it = subscribers_.begin(); it != subscribers_.end(); ++it) {
+        if (it->first == token) {
+          subscribers_.erase(it);
+          break;
+        }
+      }
+    }
+    deferred_unsubs_.clear();
   }
 }
 
@@ -18,6 +46,10 @@ int ConnectionPoint::Subscribe(Subscriber subscriber) {
 }
 
 void ConnectionPoint::Unsubscribe(int token) {
+  if (notify_depth_ > 0) {
+    deferred_unsubs_.push_back(token);
+    return;
+  }
   for (auto it = subscribers_.begin(); it != subscribers_.end(); ++it) {
     if (it->first == token) {
       subscribers_.erase(it);

@@ -78,6 +78,11 @@ class ConnectionPoint {
   bool choked_ = false;
   std::vector<std::pair<int, Subscriber>> subscribers_;
   int next_token_ = 1;
+  /// Reentrancy guard for Record(): while > 0, Unsubscribe defers the
+  /// actual erase (a callback may unsubscribe itself or a peer) and newly
+  /// subscribed listeners only see tuples recorded after the current one.
+  int notify_depth_ = 0;
+  std::vector<int> deferred_unsubs_;
 };
 
 }  // namespace aurora

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "common/logging.h"
 #include "tuple/tuple.h"
 
 namespace aurora {
@@ -36,15 +37,21 @@ class StreamQueue {
   size_t peak_size() const { return peak_size_; }
   size_t peak_bytes() const { return peak_bytes_; }
 
-  const Tuple& Front() const { return items_.front(); }
+  const Tuple& Front() const {
+    AURORA_DCHECK(!items_.empty());
+    return items_.front();
+  }
 
   Tuple Pop() {
+    AURORA_DCHECK(!items_.empty());
     Tuple t = std::move(items_.front());
     items_.pop_front();
     size_t sz = t.WireSize();
+    AURORA_DCHECK(bytes_ >= sz);
     bytes_ -= sz;
     if (spilled_count_ > 0) {
       // The popped tuple is part of the spilled prefix: charge a read.
+      AURORA_DCHECK(spilled_bytes_ >= sz);
       spilled_count_--;
       spilled_bytes_ -= sz;
       unspill_reads_++;

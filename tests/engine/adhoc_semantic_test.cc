@@ -2,7 +2,10 @@
 // load shedding (§7.1).
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "engine/aurora_engine.h"
+#include "engine/load_shedder.h"
 #include "tests/test_util.h"
 
 namespace aurora {
@@ -162,6 +165,52 @@ TEST(SemanticSheddingTest, RandomSheddingHasNoValueBias) {
   double mean = sum / static_cast<double>(rig.delivered.size());
   EXPECT_GT(mean, 3.5);
   EXPECT_LT(mean, 5.5);  // ≈ the offered mean of 4.5
+}
+
+TEST(SemanticSheddingTest, ModelBuildResolvesValueFieldIndex) {
+  // RebuildShedderModel must resolve "B" to its schema position so the
+  // per-tuple path reads value(i) instead of scanning field names.
+  SemanticRig rig(SheddingPolicy::kSemantic);
+  const auto& inputs = rig.engine.load_shedder().inputs();
+  ASSERT_EQ(inputs.size(), 1u);
+  EXPECT_EQ(inputs[0].value_field, "B");
+  EXPECT_EQ(inputs[0].value_index,
+            static_cast<int>(*SchemaAB()->IndexOf("B")));
+}
+
+TEST(SemanticSheddingTest, IndexPathMatchesNameScanDecisions) {
+  // The resolved-index fast path must make exactly the same drop decisions
+  // as the legacy name-scan path (semantic shedding output unchanged).
+  auto make = [](int value_index) {
+    LoadShedder::Options o;
+    o.policy = SheddingPolicy::kSemantic;
+    o.capacity_us_per_sec = 500.0;
+    o.recompute_interval = SimDuration::Millis(50);
+    auto shedder = std::make_unique<LoadShedder>(o);
+    LoadShedder::InputInfo info;
+    info.input = 0;
+    info.downstream_cost_us = 50.0;
+    info.value_field = "B";
+    info.value_graph = *UtilityGraph::Make({{0.0, 0.0}, {9.0, 1.0}});
+    info.value_index = value_index;
+    shedder->SetInputs({info});
+    return shedder;
+  };
+  auto by_index = make(static_cast<int>(*SchemaAB()->IndexOf("B")));
+  auto by_name = make(-1);
+  int divergences = 0;
+  uint64_t drops = 0;
+  for (int i = 0; i < 4000; ++i) {
+    SimTime now = SimTime::Micros(i * 250);
+    Tuple t = T(i, i % 10);
+    bool a = by_index->ShouldDrop(0, t, now);
+    bool b = by_name->ShouldDrop(0, t, now);
+    if (a != b) divergences++;
+    if (a) drops++;
+  }
+  EXPECT_EQ(divergences, 0);
+  EXPECT_GT(drops, 1000u);  // the comparison actually exercised shedding
+  EXPECT_EQ(by_index->total_dropped(), by_name->total_dropped());
 }
 
 TEST(SemanticSheddingTest, FallsBackToRandomWithoutValueGraph) {

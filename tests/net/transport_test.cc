@@ -133,6 +133,158 @@ TEST(TransportTest, PerStreamModeCostsMoreOverhead) {
   EXPECT_GT(per_stream, mux);
 }
 
+// ---- Tuple trains --------------------------------------------------------
+
+TEST(TransportTrainTest, CoalescesIntoFramesAndPreservesFifo) {
+  TransportRig rig;
+  TransportOptions opts = Mode(TransportMode::kMultiplexed);
+  opts.train_size = 8;
+  Transport tx(&rig.sim, &rig.net, rig.a, rig.b, opts);
+  ASSERT_OK(tx.RegisterStream("s", 1.0));
+  std::vector<size_t> sizes;
+  tx.SetDeliveryHandler([&](const std::string&, const Message& m) {
+    sizes.push_back(m.payload.size());
+  });
+  std::vector<size_t> sent;
+  for (size_t i = 0; i < 16; ++i) {
+    ASSERT_OK(tx.Send("s", rig.Msg(10 + i)));
+    sent.push_back(10 + i);
+  }
+  rig.sim.RunAll();
+  // One callback per original message, in FIFO order...
+  EXPECT_EQ(sizes, sent);
+  EXPECT_EQ(tx.delivered_count("s"), 16u);
+  // ...but only 16/8 = 2 frames crossed the wire.
+  EXPECT_EQ(tx.frames_sent(), 2u);
+}
+
+TEST(TransportTrainTest, PartialTrainFlushesAfterMaxDelay) {
+  TransportRig rig;
+  TransportOptions opts = Mode(TransportMode::kMultiplexed);
+  opts.train_size = 8;
+  opts.train_max_delay = SimDuration::Millis(5);
+  Transport tx(&rig.sim, &rig.net, rig.a, rig.b, opts);
+  ASSERT_OK(tx.RegisterStream("s", 1.0));
+  size_t delivered = 0;
+  tx.SetDeliveryHandler(
+      [&](const std::string&, const Message&) { delivered++; });
+  for (int i = 0; i < 3; ++i) ASSERT_OK(tx.Send("s", rig.Msg(50)));
+  // Before the batching deadline nothing has departed.
+  rig.sim.RunUntil(SimTime::Millis(2));
+  EXPECT_EQ(tx.frames_sent(), 0u);
+  rig.sim.RunAll();
+  EXPECT_EQ(delivered, 3u);
+  EXPECT_EQ(tx.frames_sent(), 1u);
+}
+
+TEST(TransportTrainTest, TrainsCutFramesAndOverhead) {
+  auto run = [](size_t train_size) {
+    TransportRig rig;
+    TransportOptions opts = Mode(TransportMode::kMultiplexed);
+    opts.train_size = train_size;
+    Transport tx(&rig.sim, &rig.net, rig.a, rig.b, opts);
+    AURORA_CHECK(tx.RegisterStream("s", 1.0).ok());
+    for (int i = 0; i < 64; ++i) (void)tx.Send("s", rig.Msg(120));
+    rig.sim.RunAll();
+    AURORA_CHECK(tx.delivered_count("s") == 64);
+    return std::pair<uint64_t, uint64_t>(tx.frames_sent(),
+                                         tx.overhead_bytes());
+  };
+  auto [frames1, over1] = run(1);
+  auto [frames8, over8] = run(8);
+  EXPECT_EQ(frames1, 64u);
+  EXPECT_EQ(frames8, 8u);  // >= 2x fewer messages (8x here)
+  EXPECT_LT(over8, over1);
+}
+
+TEST(TransportTrainTest, TupleCountsDriveTrainBudget) {
+  TransportRig rig;
+  TransportOptions opts = Mode(TransportMode::kMultiplexed);
+  opts.train_size = 8;
+  Transport tx(&rig.sim, &rig.net, rig.a, rig.b, opts);
+  ASSERT_OK(tx.RegisterStream("s", 1.0));
+  // Each message already carries 4 tuples: a train of 8 tuples = 2 messages.
+  for (int i = 0; i < 4; ++i) {
+    Message m = rig.Msg(80);
+    m.tuple_count = 4;
+    ASSERT_OK(tx.Send("s", std::move(m)));
+  }
+  rig.sim.RunAll();
+  EXPECT_EQ(tx.delivered_count("s"), 4u);
+  EXPECT_EQ(tx.frames_sent(), 2u);
+}
+
+// ---- Credit flow control -------------------------------------------------
+
+TEST(TransportFlowTest, StallsAtCreditLimitAndResumesOnGrant) {
+  TransportRig rig;
+  TransportOptions opts = Mode(TransportMode::kMultiplexed);
+  opts.credit_window_bytes = 500;
+  Transport tx(&rig.sim, &rig.net, rig.a, rig.b, opts);
+  ASSERT_OK(tx.RegisterStream("s", 1.0));
+  for (int i = 0; i < 5; ++i) ASSERT_OK(tx.Send("s", rig.Msg(200)));
+  // All five (1000 payload bytes) exceed the 500-byte window: the producer
+  // is told to stop...
+  EXPECT_TRUE(tx.StreamBlocked("s"));
+  rig.sim.RunUntil(SimTime::Millis(200));
+  // ...and only the first two messages (400 bytes <= 500) were dispatched.
+  EXPECT_EQ(tx.delivered_count("s"), 2u);
+  EXPECT_EQ(tx.sent_offset("s"), 400u);
+  EXPECT_GE(tx.credit_stalls(), 1u);
+  // A cumulative grant re-opens the window; a stale one is a no-op.
+  tx.GrantCredit("s", 300);
+  EXPECT_EQ(tx.credit_limit("s"), 500u);
+  tx.GrantCredit("s", 1200);
+  rig.sim.RunAll();
+  EXPECT_EQ(tx.delivered_count("s"), 5u);
+  // 1000 enqueued < 1200 granted: the producer has headroom again.
+  EXPECT_FALSE(tx.StreamBlocked("s"));
+}
+
+TEST(TransportFlowTest, StalledStreamProbesWithSentOffset) {
+  TransportRig rig;
+  TransportOptions opts = Mode(TransportMode::kMultiplexed);
+  opts.credit_window_bytes = 250;
+  Transport tx(&rig.sim, &rig.net, rig.a, rig.b, opts);
+  ASSERT_OK(tx.RegisterStream("s", 1.0));
+  std::vector<uint64_t> probed;
+  tx.SetFlowProbeHandler([&](const std::string& stream, uint64_t off) {
+    EXPECT_EQ(stream, "s");
+    probed.push_back(off);
+  });
+  for (int i = 0; i < 3; ++i) ASSERT_OK(tx.Send("s", rig.Msg(200)));
+  rig.sim.RunUntil(SimTime::Millis(200));
+  // Only the first message fit the window; the stall produced probes that
+  // carry the cumulative sent offset (so the receiver can heal lost data).
+  EXPECT_EQ(tx.delivered_count("s"), 1u);
+  ASSERT_GE(probed.size(), 2u);
+  EXPECT_EQ(probed.back(), 200u);
+}
+
+TEST(TransportFlowTest, PartitionPausesInsteadOfDropping) {
+  TransportRig rig;
+  TransportOptions opts = Mode(TransportMode::kMultiplexed);
+  opts.credit_window_bytes = 1 << 20;
+  Transport tx(&rig.sim, &rig.net, rig.a, rig.b, opts);
+  ASSERT_OK(tx.RegisterStream("s", 1.0));
+  size_t delivered = 0;
+  tx.SetDeliveryHandler(
+      [&](const std::string&, const Message&) { delivered++; });
+  ASSERT_OK(rig.net.SetLinkUp(rig.a, rig.b, false));
+  for (int i = 0; i < 6; ++i) ASSERT_OK(tx.Send("s", rig.Msg(100)));
+  rig.sim.RunUntil(SimTime::Millis(300));
+  // While partitioned the transport holds its queue: nothing delivered,
+  // nothing handed to the network to be dropped.
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_EQ(rig.net.MessagesDropped(), 0u);
+  EXPECT_EQ(tx.queued_messages(), 6u);
+  ASSERT_OK(rig.net.SetLinkUp(rig.a, rig.b, true));
+  rig.sim.RunAll();
+  // After heal: every message exactly once, no loss, no duplicates.
+  EXPECT_EQ(delivered, 6u);
+  EXPECT_EQ(rig.net.MessagesDropped(), 0u);
+}
+
 TEST(TransportTest, QueueAccounting) {
   TransportRig rig(/*bandwidth=*/1'000);  // very slow
   Transport tx(&rig.sim, &rig.net, rig.a, rig.b,

@@ -118,5 +118,119 @@ TEST(ConnectionPointTest, ChokeFlag) {
   EXPECT_FALSE(cp.choked());
 }
 
+// ---- Guard / invariant regressions ---------------------------------------
+
+#ifndef NDEBUG
+TEST(StreamQueueDeathTest, PopOnEmptyIsCaught) {
+  StreamQueue q;
+  EXPECT_DEATH(q.Pop(), "items_");
+}
+
+TEST(StreamQueueDeathTest, FrontOnEmptyIsCaught) {
+  StreamQueue q;
+  EXPECT_DEATH(q.Front(), "items_");
+}
+#endif
+
+TEST(StreamQueueTest, InterleavedSpillPopClearNeverUnderflows) {
+  // Regression for counter underflow: drive every state transition that
+  // touches bytes_/spilled_count_/spilled_bytes_ and check the invariants
+  // (all derived accessors stay consistent and non-wrapped) throughout.
+  StreamQueue q;
+  auto check = [&q]() {
+    EXPECT_LE(q.spilled_count(), q.size());
+    EXPECT_LE(q.resident_bytes(), q.bytes());
+    EXPECT_LT(q.bytes(), size_t{1} << 48) << "bytes_ underflowed";
+    if (q.size() == 0) {
+      EXPECT_EQ(q.bytes(), 0u);
+      EXPECT_EQ(q.spilled_count(), 0u);
+    }
+  };
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 8; ++i) q.Push(T(i, round));
+    check();
+    q.Spill(3);
+    check();
+    for (int i = 0; i < 5; ++i) {
+      q.Pop();
+      check();
+    }
+    q.Spill(100);  // clamps to what's left
+    check();
+    while (!q.empty()) {
+      q.Pop();
+      check();
+    }
+    q.Push(T(99, 99));
+    q.Clear();
+    check();
+  }
+  // Clear after spill resets the spill accounting too.
+  for (int i = 0; i < 4; ++i) q.Push(T(i, 0));
+  q.Spill(4);
+  q.Clear();
+  check();
+  EXPECT_EQ(q.resident_bytes(), 0u);
+}
+
+TEST(ConnectionPointTest, UnsubscribeSelfFromWithinCallbackIsSafe) {
+  // Regression: Record() used to iterate subscribers_ with a range-for, so
+  // a callback calling Unsubscribe invalidated the iterator mid-loop.
+  ConnectionPoint cp("cp", RetentionPolicy{});
+  int first_calls = 0;
+  int last_calls = 0;
+  int self_calls = 0;
+  int self_token = 0;
+  cp.Subscribe([&](const Tuple&, SimTime) { first_calls++; });
+  self_token = cp.Subscribe([&](const Tuple&, SimTime) {
+    self_calls++;
+    cp.Unsubscribe(self_token);  // unsubscribe *self* mid-notification
+  });
+  cp.Subscribe([&](const Tuple&, SimTime) { last_calls++; });
+  cp.Record(T(1, 1), SimTime());
+  cp.Record(T(2, 2), SimTime());
+  EXPECT_EQ(first_calls, 2);
+  EXPECT_EQ(last_calls, 2);  // the later subscriber still got both tuples
+  EXPECT_EQ(self_calls, 1);  // removed after its first delivery
+  EXPECT_EQ(cp.num_subscribers(), 2u);
+}
+
+TEST(ConnectionPointTest, UnsubscribePeerFromWithinCallbackIsSafe) {
+  ConnectionPoint cp("cp", RetentionPolicy{});
+  int victim_calls = 0;
+  int victim_token = cp.Subscribe([&](const Tuple&, SimTime) {
+    victim_calls++;
+  });
+  // Subscribed after the victim but unsubscribes it during delivery of the
+  // *first* tuple; the victim (earlier in the list) already ran this pass.
+  cp.Subscribe([&](const Tuple&, SimTime) { cp.Unsubscribe(victim_token); });
+  cp.Record(T(1, 1), SimTime());
+  cp.Record(T(2, 2), SimTime());
+  EXPECT_EQ(victim_calls, 1);
+  EXPECT_EQ(cp.num_subscribers(), 1u);
+}
+
+TEST(ConnectionPointTest, SubscribeFromWithinCallbackStartsNextTuple) {
+  // A callback adding a subscriber must not invalidate the live iteration
+  // (vector reallocation); the newcomer first sees the *next* tuple.
+  ConnectionPoint cp("cp", RetentionPolicy{});
+  int newcomer_calls = 0;
+  bool added = false;
+  for (int i = 0; i < 6; ++i) {
+    // Extra subscribers make push_back reallocation likely.
+    cp.Subscribe([](const Tuple&, SimTime) {});
+  }
+  cp.Subscribe([&](const Tuple&, SimTime) {
+    if (!added) {
+      added = true;
+      cp.Subscribe([&](const Tuple&, SimTime) { newcomer_calls++; });
+    }
+  });
+  cp.Record(T(1, 1), SimTime());
+  EXPECT_EQ(newcomer_calls, 0);
+  cp.Record(T(2, 2), SimTime());
+  EXPECT_EQ(newcomer_calls, 1);
+}
+
 }  // namespace
 }  // namespace aurora
