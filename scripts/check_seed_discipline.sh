@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Seed discipline check: every source of randomness in the tree must be the
+# seeded, platform-stable aurora::Rng (tests go through MakeTestRng in
+# tests/test_util.h). Raw rand()/srand(), std::random_device, and the
+# standard-library engines are banned because their streams differ across
+# platforms and standard-library versions, which makes failing runs
+# unreproducible — the whole point of simcheck's replayable seeds.
+#
+# Run from the repo root:  scripts/check_seed_discipline.sh
+# Exits 1 and lists offending lines if any banned construct is found.
+set -u
+
+cd "$(dirname "$0")/.."
+
+PATTERN='\b(rand|srand|rand_r|drand48)[[:space:]]*\(|std::random_device|std::mt19937|minstd_rand|default_random_engine|ranlux[0-9]|knuth_b|#include[[:space:]]*<random>'
+
+# Strip // line comments before matching so prose about the ban (and this
+# script's own documentation) does not trip the check.
+offenders=$(grep -rnE --include='*.cc' --include='*.h' --include='*.cpp' \
+    "$PATTERN" src tests bench examples 2>/dev/null |
+  awk -F: '{ line = $0; sub(/^[^:]*:[^:]*:/, "", line);
+             sub(/\/\/.*/, "", line);
+             if (line ~ /[^[:space:]]/) print $0 }' |
+  grep -nE "$PATTERN" | cut -d: -f2-)
+
+if [ -n "$offenders" ]; then
+  echo "seed discipline violation: use aurora::Rng (tests: MakeTestRng)" >&2
+  echo "$offenders" >&2
+  exit 1
+fi
+
+echo "seed discipline: OK"

@@ -1,0 +1,497 @@
+#include "check/scenario.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/rng.h"
+#include "ops/expr.h"
+#include "ops/op_spec.h"
+#include "ops/predicate.h"
+
+namespace aurora {
+
+namespace {
+
+/// How many of p1/p2 a box template uses (also gates spec formatting).
+int TemplateArity(const std::string& tpl) {
+  if (tpl == "map_sum") return 0;
+  if (tpl == "filter_hash" || tpl == "xsection_sum") return 2;
+  return 1;
+}
+
+bool KnownTemplate(const std::string& tpl) {
+  return tpl == "filter_ge" || tpl == "filter_hash" || tpl == "map_sum" ||
+         tpl == "tumble_cnt" || tpl == "tumble_sum" || tpl == "slide_max" ||
+         tpl == "xsection_sum" || tpl == "wsort_buf";
+}
+
+bool StatefulTemplate(const std::string& tpl) {
+  return tpl == "tumble_cnt" || tpl == "tumble_sum" || tpl == "slide_max" ||
+         tpl == "xsection_sum" || tpl == "wsort_buf";
+}
+
+Result<OperatorSpec> TemplateSpec(const ScenarioBox& box) {
+  if (box.tpl == "filter_ge") {
+    return FilterSpec(
+        Predicate::Compare("B", CompareOp::kGe, Value(box.p1)));
+  }
+  if (box.tpl == "filter_hash") {
+    return FilterSpec(Predicate::HashPartition(
+        "A", static_cast<uint32_t>(box.p1), static_cast<uint32_t>(box.p2)));
+  }
+  if (box.tpl == "map_sum") {
+    return MapSpec({{"A", Expr::FieldRef("A")},
+                    {"B", Expr::FieldRef("B")},
+                    {"S", Expr::Arith(ArithOp::kAdd, Expr::FieldRef("A"),
+                                      Expr::FieldRef("B"))}});
+  }
+  if (box.tpl == "tumble_cnt" || box.tpl == "tumble_sum") {
+    OperatorSpec spec =
+        TumbleSpec(box.tpl == "tumble_cnt" ? "cnt" : "sum", "B", {"A"});
+    spec.SetParam("emit", Value("every_n"));
+    spec.SetParam("n", Value(box.p1));
+    return spec;
+  }
+  if (box.tpl == "slide_max") {
+    return SlideSpec("max", "B", box.p1, {"A"});
+  }
+  if (box.tpl == "xsection_sum") {
+    return XSectionSpec("sum", "B", box.p1, box.p2, {"A"});
+  }
+  if (box.tpl == "wsort_buf") {
+    return WSortSpec({"A"}, /*timeout_us=*/0, /*max_buffer=*/box.p1);
+  }
+  return Status::InvalidArgument("unknown box template '" + box.tpl + "'");
+}
+
+}  // namespace
+
+SchemaPtr ScenarioSchema() {
+  static SchemaPtr schema = std::make_shared<Schema>(std::vector<Field>{
+      {"A", ValueType::kInt64}, {"B", ValueType::kInt64}});
+  return schema;
+}
+
+Result<ScenarioSpec> ScenarioSpec::Parse(const std::string& text) {
+  ScenarioSpec spec;
+  spec.chains.clear();
+  std::istringstream lines(text);
+  std::string line;
+  std::string fault_lines;
+  int line_no = 0;
+  bool saw_trace = false;
+  while (std::getline(lines, line)) {
+    line_no++;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream tokens(line);
+    std::vector<std::string> tok;
+    std::string t;
+    while (tokens >> t) tok.push_back(t);
+    if (tok.empty()) continue;
+    auto fail = [&](const std::string& why) {
+      return Status::InvalidArgument("scenario line " +
+                                     std::to_string(line_no) + ": " + why);
+    };
+    auto int_arg = [&](size_t i, int64_t* out) {
+      try {
+        *out = std::stoll(tok.at(i));
+      } catch (...) {
+        return false;
+      }
+      return true;
+    };
+    const std::string& key = tok[0];
+    int64_t v = 0;
+    if (key == "seed") {
+      if (tok.size() != 2 || !int_arg(1, &v) || v < 0) {
+        return fail("expected 'seed <n>'");
+      }
+      spec.seed = static_cast<uint64_t>(v);
+    } else if (key == "nodes") {
+      if (tok.size() != 2 || !int_arg(1, &v)) return fail("expected 'nodes <n>'");
+      spec.nodes = static_cast<int>(v);
+    } else if (key == "flow_window") {
+      if (tok.size() != 2 || !int_arg(1, &v) || v < 0) {
+        return fail("expected 'flow_window <bytes>'");
+      }
+      spec.flow_window = static_cast<uint64_t>(v);
+    } else if (key == "train") {
+      if (tok.size() != 2 || !int_arg(1, &v)) return fail("expected 'train <n>'");
+      spec.train = static_cast<int>(v);
+    } else if (key == "dedup") {
+      if (tok.size() != 2 || (tok[1] != "on" && tok[1] != "off")) {
+        return fail("expected 'dedup on|off'");
+      }
+      spec.dedup = tok[1] == "on";
+    } else if (key == "trace") {
+      int64_t n = 0, k = 0, gap = 0;
+      if (tok.size() != 4 || !int_arg(1, &n) || !int_arg(2, &k) ||
+          !int_arg(3, &gap)) {
+        return fail("expected 'trace <n_tuples> <n_keys> <gap_us>'");
+      }
+      spec.trace_n = static_cast<int>(n);
+      spec.keys = static_cast<int>(k);
+      spec.gap_us = gap;
+      saw_trace = true;
+    } else if (key == "box") {
+      int64_t chain = 0, node = 0;
+      if (tok.size() < 4 || !int_arg(1, &chain) || !int_arg(2, &node)) {
+        return fail("expected 'box <chain> <node> <template> [p1 [p2]]'");
+      }
+      ScenarioBox box;
+      box.node = static_cast<int>(node);
+      box.tpl = tok[3];
+      if (!KnownTemplate(box.tpl)) {
+        return fail("unknown box template '" + box.tpl + "'");
+      }
+      int arity = TemplateArity(box.tpl);
+      if (static_cast<int>(tok.size()) != 4 + arity) {
+        return fail("template '" + box.tpl + "' takes " +
+                    std::to_string(arity) + " parameter(s)");
+      }
+      if (arity >= 1 && !int_arg(4, &box.p1)) return fail("bad p1");
+      if (arity >= 2 && !int_arg(5, &box.p2)) return fail("bad p2");
+      // Chains must be introduced in order: index == size() opens a new one.
+      if (chain < 0 || chain > static_cast<int64_t>(spec.chains.size())) {
+        return fail("chain index " + std::to_string(chain) +
+                    " out of order (chains must be contiguous from 0)");
+      }
+      if (chain == static_cast<int64_t>(spec.chains.size())) {
+        spec.chains.emplace_back();
+      }
+      spec.chains[static_cast<size_t>(chain)].push_back(box);
+    } else if (key == "fault") {
+      std::string rest;
+      for (size_t i = 1; i < tok.size(); ++i) {
+        if (i > 1) rest += " ";
+        rest += tok[i];
+      }
+      fault_lines += rest + "\n";
+    } else {
+      return fail("unknown directive '" + key + "'");
+    }
+  }
+  if (!saw_trace) {
+    return Status::InvalidArgument("scenario: missing 'trace' line");
+  }
+  if (!fault_lines.empty()) {
+    AURORA_ASSIGN_OR_RETURN(spec.faults, FaultPlan::Parse(fault_lines));
+  }
+  AURORA_RETURN_NOT_OK(spec.Validate());
+  return spec;
+}
+
+std::string ScenarioSpec::ToSpec() const {
+  std::ostringstream os;
+  os << "seed " << seed << "\n";
+  os << "nodes " << nodes << "\n";
+  os << "flow_window " << flow_window << "\n";
+  os << "train " << train << "\n";
+  os << "dedup " << (dedup ? "on" : "off") << "\n";
+  os << "trace " << trace_n << " " << keys << " " << gap_us << "\n";
+  for (size_t ci = 0; ci < chains.size(); ++ci) {
+    for (const ScenarioBox& box : chains[ci]) {
+      os << "box " << ci << " " << box.node << " " << box.tpl;
+      int arity = TemplateArity(box.tpl);
+      if (arity >= 1) os << " " << box.p1;
+      if (arity >= 2) os << " " << box.p2;
+      os << "\n";
+    }
+  }
+  std::istringstream fault_spec(faults.ToSpec());
+  std::string line;
+  while (std::getline(fault_spec, line)) {
+    os << "fault " << line << "\n";
+  }
+  return os.str();
+}
+
+Status ScenarioSpec::Validate() const {
+  if (nodes < 1 || nodes > 16) {
+    return Status::InvalidArgument("nodes must be in [1, 16]");
+  }
+  if (trace_n < 1) return Status::InvalidArgument("trace_n must be >= 1");
+  if (keys < 1) return Status::InvalidArgument("keys must be >= 1");
+  if (gap_us < 1) return Status::InvalidArgument("gap_us must be >= 1");
+  if (train < 0) return Status::InvalidArgument("train must be >= 0");
+  if (chains.empty()) return Status::InvalidArgument("at least one chain");
+  for (const auto& chain : chains) {
+    if (chain.empty()) return Status::InvalidArgument("empty chain");
+    for (const ScenarioBox& box : chain) {
+      if (!KnownTemplate(box.tpl)) {
+        return Status::InvalidArgument("unknown box template '" + box.tpl +
+                                       "'");
+      }
+      if (box.node < 0 || box.node >= nodes) {
+        return Status::InvalidArgument("box node " + std::to_string(box.node) +
+                                       " out of range");
+      }
+      if (box.tpl == "filter_hash" &&
+          (box.p1 < 1 || box.p2 < 0 || box.p2 >= box.p1)) {
+        return Status::InvalidArgument("filter_hash needs modulus >= 1 and "
+                                       "remainder in [0, modulus)");
+      }
+      if ((box.tpl == "tumble_cnt" || box.tpl == "tumble_sum") && box.p1 < 1) {
+        return Status::InvalidArgument("tumble every_n needs n >= 1");
+      }
+      if (box.tpl == "slide_max" && box.p1 < 1) {
+        return Status::InvalidArgument("slide needs window >= 1");
+      }
+      if (box.tpl == "xsection_sum" &&
+          (box.p1 < 1 || box.p2 < 1 || box.p2 > box.p1)) {
+        return Status::InvalidArgument(
+            "xsection needs window >= 1 and 0 < advance <= window");
+      }
+      if (box.tpl == "wsort_buf" && box.p1 < 1) {
+        return Status::InvalidArgument("wsort_buf needs max_buffer >= 1");
+      }
+    }
+  }
+  for (const FaultEvent& ev : faults.events()) {
+    int hi = nodes - 1;
+    if (ev.kind == FaultEventKind::kCrash ||
+        ev.kind == FaultEventKind::kRestart ||
+        ev.kind == FaultEventKind::kSlowNode) {
+      if (ev.node < 0 || ev.node > hi) {
+        return Status::InvalidArgument("fault event node out of range");
+      }
+    } else {
+      if (ev.a < 0 || ev.a > hi || ev.b < 0 || ev.b > hi || ev.a == ev.b) {
+        return Status::InvalidArgument("fault event link out of range");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<GlobalQuery> ScenarioSpec::BuildQuery() const {
+  GlobalQuery q;
+  AURORA_RETURN_NOT_OK(q.AddInput("src", ScenarioSchema()));
+  for (size_t ci = 0; ci < chains.size(); ++ci) {
+    std::string prev;
+    for (size_t j = 0; j < chains[ci].size(); ++j) {
+      std::string name = "c" + std::to_string(ci) + "b" + std::to_string(j);
+      AURORA_ASSIGN_OR_RETURN(OperatorSpec spec, TemplateSpec(chains[ci][j]));
+      AURORA_RETURN_NOT_OK(q.AddBox(name, std::move(spec)));
+      if (j == 0) {
+        AURORA_RETURN_NOT_OK(q.ConnectInputToBox("src", name));
+      } else {
+        AURORA_RETURN_NOT_OK(q.ConnectBoxes(prev, 0, name, 0));
+      }
+      prev = name;
+    }
+    std::string out = "out" + std::to_string(ci);
+    AURORA_RETURN_NOT_OK(q.AddOutput(out));
+    AURORA_RETURN_NOT_OK(q.ConnectBoxToOutput(prev, 0, out));
+  }
+  return q;
+}
+
+std::map<std::string, NodeId> ScenarioSpec::Placement() const {
+  std::map<std::string, NodeId> placement;
+  for (size_t ci = 0; ci < chains.size(); ++ci) {
+    for (size_t j = 0; j < chains[ci].size(); ++j) {
+      placement["c" + std::to_string(ci) + "b" + std::to_string(j)] =
+          chains[ci][j].node;
+    }
+  }
+  return placement;
+}
+
+std::vector<Tuple> ScenarioSpec::GenerateTrace() const {
+  Rng rng(seed * 0x9e3779b97f4a7c15ull + 0x5eedf00dull);
+  std::vector<Tuple> trace;
+  trace.reserve(static_cast<size_t>(trace_n));
+  SchemaPtr schema = ScenarioSchema();
+  for (int i = 0; i < trace_n; ++i) {
+    Tuple t(schema, {Value(static_cast<int64_t>(
+                         rng.Uniform(static_cast<uint64_t>(keys)))),
+                     Value(rng.UniformInt(0, 100))});
+    t.set_timestamp(SimTime::Micros((i + 1) * gap_us));
+    trace.push_back(std::move(t));
+  }
+  return trace;
+}
+
+bool ScenarioSpec::Stateful() const {
+  for (const auto& chain : chains) {
+    for (const ScenarioBox& box : chain) {
+      if (StatefulTemplate(box.tpl)) return true;
+    }
+  }
+  return false;
+}
+
+bool ScenarioSpec::Lossy() const {
+  if (faults.Lossy()) return true;
+  // A partition is loss-free only when the sender is guaranteed to pause:
+  // flow control on AND no alternate route. With three or more nodes the
+  // overlay reroutes around the cut link, so sends continue — and at heal
+  // time frames still in flight on the long path arrive after newer frames
+  // on the restored direct link, which the receiver's watermark dedup
+  // drops as duplicates (reorder turned into documented loss).
+  if (flow_window == 0 || nodes > 2) {
+    for (const FaultEvent& ev : faults.events()) {
+      if (ev.kind == FaultEventKind::kPartition) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::pair<int, int>> ScenarioSpec::CrossEdges() const {
+  std::vector<std::pair<int, int>> edges;
+  if (chains.empty()) return edges;
+  auto add = [&](int a, int b) {
+    if (a == b) return;
+    std::pair<int, int> e{a, b};
+    if (std::find(edges.begin(), edges.end(), e) == edges.end()) {
+      edges.push_back(e);
+    }
+  };
+  // The global input is homed at the first chain's first box; other chains
+  // reach it over an input relay from that node.
+  int home = chains[0][0].node;
+  for (const auto& chain : chains) {
+    add(home, chain[0].node);
+    for (size_t j = 0; j + 1 < chain.size(); ++j) {
+      add(chain[j].node, chain[j + 1].node);
+    }
+  }
+  return edges;
+}
+
+ScenarioSpec GenerateScenario(uint64_t seed) {
+  Rng rng(seed ^ 0x51c2c4e1u);
+  ScenarioSpec spec;
+  spec.seed = seed;
+  spec.nodes = 2 + static_cast<int>(rng.Uniform(2));
+  spec.flow_window = rng.OneIn(0.5) ? 2048 : 0;
+  const int kTrains[] = {1, 4, 8};
+  spec.train = kTrains[rng.Uniform(3)];
+  spec.dedup = true;
+  spec.trace_n = 100 + static_cast<int>(rng.Uniform(150));
+  spec.keys = 4 + static_cast<int>(rng.Uniform(8));
+  spec.gap_us = 200 + static_cast<int64_t>(rng.Uniform(600));
+
+  auto random_box = [&](bool allow_stateful) {
+    ScenarioBox box;
+    box.node = static_cast<int>(rng.Uniform(static_cast<uint64_t>(spec.nodes)));
+    int pick = static_cast<int>(rng.Uniform(allow_stateful ? 8 : 3));
+    switch (pick) {
+      case 0:
+        box.tpl = "filter_ge";
+        box.p1 = rng.UniformInt(10, 60);
+        break;
+      case 1:
+        box.tpl = "filter_hash";
+        box.p1 = rng.UniformInt(2, 4);
+        box.p2 = rng.UniformInt(0, box.p1 - 1);
+        break;
+      case 2:
+        box.tpl = "map_sum";
+        break;
+      case 3:
+        box.tpl = "tumble_cnt";
+        box.p1 = rng.UniformInt(2, 5);
+        break;
+      case 4:
+        box.tpl = "tumble_sum";
+        box.p1 = rng.UniformInt(2, 5);
+        break;
+      case 5:
+        box.tpl = "slide_max";
+        box.p1 = rng.UniformInt(2, 5);
+        break;
+      case 6:
+        box.tpl = "xsection_sum";
+        box.p1 = rng.UniformInt(2, 6);
+        box.p2 = rng.UniformInt(1, box.p1);
+        break;
+      default:
+        box.tpl = "wsort_buf";
+        box.p1 = rng.UniformInt(4, 16);
+        break;
+    }
+    return box;
+  };
+
+  size_t n_chains = rng.OneIn(0.7) ? 1 : 2;
+  for (size_t ci = 0; ci < n_chains; ++ci) {
+    size_t n_boxes = 1 + rng.Uniform(3);
+    std::vector<ScenarioBox> chain;
+    for (size_t j = 0; j < n_boxes; ++j) {
+      // Keep stateful boxes terminal: their outputs are aggregates whose
+      // downstream interpretation would need fresh field names anyway.
+      bool last = j + 1 == n_boxes;
+      chain.push_back(random_box(last && rng.OneIn(0.5)));
+    }
+    spec.chains.push_back(std::move(chain));
+  }
+
+  // Fault schedule. Families are mutually exclusive per scenario so that
+  // every generated run has a crisp expected outcome:
+  //  - crash/restart wipes receiver dedup watermarks, so it never mixes
+  //    with duplication or reorder chaos (their interaction re-delivers
+  //    old tuples by design — documented nondeterminism, not a bug);
+  //  - lossy kinds only apply to stateless pipelines, where the oracle
+  //    diff degrades to a subsequence check;
+  //  - every injected condition is paired with its recovery, so the plan
+  //    ends healthy and the run drains to a checkable end state.
+  bool stateful = spec.Stateful();
+  std::vector<std::pair<int, int>> edges = spec.CrossEdges();
+  int64_t end_us = spec.TraceEnd().micros();
+  size_t slots = rng.Uniform(4);  // 0..3 fault pairs
+  enum Family { kNone, kCrashFamily, kChaosFamily };
+  Family family = kNone;
+  FaultPlan plan;
+  for (size_t s = 0; s < slots; ++s) {
+    int64_t t0 = end_us / 10 + static_cast<int64_t>(
+                                   rng.Uniform(static_cast<uint64_t>(end_us / 2)));
+    int64_t span = end_us * 85 / 100 - t0;
+    if (span < 1000) span = 1000;
+    int64_t t1 = t0 + 1000 + static_cast<int64_t>(
+                                 rng.Uniform(static_cast<uint64_t>(span)));
+    SimTime at0 = SimTime::Micros(t0);
+    SimTime at1 = SimTime::Micros(t1);
+    int kind = static_cast<int>(rng.Uniform(4));
+    if (kind == 0) {  // slow node + restore (exactly invertible factors)
+      int node = static_cast<int>(
+          rng.Uniform(static_cast<uint64_t>(spec.nodes)));
+      bool quarter = rng.OneIn(0.5);
+      plan.SlowNodeAt(at0, node, quarter ? 0.25 : 0.5);
+      plan.SlowNodeAt(at1, node, quarter ? 4.0 : 2.0);
+    } else if (kind == 1) {  // partition + heal
+      // Loss-free only with flow control and no reroute path (2 nodes);
+      // everywhere else a partition is lossy (see Lossy()), and lossy
+      // faults never ride on stateful pipelines — a dropped tuple would
+      // change aggregate values in ways the oracle diff cannot bound.
+      if (stateful && (spec.flow_window == 0 || spec.nodes > 2)) continue;
+      if (edges.empty()) continue;
+      auto [a, b] = edges[rng.Uniform(edges.size())];
+      plan.PartitionAt(at0, a, b);
+      plan.HealAt(at1, a, b);
+    } else if (kind == 2) {  // crash + restart (lossy)
+      if (stateful || family == kChaosFamily) continue;
+      // Crashing the input's home node makes the whole trace tail
+      // injection-rejected; prefer a non-home node when one hosts boxes.
+      int node = static_cast<int>(
+          rng.Uniform(static_cast<uint64_t>(spec.nodes)));
+      plan.CrashAt(at0, node);
+      plan.RestartAt(at1, node);
+      family = kCrashFamily;
+    } else {  // link chaos: duplication (lossless under dedup)
+      if (family == kCrashFamily) continue;
+      if (edges.empty()) continue;
+      auto [a, b] = edges[rng.Uniform(edges.size())];
+      double dup_p = static_cast<double>(rng.UniformInt(5, 30)) / 100.0;
+      plan.PerturbLinkAt(at0, a, b, /*drop_p=*/0.0, dup_p);
+      plan.PerturbLinkAt(at1, a, b, 0.0, 0.0);
+      family = kChaosFamily;
+    }
+  }
+  spec.faults = std::move(plan);
+  return spec;
+}
+
+}  // namespace aurora

@@ -1,0 +1,106 @@
+#ifndef AURORA_CHECK_SCENARIO_H_
+#define AURORA_CHECK_SCENARIO_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "distributed/deployment.h"
+#include "fault/fault_plan.h"
+#include "tuple/tuple.h"
+
+namespace aurora {
+
+/// One box of a scenario chain, described by a named template plus up to
+/// two integer parameters (meaning depends on the template):
+///
+///   filter_ge    p1 = threshold on B            (stateless)
+///   filter_hash  p1 = modulus, p2 = remainder   (stateless)
+///   map_sum      adds S = A + B                 (stateless)
+///   tumble_cnt   p1 = every_n window count      (stateful)
+///   tumble_sum   p1 = every_n window count      (stateful)
+///   slide_max    p1 = window size               (stateful)
+///   xsection_sum p1 = window, p2 = advance      (stateful)
+///   wsort_buf    p1 = max buffered tuples       (stateful)
+struct ScenarioBox {
+  std::string tpl;
+  int node = 0;
+  int64_t p1 = 0;
+  int64_t p2 = 0;
+};
+
+/// \brief One complete model-checking scenario: a seeded random query
+/// topology, workload trace, transport configuration, and fault schedule.
+///
+/// A scenario is a pure value: running it twice produces bit-identical
+/// results, which is what makes failing seeds shrinkable and replayable.
+/// The text format round-trips exactly (Parse(ToSpec()) == same spec):
+///
+///   seed 42
+///   nodes 3
+///   flow_window 2048
+///   train 4
+///   dedup on
+///   trace 180 7 450          # n_tuples n_keys gap_us
+///   box 0 1 filter_ge 37     # chain node template [p1 [p2]]
+///   box 0 2 tumble_sum 3
+///   fault at 20ms perturb 0 1 drop=0 dup=0.2 reorder=0 reorder_delay=20ms
+struct ScenarioSpec {
+  uint64_t seed = 1;
+  int nodes = 2;
+  /// Transport credit window in bytes; 0 disables flow control.
+  uint64_t flow_window = 0;
+  /// Transport train_size (tuples coalesced per frame).
+  int train = 1;
+  /// Receiver-side duplicate suppression (PR 2 seq watermarks). Turning
+  /// this off is how simcheck demonstrates it finds real violations.
+  bool dedup = true;
+  int trace_n = 100;
+  int keys = 8;
+  int64_t gap_us = 500;
+  /// Linear chains of boxes; chain i reads global input "src" and writes
+  /// global output "out<i>".
+  std::vector<std::vector<ScenarioBox>> chains;
+  FaultPlan faults;
+
+  static Result<ScenarioSpec> Parse(const std::string& text);
+  std::string ToSpec() const;
+  Status Validate() const;
+
+  /// Builds the GlobalQuery this scenario describes (input "src", boxes
+  /// "c<chain>b<i>", outputs "out<chain>").
+  Result<GlobalQuery> BuildQuery() const;
+  /// Box name -> node placement for DeployQuery.
+  std::map<std::string, NodeId> Placement() const;
+  /// The deterministic workload: trace_n tuples {A: key, B: value} with
+  /// timestamps (i+1)*gap_us, derived from `seed` alone.
+  std::vector<Tuple> GenerateTrace() const;
+  /// Simulation time of the last trace tuple's injection.
+  SimTime TraceEnd() const { return SimTime::Micros(trace_n * gap_us); }
+
+  /// True when any chain contains an order- or history-sensitive box.
+  bool Stateful() const;
+  /// True when the run may legitimately lose accepted tuples: a lossy
+  /// fault plan, or a partition while flow control is off (flow-controlled
+  /// transports pause instead of dropping).
+  bool Lossy() const;
+  /// Directed cross-node (src, dst) pairs traffic actually uses: input
+  /// relays from the home node plus consecutive-box hops.
+  std::vector<std::pair<int, int>> CrossEdges() const;
+};
+
+/// Derives a full random scenario from a seed. Generated scenarios always
+/// end healthy (every fault is paired with its recovery) and never combine
+/// fault families whose interaction is documented nondeterminism (crashes
+/// wipe receiver dedup watermarks, so they are never mixed with duplicate
+/// or reorder perturbations).
+ScenarioSpec GenerateScenario(uint64_t seed);
+
+/// Shared two-int64-field stream schema {A, B} used by every scenario.
+SchemaPtr ScenarioSchema();
+
+}  // namespace aurora
+
+#endif  // AURORA_CHECK_SCENARIO_H_

@@ -1,0 +1,56 @@
+#ifndef AURORA_CHECK_SHRINK_LIST_H_
+#define AURORA_CHECK_SHRINK_LIST_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace aurora {
+
+/// \brief Generic list minimizer (delta-debugging style) for property
+/// tests: given a failing input sequence, removes chunks of decreasing
+/// size while `still_fails(candidate)` holds, converging on a small —
+/// typically 1-element — still-failing input.
+///
+/// Header-only and dependency-free so randomized operator tests can shrink
+/// counterexample traces without linking the full scenario runner.
+template <typename T, typename Pred>
+std::vector<T> ShrinkList(std::vector<T> items, const Pred& still_fails,
+                          int max_attempts = 500) {
+  if (items.empty()) return items;
+  int attempts = 0;
+  size_t chunk = (items.size() + 1) / 2;
+  while (true) {
+    bool shrunk = false;
+    size_t start = 0;
+    while (start < items.size()) {
+      if (attempts >= max_attempts) return items;
+      size_t end = std::min(items.size(), start + chunk);
+      std::vector<T> candidate;
+      candidate.reserve(items.size() - (end - start));
+      candidate.insert(candidate.end(), items.begin(),
+                       items.begin() + static_cast<std::ptrdiff_t>(start));
+      candidate.insert(candidate.end(),
+                       items.begin() + static_cast<std::ptrdiff_t>(end),
+                       items.end());
+      ++attempts;
+      if (!candidate.empty() && still_fails(candidate)) {
+        items = std::move(candidate);
+        shrunk = true;  // retry the same position at this chunk size
+      } else {
+        start = end;
+      }
+    }
+    if (chunk == 1) {
+      if (!shrunk) break;  // fixpoint at the finest granularity
+    } else {
+      chunk = (chunk + 1) / 2;
+    }
+  }
+  return items;
+}
+
+}  // namespace aurora
+
+#endif  // AURORA_CHECK_SHRINK_LIST_H_

@@ -1,0 +1,81 @@
+#include "check/shrinker.h"
+
+namespace aurora {
+
+namespace {
+
+/// Tries one candidate; adopts it into `spec` when it is valid and still
+/// fails. Returns whether it was adopted. Bumps the shared attempt budget.
+bool TryAdopt(ScenarioSpec* spec, ScenarioSpec candidate,
+              const StillFails& still_fails, int* attempts,
+              int max_attempts) {
+  if (*attempts >= max_attempts) return false;
+  if (!candidate.Validate().ok()) return false;
+  ++*attempts;
+  if (!still_fails(candidate)) return false;
+  *spec = std::move(candidate);
+  return true;
+}
+
+}  // namespace
+
+ScenarioSpec ShrinkScenario(ScenarioSpec spec, const StillFails& still_fails,
+                            int max_attempts) {
+  int attempts = 0;
+  bool progressed = true;
+  while (progressed && attempts < max_attempts) {
+    progressed = false;
+
+    // 1. Drop fault events, latest first (recovery events usually depend
+    //    on earlier injections, so removing from the tail keeps more
+    //    candidates valid).
+    for (size_t i = spec.faults.size(); i-- > 0;) {
+      ScenarioSpec candidate = spec;
+      std::vector<FaultEvent> events = spec.faults.events();
+      events.erase(events.begin() + static_cast<std::ptrdiff_t>(i));
+      candidate.faults = FaultPlan::FromEvents(std::move(events));
+      if (TryAdopt(&spec, std::move(candidate), still_fails, &attempts,
+                   max_attempts)) {
+        progressed = true;
+      }
+    }
+
+    // 2. Halve the trace.
+    while (spec.trace_n > 10 && attempts < max_attempts) {
+      ScenarioSpec candidate = spec;
+      candidate.trace_n = spec.trace_n / 2;
+      if (!TryAdopt(&spec, std::move(candidate), still_fails, &attempts,
+                    max_attempts)) {
+        break;
+      }
+      progressed = true;
+    }
+
+    // 3. Drop whole chains.
+    for (size_t ci = spec.chains.size(); ci-- > 0 && spec.chains.size() > 1;) {
+      ScenarioSpec candidate = spec;
+      candidate.chains.erase(candidate.chains.begin() +
+                             static_cast<std::ptrdiff_t>(ci));
+      if (TryAdopt(&spec, std::move(candidate), still_fails, &attempts,
+                   max_attempts)) {
+        progressed = true;
+      }
+    }
+
+    // 4. Pop trailing boxes off multi-box chains.
+    for (size_t ci = 0; ci < spec.chains.size(); ++ci) {
+      while (spec.chains[ci].size() > 1 && attempts < max_attempts) {
+        ScenarioSpec candidate = spec;
+        candidate.chains[ci].pop_back();
+        if (!TryAdopt(&spec, std::move(candidate), still_fails, &attempts,
+                      max_attempts)) {
+          break;
+        }
+        progressed = true;
+      }
+    }
+  }
+  return spec;
+}
+
+}  // namespace aurora

@@ -1,0 +1,31 @@
+#ifndef AURORA_CHECK_SHRINKER_H_
+#define AURORA_CHECK_SHRINKER_H_
+
+#include <functional>
+
+#include "check/scenario.h"
+
+namespace aurora {
+
+/// Re-runs a candidate scenario and reports whether it still exhibits the
+/// failure being minimized (callers usually match the original violation's
+/// `invariant` kind).
+using StillFails = std::function<bool(const ScenarioSpec&)>;
+
+/// \brief Greedily minimizes a failing scenario while `still_fails` holds.
+///
+/// Candidate reductions, applied to a fixpoint (bounded by `max_attempts`
+/// invocations of `still_fails`, each of which re-runs the simulation):
+///  - drop individual fault events (latest first),
+///  - halve the trace length,
+///  - drop whole chains when more than one exists,
+///  - pop trailing boxes off multi-box chains.
+///
+/// The result is a valid spec that still fails; replaying it via
+/// `simcheck --replay` reproduces the violation bit-identically.
+ScenarioSpec ShrinkScenario(ScenarioSpec spec, const StillFails& still_fails,
+                            int max_attempts = 200);
+
+}  // namespace aurora
+
+#endif  // AURORA_CHECK_SHRINKER_H_

@@ -87,6 +87,12 @@ Result<DeployedQuery> DeployQuery(AuroraStarSystem* system,
                                   const GlobalQuery& query,
                                   const std::map<std::string, NodeId>& placement);
 
+/// Materializes the whole query inside one standalone engine — the oracle
+/// deployment model-checking runs diff a distributed deployment against
+/// (src/check). Same progressive wiring discipline as DeployQuery, but all
+/// arcs are local and no transport streams exist.
+Status DeployQueryLocal(AuroraEngine* engine, const GlobalQuery& query);
+
 }  // namespace aurora
 
 #endif  // AURORA_DISTRIBUTED_DEPLOYMENT_H_

@@ -268,7 +268,9 @@ void StreamNode::DeliverTuples(const std::string& input_name,
     return;
   }
   SeqNo& last = last_received_[input_name];
-  SeqNo* dedup = stream ? &stream_dedup_watermark_[*stream] : nullptr;
+  SeqNo* dedup = stream != nullptr && transport_opts_.stream_dedup
+                     ? &stream_dedup_watermark_[*stream]
+                     : nullptr;
   Tracer& tracer = Tracer::Global();
   for (auto& t : *tuples) {
     if (dedup != nullptr && t.seq() != kNoSeqNo) {
@@ -279,9 +281,13 @@ void StreamNode::DeliverTuples(const std::string& input_name,
       if (t.seq() <= *dedup) {
         dup_tuples_dropped_++;
         m_dup_dropped_->Add();
+        if (delivery_probe_) delivery_probe_(id_, *stream, t, true);
         continue;
       }
       *dedup = t.seq();
+    }
+    if (delivery_probe_ && stream != nullptr) {
+      delivery_probe_(id_, *stream, t, false);
     }
     if (t.seq() != kNoSeqNo && t.seq() > last) last = t.seq();
     if (tracer.enabled() && t.trace_id() != 0) {

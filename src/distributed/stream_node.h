@@ -130,6 +130,18 @@ class StreamNode {
   /// duplication or retransmits; see OnRemoteStream).
   uint64_t duplicate_tuples_dropped() const { return dup_tuples_dropped_; }
 
+  // ---- Invariant probes (used by src/check) -------------------------------
+
+  /// Observes every tuple arriving on a named transport stream, *before*
+  /// engine ingestion: `duplicate` is true when the per-stream dedup
+  /// watermark suppressed it. Model-checking harnesses hang per-stream
+  /// FIFO / exactly-once invariant checks here; unset in production.
+  using DeliveryProbe = std::function<void(
+      NodeId node, const std::string& stream, const Tuple& t, bool duplicate)>;
+  void SetDeliveryProbe(DeliveryProbe probe) {
+    delivery_probe_ = std::move(probe);
+  }
+
   // ---- HA hooks (used by src/ha) ------------------------------------------
 
   /// A retained sent tuple plus its lineage: the sequence number (in the
@@ -245,6 +257,7 @@ class StreamNode {
   /// overtaking reorder) stale tuples are suppressed, which keeps the §6
   /// recovery invariant "only in-process tuples are redone" intact.
   std::map<std::string, SeqNo> stream_dedup_watermark_;
+  DeliveryProbe delivery_probe_;
   uint64_t dup_tuples_dropped_ = 0;
   bool retain_logs_ = false;
   bool step_scheduled_ = false;

@@ -694,6 +694,7 @@ Status AuroraEngine::PushInput(PortId input, Tuple t, SimTime now,
     return Status::Unavailable("blocked upstream: out of downstream credit");
   }
   if (t.timestamp().micros() == 0) t.set_timestamp(now);
+  tuples_ingested_++;
   Tracer& tracer = Tracer::Global();
   if (tracer.enabled()) {
     if (t.trace_id() == 0) t.set_trace_id(tracer.NextTraceId());

@@ -233,6 +233,10 @@ class AuroraEngine {
   /// Cumulative simulated CPU microseconds consumed by RunOneStep.
   double total_cpu_micros() const { return total_cpu_micros_; }
   uint64_t total_activations() const { return total_activations_; }
+  /// Tuples admitted by PushInput past the shedder and the ingestion gate —
+  /// the engine-side ground truth tuple-conservation checks reconcile
+  /// against (src/check).
+  uint64_t tuples_ingested() const { return tuples_ingested_; }
   /// Sum of queued tuples over all arcs.
   size_t TotalQueuedTuples() const;
 
@@ -311,6 +315,7 @@ class AuroraEngine {
   int rr_next_box_ = 0;
   double total_cpu_micros_ = 0.0;
   uint64_t total_activations_ = 0;
+  uint64_t tuples_ingested_ = 0;
   int trace_node_ = -1;
   bool ingest_blocked_ = false;
   // Cached registry metrics (process-wide aggregates across engines; the

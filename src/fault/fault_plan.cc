@@ -1,8 +1,12 @@
 #include "fault/fault_plan.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <map>
+#include <set>
 #include <sstream>
+#include <utility>
 
 namespace aurora {
 
@@ -161,6 +165,64 @@ Result<FaultPlan> FaultPlan::Parse(const std::string& spec) {
   }
   plan.SortByTime();
   return plan;
+}
+
+FaultPlan FaultPlan::FromEvents(std::vector<FaultEvent> events) {
+  FaultPlan plan;
+  plan.events_ = std::move(events);
+  plan.SortByTime();
+  return plan;
+}
+
+bool FaultPlan::Lossy() const {
+  for (const FaultEvent& ev : events_) {
+    if (ev.kind == FaultEventKind::kCrash) return true;
+    if (ev.kind == FaultEventKind::kPerturbLink &&
+        (ev.drop_p > 0.0 || ev.reorder_p > 0.0)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::EndsHealthy() const {
+  std::set<int> down;
+  std::set<std::pair<int, int>> cut;
+  std::set<std::pair<int, int>> perturbed;
+  std::map<int, double> speed;  // cumulative multiplier (slow is ×factor)
+  auto link = [](int a, int b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  };
+  for (const FaultEvent& ev : events_) {
+    switch (ev.kind) {
+      case FaultEventKind::kCrash:
+        down.insert(ev.node);
+        break;
+      case FaultEventKind::kRestart:
+        down.erase(ev.node);
+        break;
+      case FaultEventKind::kPartition:
+        cut.insert(link(ev.a, ev.b));
+        break;
+      case FaultEventKind::kHeal:
+        cut.erase(link(ev.a, ev.b));
+        break;
+      case FaultEventKind::kPerturbLink:
+        if (ev.drop_p > 0.0 || ev.dup_p > 0.0 || ev.reorder_p > 0.0) {
+          perturbed.insert(link(ev.a, ev.b));
+        } else {
+          perturbed.erase(link(ev.a, ev.b));
+        }
+        break;
+      case FaultEventKind::kSlowNode:
+        speed.emplace(ev.node, 1.0).first->second *= ev.speed_factor;
+        break;
+    }
+  }
+  for (const auto& [node, factor] : speed) {
+    if (std::abs(factor - 1.0) > 1e-9) return false;
+  }
+  return down.empty() && cut.empty() && perturbed.empty();
 }
 
 FaultPlan& FaultPlan::CrashAt(SimTime at, int node) {

@@ -61,6 +61,10 @@ class FaultPlan {
   /// on malformed input.
   static Result<FaultPlan> Parse(const std::string& spec);
 
+  /// Builds a plan from an explicit event list (time-sorted on entry). The
+  /// scenario shrinker uses this to re-assemble plans with events removed.
+  static FaultPlan FromEvents(std::vector<FaultEvent> events);
+
   // ---- Programmatic builder (same events the parser produces) ------------
 
   FaultPlan& CrashAt(SimTime at, int node);
@@ -81,6 +85,19 @@ class FaultPlan {
   /// Round-trips the plan back to the text spec format (Parse(ToSpec())
   /// yields an equivalent plan).
   std::string ToSpec() const;
+
+  /// True when the plan can destroy accepted tuples: any crash (volatile
+  /// buffers wiped), or a perturbation with a nonzero drop or reorder
+  /// probability (reordered data lands below the receiver's dedup watermark
+  /// and is suppressed). Duplication alone is lossless — dedup absorbs it.
+  bool Lossy() const;
+
+  /// True when every injected condition is lifted again by a later event:
+  /// crashes are restarted, partitions healed, perturbations cleared (a
+  /// perturb with all-zero probabilities), slowdowns restored to factor 1.
+  /// Only plans that end healthy can be drained to quiescence and checked
+  /// for end-state conservation invariants.
+  bool EndsHealthy() const;
 
  private:
   void SortByTime();

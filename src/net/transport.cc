@@ -138,12 +138,26 @@ uint64_t Transport::sent_offset(const std::string& stream) const {
   return it == streams_.end() ? 0 : it->second.sent_offset;
 }
 
+bool Transport::OversizedHead(const StreamState& st) const {
+  if (!flow_enabled() || st.queue.empty()) return false;
+  const Message& m = st.queue.front();
+  return m.payload.size() > opts_.credit_window_bytes &&
+         m.flow_offset - m.payload.size() < st.credit_limit;
+}
+
 size_t Transport::TrainLength(const StreamState& st) const {
   const size_t budget = std::max<size_t>(1, opts_.train_size);
   size_t k = 0;
   size_t units = 0;
   for (const Message& m : st.queue) {
-    if (flow_enabled() && m.flow_offset > st.credit_limit) break;
+    if (flow_enabled() && m.flow_offset > st.credit_limit) {
+      // A message bigger than the whole window can never satisfy the limit;
+      // once all data before it is credited, it departs alone instead of
+      // deadlocking the stream (the receiver's backlog-based grants absorb
+      // the one-message overdraft).
+      if (k == 0 && OversizedHead(st)) return 1;
+      break;
+    }
     if (k > 0 && m.kind != st.queue.front().kind) break;
     size_t u = BudgetUnits(m);
     if (k > 0 && units + u > budget) break;
@@ -175,7 +189,8 @@ bool Transport::ReadyToDispatch(const std::string& name, StreamState& st,
       *wake = std::min(*wake, sim_->Now() + opts_.flow_retry_interval);
       return false;
     }
-    if (st.queue.front().flow_offset > st.credit_limit) {
+    if (st.queue.front().flow_offset > st.credit_limit &&
+        !OversizedHead(st)) {
       if (!st.stalled) {
         st.stalled = true;
         credit_stalls_++;

@@ -55,6 +55,11 @@ struct TransportOptions {
   /// While a stream is credit-stalled (or the path to the peer is down),
   /// the transport re-checks and sends a credit probe at this interval.
   SimDuration flow_retry_interval = SimDuration::Millis(50);
+  /// Per-stream sequence-number duplicate suppression at the receiving
+  /// StreamNode (PR 2). Exists so correctness harnesses (simcheck) can turn
+  /// the mechanism off and demonstrate the duplicate-delivery violations it
+  /// prevents; production configurations leave it on.
+  bool stream_dedup = true;
 };
 
 /// \brief Message transport between one ordered node pair (paper §4.3).
@@ -168,6 +173,11 @@ class Transport {
   };
 
   bool flow_enabled() const { return opts_.credit_window_bytes > 0; }
+  /// True when the stream's head message is larger than the whole credit
+  /// window (it can never fit under any grant) and everything queued before
+  /// it has been credited — the one case where dispatch may overdraw the
+  /// window rather than deadlock the stream.
+  bool OversizedHead(const StreamState& st) const;
   /// Head-of-line messages of `st` that fit the train budget and credit
   /// limit right now (>= 1 unless credit-stalled).
   size_t TrainLength(const StreamState& st) const;

@@ -110,6 +110,12 @@ class MetricsRegistry {
 
   /// Lookup without registering; nullptr when absent.
   const Counter* FindCounter(const std::string& name) const;
+  /// Counter value without registering; 0 when absent. Invariant checks
+  /// (src/check) reconcile ground-truth tallies against these.
+  uint64_t CounterValue(const std::string& name) const {
+    const Counter* c = FindCounter(name);
+    return c == nullptr ? 0 : c->value();
+  }
   const Gauge* FindGauge(const std::string& name) const;
   const LatencyHistogram* FindHistogram(const std::string& name) const;
 

@@ -51,4 +51,15 @@ void Simulation::RunAll() {
   }
 }
 
+bool Simulation::RunUntilIdle(SimTime deadline, SimDuration slice,
+                              const std::function<bool()>& idle) {
+  while (true) {
+    if (idle()) return true;
+    if (now_ >= deadline) return false;
+    SimTime next = now_ + slice;
+    if (deadline < next) next = deadline;
+    RunUntil(next);
+  }
+}
+
 }  // namespace aurora

@@ -86,6 +86,14 @@ class Simulation {
   /// Runs until the event queue is empty.
   void RunAll();
 
+  /// Runs in `slice`-sized increments until `idle()` reports true between
+  /// slices, or `deadline` passes. For systems with self-rescheduling
+  /// periodic timers (node ticks, heartbeats) RunAll never returns; this is
+  /// the bounded drain primitive such systems quiesce with. Returns whether
+  /// idleness was observed before the deadline.
+  bool RunUntilIdle(SimTime deadline, SimDuration slice,
+                    const std::function<bool()>& idle);
+
   size_t pending() const { return queue_.size(); }
   uint64_t events_executed() const { return events_executed_; }
 

@@ -1,0 +1,149 @@
+// The simulation model checker checking itself: spec round-trips, a fixed
+// block of generated seeds that must stay clean, and the canary that proves
+// the harness catches real bugs — with receiver dedup disabled it must find
+// a duplicate-delivery violation quickly, shrink it to a tiny fault
+// schedule, and replay the shrunk spec bit-identically.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/runner.h"
+#include "check/scenario.h"
+#include "check/shrinker.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing_util::MakeTestRng;
+
+// Every generated scenario must survive a Parse(ToSpec()) round-trip
+// unchanged — otherwise shrunk spec files would not replay what failed.
+TEST(ScenarioSpecTest, GeneratedSpecsRoundTripThroughText) {
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    ScenarioSpec spec = GenerateScenario(seed);
+    ASSERT_TRUE(spec.Validate().ok())
+        << "seed " << seed << ": " << spec.Validate().ToString();
+    std::string text = spec.ToSpec();
+    auto reparsed = ScenarioSpec::Parse(text);
+    ASSERT_TRUE(reparsed.ok())
+        << "seed " << seed << ": " << reparsed.status().ToString();
+    EXPECT_EQ(reparsed->ToSpec(), text) << "seed " << seed;
+  }
+}
+
+TEST(ScenarioSpecTest, ParseRejectsMalformedSpecs) {
+  EXPECT_FALSE(ScenarioSpec::Parse("").ok());  // no trace line
+  EXPECT_FALSE(ScenarioSpec::Parse("trace 10 4 500\nbox 0 9 filter_ge 5\n")
+                   .ok());  // box on a node outside the cluster
+  EXPECT_FALSE(
+      ScenarioSpec::Parse("trace 10 4 500\nbox 0 0 no_such_template 1\n")
+          .ok());
+  EXPECT_FALSE(ScenarioSpec::Parse("nodes 99\ntrace 10 4 500\n").ok());
+}
+
+// The standing regression block: these seeds ran clean when the checker
+// shipped. A violation here means either a real regression in the engine /
+// transport / fault stack or an intended semantics change — investigate,
+// don't reseed.
+TEST(SimcheckTest, FixedSeedBlockStaysClean) {
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    ScenarioSpec spec = GenerateScenario(seed);
+    RunReport report = RunScenario(spec);
+    EXPECT_TRUE(report.ok()) << "seed " << seed << " failed:\n"
+                             << report.Summary();
+  }
+}
+
+// A quiet scenario with no faults must drain and match the oracle exactly.
+TEST(SimcheckTest, HandWrittenSpecMatchesOracle) {
+  auto spec = ScenarioSpec::Parse(
+      "seed 7\n"
+      "nodes 3\n"
+      "trace 120 6 400\n"
+      "box 0 0 filter_ge 20\n"
+      "box 0 1 map_sum\n"
+      "box 0 2 tumble_sum 4\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  RunReport report = RunScenario(*spec);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_TRUE(report.drained);
+  EXPECT_FALSE(report.diff_skipped);
+  EXPECT_EQ(report.outputs.at("out0").size(),
+            report.oracle_outputs.at("out0").size());
+}
+
+// The canary: disabling receiver-side dedup is a seeded real bug, and the
+// checker must (a) find a duplicate-delivery violation within 100 seeds,
+// (b) shrink the scenario to at most 3 fault events, and (c) replay the
+// shrunk spec text with a bit-identical report, twice.
+TEST(SimcheckTest, DedupOffIsCaughtShrunkAndReplayedDeterministically) {
+  auto has_duplicate = [](const RunReport& report) {
+    for (const Violation& v : report.violations) {
+      if (v.invariant == "duplicate_delivery") return true;
+    }
+    return false;
+  };
+
+  ScenarioSpec failing;
+  bool found = false;
+  for (uint64_t seed = 1; seed <= 100 && !found; ++seed) {
+    ScenarioSpec spec = GenerateScenario(seed);
+    spec.dedup = false;
+    if (has_duplicate(RunScenario(spec))) {
+      failing = spec;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found)
+      << "dedup disabled but no duplicate_delivery in 100 seeds";
+
+  ScenarioSpec shrunk = ShrinkScenario(
+      failing, [&](const ScenarioSpec& cand) {
+        return has_duplicate(RunScenario(cand));
+      });
+  EXPECT_LE(shrunk.faults.size(), 3u);
+  EXPECT_LE(shrunk.trace_n, failing.trace_n);
+
+  // Replay path: serialize, reparse, run twice — identical summaries.
+  std::string text = shrunk.ToSpec();
+  auto replayed = ScenarioSpec::Parse(text);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  RunReport first = RunScenario(*replayed);
+  RunReport second = RunScenario(*replayed);
+  EXPECT_TRUE(has_duplicate(first)) << first.Summary();
+  EXPECT_EQ(first.Summary(), second.Summary());
+}
+
+// With dedup on, the exact same scenarios that trip the canary stay clean:
+// the violation is the seeded bug, not harness noise.
+TEST(SimcheckTest, DedupOnSilencesTheCanarySeeds) {
+  int checked = 0;
+  for (uint64_t seed = 1; seed <= 100 && checked < 3; ++seed) {
+    ScenarioSpec off = GenerateScenario(seed);
+    off.dedup = false;
+    RunReport broken = RunScenario(off);
+    if (broken.ok()) continue;
+    ++checked;
+    ScenarioSpec on = GenerateScenario(seed);
+    RunReport clean = RunScenario(on);
+    EXPECT_TRUE(clean.ok()) << "seed " << seed << ":\n" << clean.Summary();
+  }
+  EXPECT_GE(checked, 3);
+}
+
+// Reports are deterministic functions of the spec — rerunning any generated
+// scenario reproduces the identical summary (the property --replay rests on).
+TEST(SimcheckTest, ReportsAreDeterministicAcrossRuns) {
+  Rng rng = MakeTestRng(91);
+  for (int i = 0; i < 5; ++i) {
+    uint64_t seed = 1 + rng.Uniform(500);
+    ScenarioSpec spec = GenerateScenario(seed);
+    EXPECT_EQ(RunScenario(spec).Summary(), RunScenario(spec).Summary())
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace aurora

@@ -1,0 +1,162 @@
+// Edge cases of the tuple-train dispatcher and credit-based flow control:
+// degenerate train sizes, messages larger than the whole credit window
+// (the documented overdraft exception), and the train flush deadline at
+// its exact boundary.
+#include <gtest/gtest.h>
+
+#include "net/transport.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+struct TransportRig {
+  Simulation sim;
+  OverlayNetwork net{&sim};
+  NodeId a, b;
+
+  explicit TransportRig(double bandwidth = 1e6) {
+    a = net.AddNode(NodeOptions{"a", 1.0, {}});
+    b = net.AddNode(NodeOptions{"b", 1.0, {}});
+    LinkOptions link;
+    link.bandwidth_bytes_per_sec = bandwidth;
+    link.latency = SimDuration::Millis(1);
+    AURORA_CHECK(net.AddLink(a, b, link).ok());
+  }
+
+  Message Msg(size_t n) {
+    Message m;
+    m.kind = "t";
+    m.payload.resize(n);
+    return m;
+  }
+};
+
+// train_size 0 must behave exactly like 1 (batching disabled): one frame
+// per message, nothing waiting on a flush deadline.
+TEST(TransportEdgeTest, TrainSizeZeroAndOneDispatchUnbatched) {
+  for (size_t train_size : {size_t{0}, size_t{1}}) {
+    TransportRig rig;
+    TransportOptions opts;
+    opts.train_size = train_size;
+    Transport tx(&rig.sim, &rig.net, rig.a, rig.b, opts);
+    ASSERT_OK(tx.RegisterStream("s", 1.0));
+    size_t delivered = 0;
+    tx.SetDeliveryHandler([&](const std::string&, const Message& m) {
+      EXPECT_LE(m.train_count, 1u) << "train_size=" << train_size;
+      ++delivered;
+    });
+    for (int i = 0; i < 5; ++i) ASSERT_OK(tx.Send("s", rig.Msg(10)));
+    rig.sim.RunFor(SimDuration::Seconds(1));
+    EXPECT_EQ(delivered, 5u) << "train_size=" << train_size;
+    EXPECT_EQ(tx.frames_sent(), 5u) << "train_size=" << train_size;
+  }
+}
+
+// A message whose payload exceeds the whole credit window can never fit
+// under any grant. The documented exception lets it overdraw the window
+// once everything before it is credited — otherwise the stream would
+// deadlock on its first oversized tuple.
+TEST(TransportEdgeTest, OversizedMessageOverdrawsInsteadOfDeadlocking) {
+  TransportRig rig;
+  TransportOptions opts;
+  opts.credit_window_bytes = 64;
+  Transport tx(&rig.sim, &rig.net, rig.a, rig.b, opts);
+  ASSERT_OK(tx.RegisterStream("s", 1.0));
+  size_t delivered = 0;
+  tx.SetDeliveryHandler(
+      [&](const std::string&, const Message&) { ++delivered; });
+
+  // First oversized message: queued-before bytes (0) are fully credited by
+  // the registration grant, so it dispatches despite payload > window.
+  ASSERT_OK(tx.Send("s", rig.Msg(200)));
+  rig.sim.RunFor(SimDuration::Millis(20));
+  EXPECT_EQ(delivered, 1u);
+  EXPECT_EQ(tx.sent_offset("s"), 200u);
+
+  // Second oversized message: its start offset (200) is past the 64-byte
+  // grant, so the exception does not apply — it stalls like any other
+  // over-limit head.
+  ASSERT_OK(tx.Send("s", rig.Msg(200)));
+  rig.sim.RunFor(SimDuration::Millis(100));
+  EXPECT_EQ(delivered, 1u);
+  EXPECT_GT(tx.credit_stalls(), 0u);
+
+  // A grant that covers every byte queued before it re-enables the
+  // exception and the message departs.
+  tx.GrantCredit("s", 201);
+  rig.sim.RunFor(SimDuration::Millis(20));
+  EXPECT_EQ(delivered, 2u);
+  EXPECT_EQ(tx.sent_offset("s"), 400u);
+}
+
+// A grant equal to the head's start offset is not enough: the overdraft
+// exception needs strictly more (every prior byte credited *and* window
+// space), so a zero-window-style boundary grant keeps the stream stalled.
+TEST(TransportEdgeTest, OversizedHeadNeedsStrictlyPositiveWindow) {
+  TransportRig rig;
+  TransportOptions opts;
+  opts.credit_window_bytes = 64;
+  Transport tx(&rig.sim, &rig.net, rig.a, rig.b, opts);
+  ASSERT_OK(tx.RegisterStream("s", 1.0));
+  size_t delivered = 0;
+  tx.SetDeliveryHandler(
+      [&](const std::string&, const Message&) { ++delivered; });
+  ASSERT_OK(tx.Send("s", rig.Msg(200)));
+  ASSERT_OK(tx.Send("s", rig.Msg(200)));
+  rig.sim.RunFor(SimDuration::Millis(50));
+  ASSERT_EQ(delivered, 1u);
+
+  tx.GrantCredit("s", 200);  // exactly the second head's start offset
+  rig.sim.RunFor(SimDuration::Millis(50));
+  EXPECT_EQ(delivered, 1u) << "boundary grant must not release the head";
+
+  tx.GrantCredit("s", 201);
+  rig.sim.RunFor(SimDuration::Millis(50));
+  EXPECT_EQ(delivered, 2u);
+}
+
+// A partial train departs exactly at train_max_delay after its oldest
+// message was enqueued — not one event earlier.
+TEST(TransportEdgeTest, FlushDeadlineFiresExactlyAtTrainMaxDelay) {
+  TransportRig rig;
+  TransportOptions opts;
+  opts.train_size = 10;  // never filled by this test
+  opts.train_max_delay = SimDuration::Millis(2);
+  Transport tx(&rig.sim, &rig.net, rig.a, rig.b, opts);
+  ASSERT_OK(tx.RegisterStream("s", 1.0));
+  size_t delivered = 0;
+  tx.SetDeliveryHandler(
+      [&](const std::string&, const Message&) { ++delivered; });
+
+  ASSERT_OK(tx.Send("s", rig.Msg(10)));
+  ASSERT_OK(tx.Send("s", rig.Msg(10)));
+  SimTime enqueue = rig.sim.Now();
+
+  rig.sim.RunUntil(enqueue + SimDuration::Millis(2) -
+                   SimDuration::Micros(1));
+  EXPECT_EQ(tx.frames_sent(), 0u) << "train departed before its deadline";
+
+  rig.sim.RunUntil(enqueue + SimDuration::Millis(2));
+  EXPECT_EQ(tx.frames_sent(), 1u) << "train missed its flush deadline";
+
+  rig.sim.RunFor(SimDuration::Millis(20));
+  EXPECT_EQ(delivered, 2u);  // one frame, both messages unpacked
+}
+
+// Filling the train budget dispatches immediately; the flush deadline only
+// governs partial trains.
+TEST(TransportEdgeTest, FullTrainDoesNotWaitForDeadline) {
+  TransportRig rig;
+  TransportOptions opts;
+  opts.train_size = 3;
+  opts.train_max_delay = SimDuration::Millis(2);
+  Transport tx(&rig.sim, &rig.net, rig.a, rig.b, opts);
+  ASSERT_OK(tx.RegisterStream("s", 1.0));
+  for (int i = 0; i < 3; ++i) ASSERT_OK(tx.Send("s", rig.Msg(10)));
+  rig.sim.RunUntil(rig.sim.Now() + SimDuration::Micros(1));
+  EXPECT_EQ(tx.frames_sent(), 1u);
+}
+
+}  // namespace
+}  // namespace aurora

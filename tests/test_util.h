@@ -7,11 +7,22 @@
 #include <utility>
 #include <vector>
 
+#include "common/rng.h"
 #include "ops/operator.h"
 #include "tuple/tuple.h"
 
 namespace aurora {
 namespace testing_util {
+
+/// The one way tests derive randomness: an explicitly seeded, splitmix-based
+/// Rng whose stream is stable across platforms and standard-library
+/// versions. Raw rand()/std::random_device/std::mt19937 are banned from the
+/// tree (scripts/check_seed_discipline.sh enforces it) because they make
+/// failing runs unreproducible. The fixed salt decorrelates small
+/// consecutive seeds without hurting determinism.
+inline Rng MakeTestRng(uint64_t seed) {
+  return Rng(0x7465737475ull ^ (seed * 0x9e3779b97f4a7c15ull));
+}
 
 #define ASSERT_OK(expr)                                        \
   do {                                                         \
