@@ -1,0 +1,230 @@
+// The single-node per-tuple hot path (paper §2.3: a node must push tuples
+// through box trains "as fast as the hardware allows"). Sweeps tuple width
+// x string-vs-numeric payload x input fan-out over a filter -> map -> tumble
+// chain replicated per fan-out branch, so every arc hop, ConnectionPoint
+// record, expression/predicate evaluation, and group-by probe is on the
+// measured path. Writes BENCH_hotpath.json with tuples/sec and ns/tuple per
+// configuration — the artifact EXPERIMENTS.md before/after tables come from.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "engine/aurora_engine.h"
+
+namespace aurora {
+namespace bench {
+namespace {
+
+struct HotPathRow {
+  std::string name;
+  int width = 0;
+  bool strings = false;
+  int fanout = 0;
+  int64_t tuples = 0;
+  double seconds = 0;
+  TupleThroughput throughput;
+};
+
+std::vector<HotPathRow>& Rows() {
+  static std::vector<HotPathRow> rows;
+  return rows;
+}
+
+/// Field 0 is the group key, field 1 the aggregated value; with a string
+/// payload every other remaining field carries an owned string so deep
+/// copies show up in the measurement.
+SchemaPtr MakeWideSchema(int width, bool strings) {
+  std::vector<Field> fields;
+  fields.push_back(Field{"k", ValueType::kInt64});
+  fields.push_back(Field{"v", ValueType::kInt64});
+  for (int i = 2; i < width; ++i) {
+    ValueType type = (strings && i % 2 == 0) ? ValueType::kString
+                                             : ValueType::kInt64;
+    fields.push_back(Field{"f" + std::to_string(i), type});
+  }
+  return Schema::Make(fields);
+}
+
+/// A small deterministic pool of input tuples; the bench pushes copies, so
+/// the measured cost is the engine's per-tuple handling, not tuple building.
+std::vector<Tuple> MakeTuplePool(const SchemaPtr& schema, int width,
+                                 bool strings, uint64_t seed) {
+  std::vector<Tuple> pool;
+  uint64_t x = seed * 6364136223846793005ull + 1442695040888963407ull;
+  for (int i = 0; i < 64; ++i) {
+    std::vector<Value> values;
+    values.push_back(Value(static_cast<int64_t>(i % 8)));
+    values.push_back(Value(static_cast<int64_t>(i % 100)));
+    for (int f = 2; f < width; ++f) {
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+      if (strings && f % 2 == 0) {
+        values.push_back(Value("payload-" + std::to_string(x % 100000) +
+                               "-abcdefghijklmnopqrstuvwxyz"));
+      } else {
+        values.push_back(Value(static_cast<int64_t>(x % 1000)));
+      }
+    }
+    pool.push_back(MakeTuple(schema, std::move(values)));
+  }
+  return pool;
+}
+
+/// input --(fan-out F)--> F x [filter(v >= 5) -> map(all fields, v+1) ->
+/// tumble(cnt by k, every 16)] -> one output per branch.
+struct FanOutEngine {
+  AuroraEngine engine;
+  PortId in;
+  uint64_t delivered = 0;
+
+  FanOutEngine(const SchemaPtr& schema, int width, int fanout) {
+    in = *engine.AddInput("in", schema);
+    std::vector<std::pair<std::string, Expr>> projections;
+    projections.emplace_back("k", Expr::FieldRef("k"));
+    projections.emplace_back(
+        "v", Expr::Arith(ArithOp::kAdd, Expr::FieldRef("v"),
+                         Expr::Constant(Value(static_cast<int64_t>(1)))));
+    for (int f = 2; f < width; ++f) {
+      std::string name = "f" + std::to_string(f);
+      projections.emplace_back(name, Expr::FieldRef(name));
+    }
+    for (int b = 0; b < fanout; ++b) {
+      BoxId filter = *engine.AddBox(FilterSpec(
+          Predicate::Compare("v", CompareOp::kGe,
+                             Value(static_cast<int64_t>(5)))));
+      BoxId map = *engine.AddBox(MapSpec(projections));
+      OperatorSpec tumble = TumbleSpec("cnt", "v", {"k"});
+      tumble.SetParam("emit", Value(std::string("every_n")));
+      tumble.SetParam("n", Value(static_cast<int64_t>(16)));
+      BoxId agg = *engine.AddBox(tumble);
+      PortId out = *engine.AddOutput("out" + std::to_string(b));
+      AURORA_CHECK(engine.Connect(Endpoint::InputPort(in),
+                                  Endpoint::BoxPort(filter, 0)).ok());
+      AURORA_CHECK(engine.Connect(Endpoint::BoxPort(filter, 0),
+                                  Endpoint::BoxPort(map, 0)).ok());
+      AURORA_CHECK(engine.Connect(Endpoint::BoxPort(map, 0),
+                                  Endpoint::BoxPort(agg, 0)).ok());
+      AURORA_CHECK(engine.Connect(Endpoint::BoxPort(agg, 0),
+                                  Endpoint::OutputPort(out)).ok());
+      engine.SetOutputCallback(out,
+                               [this](const Tuple&, SimTime) { ++delivered; });
+    }
+    AURORA_CHECK(engine.InitializeBoxes().ok());
+  }
+};
+
+void RunHotPath(benchmark::State& state, int width, bool strings,
+                int fanout) {
+  SchemaPtr schema = MakeWideSchema(width, strings);
+  std::vector<Tuple> pool =
+      MakeTuplePool(schema, width, strings, GlobalSeed());
+  const int tuples_per_iter = GlobalIters() == 1 ? 1'000 : 8'000;
+
+  int64_t total_tuples = 0;
+  double total_seconds = 0;
+  uint64_t delivered = 0;
+  for (auto _ : state) {
+    ResetObservability();
+    FanOutEngine fan(schema, width, fanout);
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < tuples_per_iter; ++i) {
+      Tuple t = pool[static_cast<size_t>(i) % pool.size()];
+      t.set_seq(static_cast<SeqNo>(i));
+      benchmark::DoNotOptimize(
+          fan.engine.PushInput(fan.in, std::move(t), SimTime()));
+    }
+    AURORA_CHECK(fan.engine.RunUntilQuiescent(SimTime()).ok());
+    total_seconds += std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    total_tuples += tuples_per_iter;
+    delivered = fan.delivered;
+  }
+
+  HotPathRow row;
+  row.width = width;
+  row.strings = strings;
+  row.fanout = fanout;
+  row.name = "w" + std::to_string(width) + (strings ? "_str" : "_num") +
+             "_fan" + std::to_string(fanout);
+  row.tuples = total_tuples;
+  row.seconds = total_seconds;
+  row.throughput = ReportTupleThroughput(state, total_tuples, total_seconds);
+  Rows().push_back(row);
+
+  state.counters["delivered"] = static_cast<double>(delivered);
+  DumpMetricsSnapshot("hotpath_" + row.name);
+}
+
+void BM_HotPath(benchmark::State& state) {
+  RunHotPath(state, static_cast<int>(state.range(0)),
+             state.range(1) != 0, static_cast<int>(state.range(2)));
+}
+BENCHMARK(BM_HotPath)
+    ->ArgNames({"width", "str", "fanout"})
+    ->Args({4, 0, 1})
+    ->Args({4, 0, 4})
+    ->Args({4, 0, 16})
+    ->Args({4, 1, 1})
+    ->Args({4, 1, 4})
+    ->Args({4, 1, 16})
+    ->Args({16, 0, 1})
+    ->Args({16, 0, 4})
+    ->Args({16, 0, 16})
+    ->Args({16, 1, 1})
+    ->Args({16, 1, 4})
+    ->Args({16, 1, 16});
+
+void DumpHotPathJson() {
+  // Google Benchmark re-enters each bench function for iteration-count
+  // estimation; keep only the final (measured) run per configuration.
+  std::vector<HotPathRow> rows;
+  for (const HotPathRow& r : Rows()) {
+    bool replaced = false;
+    for (HotPathRow& kept : rows) {
+      if (kept.name == r.name) {
+        kept = r;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) rows.push_back(r);
+  }
+  std::ofstream out("BENCH_hotpath.json");
+  out << "{\n  \"bench\": \"hot_path\",\n  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const HotPathRow& r = rows[i];
+    out << "    {\"name\": \"" << r.name << "\", \"width\": " << r.width
+        << ", \"strings\": " << (r.strings ? "true" : "false")
+        << ", \"fanout\": " << r.fanout << ", \"tuples\": " << r.tuples
+        << ", \"tuples_per_sec\": " << r.throughput.tuples_per_sec
+        << ", \"ns_per_tuple\": " << r.throughput.ns_per_tuple << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace aurora
+
+int main(int argc, char** argv) {
+  // CI convenience: `--iters small` / `--iters full` alias 1 / 0.
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "small") argv[i] = const_cast<char*>("1");
+    if (arg == "full") argv[i] = const_cast<char*>("0");
+    if (arg == "--iters=small") argv[i] = const_cast<char*>("--iters=1");
+    if (arg == "--iters=full") argv[i] = const_cast<char*>("--iters=0");
+  }
+  ::aurora::bench::ParseBenchFlags(&argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::aurora::bench::DumpHotPathJson();
+  ::benchmark::Shutdown();
+  return 0;
+}

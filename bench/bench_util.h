@@ -79,6 +79,34 @@ inline void DumpMetricsSnapshot(const std::string& label) {
   out << MetricsRegistry::Global().SnapshotJson() << "\n";
 }
 
+/// Normalized per-tuple throughput for the perf trajectory (BENCH_*.json,
+/// EXPERIMENTS.md): tuples/sec and ns/tuple over a wall-clock interval the
+/// bench measured itself.
+struct TupleThroughput {
+  double tuples_per_sec = 0;
+  double ns_per_tuple = 0;
+};
+
+inline TupleThroughput MeasureTupleThroughput(int64_t tuples, double seconds) {
+  TupleThroughput t;
+  if (tuples > 0 && seconds > 0) {
+    t.tuples_per_sec = static_cast<double>(tuples) / seconds;
+    t.ns_per_tuple = seconds * 1e9 / static_cast<double>(tuples);
+  }
+  return t;
+}
+
+/// Attaches tuples/sec and ns/tuple counters to a benchmark's report and
+/// returns them so the bench can also dump the numbers to a JSON artifact.
+inline TupleThroughput ReportTupleThroughput(benchmark::State& state,
+                                             int64_t tuples, double seconds) {
+  TupleThroughput t = MeasureTupleThroughput(tuples, seconds);
+  state.counters["tuples_per_sec"] = t.tuples_per_sec;
+  state.counters["ns_per_tuple"] = t.ns_per_tuple;
+  state.SetItemsProcessed(tuples);
+  return t;
+}
+
 /// Process-wide seed from the `--seed=N` flag (default 1). Benches thread
 /// it into StreamGenerator workloads and the fault injector, so one
 /// invocation is reproducible end to end: two runs with the same seed emit

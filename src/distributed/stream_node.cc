@@ -261,12 +261,13 @@ void StreamNode::DeliverTuples(const std::string& input_name,
     return;
   }
   SchemaPtr schema = engine_.input_schema(*port);
-  auto tuples = DeserializeTuples(payload, schema);
-  if (!tuples.ok()) {
+  Status decoded = DeserializeTuplesInto(payload, schema, &decode_scratch_);
+  if (!decoded.ok()) {
     AURORA_LOG(Error) << "node " << id_ << ": bad tuple batch: "
-                      << tuples.status().ToString();
+                      << decoded.ToString();
     return;
   }
+  std::vector<Tuple>* tuples = &decode_scratch_;
   SeqNo& last = last_received_[input_name];
   SeqNo* dedup = stream != nullptr && transport_opts_.stream_dedup
                      ? &stream_dedup_watermark_[*stream]
@@ -399,7 +400,8 @@ void StreamNode::FlushPending() {
       msg.kind = "tuples";
       msg.stream = binding.stream;
       msg.tuple_count = static_cast<uint32_t>(batch.size());
-      msg.payload = SerializeTuples(batch);
+      SerializeTuplesInto(batch, &encode_scratch_);
+      msg.payload = encode_scratch_;  // exact-size copy; scratch keeps capacity
       binding.tuples_sent += batch.size();
       binding.messages_sent++;
       m_tuples_sent_->Add(batch.size());

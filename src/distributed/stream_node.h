@@ -257,6 +257,10 @@ class StreamNode {
   /// overtaking reorder) stale tuples are suppressed, which keeps the §6
   /// recovery invariant "only in-process tuples are redone" intact.
   std::map<std::string, SeqNo> stream_dedup_watermark_;
+  /// Per-node scratch buffers recycled across remote batches: encode once
+  /// warm never regrows, decode reuses the tuple vector's storage.
+  std::vector<uint8_t> encode_scratch_;
+  std::vector<Tuple> decode_scratch_;
   DeliveryProbe delivery_probe_;
   uint64_t dup_tuples_dropped_ = 0;
   bool retain_logs_ = false;

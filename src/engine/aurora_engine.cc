@@ -290,8 +290,7 @@ Status AuroraEngine::UnchokeArc(ArcId arc) {
   if (a.cp) a.cp->Unchoke();
   // Held arrivals flow back in arrival order, ahead of any new traffic.
   for (auto& [t, us] : a.hold) {
-    a.queue.Push(std::move(t));
-    a.enqueue_us.push_back(us);
+    ArcEnqueue(a, std::move(t), us);
   }
   a.hold.clear();
   return Status::OK();
@@ -414,9 +413,8 @@ Result<std::vector<Tuple>> AuroraEngine::TakeArcQueue(ArcId arc) {
   std::vector<Tuple> out;
   out.reserve(a.queue.size());
   while (!a.queue.empty()) {
-    out.push_back(a.queue.Pop());
+    out.push_back(ArcDequeue(a));
   }
-  a.enqueue_us.clear();
   return out;
 }
 
@@ -627,7 +625,11 @@ void AuroraEngine::Route(const Endpoint& from, const Tuple& t, SimTime now,
                          std::vector<BoxId>* touched) {
   for (ArcId arc : ArcsFrom(from)) {
     ArcRt& a = arcs_[arc];
-    if (a.cp) a.cp->Record(t, now);
+    if (a.cp) {
+      // Subscriber callbacks are application code, free to use Get(name).
+      TupleHotPathSection::Exemption allow_get;
+      a.cp->Record(t, now);
+    }
     if (a.choked) {
       a.hold.emplace_back(t, now.micros());
       continue;
@@ -635,8 +637,7 @@ void AuroraEngine::Route(const Endpoint& from, const Tuple& t, SimTime now,
     if (a.to.kind == Endpoint::Kind::kOutputPort) {
       DeliverToOutput(a.to.id, t, now);
     } else {
-      a.queue.Push(t);
-      a.enqueue_us.push_back(now.micros());
+      ArcEnqueue(a, t, now.micros());
       if (touched != nullptr &&
           std::find(touched->begin(), touched->end(), a.to.id) ==
               touched->end()) {
@@ -654,7 +655,11 @@ void AuroraEngine::DeliverToOutput(PortId port, const Tuple& t, SimTime now) {
     tracer.Record({t.trace_id(), SpanKind::kDelivery, trace_node_,
                    "out:" + outputs_[port].name, now.micros(), now.micros()});
   }
-  if (outputs_[port].callback) outputs_[port].callback(t, now);
+  if (outputs_[port].callback) {
+    // Output callbacks are application code, free to use Get(name).
+    TupleHotPathSection::Exemption allow_get;
+    outputs_[port].callback(t, now);
+  }
 }
 
 Status AuroraEngine::PushInput(PortId input, Tuple t, SimTime now,
@@ -735,8 +740,7 @@ Status AuroraEngine::EnqueueOnArc(ArcId arc, Tuple t, SimTime now) {
     DeliverToOutput(a.to.id, t, now);
     return Status::OK();
   }
-  a.queue.Push(std::move(t));
-  a.enqueue_us.push_back(now.micros());
+  ArcEnqueue(a, std::move(t), now.micros());
   return Status::OK();
 }
 
@@ -745,22 +749,77 @@ Status AuroraEngine::EnqueueOnArc(ArcId arc, Tuple t, SimTime now) {
 // ---------------------------------------------------------------------------
 
 bool AuroraEngine::BoxReady(const BoxRt& box) const {
-  // Note: a choked arc's queue remains consumable (it drains); only *new*
-  // arrivals are held. See ChokeArc.
-  if (box.removed || !box.initialized) return false;
-  for (ArcId arc : box.in_arcs) {
-    if (arc >= 0 && !arcs_[arc].queue.empty()) {
-      return true;
-    }
-  }
-  return false;
+  // `queued` counts consumable tuples across this box's in-arcs. A choked
+  // arc's queue remains consumable (it drains); only *new* arrivals are
+  // held — see ChokeArc — so choking does not affect readiness.
+  return !box.removed && box.initialized && box.queued > 0;
 }
 
-bool AuroraEngine::HasWork() const {
-  for (const auto& box : boxes_) {
-    if (BoxReady(box)) return true;
+bool AuroraEngine::HasWork() const { return ready_count_ > 0; }
+
+void AuroraEngine::ArcEnqueue(ArcRt& arc, Tuple t, int64_t enqueue_us) {
+  arc.queue.Push(std::move(t));
+  arc.enqueue_us.push_back(enqueue_us);
+  if (arc.to.kind == Endpoint::Kind::kBox) NoteBoxQueued(arc.to.id, +1);
+}
+
+Tuple AuroraEngine::ArcDequeue(ArcRt& arc) {
+  Tuple t = arc.queue.Pop();
+  arc.enqueue_us.pop_front();
+  if (arc.to.kind == Endpoint::Kind::kBox) NoteBoxQueued(arc.to.id, -1);
+  return t;
+}
+
+int64_t AuroraEngine::SchedKey(const BoxRt& box) const {
+  if (opts_.scheduler == SchedulerPolicy::kLongestQueue) {
+    return static_cast<int64_t>(box.queued);
   }
-  return false;
+  // kMinOutputDistance: nearer outputs first, so negate.
+  return -static_cast<int64_t>(box.distance_to_output);
+}
+
+void AuroraEngine::NoteBoxQueued(BoxId box_id, int delta) {
+  BoxRt& b = boxes_[box_id];
+  bool was_ready = BoxReady(b);
+  b.queued = static_cast<size_t>(static_cast<int64_t>(b.queued) + delta);
+  bool now_ready = BoxReady(b);
+  if (now_ready && !was_ready) ready_count_++;
+  if (!now_ready && was_ready) ready_count_--;
+  if (!UsesReadyHeap()) return;
+  if (opts_.scheduler == SchedulerPolicy::kLongestQueue) {
+    // The key *is* the queue length, so every change retires the box's
+    // current heap entry and (if still ready) posts a fresh one.
+    b.sched_gen++;
+    if (now_ready) ready_heap_.push({SchedKey(b), box_id, b.sched_gen});
+  } else {
+    // kMinOutputDistance: the key is fixed per topology; only readiness
+    // transitions touch the heap, so draining a deep backlog is churn-free.
+    if (now_ready == was_ready) return;
+    b.sched_gen++;
+    if (now_ready) ready_heap_.push({SchedKey(b), box_id, b.sched_gen});
+  }
+}
+
+void AuroraEngine::RebuildScheduler() {
+  for (auto& box : boxes_) {
+    box.queued = 0;
+    box.sched_gen++;
+  }
+  for (const auto& a : arcs_) {
+    if (!a.removed && a.to.kind == Endpoint::Kind::kBox) {
+      boxes_[a.to.id].queued += a.queue.size();
+    }
+  }
+  ready_count_ = 0;
+  ready_heap_ = {};
+  for (size_t i = 0; i < boxes_.size(); ++i) {
+    const BoxRt& b = boxes_[i];
+    if (!BoxReady(b)) continue;
+    ready_count_++;
+    if (UsesReadyHeap()) {
+      ready_heap_.push({SchedKey(b), static_cast<BoxId>(i), b.sched_gen});
+    }
+  }
 }
 
 void AuroraEngine::RefreshQoSDeadlines() {
@@ -814,35 +873,26 @@ Result<BoxId> AuroraEngine::PickBox(SimTime now) {
       }
       return Status::NotFound("no ready box");
     }
-    case SchedulerPolicy::kLongestQueue: {
-      int best = -1;
-      size_t best_len = 0;
-      for (size_t i = 0; i < n; ++i) {
-        if (!BoxReady(boxes_[i])) continue;
-        size_t len = 0;
-        for (ArcId arc : boxes_[i].in_arcs) {
-          if (arc >= 0) len += arcs_[arc].queue.size();
-        }
-        if (best < 0 || len > best_len) {
-          best = static_cast<int>(i);
-          best_len = len;
-        }
-      }
-      if (best < 0) return Status::NotFound("no ready box");
-      return best;
-    }
+    case SchedulerPolicy::kLongestQueue:
     case SchedulerPolicy::kMinOutputDistance: {
-      int best = -1;
-      int best_d = 1 << 30;
-      for (size_t i = 0; i < n; ++i) {
-        if (!BoxReady(boxes_[i])) continue;
-        if (best < 0 || boxes_[i].distance_to_output < best_d) {
-          best = static_cast<int>(i);
-          best_d = boxes_[i].distance_to_output;
-        }
+      // O(log n) pop from the lazily-invalidated ready heap. Deep stale
+      // entries only surface (and get discarded) when they reach the top,
+      // so cap the garbage with an occasional O(n) rebuild.
+      if (ready_heap_.size() > 64 && ready_heap_.size() > 8 * n) {
+        RebuildScheduler();
       }
-      if (best < 0) return Status::NotFound("no ready box");
-      return best;
+      while (!ready_heap_.empty()) {
+        const ReadyEntry top = ready_heap_.top();
+        const BoxRt& b = boxes_[top.box];
+        if (top.gen != b.sched_gen || !BoxReady(b)) {
+          ready_heap_.pop();  // stale: queue state moved on since the push
+          continue;
+        }
+        // Max key first; ties broken toward the smallest box id — both
+        // exactly as the old first-best-wins linear scan decided.
+        return top.box;
+      }
+      return Status::NotFound("no ready box");
     }
   }
   return Status::Internal("bad scheduler policy");
@@ -871,9 +921,8 @@ double AuroraEngine::ActivateBox(BoxId box_id, SimTime now,
     idle_scans = 0;
     ArcRt& a = arcs_[arc];
     uint64_t reads_before = a.queue.unspill_reads();
-    Tuple t = a.queue.Pop();
     int64_t enq_us = a.enqueue_us.front();
-    a.enqueue_us.pop_front();
+    Tuple t = ArcDequeue(a);
     double wait_ms = static_cast<double>(now.micros() - enq_us) / 1000.0;
     wait_sum_ms += wait_ms;
     m_queue_wait_ms_->Record(wait_ms);
@@ -888,7 +937,13 @@ double AuroraEngine::ActivateBox(BoxId box_id, SimTime now,
                      now.micros() + static_cast<int64_t>(tuple_cost_us)});
     }
     emitter.set_trace_id(t.trace_id());
-    Status st = box.op->Process(in, t, now, &emitter);
+    Status st;
+    {
+      // Per-tuple operator work must use bound field indices, not
+      // Get(name); see TupleHotPathSection.
+      TupleHotPathSection hot_path;
+      st = box.op->Process(in, t, now, &emitter);
+    }
     if (!st.ok() && deferred_error_.ok()) deferred_error_ = st;
     processed++;
   }
@@ -993,6 +1048,10 @@ void AuroraEngine::RecomputeOutputDistances() {
       }
     }
   }
+  // Distances feed kMinOutputDistance's scheduler keys, and every caller is
+  // a topology change (connect, disconnect, box init) that can also flip
+  // readiness — reseed the ready-queue accounting in one place.
+  RebuildScheduler();
 }
 
 std::vector<StreamQueue*> AuroraEngine::AllQueues() {

@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <queue>
 #include <string>
 #include <vector>
 
@@ -270,6 +271,13 @@ class AuroraEngine {
     /// Latency budget for tuples entering this box (kQoSSlack); +inf when
     /// no QoS-bearing output is reachable.
     double deadline_ms = 1e18;
+    /// Tuples consumable across all in-arcs (choked queues still drain, so
+    /// they count). Maintained by ArcEnqueue/ArcDequeue; a box is ready iff
+    /// initialized && !removed && queued > 0.
+    size_t queued = 0;
+    /// Bumped whenever this box's scheduler key may have changed; stale
+    /// ready-heap entries (entry.gen != sched_gen) are discarded lazily.
+    uint64_t sched_gen = 0;
   };
   struct ArcRt {
     Endpoint from;
@@ -287,6 +295,23 @@ class AuroraEngine {
 
   class RoutingEmitter;
 
+  /// Lazily-invalidated ready-heap entry (kLongestQueue /
+  /// kMinOutputDistance). An entry is live iff its gen matches the box's
+  /// current sched_gen; anything else is a leftover from an earlier queue
+  /// state and is popped and dropped during PickBox.
+  struct ReadyEntry {
+    int64_t key;   // larger = scheduled first
+    BoxId box;
+    uint64_t gen;
+  };
+  struct ReadyEntryOrder {
+    bool operator()(const ReadyEntry& a, const ReadyEntry& b) const {
+      if (a.key != b.key) return a.key < b.key;  // max-heap on key
+      return a.box > b.box;  // ties: smallest box id on top (matches the
+                             // old first-best-wins linear scan)
+    }
+  };
+
   Result<SchemaPtr> EndpointOutputSchema(const Endpoint& e) const;
   /// Delivers one emitted tuple from `from` to all its arcs.
   void Route(const Endpoint& from, const Tuple& t, SimTime now,
@@ -297,6 +322,24 @@ class AuroraEngine {
   double ActivateBox(BoxId box, SimTime now, std::vector<BoxId>* touched);
   void RecomputeOutputDistances();
   bool BoxReady(const BoxRt& box) const;
+  // ---- Ready-queue maintenance (see docs/PERFORMANCE.md) ---------------
+  /// All consumable-queue mutations funnel through these two so per-box
+  /// `queued` counters, ready_count_, and the ready heap stay exact.
+  void ArcEnqueue(ArcRt& arc, Tuple t, int64_t enqueue_us);
+  Tuple ArcDequeue(ArcRt& arc);
+  /// Applies a queue-size delta to a box's scheduler accounting.
+  void NoteBoxQueued(BoxId box, int delta);
+  /// Scheduler key under the current heap policy (queue length for
+  /// kLongestQueue, negated output distance for kMinOutputDistance).
+  int64_t SchedKey(const BoxRt& box) const;
+  bool UsesReadyHeap() const {
+    return opts_.scheduler == SchedulerPolicy::kLongestQueue ||
+           opts_.scheduler == SchedulerPolicy::kMinOutputDistance;
+  }
+  /// Recounts `queued`/ready_count_ and reseeds the heap from scratch.
+  /// Called after topology changes (box init/adopt/remove, connect,
+  /// disconnect) — rare, so O(boxes + arcs) is fine there.
+  void RebuildScheduler();
   std::vector<StreamQueue*> AllQueues();
   /// Walks downstream from an endpoint, collecting reachable outputs and
   /// accumulating expected cost. Used by shedder model and QoS inference.
@@ -313,6 +356,14 @@ class AuroraEngine {
   StorageManager storage_;
   LoadShedder shedder_;
   int rr_next_box_ = 0;
+  /// Boxes currently ready (initialized, live, queued > 0): O(1) HasWork
+  /// for every policy.
+  size_t ready_count_ = 0;
+  /// Max-heap of candidate boxes for the heap policies; stale entries are
+  /// skipped in PickBox, so each scheduling step is O(log n) amortized
+  /// instead of a linear scan over all boxes.
+  std::priority_queue<ReadyEntry, std::vector<ReadyEntry>, ReadyEntryOrder>
+      ready_heap_;
   double total_cpu_micros_ = 0.0;
   uint64_t total_activations_ = 0;
   uint64_t tuples_ingested_ = 0;

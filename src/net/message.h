@@ -36,9 +36,14 @@ struct Message {
   /// bytes (probes), or the granted cumulative limit (grants). Lives in the
   /// fixed header, so it adds no WireSize() beyond kMessageHeaderBytes.
   uint64_t flow_offset = 0;
+  /// Link padding charged to the wire but carrying no data (per-stream-mode
+  /// interference overhead). Accounted in WireSize() so the sender does not
+  /// have to materialize a padded copy of `payload`; decoders never see it.
+  size_t pad_bytes = 0;
 
   size_t WireSize() const {
-    return kMessageHeaderBytes + kind.size() + stream.size() + payload.size();
+    return kMessageHeaderBytes + kind.size() + stream.size() + payload.size() +
+           pad_bytes;
   }
 };
 

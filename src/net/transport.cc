@@ -355,11 +355,10 @@ void Transport::DispatchTrain(const std::string& stream, size_t k,
   frame.flow_offset = subs.back().flow_offset;
   if (flow_enabled()) st.sent_offset = subs.back().flow_offset;
 
-  size_t wire = frame.WireSize();
-  // Pad the frame so the link charges the mode's overhead too.
-  size_t padded = wire + extra_bytes;
-  Message padded_frame = frame;
-  padded_frame.payload.resize(padded_frame.payload.size() + extra_bytes);
+  // The mode's overhead rides as accounted padding (Message::pad_bytes), so
+  // no padded copy of the payload is ever materialized.
+  frame.pad_bytes = extra_bytes;
+  size_t padded = frame.WireSize();
   total_wire_bytes_ += padded;
   payload_bytes_ += sub_payload;
   frames_sent_++;
@@ -370,9 +369,9 @@ void Transport::DispatchTrain(const std::string& stream, size_t k,
   m_train_tuples_->Record(static_cast<double>(tuples));
   in_flight_ = true;
   Status st_send = net_->Send(
-      src_, dst_, std::move(padded_frame),
-      [this, stream, frame = std::move(frame)](const Message&) {
-        DeliverFrame(stream, frame);
+      src_, dst_, std::move(frame),
+      [this, stream](const Message& delivered) {
+        DeliverFrame(stream, delivered);
       });
   if (!st_send.ok()) {
     AURORA_LOG(Warn) << "transport send failed: " << st_send.ToString();

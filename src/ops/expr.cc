@@ -25,11 +25,31 @@ Expr Expr::Arith(ArithOp op, Expr lhs, Expr rhs) {
   return e;
 }
 
+Status Expr::Bind(const SchemaPtr& input) const {
+  switch (kind_) {
+    case Kind::kField: {
+      if (input == nullptr) return Status::InvalidArgument("null schema");
+      AURORA_ASSIGN_OR_RETURN(size_t idx, input->IndexOf(field_));
+      bound_index_ = idx;
+      bound_schema_ = input;
+      return Status::OK();
+    }
+    case Kind::kConst:
+      return Status::OK();
+    case Kind::kArith:
+      AURORA_RETURN_NOT_OK(children_[0]->Bind(input));
+      return children_[1]->Bind(input);
+  }
+  return Status::Internal("bad expr kind");
+}
+
 Result<Value> Expr::Eval(const Tuple& t) const {
   switch (kind_) {
     case Kind::kField: {
-      AURORA_ASSIGN_OR_RETURN(size_t idx, t.schema()->IndexOf(field_));
-      return t.value(idx);
+      if (t.schema().get() != bound_schema_.get()) {
+        AURORA_RETURN_NOT_OK(Bind(t.schema()));
+      }
+      return t.value(bound_index_);
     }
     case Kind::kConst:
       return constant_;

@@ -26,6 +26,14 @@ class Expr {
   static Expr Constant(Value v);
   static Expr Arith(ArithOp op, Expr lhs, Expr rhs);
 
+  /// Resolves every field reference in this expression tree to an index in
+  /// `input`, so Eval never does a per-tuple name lookup. Call once at box
+  /// initialization; returns NotFound for a missing field. Eval also
+  /// re-binds lazily when it sees a tuple whose schema differs from the
+  /// bound one (ad-hoc evaluation, schema-changing rewires), so Bind is an
+  /// eager error check plus a warm cache, never a correctness requirement.
+  Status Bind(const SchemaPtr& input) const;
+
   Result<Value> Eval(const Tuple& t) const;
 
   /// Result type given an input schema (int64 arithmetic stays integral;
@@ -50,6 +58,14 @@ class Expr {
   Value constant_;
   ArithOp op_ = ArithOp::kAdd;
   std::vector<std::shared_ptr<const Expr>> children_;
+
+  /// Bound-once field cache (kField only). Mutable because expression trees
+  /// are shared through shared_ptr<const Expr>; the engine is
+  /// single-threaded, so caching through const is safe. Holding the
+  /// SchemaPtr (not a raw pointer) keeps the identity comparison in Eval
+  /// immune to a freed schema's address being reused.
+  mutable SchemaPtr bound_schema_;
+  mutable size_t bound_index_ = 0;
 };
 
 }  // namespace aurora

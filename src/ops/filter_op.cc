@@ -9,6 +9,8 @@ Status FilterOp::InitImpl() {
   if (!spec_.predicate.has_value()) {
     return Status::InvalidArgument("filter requires a predicate");
   }
+  // Resolve field names to indices once; ProcessImpl never looks up a name.
+  AURORA_RETURN_NOT_OK(spec_.predicate->Bind(input_schema(0)));
   SetOutputSchema(0, input_schema(0));
   if (two_way_) SetOutputSchema(1, input_schema(0));
   return Status::OK();

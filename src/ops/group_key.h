@@ -1,0 +1,50 @@
+#ifndef AURORA_OPS_GROUP_KEY_H_
+#define AURORA_OPS_GROUP_KEY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "tuple/value.h"
+
+namespace aurora {
+
+/// Hash for group-by key vectors, built on Value::Hash. Consistent with the
+/// cross-type numeric semantics of Value::Compare: int64 2 and double 2.0
+/// compare equal, and Value::Hash already hashes integral doubles
+/// identically to the equal int64 — so equal keys always hash equally.
+struct ValueVectorHash {
+  size_t operator()(const std::vector<Value>& key) const {
+    uint64_t h = 1469598103934665603ull;
+    for (const Value& v : key) {
+      h ^= v.Hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Collision-safe equality matching the equivalence classes the ordered
+/// group-by maps used (ValueVectorLess, i.e. element-wise Value::Compare).
+struct ValueVectorEq {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].Compare(b[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+
+/// Group-by state keyed by value vectors: O(1) probes instead of the
+/// O(log groups) comparison-heavy std::map lookups. Iteration order is
+/// arbitrary — anything order-sensitive (e.g. Drain emission, whose output
+/// order is observable) must collect the keys and sort them with
+/// ValueVectorLess first.
+template <typename StateT>
+using GroupKeyMap =
+    std::unordered_map<std::vector<Value>, StateT, ValueVectorHash,
+                       ValueVectorEq>;
+
+}  // namespace aurora
+
+#endif  // AURORA_OPS_GROUP_KEY_H_

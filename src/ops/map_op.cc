@@ -9,6 +9,8 @@ Status MapOp::InitImpl() {
   std::vector<Field> fields;
   for (const auto& [name, expr] : spec_.projections) {
     AURORA_ASSIGN_OR_RETURN(ValueType type, expr.ResultType(*input_schema(0)));
+    // Resolve field names to indices once; ProcessImpl never looks up a name.
+    AURORA_RETURN_NOT_OK(expr.Bind(input_schema(0)));
     fields.push_back(Field{name, type});
   }
   SetOutputSchema(0, Schema::Make(std::move(fields)));

@@ -1,5 +1,7 @@
 #include "ops/predicate.h"
 
+#include "common/logging.h"
+
 namespace aurora {
 
 const char* CompareOpName(CompareOp op) {
@@ -64,12 +66,45 @@ Predicate Predicate::HashPartition(std::string field, uint32_t modulus,
   return p;
 }
 
+Status Predicate::Bind(const SchemaPtr& input) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return Status::OK();
+    case Kind::kCompare:
+    case Kind::kHash: {
+      if (input == nullptr) return Status::InvalidArgument("null schema");
+      AURORA_ASSIGN_OR_RETURN(size_t idx, input->IndexOf(field_));
+      bound_index_ = idx;
+      bound_schema_ = input;
+      return Status::OK();
+    }
+    case Kind::kAnd:
+    case Kind::kOr:
+    case Kind::kNot:
+      for (const auto& child : children_) {
+        AURORA_RETURN_NOT_OK(child->Bind(input));
+      }
+      return Status::OK();
+  }
+  return Status::Internal("bad predicate kind");
+}
+
+const Value& Predicate::FieldValue(const Tuple& t) const {
+  if (t.schema().get() != bound_schema_.get()) {
+    // Missing fields abort, exactly like the Tuple::Get this replaces:
+    // operator wiring validates field presence at network-construction time.
+    Status bound = Bind(t.schema());
+    AURORA_CHECK(bound.ok()) << bound.ToString();
+  }
+  return t.value(bound_index_);
+}
+
 bool Predicate::Eval(const Tuple& t) const {
   switch (kind_) {
     case Kind::kTrue:
       return true;
     case Kind::kCompare: {
-      int c = t.Get(field_).Compare(constant_);
+      int c = FieldValue(t).Compare(constant_);
       switch (op_) {
         case CompareOp::kEq:
           return c == 0;
@@ -93,7 +128,7 @@ bool Predicate::Eval(const Tuple& t) const {
     case Kind::kNot:
       return !children_[0]->Eval(t);
     case Kind::kHash:
-      return modulus_ != 0 && t.Get(field_).Hash() % modulus_ == remainder_;
+      return modulus_ != 0 && FieldValue(t).Hash() % modulus_ == remainder_;
   }
   return false;
 }

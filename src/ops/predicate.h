@@ -37,6 +37,15 @@ class Predicate {
   static Predicate HashPartition(std::string field, uint32_t modulus,
                                  uint32_t remainder);
 
+  /// Resolves every attribute this predicate reads to an index in `input`,
+  /// so Eval never does a per-tuple name lookup. Call once at box
+  /// initialization; returns NotFound for a missing field. Eval also
+  /// re-binds lazily when it sees a tuple whose schema differs from the
+  /// bound one (ad-hoc subscriptions, routing predicates applied before a
+  /// box is wired), so Bind is an eager error check plus a warm cache, not
+  /// a correctness requirement.
+  Status Bind(const SchemaPtr& input) const;
+
   bool Eval(const Tuple& t) const;
 
   /// Logical complement; used to route the "other" half after a box split.
@@ -68,6 +77,18 @@ class Predicate {
   uint32_t remainder_ = 0;
   // kAnd / kOr / kNot children:
   std::vector<std::shared_ptr<const Predicate>> children_;
+
+  /// The tuple's field value this leaf reads, via the bound-once index
+  /// cache (kCompare / kHash only).
+  const Value& FieldValue(const Tuple& t) const;
+
+  /// Bound-once field cache (kCompare / kHash). Mutable because predicate
+  /// trees are shared through shared_ptr<const Predicate>; the engine is
+  /// single-threaded, so caching through const is safe. Holding the
+  /// SchemaPtr (not a raw pointer) keeps the identity comparison in Eval
+  /// immune to a freed schema's address being reused.
+  mutable SchemaPtr bound_schema_;
+  mutable size_t bound_index_ = 0;
 };
 
 }  // namespace aurora

@@ -1,5 +1,7 @@
 #include "ops/tumble_op.h"
 
+#include <algorithm>
+
 namespace aurora {
 
 TumbleOp::TumbleOp(OperatorSpec spec) : Operator(std::move(spec)) {
@@ -31,11 +33,11 @@ Status TumbleOp::InitImpl() {
   return Status::OK();
 }
 
-std::vector<Value> TumbleOp::KeyOf(const Tuple& t) const {
-  std::vector<Value> key;
-  key.reserve(group_indices_.size());
-  for (size_t idx : group_indices_) key.push_back(t.value(idx));
-  return key;
+const std::vector<Value>& TumbleOp::KeyOf(const Tuple& t) {
+  key_scratch_.clear();
+  key_scratch_.reserve(group_indices_.size());
+  for (size_t idx : group_indices_) key_scratch_.push_back(t.value(idx));
+  return key_scratch_;
 }
 
 void TumbleOp::EmitWindow(const std::vector<Value>& key, const Window& w,
@@ -51,7 +53,7 @@ void TumbleOp::EmitWindow(const std::vector<Value>& key, const Window& w,
 }
 
 Status TumbleOp::ProcessImpl(int, const Tuple& t, SimTime, Emitter* emitter) {
-  std::vector<Value> key = KeyOf(t);
+  const std::vector<Value>& key = KeyOf(t);
   if (every_n_) {
     auto it = open_.find(key);
     if (it == open_.end()) {
@@ -59,7 +61,9 @@ Status TumbleOp::ProcessImpl(int, const Tuple& t, SimTime, Emitter* emitter) {
       w.agg = proto_agg_->Clone();
       w.agg->Reset();
       w.start_ts = t.timestamp();
-      it = open_.emplace(key, std::move(w)).first;
+      // Moving the scratch donates its buffer to the stored key; KeyOf
+      // rebuilds it next call.
+      it = open_.emplace(std::move(key_scratch_), std::move(w)).first;
     }
     Window& w = it->second;
     w.agg->Update(t.value(agg_index_));
@@ -97,8 +101,19 @@ Status TumbleOp::ProcessImpl(int, const Tuple& t, SimTime, Emitter* emitter) {
 
 void TumbleOp::Drain(Emitter* emitter) {
   if (every_n_) {
-    for (const auto& [key, w] : open_) {
-      if (w.agg->count() > 0) EmitWindow(key, w, emitter);
+    // Drain order is observable; sort the keys so the hash map drains in
+    // the same order the old ValueVectorLess-ordered map iterated.
+    std::vector<const std::pair<const std::vector<Value>, Window>*> entries;
+    entries.reserve(open_.size());
+    for (const auto& entry : open_) entries.push_back(&entry);
+    std::sort(entries.begin(), entries.end(),
+              [](const auto* a, const auto* b) {
+                return ValueVectorLess()(a->first, b->first);
+              });
+    for (const auto* entry : entries) {
+      if (entry->second.agg->count() > 0) {
+        EmitWindow(entry->first, entry->second, emitter);
+      }
     }
     open_.clear();
     return;

@@ -1,12 +1,12 @@
 #ifndef AURORA_OPS_TUMBLE_OP_H_
 #define AURORA_OPS_TUMBLE_OP_H_
 
-#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "ops/aggregate.h"
+#include "ops/group_key.h"
 #include "ops/operator.h"
 #include "ops/wsort_op.h"
 
@@ -44,7 +44,10 @@ class TumbleOp : public Operator {
     SimTime start_ts{};
   };
 
-  std::vector<Value> KeyOf(const Tuple& t) const;
+  /// Fills key_scratch_ with the tuple's groupby values (indices bound at
+  /// init) and returns it; no per-tuple allocation once the scratch has
+  /// capacity. Callers that store the key move key_scratch_ out.
+  const std::vector<Value>& KeyOf(const Tuple& t);
   void EmitWindow(const std::vector<Value>& key, const Window& w,
                   Emitter* emitter);
 
@@ -59,9 +62,12 @@ class TumbleOp : public Operator {
   std::optional<std::vector<Value>> current_key_;
   Window current_;
 
-  // every_n mode: one open window per group.
-  std::map<std::vector<Value>, Window, ValueVectorLess> open_;
+  // every_n mode: one open window per group. Hash map: probe order is
+  // irrelevant mid-stream, and Drain sorts the keys (ValueVectorLess)
+  // before emitting so output order matches the old ordered map.
+  GroupKeyMap<Window> open_;
 
+  std::vector<Value> key_scratch_;
   std::unique_ptr<AggregateFunction> proto_agg_;
 };
 

@@ -34,16 +34,22 @@ Status WindowAggOp::InitImpl() {
   return Status::OK();
 }
 
-std::vector<Value> WindowAggOp::KeyOf(const Tuple& t) const {
-  std::vector<Value> key;
-  key.reserve(group_indices_.size());
-  for (size_t idx : group_indices_) key.push_back(t.value(idx));
-  return key;
+const std::vector<Value>& WindowAggOp::KeyOf(const Tuple& t) {
+  key_scratch_.clear();
+  key_scratch_.reserve(group_indices_.size());
+  for (size_t idx : group_indices_) key_scratch_.push_back(t.value(idx));
+  return key_scratch_;
 }
 
 Status WindowAggOp::ProcessImpl(int, const Tuple& t, SimTime, Emitter* emitter) {
-  std::vector<Value> key = KeyOf(t);
-  GroupState& g = groups_[key];
+  const std::vector<Value>& key = KeyOf(t);
+  auto it = groups_.find(key);
+  if (it == groups_.end()) {
+    // Moving the scratch donates its buffer to the stored key; KeyOf
+    // rebuilds it next call.
+    it = groups_.emplace(std::move(key_scratch_), GroupState{}).first;
+  }
+  GroupState& g = it->second;
   g.buffer.push_back(t);
   if (g.buffer.size() > window_) g.buffer.pop_front();
   if (!g.primed) {
@@ -56,7 +62,9 @@ Status WindowAggOp::ProcessImpl(int, const Tuple& t, SimTime, Emitter* emitter) 
   auto agg = proto_agg_->Clone();
   agg->Reset();
   for (const auto& buffered : g.buffer) agg->Update(buffered.value(agg_index_));
-  std::vector<Value> values = key;
+  // it->first, not `key`: the scratch behind `key` may have been moved into
+  // the map when this group was created.
+  std::vector<Value> values = it->first;
   values.push_back(agg->Final());
   Tuple out(output_schema(0), std::move(values));
   out.set_timestamp(g.buffer.front().timestamp());

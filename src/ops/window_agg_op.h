@@ -2,11 +2,11 @@
 #define AURORA_OPS_WINDOW_AGG_OP_H_
 
 #include <deque>
-#include <map>
 #include <memory>
 #include <vector>
 
 #include "ops/aggregate.h"
+#include "ops/group_key.h"
 #include "ops/operator.h"
 #include "ops/wsort_op.h"
 
@@ -40,14 +40,20 @@ class WindowAggOp : public Operator {
     bool primed = false;  // first window emitted
   };
 
-  std::vector<Value> KeyOf(const Tuple& t) const;
+  /// Fills key_scratch_ with the tuple's groupby values (indices bound at
+  /// init) and returns it; no per-tuple allocation once the scratch has
+  /// capacity. Callers that store the key move key_scratch_ out.
+  const std::vector<Value>& KeyOf(const Tuple& t);
 
   std::string agg_name_;
   size_t agg_index_ = 0;
   uint64_t window_ = 0;
   uint64_t advance_ = 1;
   std::vector<size_t> group_indices_;
-  std::map<std::vector<Value>, GroupState, ValueVectorLess> groups_;
+  // Hash map: per-group state is only probed per tuple; the one iteration
+  // (StatefulDependency's min over all buffered seqs) is order-independent.
+  GroupKeyMap<GroupState> groups_;
+  std::vector<Value> key_scratch_;
   std::unique_ptr<AggregateFunction> proto_agg_;
 };
 

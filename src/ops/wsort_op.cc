@@ -29,22 +29,22 @@ Status WSortOp::InitImpl() {
   return Status::OK();
 }
 
-std::vector<Value> WSortOp::KeyOf(const Tuple& t) const {
-  std::vector<Value> key;
-  key.reserve(sort_indices_.size());
-  for (size_t idx : sort_indices_) key.push_back(t.value(idx));
-  return key;
+const std::vector<Value>& WSortOp::KeyOf(const Tuple& t) {
+  key_scratch_.clear();
+  key_scratch_.reserve(sort_indices_.size());
+  for (size_t idx : sort_indices_) key_scratch_.push_back(t.value(idx));
+  return key_scratch_;
 }
 
 Status WSortOp::ProcessImpl(int, const Tuple& t, SimTime now,
                             Emitter* emitter) {
-  std::vector<Value> key = KeyOf(t);
+  const std::vector<Value>& key = KeyOf(t);
   if (watermark_.has_value() && ValueVectorLess()(key, *watermark_)) {
     // Arrived after a later-sorted tuple was emitted: lossy discard.
     ++dropped_;
     return Status::OK();
   }
-  buffer_.emplace(std::move(key), t);
+  buffer_.emplace(std::move(key_scratch_), t);
   if (max_buffer_ > 0) {
     while (buffer_.size() > max_buffer_) EmitSmallest(emitter);
   }

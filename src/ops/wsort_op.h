@@ -43,12 +43,17 @@ class WSortOp : public Operator {
   SeqNo StatefulDependency(int input) const override;
 
  private:
-  std::vector<Value> KeyOf(const Tuple& t) const;
+  /// Fills key_scratch_ with the tuple's sort-key values (indices bound at
+  /// init) and returns it; late (dropped) tuples then cost no allocation,
+  /// and buffered ones move the scratch into the buffer entry.
+  const std::vector<Value>& KeyOf(const Tuple& t);
   void EmitSmallest(Emitter* emitter);
 
   SimDuration timeout_{};
   size_t max_buffer_ = 0;
   std::vector<size_t> sort_indices_;
+  std::vector<Value> key_scratch_;
+  // The ordered buffer IS the sort — this one stays a tree.
   std::multimap<std::vector<Value>, Tuple, ValueVectorLess> buffer_;
   std::optional<std::vector<Value>> watermark_;
   SimTime last_emit_{};

@@ -181,26 +181,41 @@ Result<SchemaPtr> Decoder::GetSchema() {
 }
 
 std::vector<uint8_t> SerializeTuples(const std::vector<Tuple>& tuples) {
-  Encoder enc;
+  std::vector<uint8_t> out;
+  SerializeTuplesInto(tuples, &out);
+  return out;
+}
+
+void SerializeTuplesInto(const std::vector<Tuple>& tuples,
+                         std::vector<uint8_t>* out) {
+  Encoder enc(std::move(*out));
   enc.PutU32(static_cast<uint32_t>(tuples.size()));
   for (const auto& t : tuples) enc.PutTuple(t);
-  return enc.TakeBuffer();
+  *out = enc.TakeBuffer();
 }
 
 Result<std::vector<Tuple>> DeserializeTuples(const std::vector<uint8_t>& buf,
                                              const SchemaPtr& schema) {
+  std::vector<Tuple> tuples;
+  AURORA_RETURN_NOT_OK(DeserializeTuplesInto(buf, schema, &tuples));
+  return tuples;
+}
+
+Status DeserializeTuplesInto(const std::vector<uint8_t>& buf,
+                             const SchemaPtr& schema,
+                             std::vector<Tuple>* out) {
+  out->clear();
   Decoder dec(buf);
   AURORA_ASSIGN_OR_RETURN(uint32_t count, dec.GetU32());
-  std::vector<Tuple> tuples;
-  tuples.reserve(count);
+  out->reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     AURORA_ASSIGN_OR_RETURN(Tuple t, dec.GetTuple(schema));
-    tuples.push_back(std::move(t));
+    out->push_back(std::move(t));
   }
   if (!dec.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after tuple batch");
   }
-  return tuples;
+  return Status::OK();
 }
 
 }  // namespace aurora

@@ -19,6 +19,13 @@ namespace aurora {
 /// decoded so that bandwidth accounting reflects real byte counts.
 class Encoder {
  public:
+  Encoder() = default;
+  /// Takes over `reuse`'s storage (cleared, capacity kept) so repeated
+  /// encodes on a hot path can recycle one buffer instead of regrowing.
+  explicit Encoder(std::vector<uint8_t>&& reuse) : buf_(std::move(reuse)) {
+    buf_.clear();
+  }
+
   void PutU8(uint8_t v) { buf_.push_back(v); }
   void PutU16(uint16_t v);
   void PutU32(uint32_t v);
@@ -77,6 +84,14 @@ class Decoder {
 std::vector<uint8_t> SerializeTuples(const std::vector<Tuple>& tuples);
 Result<std::vector<Tuple>> DeserializeTuples(const std::vector<uint8_t>& buf,
                                              const SchemaPtr& schema);
+
+/// Scratch-reusing variants for per-message hot paths: `out` is cleared but
+/// keeps its capacity, so steady-state encode/decode does not reallocate.
+void SerializeTuplesInto(const std::vector<Tuple>& tuples,
+                         std::vector<uint8_t>* out);
+Status DeserializeTuplesInto(const std::vector<uint8_t>& buf,
+                             const SchemaPtr& schema,
+                             std::vector<Tuple>* out);
 
 }  // namespace aurora
 

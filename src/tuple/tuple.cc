@@ -5,28 +5,58 @@
 namespace aurora {
 
 const Value& Tuple::Get(const std::string& field_name) const {
+  AURORA_DCHECK(!TupleHotPathSection::InHotPath())
+      << "Tuple::Get(\"" << field_name
+      << "\") inside an operator activation — bind the field index at box "
+         "initialization instead (Expr::Bind / Predicate::Bind / "
+         "Schema::IndexOf at InitImpl)";
   AURORA_CHECK(schema_ != nullptr) << "tuple has no schema";
   auto idx = schema_->IndexOf(field_name);
   AURORA_CHECK(idx.ok()) << idx.status().ToString();
-  return values_[*idx];
+  return body_->values[*idx];
 }
+
+Tuple::TupleBody* Tuple::DetachBody() {
+  AURORA_CHECK(body_ != nullptr) << "tuple has no values";
+  if (body_.use_count() != 1) {
+    body_ = std::make_shared<const TupleBody>(body_->values);
+  }
+  // Sole owner now: mutating through the const pointer is safe.
+  TupleBody* body = const_cast<TupleBody*>(body_.get());
+  body->wire_values = kUnknownWire;
+  return body;
+}
+
+void Tuple::SetValue(size_t i, Value v) {
+  TupleBody* body = DetachBody();
+  AURORA_CHECK(i < body->values.size()) << "value index out of range";
+  body->values[i] = std::move(v);
+}
+
+std::vector<Value>& Tuple::MutableValues() { return DetachBody()->values; }
 
 size_t Tuple::WireSize() const {
   // 8-byte timestamp + 8-byte seq + 8-byte trace id + 2-byte value count.
   size_t size = 26;
-  for (const auto& v : values_) size += v.WireSize();
-  return size;
+  if (body_ == nullptr) return size;
+  if (body_->wire_values == kUnknownWire) {
+    size_t values_size = 0;
+    for (const auto& v : body_->values) values_size += v.WireSize();
+    body_->wire_values = values_size;
+  }
+  return size + body_->wire_values;
 }
 
 std::string Tuple::ToString() const {
   std::string out = "(";
-  for (size_t i = 0; i < values_.size(); ++i) {
+  const std::vector<Value>& vals = values();
+  for (size_t i = 0; i < vals.size(); ++i) {
     if (i > 0) out += ", ";
     if (schema_ && i < schema_->num_fields()) {
       out += schema_->field(i).name;
       out += "=";
     }
-    out += values_[i].ToString();
+    out += vals[i].ToString();
   }
   out += ")";
   return out;

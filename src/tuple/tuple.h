@@ -2,6 +2,7 @@
 #define AURORA_TUPLE_TUPLE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,9 +18,16 @@ namespace aurora {
 using SeqNo = uint64_t;
 inline constexpr SeqNo kNoSeqNo = 0;
 
-/// \brief One stream tuple: a row of values plus stream-processing metadata.
+/// \brief One stream tuple: a cheap handle over a refcounted immutable row
+/// of values, plus per-hop stream-processing metadata.
 ///
-/// Metadata carried per tuple:
+/// Copying a Tuple copies two shared_ptrs and three integers; the value
+/// vector itself (the `TupleBody`) is shared by every copy. Arc hops,
+/// ConnectionPoint fan-out, HA backup queues, and transport trains therefore
+/// all alias one allocation. Mutation (`SetValue`, `MutableValues`) detaches
+/// a private copy first (copy-on-write), so sharing is never observable.
+///
+/// Metadata carried per handle (NOT shared — each copy may be restamped):
 ///  - `timestamp`: creation time at the data source; drives latency QoS.
 ///  - `seq`: transport sequence number on the arc the tuple most recently
 ///    crossed (HA truncation protocol).
@@ -32,16 +40,30 @@ class Tuple {
  public:
   Tuple() = default;
   Tuple(SchemaPtr schema, std::vector<Value> values)
-      : schema_(std::move(schema)), values_(std::move(values)) {}
+      : schema_(std::move(schema)),
+        body_(std::make_shared<const TupleBody>(std::move(values))) {}
 
   const SchemaPtr& schema() const { return schema_; }
-  size_t num_values() const { return values_.size(); }
-  const Value& value(size_t i) const { return values_[i]; }
-  Value& value(size_t i) { return values_[i]; }
-  const std::vector<Value>& values() const { return values_; }
+  size_t num_values() const { return body_ ? body_->values.size() : 0; }
+  const Value& value(size_t i) const { return body_->values[i]; }
+  const std::vector<Value>& values() const {
+    static const std::vector<Value> kEmpty;
+    return body_ ? body_->values : kEmpty;
+  }
+
+  /// Replaces field `i`, detaching a private body copy if this handle
+  /// shares one with other tuples.
+  void SetValue(size_t i, Value v);
+
+  /// Mutable access to the whole row; detaches a private body copy first.
+  /// Setup/repair paths only — never on the per-tuple hot path.
+  std::vector<Value>& MutableValues();
 
   /// Value of the named field; aborts if absent (operator wiring validates
-  /// field presence at network-construction time).
+  /// field presence at network-construction time). Setup/debug/sink paths
+  /// only: per-tuple operator code must bind field indices once at box
+  /// initialization (see Expr::Bind / Predicate::Bind) — a debug build
+  /// DCHECK-fails if Get is reached inside an operator activation.
   const Value& Get(const std::string& field_name) const;
 
   SimTime timestamp() const { return timestamp_; }
@@ -54,19 +76,77 @@ class Tuple {
   void set_trace_id(uint64_t id) { trace_id_ = id; }
 
   /// Serialized size in bytes (values + fixed header); used by the transport
-  /// to charge link bandwidth.
+  /// to charge link bandwidth. O(1): the value-byte total is cached on the
+  /// shared body.
   size_t WireSize() const;
 
   std::string ToString() const;
 
-  bool ValuesEqual(const Tuple& other) const { return values_ == other.values_; }
+  bool ValuesEqual(const Tuple& other) const {
+    if (body_ == other.body_) return true;
+    return values() == other.values();
+  }
+
+  /// True when both handles alias the same body allocation. Test/debug
+  /// introspection for the copy-on-write contract.
+  bool SharesBodyWith(const Tuple& other) const {
+    return body_ != nullptr && body_ == other.body_;
+  }
 
  private:
+  struct TupleBody {
+    explicit TupleBody(std::vector<Value> v) : values(std::move(v)) {}
+    std::vector<Value> values;
+    /// Cached sum of the values' wire bytes; kUnknownWire until first
+    /// WireSize() call (single-threaded engine, so a plain mutable is fine).
+    mutable size_t wire_values = kUnknownWire;
+  };
+  static constexpr size_t kUnknownWire = static_cast<size_t>(-1);
+
+  /// Ensures body_ is uniquely owned (deep-copies if shared) and returns it.
+  TupleBody* DetachBody();
+
   SchemaPtr schema_;
-  std::vector<Value> values_;
+  std::shared_ptr<const TupleBody> body_;
   SimTime timestamp_{};
   SeqNo seq_ = kNoSeqNo;
   uint64_t trace_id_ = 0;
+};
+
+/// \brief Debug guard marking the engine's per-tuple hot path.
+///
+/// The engine enters a section around operator activations; Tuple::Get
+/// DCHECKs that it is never called inside one (field lookups by name must
+/// be bound to indices at init time). Output callbacks and ad-hoc stream
+/// subscribers are application code, so the engine suspends the section
+/// around them with an Exemption. No-ops in release builds (the DCHECK
+/// compiles out); the flag itself is two bool stores either way.
+class TupleHotPathSection {
+ public:
+  TupleHotPathSection() : prev_(Active()) { Active() = true; }
+  ~TupleHotPathSection() { Active() = prev_; }
+  TupleHotPathSection(const TupleHotPathSection&) = delete;
+  TupleHotPathSection& operator=(const TupleHotPathSection&) = delete;
+
+  class Exemption {
+   public:
+    Exemption() : prev_(Active()) { Active() = false; }
+    ~Exemption() { Active() = prev_; }
+    Exemption(const Exemption&) = delete;
+    Exemption& operator=(const Exemption&) = delete;
+
+   private:
+    bool prev_;
+  };
+
+  static bool InHotPath() { return Active(); }
+
+ private:
+  static bool& Active() {
+    static bool active = false;
+    return active;
+  }
+  bool prev_;
 };
 
 /// Builder-style convenience for tests and examples:

@@ -1,0 +1,222 @@
+// Incrementally-maintained scheduler ready-queue: the heap-backed
+// kLongestQueue / kMinOutputDistance policies must pick exactly the box the
+// old linear scan would have picked (largest key, ties to the smallest box
+// id), and O(1) HasWork must track every queue mutation path — push, choke,
+// unchoke, train consumption, TakeArcQueue, DisconnectArc.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "engine/aurora_engine.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing_util::SchemaAB;
+
+Tuple T(int64_t a, int64_t b) {
+  return MakeTuple(SchemaAB(), {Value(a), Value(b)});
+}
+
+// N independent chains in_i -> filter_i -> out_i, so each box's scheduler
+// key is exactly its input arc's queue length.
+struct ParallelChains {
+  AuroraEngine engine;
+  std::vector<PortId> ins;
+  std::vector<BoxId> boxes;
+  std::vector<ArcId> arcs;  // in_i -> filter_i
+  size_t delivered = 0;
+
+  ParallelChains(EngineOptions opts, int n) : engine(opts) {
+    for (int i = 0; i < n; ++i) {
+      std::string tag = std::to_string(i);
+      ins.push_back(*engine.AddInput("in" + tag, SchemaAB()));
+      PortId out = *engine.AddOutput("out" + tag);
+      boxes.push_back(*engine.AddBox(FilterSpec(Predicate::True())));
+      arcs.push_back(*engine.Connect(Endpoint::InputPort(ins[i]),
+                                     Endpoint::BoxPort(boxes[i], 0)));
+      AURORA_CHECK(engine.Connect(Endpoint::BoxPort(boxes[i], 0),
+                                  Endpoint::OutputPort(out)).ok());
+      engine.SetOutputCallback(out,
+                               [this](const Tuple&, SimTime) { delivered++; });
+    }
+    AURORA_CHECK(engine.InitializeBoxes().ok());
+  }
+};
+
+TEST(ReadyQueueTest, LongestQueueMatchesLinearScanOracle) {
+  EngineOptions opts;
+  opts.scheduler = SchedulerPolicy::kLongestQueue;
+  opts.train_size = 3;
+  ParallelChains p(opts, 4);
+  const size_t pushes[4] = {5, 9, 2, 7};
+  size_t total = 0;
+  for (int i = 0; i < 4; ++i) {
+    for (size_t k = 0; k < pushes[i]; ++k) {
+      ASSERT_OK(p.engine.PushInput(p.ins[i], T(i, k), SimTime()));
+      total++;
+    }
+  }
+
+  int steps = 0;
+  while (p.engine.HasWork()) {
+    ASSERT_LT(steps++, 100) << "scheduler failed to drain";
+    // Oracle: the old linear scan — largest queue wins, strict comparison
+    // keeps ties on the first (smallest-id) box.
+    std::vector<size_t> before(p.arcs.size());
+    int best = -1;
+    for (size_t i = 0; i < p.arcs.size(); ++i) {
+      before[i] = p.engine.ArcQueueSize(p.arcs[i]);
+      if (before[i] > 0 && (best < 0 || before[i] > before[best])) {
+        best = static_cast<int>(i);
+      }
+    }
+    ASSERT_GE(best, 0);
+    ASSERT_OK_AND_ASSIGN(double cost, p.engine.RunOneStep(SimTime()));
+    EXPECT_GT(cost, 0.0);
+    for (size_t i = 0; i < p.arcs.size(); ++i) {
+      size_t expected =
+          static_cast<int>(i) == best
+              ? before[i] - std::min(before[i], static_cast<size_t>(3))
+              : before[i];
+      EXPECT_EQ(p.engine.ArcQueueSize(p.arcs[i]), expected)
+          << "chain " << i << " at step " << steps;
+    }
+  }
+  EXPECT_EQ(p.delivered, total);
+  ASSERT_OK_AND_ASSIGN(double idle, p.engine.RunOneStep(SimTime()));
+  EXPECT_EQ(idle, 0.0);
+}
+
+TEST(ReadyQueueTest, LongestQueueTieBreaksToSmallestBoxId) {
+  EngineOptions opts;
+  opts.scheduler = SchedulerPolicy::kLongestQueue;
+  opts.train_size = 4;
+  ParallelChains p(opts, 3);
+  // Push the chains in reverse so insertion order can't mask an id-order
+  // bug; all queues end up equal.
+  for (int i = 2; i >= 0; --i) {
+    for (int k = 0; k < 4; ++k) {
+      ASSERT_OK(p.engine.PushInput(p.ins[i], T(i, k), SimTime()));
+    }
+  }
+  ASSERT_OK(p.engine.RunOneStep(SimTime()).status());
+  EXPECT_EQ(p.engine.ArcQueueSize(p.arcs[0]), 0u);  // smallest id went first
+  EXPECT_EQ(p.engine.ArcQueueSize(p.arcs[1]), 4u);
+  EXPECT_EQ(p.engine.ArcQueueSize(p.arcs[2]), 4u);
+  ASSERT_OK(p.engine.RunOneStep(SimTime()).status());
+  EXPECT_EQ(p.engine.ArcQueueSize(p.arcs[1]), 0u);
+  EXPECT_EQ(p.engine.ArcQueueSize(p.arcs[2]), 4u);
+}
+
+TEST(ReadyQueueTest, MinOutputDistancePrefersBoxNearestOutput) {
+  EngineOptions opts;
+  opts.scheduler = SchedulerPolicy::kMinOutputDistance;
+  opts.train_size = 1;
+  AuroraEngine engine(opts);
+  PortId in = *engine.AddInput("in", SchemaAB());
+  PortId out = *engine.AddOutput("out");
+  BoxId f1 = *engine.AddBox(FilterSpec(Predicate::True()));
+  BoxId f2 = *engine.AddBox(FilterSpec(Predicate::True()));
+  BoxId f3 = *engine.AddBox(FilterSpec(Predicate::True()));
+  ArcId a1 = *engine.Connect(Endpoint::InputPort(in), Endpoint::BoxPort(f1, 0));
+  ArcId a2 =
+      *engine.Connect(Endpoint::BoxPort(f1, 0), Endpoint::BoxPort(f2, 0));
+  ArcId a3 =
+      *engine.Connect(Endpoint::BoxPort(f2, 0), Endpoint::BoxPort(f3, 0));
+  ASSERT_OK(engine.Connect(Endpoint::BoxPort(f3, 0), Endpoint::OutputPort(out))
+                .status());
+  ASSERT_OK(engine.InitializeBoxes());
+  size_t delivered = 0;
+  engine.SetOutputCallback(out, [&](const Tuple&, SimTime) { delivered++; });
+
+  // Seed the head and the tail of the chain; the tail box (distance 1) must
+  // outrank the head box (distance 3).
+  ASSERT_OK(engine.EnqueueOnArc(a1, T(1, 1), SimTime()));
+  ASSERT_OK(engine.EnqueueOnArc(a3, T(2, 2), SimTime()));
+  ASSERT_OK(engine.RunOneStep(SimTime()).status());
+  EXPECT_EQ(engine.ArcQueueSize(a3), 0u);
+  EXPECT_EQ(engine.ArcQueueSize(a1), 1u);
+  EXPECT_EQ(delivered, 1u);
+
+  // Remaining tuple drains head-to-tail; the engine must quiesce with both
+  // tuples delivered and no phantom readiness left behind.
+  ASSERT_OK(engine.RunUntilQuiescent(SimTime()));
+  EXPECT_EQ(engine.ArcQueueSize(a1), 0u);
+  EXPECT_EQ(engine.ArcQueueSize(a2), 0u);
+  EXPECT_EQ(engine.ArcQueueSize(a3), 0u);
+  EXPECT_EQ(delivered, 2u);
+  EXPECT_FALSE(engine.HasWork());
+}
+
+TEST(ReadyQueueTest, HasWorkTracksChokeAndUnchoke) {
+  ParallelChains p(EngineOptions{}, 1);
+  ArcId a = p.arcs[0];
+
+  // Already-queued tuples still drain through a choked arc, so the box
+  // stays ready.
+  ASSERT_OK(p.engine.PushInput(p.ins[0], T(1, 1), SimTime()));
+  ASSERT_OK(p.engine.ChokeArc(a));
+  EXPECT_TRUE(p.engine.HasWork());
+  ASSERT_OK(p.engine.RunUntilQuiescent(SimTime()));
+  EXPECT_EQ(p.delivered, 1u);
+
+  // New arrivals on a choked arc go to the hold buffer: not consumable,
+  // so HasWork must be false until unchoke re-enqueues them.
+  ASSERT_OK(p.engine.PushInput(p.ins[0], T(2, 2), SimTime()));
+  EXPECT_FALSE(p.engine.HasWork());
+  EXPECT_EQ(p.engine.HeldTupleCount(a), 1u);
+  ASSERT_OK(p.engine.UnchokeArc(a));
+  EXPECT_TRUE(p.engine.HasWork());
+  ASSERT_OK(p.engine.RunUntilQuiescent(SimTime()));
+  EXPECT_EQ(p.delivered, 2u);
+  EXPECT_FALSE(p.engine.HasWork());
+}
+
+TEST(ReadyQueueTest, TakeArcQueueAndDisconnectClearReadiness) {
+  ParallelChains p(EngineOptions{}, 1);
+  ArcId a = p.arcs[0];
+  for (int k = 0; k < 3; ++k) {
+    ASSERT_OK(p.engine.PushInput(p.ins[0], T(1, k), SimTime()));
+  }
+  EXPECT_TRUE(p.engine.HasWork());
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> taken, p.engine.TakeArcQueue(a));
+  EXPECT_EQ(taken.size(), 3u);
+  EXPECT_FALSE(p.engine.HasWork());
+  ASSERT_OK(p.engine.DisconnectArc(a));
+  EXPECT_FALSE(p.engine.HasWork());
+  ASSERT_OK_AND_ASSIGN(double cost, p.engine.RunOneStep(SimTime()));
+  EXPECT_EQ(cost, 0.0);
+  EXPECT_EQ(p.delivered, 0u);
+}
+
+// Interleaved pushes and steps churn the lazy-invalidation heap (every push
+// bumps the box's generation); nothing may be lost or double-scheduled.
+TEST(ReadyQueueTest, InterleavedPushAndStepDeliversEverything) {
+  EngineOptions opts;
+  opts.scheduler = SchedulerPolicy::kLongestQueue;
+  opts.train_size = 2;
+  ParallelChains p(opts, 2);
+  size_t total = 0;
+  for (int r = 0; r < 200; ++r) {
+    int chain = r % 2;
+    int burst = r % 3 + 1;
+    for (int k = 0; k < burst; ++k) {
+      ASSERT_OK(p.engine.PushInput(p.ins[chain], T(chain, r), SimTime()));
+      total++;
+    }
+    if (r % 4 != 3) {  // let queues build up sometimes
+      ASSERT_OK(p.engine.RunOneStep(SimTime()).status());
+    }
+  }
+  ASSERT_OK(p.engine.RunUntilQuiescent(SimTime()));
+  EXPECT_EQ(p.delivered, total);
+  EXPECT_FALSE(p.engine.HasWork());
+  EXPECT_EQ(p.engine.TotalQueuedTuples(), 0u);
+}
+
+}  // namespace
+}  // namespace aurora

@@ -1,0 +1,121 @@
+// Bound-once field access: Expr::Bind / Predicate::Bind resolve attribute
+// names to indices at box-init time, fail eagerly on missing fields, and the
+// lazy rebind in Eval keeps evaluation correct for tuples whose schema
+// differs from the bound one.
+#include <gtest/gtest.h>
+
+#include "ops/expr.h"
+#include "ops/op_spec.h"
+#include "ops/operator.h"
+#include "ops/predicate.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing_util::SchemaAB;
+
+Tuple T(int64_t a, int64_t b) {
+  return MakeTuple(SchemaAB(), {Value(a), Value(b)});
+}
+
+TEST(BindTest, ExprBindMissingFieldIsNotFound) {
+  Expr e = Expr::FieldRef("Missing");
+  EXPECT_TRUE(e.Bind(SchemaAB()).IsNotFound());
+  // Nested references are checked too.
+  Expr nested = Expr::Arith(ArithOp::kAdd, Expr::FieldRef("A"),
+                            Expr::FieldRef("Missing"));
+  EXPECT_TRUE(nested.Bind(SchemaAB()).IsNotFound());
+}
+
+TEST(BindTest, ExprEvalCorrectAfterBind) {
+  Expr e = Expr::Arith(ArithOp::kMul, Expr::FieldRef("B"),
+                       Expr::Constant(Value(int64_t{10})));
+  ASSERT_OK(e.Bind(SchemaAB()));
+  ASSERT_OK_AND_ASSIGN(Value v, e.Eval(T(1, 7)));
+  EXPECT_EQ(v.AsInt(), 70);
+}
+
+TEST(BindTest, ExprRebindsLazilyOnDifferentSchema) {
+  Expr e = Expr::FieldRef("A");
+  ASSERT_OK(e.Bind(SchemaAB()));  // A is index 0 here
+  ASSERT_OK_AND_ASSIGN(Value v1, e.Eval(T(5, 6)));
+  EXPECT_EQ(v1.AsInt(), 5);
+  // In this schema A sits at index 1: a stale bound index would read X.
+  SchemaPtr xa = Schema::Make(
+      {Field{"X", ValueType::kInt64}, Field{"A", ValueType::kInt64}});
+  ASSERT_OK_AND_ASSIGN(Value v2,
+                       e.Eval(MakeTuple(xa, {Value(100), Value(42)})));
+  EXPECT_EQ(v2.AsInt(), 42);
+  // And flipping back to the original schema still works.
+  ASSERT_OK_AND_ASSIGN(Value v3, e.Eval(T(9, 1)));
+  EXPECT_EQ(v3.AsInt(), 9);
+}
+
+TEST(BindTest, ExprEvalWithoutBindStillWorks) {
+  // Bind is a warm cache plus eager error check, not a correctness
+  // requirement: a never-bound expression evaluates fine.
+  Expr e = Expr::FieldRef("B");
+  ASSERT_OK_AND_ASSIGN(Value v, e.Eval(T(1, 33)));
+  EXPECT_EQ(v.AsInt(), 33);
+}
+
+TEST(BindTest, PredicateBindRecursesThroughCombinators) {
+  Predicate p = Predicate::And(
+      Predicate::Compare("A", CompareOp::kGe, Value(int64_t{0})),
+      Predicate::Or(
+          Predicate::Compare("B", CompareOp::kLt, Value(int64_t{10})),
+          Predicate::Not(
+              Predicate::Compare("A", CompareOp::kEq, Value(int64_t{1})))));
+  ASSERT_OK(p.Bind(SchemaAB()));
+  EXPECT_TRUE(p.Eval(T(2, 3)));
+  EXPECT_FALSE(p.Eval(T(-1, 3)));
+
+  // A missing field anywhere in the tree surfaces through Bind.
+  Predicate bad = Predicate::And(
+      Predicate::True(),
+      Predicate::Not(
+          Predicate::Compare("Missing", CompareOp::kEq, Value(int64_t{0}))));
+  EXPECT_TRUE(bad.Bind(SchemaAB()).IsNotFound());
+}
+
+TEST(BindTest, PredicateHashPartitionBindsAndEvals) {
+  Predicate even = Predicate::HashPartition("A", 2, 0);
+  Predicate odd = Predicate::HashPartition("A", 2, 1);
+  ASSERT_OK(even.Bind(SchemaAB()));
+  ASSERT_OK(odd.Bind(SchemaAB()));
+  EXPECT_TRUE(Predicate::HashPartition("Missing", 2, 0)
+                  .Bind(SchemaAB())
+                  .IsNotFound());
+  // The two partitions are complementary for any tuple.
+  for (int64_t a = 0; a < 16; ++a) {
+    EXPECT_NE(even.Eval(T(a, 0)), odd.Eval(T(a, 0))) << "a=" << a;
+  }
+}
+
+TEST(BindTest, PredicateRebindsLazilyOnDifferentSchema) {
+  Predicate p = Predicate::Compare("A", CompareOp::kEq, Value(int64_t{42}));
+  ASSERT_OK(p.Bind(SchemaAB()));
+  EXPECT_TRUE(p.Eval(T(42, 0)));
+  SchemaPtr xa = Schema::Make(
+      {Field{"X", ValueType::kInt64}, Field{"A", ValueType::kInt64}});
+  EXPECT_TRUE(p.Eval(MakeTuple(xa, {Value(0), Value(42)})));
+  EXPECT_FALSE(p.Eval(MakeTuple(xa, {Value(42), Value(0)})));
+}
+
+// Operator Init surfaces unresolvable fields before any tuple flows.
+TEST(BindTest, FilterOpInitFailsOnMissingPredicateField) {
+  OperatorSpec spec =
+      FilterSpec(Predicate::Compare("Missing", CompareOp::kGe, Value(0)));
+  ASSERT_OK_AND_ASSIGN(OperatorPtr op, CreateOperator(spec));
+  EXPECT_TRUE(op->Init({SchemaAB()}).IsNotFound());
+}
+
+TEST(BindTest, MapOpInitFailsOnMissingExprField) {
+  OperatorSpec spec = MapSpec({{"Out", Expr::FieldRef("Missing")}});
+  ASSERT_OK_AND_ASSIGN(OperatorPtr op, CreateOperator(spec));
+  EXPECT_TRUE(op->Init({SchemaAB()}).IsNotFound());
+}
+
+}  // namespace
+}  // namespace aurora
