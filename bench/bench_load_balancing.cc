@@ -17,6 +17,7 @@ void BM_DaemonBalancesSkew(benchmark::State& state) {
   const auto action = static_cast<RepartitionAction>(state.range(1));
   for (auto _ : state) {
     ResetObservability();
+    MetricsSnapshot before = CaptureSnapshot();
     Cluster cluster(4);
     GlobalQuery q;
     std::map<std::string, NodeId> placement;
@@ -68,13 +69,9 @@ void BM_DaemonBalancesSkew(benchmark::State& state) {
     state.counters["util_spread"] = max_util - min_util;
     state.counters["backlog_node0"] = static_cast<double>(
         cluster.system->node(0).engine().TotalQueuedTuples());
-    MetricsRegistry& reg = MetricsRegistry::Global();
-    if (const Counter* c = reg.FindCounter("lb.rounds")) {
-      state.counters["lb_rounds"] = static_cast<double>(c->value());
-    }
-    if (const Counter* c = reg.FindCounter("lb.held_reinjected")) {
-      state.counters["held_reinjected"] = static_cast<double>(c->value());
-    }
+    state.counters["lb_rounds"] = CounterDeltaSince(before, "lb.rounds");
+    state.counters["held_reinjected"] =
+        CounterDeltaSince(before, "lb.held_reinjected");
     DumpMetricsSnapshot("load_balancing_d" + std::to_string(state.range(0)) +
                         "_a" + std::to_string(state.range(1)));
   }

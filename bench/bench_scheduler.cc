@@ -45,8 +45,10 @@ void RunWorkload(benchmark::State& state, EngineOptions opts,
   uint64_t delivered = 0;
   double cpu_us = 0;
   uint64_t activations = 0;
+  MetricsSnapshot before;
   for (auto _ : state) {
     ResetObservability();
+    before = CaptureSnapshot();
     ChainEngine chain(opts);
     for (int i = 0; i < kTuples; ++i) {
       Tuple t = MakeTuple(schema, {Value(i), Value(1 + i % 7)});
@@ -68,9 +70,8 @@ void RunWorkload(benchmark::State& state, EngineOptions opts,
     state.counters["box_exec_us_p50"] = h->Quantile(0.5);
     state.counters["box_exec_us_p99"] = h->Quantile(0.99);
   }
-  if (const Counter* c = reg.FindCounter("engine.sched.decisions")) {
-    state.counters["sched_decisions"] = static_cast<double>(c->value());
-  }
+  state.counters["sched_decisions"] =
+      CounterDeltaSince(before, "engine.sched.decisions");
   DumpMetricsSnapshot("scheduler_" + label);
   state.SetItemsProcessed(state.iterations() * kTuples);
 }

@@ -18,6 +18,7 @@ void BM_WeightedShareFidelity(benchmark::State& state) {
   const auto mode = static_cast<TransportMode>(state.range(0));
   for (auto _ : state) {
     ResetObservability();
+    MetricsSnapshot before = CaptureSnapshot();
     Cluster cluster(2, [] {
       LinkOptions link;
       link.bandwidth_bytes_per_sec = 100'000;
@@ -52,11 +53,12 @@ void BM_WeightedShareFidelity(benchmark::State& state) {
       rms += (share - want) * (share - want);
     }
     state.counters["rms_error_vs_weights"] = std::sqrt(rms / 3.0);
-    // Registry-derived numbers for the run, and the snapshot artifact.
+    // Registry-derived numbers for the run (snapshot-diff against the
+    // post-reset baseline, the same helper aurora_inspect --diff uses),
+    // and the snapshot artifact.
+    state.counters["link_bytes"] =
+        CounterDeltaSince(before, "net.link.0->1.bytes");
     MetricsRegistry& reg = MetricsRegistry::Global();
-    if (const Counter* c = reg.FindCounter("net.link.0->1.bytes")) {
-      state.counters["link_bytes"] = static_cast<double>(c->value());
-    }
     if (const LatencyHistogram* h =
             reg.FindHistogram("net.transport.queue_delay_us")) {
       state.counters["queue_delay_us_p50"] = h->Quantile(0.5);
@@ -171,6 +173,7 @@ void BM_CreditFlowSweep(benchmark::State& state) {
   const size_t window = static_cast<size_t>(state.range(0));
   for (auto _ : state) {
     ResetObservability();
+    MetricsSnapshot before = CaptureSnapshot();
     StarOptions star;
     star.transport.credit_window_bytes = window;
     star.transport.train_size = 8;
@@ -207,10 +210,8 @@ void BM_CreditFlowSweep(benchmark::State& state) {
     state.counters["receiver_backlog_bytes"] =
         static_cast<double>(be.InputBacklogBytes(bin));
     state.counters["delivered"] = static_cast<double>(delivered);
-    MetricsRegistry& reg = MetricsRegistry::Global();
-    if (const Counter* c = reg.FindCounter("engine.tuples_blocked_upstream")) {
-      state.counters["blocked_at_source"] = static_cast<double>(c->value());
-    }
+    state.counters["blocked_at_source"] =
+        CounterDeltaSince(before, "engine.tuples_blocked_upstream");
     DumpMetricsSnapshot("transport_flow_w" + std::to_string(window));
   }
 }

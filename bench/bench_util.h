@@ -10,7 +10,9 @@
 #include <string>
 
 #include "distributed/deployment.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/snapshot_diff.h"
 #include "obs/trace.h"
 #include "workload/generator.h"
 
@@ -56,12 +58,28 @@ inline void InjectAtRate(Cluster* cluster, NodeId node,
   }
 }
 
-/// Zeroes the metrics registry and trace buffer. Call at the start of each
-/// benchmark iteration so a run's snapshot covers that run only (cached
-/// metric pointers stay valid — Reset keeps registrations).
+/// Zeroes the metrics registry and trace buffer and re-arms the flight
+/// recorder's once-per-event latches. Call at the start of each benchmark
+/// iteration so a run's snapshot covers that run only (cached metric
+/// pointers stay valid — Reset keeps registrations).
 inline void ResetObservability() {
   MetricsRegistry::Global().Reset();
   Tracer::Global().Clear();
+  FlightRecorder::Global().Rearm();
+}
+
+/// Registry snapshot for delta reporting (see obs/snapshot_diff.h) — the
+/// same struct `aurora_inspect --diff` uses, so a bench's reported delta and
+/// an offline diff of its obs dumps agree by construction.
+inline MetricsSnapshot CaptureSnapshot() {
+  return MetricsSnapshot::FromRegistry(MetricsRegistry::Global());
+}
+
+/// Counter movement between a captured snapshot and the live registry.
+/// Replaces ad hoc FindCounter(...)->value() subtraction in the benches.
+inline double CounterDeltaSince(const MetricsSnapshot& before,
+                                const std::string& name) {
+  return SnapshotDiff::Between(before, CaptureSnapshot()).CounterDelta(name);
 }
 
 /// Writes the registry's JSON snapshot to `obs_<label>.json` in the working

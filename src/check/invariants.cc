@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace aurora {
@@ -45,6 +46,8 @@ void InvariantMonitor::Report(const std::string& invariant,
   if (count >= kMaxReportsPerInvariant) return;
   ++count;
   violations_.push_back(Violation{sim_->Now(), invariant, detail});
+  FlightRecorder::Global().Trigger("invariant", invariant + ": " + detail,
+                                   sim_->Now().micros());
 }
 
 void InvariantMonitor::OnDelivery(NodeId node, const std::string& stream,

@@ -27,7 +27,7 @@ void Usage() {
   std::fprintf(stderr,
                "usage: simcheck [--seed N] [--runs N] [--shrink 0|1]\n"
                "                [--replay <spec-file>] [--disable-dedup]\n"
-               "                [--out <dir>]\n");
+               "                [--digest] [--out <dir>]\n");
 }
 
 int Replay(const std::string& path, bool disable_dedup) {
@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
   int runs = 200;
   bool shrink = true;
   bool disable_dedup = false;
+  bool digest = false;
   std::string replay_path;
   std::string out_dir = ".";
   for (int i = 1; i < argc; ++i) {
@@ -77,6 +78,8 @@ int main(int argc, char** argv) {
       replay_path = next();
     } else if (arg == "--disable-dedup") {
       disable_dedup = true;
+    } else if (arg == "--digest") {
+      digest = true;
     } else if (arg == "--out") {
       out_dir = next();
     } else if (arg == "--help" || arg == "-h") {
@@ -96,6 +99,13 @@ int main(int argc, char** argv) {
     aurora::ScenarioSpec spec = aurora::GenerateScenario(s);
     if (disable_dedup) spec.dedup = false;
     aurora::RunReport report = aurora::RunScenario(spec);
+    if (digest) {
+      // Per-seed output rows+hashes on stdout: two invocations of the same
+      // seed range must emit byte-identical digests regardless of tracing
+      // or flight-recorder settings (the CI obs-smoke step diffs them).
+      std::fprintf(stdout, "seed %llu\n", static_cast<unsigned long long>(s));
+      std::fputs(report.Summary().c_str(), stdout);
+    }
     if (report.ok()) {
       if ((r + 1) % 50 == 0) {
         std::fprintf(stderr, "simcheck: %d/%d runs clean\n", r + 1, runs);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tuple/serde.h"
@@ -378,6 +379,9 @@ void StreamNode::FlushPending() {
       if (flow_enabled() && tx->StreamBlocked(binding.stream)) {
         // Out of credit: hold the batch (sequence numbers are assigned at
         // send time, so holding is transparent to dedup and HA logs).
+        if (binding.blocked_since_us < 0) {
+          binding.blocked_since_us = sim_->Now().micros();
+        }
         break;
       }
       size_t n = 0, bytes = 0;
@@ -389,6 +393,20 @@ void StreamNode::FlushPending() {
                                binding.pending.begin() + n);
       binding.pending.erase(binding.pending.begin(),
                             binding.pending.begin() + n);
+      if (binding.blocked_since_us >= 0) {
+        // These tuples sat out a credit-blocked spell before getting on the
+        // wire; attribute the wait to each traced tuple's lineage.
+        Tracer& tracer = Tracer::Global();
+        if (tracer.enabled()) {
+          for (const Tuple& t : batch) {
+            if (t.trace_id() == 0) continue;
+            tracer.Record({t.trace_id(), SpanKind::kCreditWait, id_,
+                           "credit:" + binding.stream,
+                           binding.blocked_since_us, sim_->Now().micros()});
+          }
+        }
+        binding.blocked_since_us = -1;
+      }
       for (auto& t : batch) {
         SeqNo lineage = t.seq();  // in the incoming stream's space
         t.set_seq(binding.next_seq++);
@@ -443,6 +461,10 @@ size_t StreamNode::Crash() {
   flow_blocked_ = false;
   engine_.SetIngestBlocked(false);
   if (lost > 0) m_crash_lost_->Add(lost);
+  FlightRecorder::Global().Trigger(
+      "node_crash",
+      "node=" + std::to_string(id_) + " lost=" + std::to_string(lost),
+      sim_->Now().micros());
   AURORA_LOG(Debug) << "node " << id_ << ": crashed, lost " << lost
                     << " buffered tuples";
   return lost;

@@ -167,6 +167,11 @@ class StreamNode {
     bool retain_log = false;
     std::deque<LogEntry> output_log;
     std::vector<Tuple> pending;  // emitted this step, not yet sent
+    /// When the pending buffer first hit a credit-blocked stream (-1 =
+    /// not blocked). Tuples sent after a blocked spell get a kCreditWait
+    /// span covering it, so latency attribution charges the wait to credit
+    /// back-pressure instead of to the wire.
+    int64_t blocked_since_us = -1;
     uint64_t tuples_sent = 0;
     uint64_t messages_sent = 0;
   };

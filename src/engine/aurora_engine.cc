@@ -649,12 +649,18 @@ void AuroraEngine::Route(const Endpoint& from, const Tuple& t, SimTime now,
 
 void AuroraEngine::DeliverToOutput(PortId port, const Tuple& t, SimTime now) {
   double latency_ms = std::max(0.0, (now - t.timestamp()).millis());
-  qos_.RecordDelivery(port, latency_ms);
+  // Record the delivery span *before* telling the QoS monitor, so the
+  // attributor's stage breakdown for this very tuple is ready and a QoS
+  // violation can name its bottleneck stage.
   Tracer& tracer = Tracer::Global();
+  const StageBreakdown* attr = nullptr;
   if (tracer.enabled() && t.trace_id() != 0) {
     tracer.Record({t.trace_id(), SpanKind::kDelivery, trace_node_,
                    "out:" + outputs_[port].name, now.micros(), now.micros()});
+    const StageBreakdown* last = tracer.attribution().last_delivery();
+    if (last != nullptr && last->trace_id == t.trace_id()) attr = last;
   }
+  qos_.RecordDelivery(port, latency_ms, attr, now.micros());
   if (outputs_[port].callback) {
     // Output callbacks are application code, free to use Get(name).
     TupleHotPathSection::Exemption allow_get;
@@ -678,6 +684,14 @@ Status AuroraEngine::PushInput(PortId input, Tuple t, SimTime now,
   m_tuples_in_->Add();
   if (shedder_.ShouldDrop(input, t, now)) {
     m_tuples_shed_->Add();
+    // Remote tuples arrive with lineage already attached; close it out so
+    // the attributor stops tracking a tuple that will never deliver.
+    Tracer& tracer = Tracer::Global();
+    if (tracer.enabled() && t.trace_id() != 0) {
+      tracer.Record({t.trace_id(), SpanKind::kShed, trace_node_,
+                     "shed:in:" + inputs_[input].name, now.micros(),
+                     now.micros()});
+    }
     // Attribute the drop to every output downstream of this input so the
     // QoS monitor's delivered-fraction reflects shedding.
     for (const auto& info : shedder_.inputs()) {
@@ -702,9 +716,13 @@ Status AuroraEngine::PushInput(PortId input, Tuple t, SimTime now,
   tuples_ingested_++;
   Tracer& tracer = Tracer::Global();
   if (tracer.enabled()) {
-    if (t.trace_id() == 0) t.set_trace_id(tracer.NextTraceId());
-    tracer.Record({t.trace_id(), SpanKind::kEnqueue, trace_node_,
-                   "in:" + inputs_[input].name, now.micros(), now.micros()});
+    // Source tuples draw a (sampled) lineage id here; tuples arriving over
+    // the wire keep the id their origin node assigned.
+    if (t.trace_id() == 0) t.set_trace_id(tracer.NewTrace());
+    if (t.trace_id() != 0) {
+      tracer.Record({t.trace_id(), SpanKind::kEnqueue, trace_node_,
+                     "in:" + inputs_[input].name, now.micros(), now.micros()});
+    }
   }
   Route(Endpoint::InputPort(input), t, now, nullptr);
   storage_.EnforceBudget(AllQueues());
@@ -898,9 +916,20 @@ Result<BoxId> AuroraEngine::PickBox(SimTime now) {
   return Status::Internal("bad scheduler policy");
 }
 
+void AuroraEngine::EnsureBoxProfile(BoxId box_id, BoxRt* box) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const std::string base = "engine.box.n" + std::to_string(trace_node_) + "." +
+                           std::to_string(box_id) + ":" + box->spec.kind + ".";
+  box->prof_activations = reg.GetCounter(base + "activations");
+  box->prof_tuples = reg.GetCounter(base + "tuples");
+  box->prof_self_us = reg.GetCounter(base + "self_us");
+  box->prof_tuple_cost_us = reg.GetHistogram(base + "tuple_cost_us");
+}
+
 double AuroraEngine::ActivateBox(BoxId box_id, SimTime now,
                                  std::vector<BoxId>* touched) {
   BoxRt& box = boxes_[box_id];
+  if (box.prof_activations == nullptr) EnsureBoxProfile(box_id, &box);
   int budget = opts_.scheduler == SchedulerPolicy::kTupleAtATime
                    ? 1
                    : opts_.train_size;
@@ -927,9 +956,11 @@ double AuroraEngine::ActivateBox(BoxId box_id, SimTime now,
     wait_sum_ms += wait_ms;
     m_queue_wait_ms_->Record(wait_ms);
     double tuple_cost_us = box.op->cost_micros_per_tuple();
+    tuple_cost_us += static_cast<double>(a.queue.unspill_reads() -
+                                         reads_before) *
+                     opts_.spill_read_cost_us;
     cost_us += tuple_cost_us;
-    cost_us += static_cast<double>(a.queue.unspill_reads() - reads_before) *
-               opts_.spill_read_cost_us;
+    box.prof_tuple_cost_us->Record(tuple_cost_us);
     Tracer& tracer = Tracer::Global();
     if (tracer.enabled() && t.trace_id() != 0) {
       tracer.Record({t.trace_id(), SpanKind::kBoxExec, trace_node_,
@@ -954,6 +985,9 @@ double AuroraEngine::ActivateBox(BoxId box_id, SimTime now,
     total_activations_++;
     m_activations_->Add();
     m_box_exec_us_->Record(cost_us);
+    box.prof_activations->Add();
+    box.prof_tuples->Add(static_cast<uint64_t>(processed));
+    box.prof_self_us->Add(static_cast<uint64_t>(cost_us));
   }
   return cost_us;
 }

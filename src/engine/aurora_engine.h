@@ -278,6 +278,13 @@ class AuroraEngine {
     /// Bumped whenever this box's scheduler key may have changed; stale
     /// ready-heap entries (entry.gen != sched_gen) are discarded lazily.
     uint64_t sched_gen = 0;
+    /// Per-box profiler series (`engine.box.n<node>.<id>:<kind>.*`),
+    /// registered on the box's first activation and cached here so the
+    /// activation funnel pays pointer adds, not name lookups.
+    Counter* prof_activations = nullptr;
+    Counter* prof_tuples = nullptr;
+    Counter* prof_self_us = nullptr;
+    LatencyHistogram* prof_tuple_cost_us = nullptr;
   };
   struct ArcRt {
     Endpoint from;
@@ -320,6 +327,8 @@ class AuroraEngine {
   Result<BoxId> PickBox(SimTime now);
   /// Activates one box: consumes up to train_size tuples. Returns cost.
   double ActivateBox(BoxId box, SimTime now, std::vector<BoxId>* touched);
+  /// Registers the box's profiler series on first activation.
+  void EnsureBoxProfile(BoxId box_id, BoxRt* box);
   void RecomputeOutputDistances();
   bool BoxReady(const BoxRt& box) const;
   // ---- Ready-queue maintenance (see docs/PERFORMANCE.md) ---------------

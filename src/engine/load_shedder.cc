@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <numeric>
+#include <sstream>
+
+#include "obs/flight_recorder.h"
 
 namespace aurora {
 
@@ -88,6 +91,7 @@ void LoadShedder::Recompute(SimTime now) {
   double budget = opts_.capacity_us_per_sec * opts_.target_utilization;
   if (total <= budget) {
     std::fill(drop_p_.begin(), drop_p_.end(), 0.0);
+    NoteDropState(now);
     return;
   }
   double excess = total - budget;
@@ -98,6 +102,7 @@ void LoadShedder::Recompute(SimTime now) {
     // *which* tuples it drops, not how many.
     double p = excess / total;
     std::fill(drop_p_.begin(), drop_p_.end(), std::min(1.0, p));
+    NoteDropState(now);
     return;
   }
 
@@ -120,6 +125,22 @@ void LoadShedder::Recompute(SimTime now) {
     drop_p_[idx] = frac;
     remaining -= frac * load[idx];
   }
+  NoteDropState(now);
+}
+
+void LoadShedder::NoteDropState(SimTime now) {
+  double max_p = 0.0;
+  for (double p : drop_p_) max_p = std::max(max_p, p);
+  bool active = max_p > 0.0;
+  if (active && !shedding_) {
+    std::ostringstream detail;
+    detail << "offered_load_us_per_s=" << offered_load_
+           << " capacity_us_per_s=" << opts_.capacity_us_per_sec
+           << " max_drop_p=" << max_p;
+    FlightRecorder::Global().Trigger("shed_activation", detail.str(),
+                                     now.micros());
+  }
+  shedding_ = active;
 }
 
 }  // namespace aurora

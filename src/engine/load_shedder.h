@@ -87,8 +87,15 @@ class LoadShedder {
 
   const std::vector<InputInfo>& inputs() const { return inputs_; }
 
+  /// Whether any input currently has a nonzero drop probability.
+  bool shedding_active() const { return shedding_; }
+
  private:
   void Recompute(SimTime now);
+  /// Tracks the off->on shedding transition; the first activation trips the
+  /// flight recorder ("shed_activation") with the load picture that forced
+  /// it.
+  void NoteDropState(SimTime now);
 
   Options opts_;
   Rng rng_;
@@ -98,6 +105,7 @@ class LoadShedder {
   std::vector<double> drop_p_;
   SimTime last_recompute_{};
   bool started_ = false;
+  bool shedding_ = false;
   uint64_t total_dropped_ = 0;
   double offered_load_ = 0.0;
 };

@@ -1,6 +1,9 @@
 #include "engine/qos_monitor.h"
 
 #include <atomic>
+#include <sstream>
+
+#include "obs/flight_recorder.h"
 
 namespace aurora {
 
@@ -25,6 +28,11 @@ QoSMonitor::OutputStats& QoSMonitor::Stats(PortId output) {
   s.delivered = reg.GetCounter(base + "delivered");
   s.dropped = reg.GetCounter(base + "dropped");
   s.latency_ms = reg.GetHistogram(base + "latency_ms");
+  s.violations = reg.GetCounter(base + "violations");
+  for (int i = 0; i < kNumStages; ++i) {
+    s.bottleneck[i] =
+        reg.GetCounter(base + "bottleneck." + StageName(static_cast<Stage>(i)));
+  }
   return outputs_.emplace(output, s).first->second;
 }
 
@@ -33,7 +41,8 @@ const QoSMonitor::OutputStats* QoSMonitor::FindStats(PortId output) const {
   return it == outputs_.end() ? nullptr : &it->second;
 }
 
-void QoSMonitor::RecordDelivery(PortId output, double latency_ms) {
+void QoSMonitor::RecordDelivery(PortId output, double latency_ms,
+                                const StageBreakdown* attr, int64_t now_us) {
   OutputStats& s = Stats(output);
   s.delivered->Add();
   s.latency_ms->Record(latency_ms);
@@ -43,6 +52,19 @@ void QoSMonitor::RecordDelivery(PortId output, double latency_ms) {
     u = spec->latency.Eval(latency_ms);
   }
   s.latency_utility_sum += u;
+  if (spec != nullptr && !spec->latency.empty() && u < kViolationUtility) {
+    s.violations->Add();
+    std::ostringstream detail;
+    detail << prefix_ << "out." << output << " latency_ms=" << latency_ms
+           << " utility=" << u;
+    if (attr != nullptr) {
+      Stage dom = attr->dominant();
+      s.bottleneck[static_cast<int>(dom)]->Add();
+      detail << " dominant=" << StageName(dom) << " ("
+             << attr->StageUs(dom) << "us of " << attr->total_us << "us)";
+    }
+    FlightRecorder::Global().Trigger("qos_violation", detail.str(), now_us);
+  }
 }
 
 void QoSMonitor::RecordDrop(PortId output) { Stats(output).dropped->Add(); }
@@ -56,6 +78,11 @@ double QoSMonitor::AvgLatencyMs(PortId output) const {
 uint64_t QoSMonitor::Delivered(PortId output) const {
   const OutputStats* s = FindStats(output);
   return s == nullptr ? 0 : s->delivered->value();
+}
+
+uint64_t QoSMonitor::Violations(PortId output) const {
+  const OutputStats* s = FindStats(output);
+  return s == nullptr ? 0 : s->violations->value();
 }
 
 uint64_t QoSMonitor::Dropped(PortId output) const {

@@ -7,6 +7,7 @@
 
 #include "common/sim_time.h"
 #include "engine/topology.h"
+#include "obs/attribution.h"
 #include "obs/metrics.h"
 #include "qos/qos_spec.h"
 
@@ -52,8 +53,23 @@ class QoSMonitor {
     return it == specs_.end() ? nullptr : &it->second;
   }
 
-  void RecordDelivery(PortId output, double latency_ms);
+  /// Records one delivered tuple. `attr` is the tuple's latency stage
+  /// breakdown when tracing produced one (nullptr otherwise) and `now_us`
+  /// the simulated delivery time (-1 = unknown). A delivery whose latency
+  /// utility falls below kViolationUtility counts as a QoS violation: it
+  /// bumps `qos.<i>.out.<port>.violations`, attributes the violation to the
+  /// breakdown's dominant stage in `...bottleneck.<stage>`, and trips the
+  /// flight recorder ("qos_violation") so the evidence around the first
+  /// violation is preserved.
+  void RecordDelivery(PortId output, double latency_ms,
+                      const StageBreakdown* attr = nullptr,
+                      int64_t now_us = -1);
   void RecordDrop(PortId output);
+
+  /// Latency-utility threshold below which a delivery is a violation: the
+  /// tuple's utility has fallen past the spec's critical knee.
+  static constexpr double kViolationUtility = 0.5;
+  uint64_t Violations(PortId output) const;
 
   /// Mean latency of tuples delivered to the output, in ms.
   double AvgLatencyMs(PortId output) const;
@@ -81,6 +97,9 @@ class QoSMonitor {
     Counter* delivered = nullptr;
     Counter* dropped = nullptr;
     LatencyHistogram* latency_ms = nullptr;
+    Counter* violations = nullptr;
+    /// Violations attributed to each dominant latency stage.
+    Counter* bottleneck[kNumStages] = {};
     double latency_utility_sum = 0.0;
   };
   /// Registry-backed stats for the output, registered on first use under

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace aurora {
 
@@ -116,9 +117,21 @@ void Transport::GrantCredit(const std::string& stream, uint64_t limit) {
   st.credit_limit = limit;
   if (st.stalled &&
       (st.queue.empty() || st.queue.front().flow_offset <= st.credit_limit)) {
-    st.stalled = false;
+    NoteUnstalled(stream, st);
   }
   MaybeDispatch();
+}
+
+void Transport::NoteUnstalled(const std::string& stream, StreamState& st) {
+  st.stalled = false;
+  if (st.stall_start_us < 0) return;
+  int64_t start_us = st.stall_start_us;
+  st.stall_start_us = -1;
+  Tracer& tracer = Tracer::Global();
+  if (tracer.enabled()) {
+    tracer.Record({0, SpanKind::kCreditWait, static_cast<int>(src_),
+                   "credit:" + stream, start_us, sim_->Now().micros()});
+  }
 }
 
 bool Transport::StreamBlocked(const std::string& stream) const {
@@ -193,6 +206,7 @@ bool Transport::ReadyToDispatch(const std::string& name, StreamState& st,
         !OversizedHead(st)) {
       if (!st.stalled) {
         st.stalled = true;
+        st.stall_start_us = sim_->Now().micros();
         credit_stalls_++;
         m_flow_stalls_->Add();
       }
@@ -205,7 +219,7 @@ bool Transport::ReadyToDispatch(const std::string& name, StreamState& st,
       *wake = std::min(*wake, st.next_probe_at);
       return false;
     }
-    st.stalled = false;
+    if (st.stalled) NoteUnstalled(name, st);
   }
   if (opts_.train_size <= 1) return true;
   // Train gating: depart when a full train is ready or the oldest message

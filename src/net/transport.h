@@ -169,6 +169,7 @@ class Transport {
     uint64_t sent_offset = 0;      // bytes ever put on the wire
     uint64_t credit_limit = 0;     // receiver's cumulative grant
     bool stalled = false;          // head is past the credit limit
+    int64_t stall_start_us = -1;   // when the current stall began (-1 = none)
     SimTime next_probe_at{};       // earliest next credit probe
   };
 
@@ -196,6 +197,10 @@ class Transport {
   /// credit/partition retries), keeping only the earliest pending wake.
   void ArmWake(SimTime when);
   void SendCreditProbe(const std::string& stream, StreamState& st);
+  /// Closes the stream's current credit stall, recording the window as a
+  /// trace-0 kCreditWait system span (site "credit:<stream>") so the flight
+  /// recorder shows when the sender was credit-blocked.
+  void NoteUnstalled(const std::string& stream, StreamState& st);
 
   Simulation* sim_;
   OverlayNetwork* net_;

@@ -1,0 +1,149 @@
+#include "obs/attribution.h"
+
+#include <algorithm>
+
+#include "obs/trace.h"
+
+namespace aurora {
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kIngest:
+      return "ingest";
+    case Stage::kQueue:
+      return "queue";
+    case Stage::kExec:
+      return "exec";
+    case Stage::kTransport:
+      return "transport";
+    case Stage::kCredit:
+      return "credit";
+    case Stage::kDeliver:
+      return "deliver";
+  }
+  return "?";
+}
+
+Stage StageBreakdown::dominant() const {
+  int best = 0;
+  for (int i = 1; i < kNumStages; ++i) {
+    if (stage_us[i] > stage_us[best]) best = i;
+  }
+  return static_cast<Stage>(best);
+}
+
+namespace {
+
+/// Stage an inter-event gap belongs to, keyed by the event that closes it:
+/// what was the tuple doing *until* this event happened?
+Stage GapStage(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kEnqueue:
+      return Stage::kIngest;
+    case SpanKind::kBoxExec:
+      return Stage::kQueue;
+    case SpanKind::kTransportHop:
+      return Stage::kTransport;
+    case SpanKind::kCreditWait:
+      return Stage::kCredit;
+    case SpanKind::kDelivery:
+      return Stage::kDeliver;
+    default:
+      // kShed terminates the trace; kMigration/kFault are system spans that
+      // never reach here (trace_id 0).
+      return Stage::kDeliver;
+  }
+}
+
+}  // namespace
+
+LatencyAttributor::LatencyAttributor(size_t max_live)
+    : max_live_(max_live),
+      m_evicted_(MetricsRegistry::Global().GetCounter("trace.attr.evicted")) {}
+
+void LatencyAttributor::OnSpan(const TraceSpan& span) {
+  if (span.trace_id == 0) return;  // system spans carry no tuple lineage
+  auto it = live_.find(span.trace_id);
+  if (it == live_.end()) {
+    if (span.kind != SpanKind::kEnqueue) return;  // lineage lost or evicted
+    Live fresh;
+    fresh.first_us = span.start_us;
+    fresh.last_us = span.start_us;
+    live_.emplace(span.trace_id, fresh);
+    while (live_.size() > max_live_) {
+      // Trace ids are issued monotonically, so begin() is the oldest trace.
+      live_.erase(live_.begin());
+      evicted_++;
+      m_evicted_->Add();
+    }
+    return;
+  }
+
+  Live& live = it->second;
+  // A kCreditWait span's start is when the *binding* blocked, which can
+  // predate this tuple's last event; the unblock moment (end_us) is the
+  // closing event. Every other kind closes at its start.
+  int64_t event_us =
+      span.kind == SpanKind::kCreditWait ? span.end_us : span.start_us;
+  int64_t gap = event_us - live.last_us;
+  if (gap > 0) {
+    // Charged execution cost of the previous box elapses first; whatever
+    // remains was spent the way the closing event implies.
+    int64_t exec_part = std::min(gap, live.pending_exec_us);
+    live.stage_us[static_cast<int>(Stage::kExec)] += exec_part;
+    live.pending_exec_us -= exec_part;
+    live.stage_us[static_cast<int>(GapStage(span.kind))] += gap - exec_part;
+    live.last_us = event_us;
+  }
+  if (span.kind == SpanKind::kBoxExec) {
+    live.pending_exec_us += std::max<int64_t>(0, span.end_us - span.start_us);
+  }
+  if (span.kind == SpanKind::kDelivery) {
+    // site is "out:<name>"; tolerate bare names from hand-built spans.
+    std::string output =
+        span.site.rfind("out:", 0) == 0 ? span.site.substr(4) : span.site;
+    RecordDelivery(span.trace_id, live, output);
+  } else if (span.kind == SpanKind::kShed) {
+    live_.erase(it);  // the tuple is gone; nothing will be delivered
+  }
+}
+
+LatencyAttributor::OutputSeries& LatencyAttributor::Series(
+    const std::string& output) {
+  auto it = series_.find(output);
+  if (it != series_.end()) return it->second;
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const std::string base = "latency.attr." + output + ".";
+  OutputSeries s;
+  for (int i = 0; i < kNumStages; ++i) {
+    const char* name = StageName(static_cast<Stage>(i));
+    s.stage[i] = reg.GetHistogram(base + name + "_us");
+    s.dominant[i] = reg.GetCounter(base + "dominant." + name);
+  }
+  s.e2e = reg.GetHistogram(base + "e2e_us");
+  return series_.emplace(output, s).first->second;
+}
+
+void LatencyAttributor::RecordDelivery(uint64_t trace_id, const Live& live,
+                                       const std::string& output) {
+  last_.trace_id = trace_id;
+  last_.output = output;
+  last_.total_us = live.last_us - live.first_us;
+  for (int i = 0; i < kNumStages; ++i) last_.stage_us[i] = live.stage_us[i];
+  has_last_ = true;
+
+  OutputSeries& s = Series(output);
+  for (int i = 0; i < kNumStages; ++i) {
+    s.stage[i]->Record(static_cast<double>(live.stage_us[i]));
+  }
+  s.e2e->Record(static_cast<double>(last_.total_us));
+  s.dominant[static_cast<int>(last_.dominant())]->Add();
+}
+
+void LatencyAttributor::Clear() {
+  live_.clear();
+  has_last_ = false;
+  evicted_ = 0;
+}
+
+}  // namespace aurora

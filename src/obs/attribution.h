@@ -1,0 +1,112 @@
+#ifndef AURORA_OBS_ATTRIBUTION_H_
+#define AURORA_OBS_ATTRIBUTION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace aurora {
+
+struct TraceSpan;
+
+/// Stages a traced tuple's end-to-end latency decomposes into. Each stage
+/// is an interval of *elapsed simulated time*; per trace they sum exactly
+/// to (delivery time - first enqueue time), which is the conservation
+/// property tests/obs/attribution_test.cc asserts.
+enum class Stage : uint8_t {
+  kIngest,     ///< before/between admissions (timestamp -> kEnqueue gaps)
+  kQueue,      ///< waiting on a box input queue (gap closed by kBoxExec)
+  kExec,       ///< charged box execution cost that elapsed on the clock
+  kTransport,  ///< serialization + sender queue + wire (closed by a hop)
+  kCredit,     ///< held for downstream credit (closed by kCreditWait)
+  kDeliver,    ///< output-side holding (gap closed by kDelivery)
+};
+constexpr int kNumStages = 6;
+const char* StageName(Stage stage);
+
+/// One delivery's stage decomposition. `total_us` is the delivery's
+/// end-to-end latency measured from the trace's first enqueue; the stage
+/// entries sum to it exactly.
+struct StageBreakdown {
+  uint64_t trace_id = 0;
+  std::string output;  ///< output name the delivery landed on
+  int64_t stage_us[kNumStages] = {0, 0, 0, 0, 0, 0};
+  int64_t total_us = 0;
+  /// Stage with the largest share (first wins on ties, in enum order).
+  Stage dominant() const;
+  int64_t StageUs(Stage s) const { return stage_us[static_cast<int>(s)]; }
+};
+
+/// \brief Incremental per-trace latency attribution.
+///
+/// Fed every span the Tracer records (before ring eviction, so attribution
+/// never degrades when the flight-recorder window wraps). The model is
+/// gap-based: the elapsed time between consecutive span events of one trace
+/// is attributed to the stage the *closing* event implies, except that the
+/// previous span's charged duration (box execution cost) is consumed first
+/// as kExec. Gaps telescope, so per delivery the stages sum exactly to the
+/// elapsed time since the trace's first enqueue.
+///
+/// On every kDelivery span the cumulative breakdown is recorded into the
+/// registry under `latency.attr.<output>.<stage>_us` plus
+/// `latency.attr.<output>.e2e_us`, and the delivery's dominant stage bumps
+/// `latency.attr.<output>.dominant.<stage>` — the series aurora_inspect's
+/// stage-attribution table reads.
+///
+/// Live state is bounded: at most `max_live` traces are tracked; beyond it
+/// the oldest (smallest trace id) is evicted and counted in
+/// `trace.attr.evicted`.
+class LatencyAttributor {
+ public:
+  explicit LatencyAttributor(size_t max_live = 1 << 16);
+
+  /// Digests one recorded span. Spans must arrive in nondecreasing
+  /// start_us order per trace (true in the single-threaded simulation).
+  void OnSpan(const TraceSpan& span);
+
+  /// Breakdown of the most recent kDelivery span; nullptr before any.
+  /// Valid until the next OnSpan/Clear. The engine reads it right after
+  /// recording a delivery span to hand the dominant stage to QoSMonitor.
+  const StageBreakdown* last_delivery() const {
+    return has_last_ ? &last_ : nullptr;
+  }
+
+  size_t live_traces() const { return live_.size(); }
+  void set_max_live(size_t n) { max_live_ = n == 0 ? 1 : n; }
+  uint64_t evicted() const { return evicted_; }
+
+  void Clear();
+
+ private:
+  struct Live {
+    int64_t first_us = 0;
+    int64_t last_us = 0;
+    /// Charged execution cost of the last box span not yet consumed by an
+    /// elapsed gap.
+    int64_t pending_exec_us = 0;
+    int64_t stage_us[kNumStages] = {0, 0, 0, 0, 0, 0};
+  };
+  /// Cached registry series for one output's attribution histograms.
+  struct OutputSeries {
+    LatencyHistogram* stage[kNumStages] = {};
+    LatencyHistogram* e2e = nullptr;
+    Counter* dominant[kNumStages] = {};
+  };
+  OutputSeries& Series(const std::string& output);
+  void RecordDelivery(uint64_t trace_id, const Live& live,
+                      const std::string& output);
+
+  size_t max_live_;
+  Counter* m_evicted_;
+  uint64_t evicted_ = 0;
+  std::map<uint64_t, Live> live_;
+  std::map<std::string, OutputSeries> series_;
+  StageBreakdown last_;
+  bool has_last_ = false;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_OBS_ATTRIBUTION_H_

@@ -1,0 +1,96 @@
+#include "obs/flight_recorder.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace aurora {
+
+namespace {
+
+/// Escapes a free-text field for embedding in a JSON string literal.
+void AppendEscaped(std::ostringstream* os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *os << "\\\"";
+        break;
+      case '\\':
+        *os << "\\\\";
+        break;
+      case '\n':
+        *os << "\\n";
+        break;
+      case '\t':
+        *os << "\\t";
+        break;
+      default:
+        *os << c;
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder() = default;
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = [] {
+    FlightRecorder* r = new FlightRecorder();
+    const char* v = std::getenv("AURORA_FLIGHT_RECORDER");
+    if (v != nullptr && *v != '\0' && *v != '0') r->set_enabled(true);
+    return r;
+  }();
+  return *recorder;
+}
+
+bool FlightRecorder::Trigger(const std::string& event,
+                             const std::string& detail, int64_t now_us) {
+  if (!enabled_) return false;
+  if (!fired_.insert(event).second) return false;  // latched until Rearm
+
+  Tracer& tracer = Tracer::Global();
+  std::vector<TraceSpan> spans = tracer.TailSpans(max_spans_);
+  if (now_us < 0 && !spans.empty()) now_us = spans.back().end_us;
+
+  std::ostringstream os;
+  os << "{\n  \"event\": \"";
+  AppendEscaped(&os, event);
+  os << "\",\n  \"detail\": \"";
+  AppendEscaped(&os, detail);
+  os << "\",\n  \"seq\": " << dumps_ << ",\n  \"sim_time_us\": " << now_us
+     << ",\n  \"spans_dropped\": " << tracer.dropped() << ",\n  \"spans\": [";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const TraceSpan& s = spans[i];
+    os << (i ? ",\n    " : "\n    ");
+    os << "{\"trace_id\": " << s.trace_id << ", \"kind\": \""
+       << SpanKindName(s.kind) << "\", \"node\": " << s.node
+       << ", \"site\": \"";
+    AppendEscaped(&os, s.site);
+    os << "\", \"start_us\": " << s.start_us << ", \"end_us\": " << s.end_us
+       << "}";
+  }
+  os << (spans.empty() ? "]" : "\n  ]") << ",\n  \"metrics\": "
+     << MetricsRegistry::Global().SnapshotJson() << "\n}\n";
+
+  std::string path = output_dir_.empty()
+                         ? "obs_flight_" + event + ".json"
+                         : output_dir_ + "/obs_flight_" + event + ".json";
+  dumps_++;
+  if (sink_) {
+    sink_(path, os.str());
+    return true;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << os.str();
+  AURORA_LOG(Info) << "flight recorder: " << event << " (" << detail
+                   << ") -> " << path;
+  return true;
+}
+
+}  // namespace aurora

@@ -1,0 +1,87 @@
+#ifndef AURORA_OBS_FLIGHT_RECORDER_H_
+#define AURORA_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+
+namespace aurora {
+
+/// \brief Anomaly-triggered dump of the tracer's recent history.
+///
+/// The Tracer's ring holds a bounded window of the most recent spans; the
+/// flight recorder snapshots that window — plus a full metrics snapshot —
+/// the moment something anomalous happens, so the run's final artifacts
+/// contain the evidence from *around the event*, not just end-of-run
+/// aggregates. Trigger points (each passes its own event tag):
+///
+///   qos_violation   QoSMonitor: a delivery's latency utility fell below
+///                   the critical knee (engine/qos_monitor.cc)
+///   shed_activation LoadShedder: drop probability went zero -> nonzero
+///   node_crash      StreamNode::Crash (injected or chaos-driven)
+///   invariant       InvariantMonitor::Report (simcheck oracle divergence)
+///
+/// Each event tag fires at most once per run (first occurrence is the
+/// interesting one; a violating run would otherwise dump thousands of
+/// files); Rearm() resets the latch — tests and simcheck call it between
+/// episodes. Dumps go to `obs_flight_<event>.json`:
+///
+///   {"event": ..., "detail": ..., "seq": N, "sim_time_us": T,
+///    "spans_dropped": D, "spans": [...], "metrics": {...}}
+///
+/// Everything in the dump derives from simulation state, so two same-seed
+/// runs produce byte-identical dumps (the CI obs-smoke step diffs them).
+///
+/// Disabled by default; enable programmatically or with
+/// AURORA_FLIGHT_RECORDER=1 (read once at first Global() use). Not
+/// thread-safe (single-threaded sim).
+class FlightRecorder {
+ public:
+  /// Sink invoked with (path, json) per dump; the default writes the file.
+  using Sink = std::function<void(const std::string& path,
+                                  const std::string& json)>;
+
+  static FlightRecorder& Global();
+
+  FlightRecorder();
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  /// Max spans from the tail of the tracer ring per dump.
+  void set_max_spans(size_t n) { max_spans_ = n; }
+  size_t max_spans() const { return max_spans_; }
+
+  /// Directory dumps are written into ("" = cwd).
+  void set_output_dir(std::string dir) { output_dir_ = std::move(dir); }
+
+  /// Replaces the file-writing sink (tests capture dumps in memory).
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  /// Snapshots the tracer tail + metrics if `event` has not fired since the
+  /// last Rearm. Returns true when a dump was produced. `detail` is free
+  /// text naming the culprit (output port, stream, node id, ...); `now_us`
+  /// is the simulated time of the anomaly (-1 = unknown; the newest
+  /// retained span's end time is used instead).
+  bool Trigger(const std::string& event, const std::string& detail,
+               int64_t now_us = -1);
+
+  /// Total dumps produced (across Rearm cycles).
+  uint64_t dumps() const { return dumps_; }
+
+  /// Clears the per-event latches so every event kind may fire again.
+  void Rearm() { fired_.clear(); }
+
+ private:
+  bool enabled_ = false;
+  size_t max_spans_ = 256;
+  std::string output_dir_;
+  Sink sink_;
+  std::set<std::string> fired_;
+  uint64_t dumps_ = 0;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_OBS_FLIGHT_RECORDER_H_

@@ -1,0 +1,256 @@
+#include "obs/json.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace aurora {
+
+namespace {
+
+std::string Excerpt(const std::string& text, size_t pos) {
+  size_t end = std::min(text.size(), pos + 20);
+  return text.substr(pos, end - pos);
+}
+
+}  // namespace
+
+/// Recursive-descent parser over the raw text. Friend of JsonValue so it can
+/// fill the private representation directly.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue v;
+    Status s = ParseValue(&v);
+    if (!s.ok()) return s;
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error("trailing content after document");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    std::ostringstream os;
+    os << "json: " << what << " at offset " << pos_;
+    if (pos_ < text_.size()) os << " near '" << Excerpt(text_, pos_) << "'";
+    return Status::InvalidArgument(os.str());
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      pos_++;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* word) {
+    size_t n = std::strlen(word);
+    if (text_.compare(pos_, n, word) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->type_ = JsonValue::Type::kString;
+        return ParseString(&out->string_);
+      case 't':
+        if (ConsumeWord("true")) {
+          out->type_ = JsonValue::Type::kBool;
+          out->bool_ = true;
+          return Status::OK();
+        }
+        return Error("bad literal");
+      case 'f':
+        if (ConsumeWord("false")) {
+          out->type_ = JsonValue::Type::kBool;
+          out->bool_ = false;
+          return Status::OK();
+        }
+        return Error("bad literal");
+      case 'n':
+        if (ConsumeWord("null")) {
+          out->type_ = JsonValue::Type::kNull;
+          return Status::OK();
+        }
+        return Error("bad literal");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out) {
+    pos_++;  // '{'
+    out->type_ = JsonValue::Type::kObject;
+    SkipWs();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWs();
+      std::string key;
+      Status s = ParseString(&key);
+      if (!s.ok()) return s;
+      SkipWs();
+      if (!Consume(':')) return Error("expected ':' in object");
+      JsonValue value;
+      s = ParseValue(&value);
+      if (!s.ok()) return s;
+      out->object_.emplace(std::move(key), std::move(value));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out) {
+    pos_++;  // '['
+    out->type_ = JsonValue::Type::kArray;
+    SkipWs();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue value;
+      Status s = ParseValue(&value);
+      if (!s.ok()) return s;
+      out->array_.push_back(std::move(value));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected string");
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(esc);
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u':
+          // The exporters never emit \u escapes; keep the raw sequence so
+          // nothing is silently lost if one sneaks in.
+          out->push_back('\\');
+          out->push_back('u');
+          break;
+        default:
+          out->push_back(esc);
+          break;
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    Consume('-');
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      pos_++;
+    }
+    if (pos_ == start) return Error("expected value");
+    char* end = nullptr;
+    std::string token = text_.substr(start, pos_ - start);
+    double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Error("bad number");
+    out->type_ = JsonValue::Type::kNumber;
+    out->number_ = v;
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+Result<JsonValue> JsonValue::Parse(const std::string& text) {
+  return JsonParser(text).Parse();
+}
+
+Result<JsonValue> JsonValue::ParseFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("json: cannot open " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return Parse(os.str());
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+const JsonValue* JsonValue::FindObject(const std::string& key) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_object()) ? v : nullptr;
+}
+
+const JsonValue* JsonValue::FindArray(const std::string& key) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_array()) ? v : nullptr;
+}
+
+double JsonValue::NumberOr(const std::string& key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v->number_ : fallback;
+}
+
+std::string JsonValue::StringOr(const std::string& key,
+                                const std::string& fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_string()) ? v->string_ : fallback;
+}
+
+}  // namespace aurora

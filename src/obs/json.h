@@ -1,0 +1,71 @@
+#ifndef AURORA_OBS_JSON_H_
+#define AURORA_OBS_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace aurora {
+
+/// \brief Minimal JSON document model for the observability artifacts.
+///
+/// Parses exactly the dialect the exporters emit (obs_*.json metric
+/// snapshots, flight-recorder dumps, BENCH_*.json): objects, arrays,
+/// strings with backslash escapes, numbers, booleans, null. Good enough for
+/// aurora_inspect and the snapshot-diff helper without pulling in a
+/// dependency; not a general-purpose validator (it accepts some invalid
+/// escape sequences verbatim).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  /// Parses a complete document; trailing non-whitespace is an error.
+  static Result<JsonValue> Parse(const std::string& text);
+  /// Parses the contents of a file.
+  static Result<JsonValue> ParseFile(const std::string& path);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return number_; }
+  int64_t AsInt() const { return static_cast<int64_t>(number_); }
+  uint64_t AsUint() const { return static_cast<uint64_t>(number_); }
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonValue>& AsArray() const { return array_; }
+  const std::map<std::string, JsonValue>& AsObject() const { return object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+  /// Find, demanding a specific type; nullptr on mismatch.
+  const JsonValue* FindObject(const std::string& key) const;
+  const JsonValue* FindArray(const std::string& key) const;
+  /// Member number/string with a fallback.
+  double NumberOr(const std::string& key, double fallback) const;
+  std::string StringOr(const std::string& key,
+                       const std::string& fallback) const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_OBS_JSON_H_

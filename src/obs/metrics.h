@@ -123,6 +123,19 @@ class MetricsRegistry {
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
+  /// Read-only iteration over registrations (exporters and the
+  /// snapshot-diff helper; see obs/snapshot_diff.h).
+  const std::map<std::string, std::unique_ptr<Counter>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, std::unique_ptr<Gauge>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, std::unique_ptr<LatencyHistogram>>& histograms()
+      const {
+    return histograms_;
+  }
+
   /// Zeroes every metric, keeping registrations (and pointers) intact.
   void Reset();
 

@@ -1,0 +1,221 @@
+#include "obs/snapshot_diff.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace aurora {
+
+MetricsSnapshot MetricsSnapshot::FromRegistry(const MetricsRegistry& registry) {
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : registry.counters()) {
+    snap.counters[name] = c->value();
+  }
+  for (const auto& [name, g] : registry.gauges()) {
+    snap.gauges[name] = g->value();
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    HistogramStats s;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.min = h->min();
+    s.max = h->max();
+    s.mean = h->mean();
+    s.p50 = h->Quantile(0.5);
+    s.p95 = h->Quantile(0.95);
+    s.p99 = h->Quantile(0.99);
+    snap.histograms[name] = s;
+  }
+  return snap;
+}
+
+Result<MetricsSnapshot> MetricsSnapshot::FromJson(const JsonValue& doc) {
+  // Accept either a bare snapshot or a wrapper document (flight dump,
+  // BENCH_*.json) that embeds one under "metrics".
+  const JsonValue* root = &doc;
+  if (doc.Find("counters") == nullptr && doc.FindObject("metrics") != nullptr) {
+    root = doc.FindObject("metrics");
+  }
+  const JsonValue* counters = root->FindObject("counters");
+  const JsonValue* gauges = root->FindObject("gauges");
+  const JsonValue* histograms = root->FindObject("histograms");
+  if (counters == nullptr && gauges == nullptr && histograms == nullptr) {
+    return Status::InvalidArgument(
+        "not a metrics snapshot: no counters/gauges/histograms object");
+  }
+
+  MetricsSnapshot snap;
+  if (counters != nullptr) {
+    for (const auto& [name, v] : counters->AsObject()) {
+      if (v.is_number()) snap.counters[name] = v.AsUint();
+    }
+  }
+  if (gauges != nullptr) {
+    for (const auto& [name, v] : gauges->AsObject()) {
+      snap.gauges[name] = v.is_number() ? v.AsDouble() : v.NumberOr("value", 0);
+    }
+  }
+  if (histograms != nullptr) {
+    for (const auto& [name, v] : histograms->AsObject()) {
+      if (!v.is_object()) continue;
+      HistogramStats s;
+      s.count = static_cast<uint64_t>(v.NumberOr("count", 0));
+      s.sum = v.NumberOr("sum", 0);
+      s.min = v.NumberOr("min", 0);
+      s.max = v.NumberOr("max", 0);
+      s.mean = v.NumberOr("mean", 0);
+      s.p50 = v.NumberOr("p50", 0);
+      s.p95 = v.NumberOr("p95", 0);
+      s.p99 = v.NumberOr("p99", 0);
+      snap.histograms[name] = s;
+    }
+  }
+  return snap;
+}
+
+Result<MetricsSnapshot> MetricsSnapshot::FromJsonText(const std::string& text) {
+  Result<JsonValue> doc = JsonValue::Parse(text);
+  if (!doc.ok()) return doc.status();
+  return FromJson(*doc);
+}
+
+Result<MetricsSnapshot> MetricsSnapshot::FromJsonFile(const std::string& path) {
+  Result<JsonValue> doc = JsonValue::ParseFile(path);
+  if (!doc.ok()) return doc.status();
+  return FromJson(*doc);
+}
+
+SnapshotDiff SnapshotDiff::Between(const MetricsSnapshot& before,
+                                   const MetricsSnapshot& after) {
+  SnapshotDiff diff;
+
+  auto add = [&diff](const std::string& name, MetricDelta d) {
+    diff.changed.emplace(name, d);
+  };
+
+  for (const auto& [name, b] : before.counters) {
+    auto it = after.counters.find(name);
+    MetricDelta d;
+    d.kind = MetricDelta::Kind::kCounter;
+    d.before = static_cast<double>(b);
+    if (it == after.counters.end()) {
+      d.only_before = true;
+      d.delta = -d.before;
+      add(name, d);
+    } else if (it->second != b) {
+      d.after = static_cast<double>(it->second);
+      d.delta = d.after - d.before;
+      add(name, d);
+    }
+  }
+  for (const auto& [name, a] : after.counters) {
+    if (before.counters.count(name)) continue;
+    MetricDelta d;
+    d.kind = MetricDelta::Kind::kCounter;
+    d.only_after = true;
+    d.after = static_cast<double>(a);
+    d.delta = d.after;
+    if (a != 0) add(name, d);
+  }
+
+  for (const auto& [name, b] : before.gauges) {
+    auto it = after.gauges.find(name);
+    MetricDelta d;
+    d.kind = MetricDelta::Kind::kGauge;
+    d.before = b;
+    if (it == after.gauges.end()) {
+      d.only_before = true;
+      d.delta = -b;
+      add(name, d);
+    } else if (it->second != b) {
+      d.after = it->second;
+      d.delta = d.after - d.before;
+      add(name, d);
+    }
+  }
+  for (const auto& [name, a] : after.gauges) {
+    if (before.gauges.count(name)) continue;
+    MetricDelta d;
+    d.kind = MetricDelta::Kind::kGauge;
+    d.only_after = true;
+    d.after = a;
+    d.delta = a;
+    if (a != 0.0) add(name, d);
+  }
+
+  for (const auto& [name, b] : before.histograms) {
+    auto it = after.histograms.find(name);
+    MetricDelta d;
+    d.kind = MetricDelta::Kind::kHistogram;
+    d.before = static_cast<double>(b.count);
+    if (it == after.histograms.end()) {
+      d.only_before = true;
+      d.delta = -d.before;
+      add(name, d);
+    } else if (it->second.count != b.count || it->second.sum != b.sum) {
+      d.after = static_cast<double>(it->second.count);
+      d.delta = d.after - d.before;
+      add(name, d);
+    }
+  }
+  for (const auto& [name, a] : after.histograms) {
+    if (before.histograms.count(name)) continue;
+    MetricDelta d;
+    d.kind = MetricDelta::Kind::kHistogram;
+    d.only_after = true;
+    d.after = static_cast<double>(a.count);
+    d.delta = d.after;
+    if (a.count != 0) add(name, d);
+  }
+
+  return diff;
+}
+
+double SnapshotDiff::CounterDelta(const std::string& name) const {
+  auto it = changed.find(name);
+  if (it == changed.end()) return 0.0;
+  return it->second.delta;
+}
+
+namespace {
+
+std::string FormatNum(double v) {
+  char buf[64];
+  if (std::nearbyint(v) == v && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string SnapshotDiff::ToText(size_t max_rows) const {
+  std::ostringstream os;
+  size_t rows = 0;
+  for (const auto& [name, d] : changed) {
+    if (max_rows != 0 && rows == max_rows) {
+      os << "  ... (" << changed.size() - rows << " more)\n";
+      break;
+    }
+    const char* kind = d.kind == MetricDelta::Kind::kCounter  ? "counter"
+                       : d.kind == MetricDelta::Kind::kGauge ? "gauge"
+                                                             : "histogram";
+    os << "  " << name << " [" << kind << "] ";
+    if (d.only_after) {
+      os << "(new) -> " << FormatNum(d.after);
+    } else if (d.only_before) {
+      os << FormatNum(d.before) << " -> (gone)";
+    } else {
+      os << FormatNum(d.before) << " -> " << FormatNum(d.after);
+    }
+    os << " (" << (d.delta >= 0 ? "+" : "") << FormatNum(d.delta) << ")\n";
+    rows++;
+  }
+  return os.str();
+}
+
+}  // namespace aurora

@@ -1,0 +1,88 @@
+#ifndef AURORA_OBS_SNAPSHOT_DIFF_H_
+#define AURORA_OBS_SNAPSHOT_DIFF_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "obs/json.h"
+
+namespace aurora {
+
+class MetricsRegistry;
+
+/// \brief Point-in-time copy of a metrics registry, comparable and diffable.
+///
+/// One snapshot type backs both consumers of registry deltas: the benches
+/// (capture before/after a measured phase, report the difference) and
+/// `aurora_inspect --diff a.json b.json` (compare two exported obs dumps).
+/// Both paths land in the same struct, so a bench delta and an offline diff
+/// agree by construction.
+struct MetricsSnapshot {
+  struct HistogramStats {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;  ///< current value (max not diffable)
+  std::map<std::string, HistogramStats> histograms;
+
+  /// Copies the live registry (benches use the global one).
+  static MetricsSnapshot FromRegistry(const MetricsRegistry& registry);
+  /// Reads the `SnapshotJson()` format, either a bare snapshot object or
+  /// any document embedding one under a "metrics" key (flight dumps,
+  /// BENCH_*.json obs sections).
+  static Result<MetricsSnapshot> FromJson(const JsonValue& doc);
+  static Result<MetricsSnapshot> FromJsonText(const std::string& text);
+  static Result<MetricsSnapshot> FromJsonFile(const std::string& path);
+
+  uint64_t CounterOr(const std::string& name, uint64_t fallback = 0) const {
+    auto it = counters.find(name);
+    return it == counters.end() ? fallback : it->second;
+  }
+};
+
+/// One metric's change between two snapshots. For histograms the delta is
+/// in counts/sums (quantiles are not differencable and are reported from
+/// the `after` side).
+struct MetricDelta {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  Kind kind = Kind::kCounter;
+  bool only_before = false;  ///< present only in the `before` snapshot
+  bool only_after = false;   ///< present only in the `after` snapshot
+  double before = 0.0;
+  double after = 0.0;
+  double delta = 0.0;  ///< after - before (counter value / gauge / hist count)
+};
+
+/// \brief Name-keyed difference of two snapshots.
+///
+/// Metrics equal on both sides are omitted, so `changed` holds exactly the
+/// metrics that moved (or appeared/disappeared).
+struct SnapshotDiff {
+  std::map<std::string, MetricDelta> changed;
+
+  static SnapshotDiff Between(const MetricsSnapshot& before,
+                              const MetricsSnapshot& after);
+
+  bool empty() const { return changed.empty(); }
+
+  /// Delta of one counter between the snapshots (0 when absent/unchanged).
+  double CounterDelta(const std::string& name) const;
+
+  /// Human-readable table, one `name before -> after (delta)` line per
+  /// changed metric, sorted by name. `max_rows` 0 = unlimited.
+  std::string ToText(size_t max_rows = 0) const;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_OBS_SNAPSHOT_DIFF_H_

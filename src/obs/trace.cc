@@ -1,6 +1,7 @@
 #include "obs/trace.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
 
 namespace aurora {
@@ -19,27 +20,120 @@ const char* SpanKindName(SpanKind kind) {
       return "migration";
     case SpanKind::kFault:
       return "fault";
+    case SpanKind::kCreditWait:
+      return "credit_wait";
+    case SpanKind::kShed:
+      return "shed";
   }
   return "?";
 }
 
+bool SpanKindFromName(const std::string& name, SpanKind* out) {
+  for (int i = 0; i < kNumSpanKinds; ++i) {
+    SpanKind kind = static_cast<SpanKind>(i);
+    if (name == SpanKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+
+}  // namespace
+
+Tracer::Tracer()
+    : m_spans_dropped_(MetricsRegistry::Global().GetCounter(
+          "trace.spans_dropped")),
+      m_spans_sampled_out_(MetricsRegistry::Global().GetCounter(
+          "trace.sampled_out")) {}
+
 Tracer& Tracer::Global() {
-  static Tracer* tracer = new Tracer();
+  static Tracer* tracer = [] {
+    Tracer* t = new Tracer();
+    if (EnvU64("AURORA_TRACE", 0) != 0) t->set_enabled(true);
+    t->set_capacity(static_cast<size_t>(
+        EnvU64("AURORA_TRACE_CAPACITY", t->capacity())));
+    t->set_sample_period(EnvU64("AURORA_TRACE_SAMPLE", 1));
+    return t;
+  }();
   return *tracer;
+}
+
+uint64_t Tracer::NewTrace() {
+  uint64_t slot = issued_++;
+  if (sample_period_ > 1 && slot % sample_period_ != 0) {
+    m_spans_sampled_out_->Add();
+    return 0;
+  }
+  return next_trace_id_++;
 }
 
 void Tracer::Record(TraceSpan span) {
   if (!enabled_) return;
-  if (spans_.size() >= capacity_) {
+  attributor_.OnSpan(span);
+  if (capacity_ == 0) {
     dropped_++;
+    m_spans_dropped_->Add();
     return;
   }
-  spans_.push_back(std::move(span));
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+    return;
+  }
+  // At capacity: overwrite the oldest span.
+  full_ = true;
+  ring_[head_] = std::move(span);
+  head_ = (head_ + 1) % ring_.size();
+  dropped_++;
+  m_spans_dropped_->Add();
+}
+
+void Tracer::set_capacity(size_t capacity) {
+  if (capacity == capacity_) return;
+  // Keep the newest spans that still fit, restored to a linear prefix.
+  std::vector<TraceSpan> kept = SnapshotSpans();
+  if (kept.size() > capacity) {
+    size_t excess = kept.size() - capacity;
+    kept.erase(kept.begin(), kept.begin() + static_cast<long>(excess));
+    dropped_ += excess;
+    m_spans_dropped_->Add(excess);
+  }
+  capacity_ = capacity;
+  ring_ = std::move(kept);
+  ring_.reserve(std::min<size_t>(capacity_, 1 << 20));
+  head_ = 0;
+  full_ = false;
+}
+
+std::vector<TraceSpan> Tracer::SnapshotSpans() const {
+  std::vector<TraceSpan> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) out.push_back(ring_[RingIndex(i)]);
+  return out;
+}
+
+std::vector<TraceSpan> Tracer::TailSpans(size_t max_spans) const {
+  size_t n = std::min(max_spans, ring_.size());
+  std::vector<TraceSpan> out;
+  out.reserve(n);
+  for (size_t i = ring_.size() - n; i < ring_.size(); ++i) {
+    out.push_back(ring_[RingIndex(i)]);
+  }
+  return out;
 }
 
 std::vector<TraceSpan> Tracer::SpansFor(uint64_t trace_id) const {
   std::vector<TraceSpan> out;
-  for (const auto& span : spans_) {
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const TraceSpan& span = ring_[RingIndex(i)];
     if (span.trace_id == trace_id) out.push_back(span);
   }
   std::stable_sort(out.begin(), out.end(),
@@ -50,19 +144,30 @@ std::vector<TraceSpan> Tracer::SpansFor(uint64_t trace_id) const {
 }
 
 void Tracer::Clear() {
-  spans_.clear();
+  ring_.clear();
+  head_ = 0;
+  full_ = false;
   dropped_ = 0;
+  attributor_.Clear();
 }
+
+namespace {
+
+void AppendSpanJson(std::ostringstream* os, const TraceSpan& s) {
+  *os << "{\"trace_id\": " << s.trace_id << ", \"kind\": \""
+      << SpanKindName(s.kind) << "\", \"node\": " << s.node << ", \"site\": \""
+      << s.site << "\", \"start_us\": " << s.start_us
+      << ", \"end_us\": " << s.end_us << "}";
+}
+
+}  // namespace
 
 std::string Tracer::ExportJson() const {
   std::ostringstream os;
   os << "[";
-  for (size_t i = 0; i < spans_.size(); ++i) {
-    const TraceSpan& s = spans_[i];
-    os << (i ? ",\n " : "\n ") << "{\"trace_id\": " << s.trace_id
-       << ", \"kind\": \"" << SpanKindName(s.kind) << "\", \"node\": " << s.node
-       << ", \"site\": \"" << s.site << "\", \"start_us\": " << s.start_us
-       << ", \"end_us\": " << s.end_us << "}";
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    os << (i ? ",\n " : "\n ");
+    AppendSpanJson(&os, ring_[RingIndex(i)]);
   }
   os << "\n]";
   return os.str();
@@ -71,7 +176,8 @@ std::string Tracer::ExportJson() const {
 std::string Tracer::ExportCsv() const {
   std::ostringstream os;
   os << "trace_id,kind,node,site,start_us,end_us\n";
-  for (const auto& s : spans_) {
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const TraceSpan& s = ring_[RingIndex(i)];
     os << s.trace_id << "," << SpanKindName(s.kind) << "," << s.node << ","
        << s.site << "," << s.start_us << "," << s.end_us << "\n";
   }

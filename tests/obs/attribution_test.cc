@@ -1,0 +1,183 @@
+// Stage attribution (obs/attribution.h): the gap-based model's defining
+// property is conservation — per delivery, the six stage buckets sum
+// exactly to (delivery time - first enqueue time). Unit tests drive the
+// attributor with synthetic lineages (including the kCreditWait
+// start-predates-last-event case); the integration test runs a real
+// two-node deployment and checks conservation on the registry histograms
+// aurora_inspect reads.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "distributed/deployment.h"
+#include "obs/attribution.h"
+#include "obs/trace.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing_util::SchemaAB;
+
+int64_t StageSum(const StageBreakdown& b) {
+  int64_t sum = 0;
+  for (int i = 0; i < kNumStages; ++i) sum += b.stage_us[i];
+  return sum;
+}
+
+class AttributionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Global().Reset();
+    Tracer::Global().Clear();
+    Tracer::Global().set_enabled(true);
+  }
+  void TearDown() override {
+    Tracer::Global().set_enabled(false);
+    Tracer::Global().Clear();
+    MetricsRegistry::Global().Reset();
+  }
+};
+
+TEST_F(AttributionTest, StagesSumExactlyToEndToEnd) {
+  LatencyAttributor attr;
+  const uint64_t id = 7;
+  attr.OnSpan({id, SpanKind::kEnqueue, 0, "in:in", 100, 100});
+  // Box charged 20us of execution cost starting at 150.
+  attr.OnSpan({id, SpanKind::kBoxExec, 0, "box:filter", 150, 170});
+  // The binding blocked at 140 — before this tuple's last event — and
+  // unblocked at 200; only the unblock moment closes the gap.
+  attr.OnSpan({id, SpanKind::kCreditWait, 0, "credit:s", 140, 200});
+  attr.OnSpan({id, SpanKind::kTransportHop, 1, "stream:xin", 230, 230});
+  attr.OnSpan({id, SpanKind::kDelivery, 1, "out:final", 260, 260});
+
+  const StageBreakdown* b = attr.last_delivery();
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->trace_id, id);
+  EXPECT_EQ(b->output, "final");
+  EXPECT_EQ(b->total_us, 160);  // 260 - 100
+  EXPECT_EQ(b->StageUs(Stage::kIngest), 0);
+  EXPECT_EQ(b->StageUs(Stage::kQueue), 50);      // 100 -> 150
+  EXPECT_EQ(b->StageUs(Stage::kExec), 20);       // charged cost, elapsed
+  EXPECT_EQ(b->StageUs(Stage::kCredit), 30);     // 170 -> 200
+  EXPECT_EQ(b->StageUs(Stage::kTransport), 30);  // 200 -> 230
+  EXPECT_EQ(b->StageUs(Stage::kDeliver), 30);    // 230 -> 260
+  EXPECT_EQ(StageSum(*b), b->total_us);
+  EXPECT_EQ(b->dominant(), Stage::kQueue);
+}
+
+TEST_F(AttributionTest, ChargedExecCostNeverExceedsElapsedTime) {
+  LatencyAttributor attr;
+  const uint64_t id = 9;
+  attr.OnSpan({id, SpanKind::kEnqueue, 0, "in:in", 0, 0});
+  // Charged cost (990us) overruns the wall clock: delivery lands 50us in.
+  attr.OnSpan({id, SpanKind::kBoxExec, 0, "box:map", 10, 1000});
+  attr.OnSpan({id, SpanKind::kDelivery, 0, "out:o", 50, 50});
+
+  const StageBreakdown* b = attr.last_delivery();
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->total_us, 50);
+  EXPECT_EQ(b->StageUs(Stage::kQueue), 10);
+  EXPECT_EQ(b->StageUs(Stage::kExec), 40);  // capped at the elapsed gap
+  EXPECT_EQ(b->StageUs(Stage::kDeliver), 0);
+  EXPECT_EQ(StageSum(*b), b->total_us);
+}
+
+TEST_F(AttributionTest, ShedTerminatesLineageAndLiveStateIsBounded) {
+  LatencyAttributor attr;
+  attr.set_max_live(4);
+  attr.OnSpan({1, SpanKind::kEnqueue, 0, "in:a", 10, 10});
+  attr.OnSpan({1, SpanKind::kShed, 0, "shed:in:a", 20, 20});
+  EXPECT_EQ(attr.live_traces(), 0u);
+  // A later span for the dead lineage is ignored, not resurrected.
+  attr.OnSpan({1, SpanKind::kDelivery, 0, "out:o", 30, 30});
+  EXPECT_EQ(attr.last_delivery(), nullptr);
+
+  // Live traces beyond max_live evict the oldest (smallest id).
+  for (uint64_t id = 10; id < 20; ++id) {
+    attr.OnSpan({id, SpanKind::kEnqueue, 0, "in:a",
+                 static_cast<int64_t>(id), static_cast<int64_t>(id)});
+  }
+  EXPECT_EQ(attr.live_traces(), 4u);
+  EXPECT_EQ(attr.evicted(), 6u);
+  // Evicted trace 10 no longer attributes; surviving trace 19 does.
+  attr.OnSpan({10, SpanKind::kDelivery, 0, "out:o", 100, 100});
+  EXPECT_EQ(attr.last_delivery(), nullptr);
+  attr.OnSpan({19, SpanKind::kDelivery, 0, "out:o", 100, 100});
+  ASSERT_NE(attr.last_delivery(), nullptr);
+  EXPECT_EQ(attr.last_delivery()->trace_id, 19u);
+}
+
+TEST_F(AttributionTest, RegistrySeriesConserveAcrossRealDeployment) {
+  Simulation sim;
+  auto net = std::make_unique<OverlayNetwork>(&sim);
+  auto system =
+      std::make_unique<AuroraStarSystem>(&sim, net.get(), StarOptions{});
+  ASSERT_OK_AND_ASSIGN(NodeId n0, system->AddNode(NodeOptions{"n0", 1.0, {}}));
+  ASSERT_OK_AND_ASSIGN(NodeId n1, system->AddNode(NodeOptions{"n1", 1.0, {}}));
+  ASSERT_OK(net->AddLink(n0, n1, LinkOptions{}));
+
+  GlobalQuery q;
+  ASSERT_OK(q.AddInput("in", SchemaAB()));
+  OperatorSpec costly = FilterSpec(Predicate::True());
+  costly.SetParam("cost_us", Value(250.0));
+  ASSERT_OK(q.AddBox("f", costly));
+  ASSERT_OK(q.AddBox("m", MapSpec({{"A", Expr::FieldRef("A")},
+                                   {"B", Expr::FieldRef("B")}})));
+  ASSERT_OK(q.AddOutput("out"));
+  ASSERT_OK(q.ConnectInputToBox("in", "f"));
+  ASSERT_OK(q.ConnectBoxes("f", 0, "m", 0));
+  ASSERT_OK(q.ConnectBoxToOutput("m", 0, "out"));
+  ASSERT_OK_AND_ASSIGN(DeployedQuery deployed,
+                       DeployQuery(system.get(), q, {{"f", n0}, {"m", n1}}));
+  (void)deployed;
+
+  uint64_t delivered = 0;
+  ASSERT_OK(system->CollectOutput(
+      n1, "out", [&](const Tuple&, SimTime) { ++delivered; }));
+
+  SchemaPtr schema = SchemaAB();
+  for (int i = 0; i < 40; ++i) {
+    sim.ScheduleAt(SimTime::Micros(i * 500), [&, i]() {
+      Tuple t = MakeTuple(schema, {Value(i), Value(i % 5)});
+      (void)system->node(n0).Inject("in", t);
+    });
+  }
+  sim.RunFor(SimDuration::Seconds(2));
+  ASSERT_EQ(delivered, 40u);
+
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const LatencyHistogram* e2e =
+      reg.FindHistogram("latency.attr.out.e2e_us");
+  ASSERT_NE(e2e, nullptr);
+  EXPECT_EQ(e2e->count(), 40u);
+  double stage_sum = 0;
+  for (int i = 0; i < kNumStages; ++i) {
+    std::string name = std::string("latency.attr.out.") +
+                       StageName(static_cast<Stage>(i)) + "_us";
+    const LatencyHistogram* h = reg.FindHistogram(name);
+    ASSERT_NE(h, nullptr) << name;
+    EXPECT_EQ(h->count(), e2e->count()) << name;
+    stage_sum += h->sum();
+  }
+  // Exact conservation: the stages telescope to the e2e latency.
+  EXPECT_DOUBLE_EQ(stage_sum, e2e->sum());
+  EXPECT_GT(e2e->sum(), 0.0) << "cost_us box should produce nonzero latency";
+
+  // Dominant-stage counters partition the deliveries.
+  uint64_t dominant_total = 0;
+  for (int i = 0; i < kNumStages; ++i) {
+    std::string name = std::string("latency.attr.out.dominant.") +
+                       StageName(static_cast<Stage>(i));
+    const Counter* c = reg.FindCounter(name);
+    ASSERT_NE(c, nullptr) << name;
+    dominant_total += c->value();
+  }
+  EXPECT_EQ(dominant_total, e2e->count());
+}
+
+}  // namespace
+}  // namespace aurora

@@ -1,0 +1,141 @@
+// Anomaly flight recorder (obs/flight_recorder.h): dumps snapshot the
+// tracer's tail + metrics once per event kind, and the real trigger points
+// fire — a QoS violation names its bottleneck stage in the dump detail,
+// and an injected node crash produces a node_crash dump.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "distributed/deployment.h"
+#include "engine/aurora_engine.h"
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+#include "qos/qos_spec.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing_util::SchemaAB;
+
+/// Captured (path, json) pairs from a test sink.
+struct CapturedDump {
+  std::string path;
+  std::string json;
+};
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Global().Reset();
+    Tracer::Global().Clear();
+    Tracer::Global().set_enabled(true);
+    FlightRecorder& fr = FlightRecorder::Global();
+    fr.Rearm();
+    fr.set_enabled(true);
+    fr.set_sink([this](const std::string& path, const std::string& json) {
+      dumps_.push_back({path, json});
+    });
+  }
+  void TearDown() override {
+    FlightRecorder& fr = FlightRecorder::Global();
+    fr.set_sink(FlightRecorder::Sink{});  // restore the file-writing default
+    fr.set_enabled(false);
+    fr.Rearm();
+    Tracer::Global().set_enabled(false);
+    Tracer::Global().Clear();
+    MetricsRegistry::Global().Reset();
+  }
+
+  std::vector<CapturedDump> dumps_;
+};
+
+TEST_F(FlightRecorderTest, DumpSnapshotsTailAndLatchesPerEventKind) {
+  Tracer& tracer = Tracer::Global();
+  uint64_t id = tracer.NextTraceId();
+  tracer.Record({id, SpanKind::kEnqueue, 0, "in:in", 10, 10});
+  tracer.Record({id, SpanKind::kDelivery, 0, "out:out", 30, 30});
+
+  FlightRecorder& fr = FlightRecorder::Global();
+  const uint64_t dumps_before = fr.dumps();
+  EXPECT_TRUE(fr.Trigger("qos_violation", "out=\"out\"", 30));
+  EXPECT_FALSE(fr.Trigger("qos_violation", "again", 31)) << "latched";
+  EXPECT_TRUE(fr.Trigger("node_crash", "node=1", 40)) << "independent latch";
+  fr.Rearm();
+  EXPECT_TRUE(fr.Trigger("qos_violation", "after rearm", 50));
+  ASSERT_EQ(dumps_.size(), 3u);
+
+  EXPECT_EQ(dumps_[0].path, "obs_flight_qos_violation.json");
+  ASSERT_OK_AND_ASSIGN(JsonValue doc,
+                       JsonValue::Parse(dumps_[0].json));
+  EXPECT_EQ(doc.StringOr("event", ""), "qos_violation");
+  EXPECT_EQ(doc.StringOr("detail", ""), "out=\"out\"");
+  EXPECT_EQ(doc.NumberOr("sim_time_us", -1), 30);
+  const JsonValue* spans = doc.FindArray("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->AsArray().size(), 2u);
+  EXPECT_EQ(spans->AsArray()[0].StringOr("kind", ""), "enqueue");
+  EXPECT_EQ(spans->AsArray()[1].StringOr("site", ""), "out:out");
+  // The metrics snapshot rides along, parseable by the same machinery
+  // aurora_inspect --diff uses.
+  ASSERT_NE(doc.FindObject("metrics"), nullptr);
+  EXPECT_EQ(fr.dumps() - dumps_before, 3u);
+}
+
+TEST_F(FlightRecorderTest, DisabledRecorderNeverDumps) {
+  FlightRecorder& fr = FlightRecorder::Global();
+  fr.set_enabled(false);
+  EXPECT_FALSE(fr.Trigger("qos_violation", "x", 1));
+  EXPECT_TRUE(dumps_.empty());
+}
+
+TEST_F(FlightRecorderTest, QoSViolationTriggersDumpNamingBottleneckStage) {
+  AuroraEngine engine;
+  PortId in = *engine.AddInput("in", SchemaAB());
+  PortId out = *engine.AddOutput("out");
+  ASSERT_TRUE(engine.Connect(Endpoint::InputPort(in),
+                             Endpoint::OutputPort(out)).ok());
+  ASSERT_OK(engine.InitializeBoxes());
+  QoSSpec spec;
+  spec.latency = *UtilityGraph::Make({{10, 1.0}, {20, 0.0}});
+  ASSERT_OK(engine.SetOutputQoS(out, spec));
+
+  // A tuple stamped at t=1us delivered at t=100ms: ~100ms latency against
+  // a 20ms knee -> utility 0 -> violation.
+  SchemaPtr schema = SchemaAB();
+  Tuple t = MakeTuple(schema, {Value(1), Value(2)});
+  t.set_timestamp(SimTime::Micros(1));
+  ASSERT_OK(engine.PushInput(in, std::move(t), SimTime::Micros(100'000)));
+  ASSERT_OK(engine.RunUntilQuiescent(SimTime::Micros(100'000)));
+
+  EXPECT_GE(engine.qos_monitor().Violations(out), 1u);
+  ASSERT_EQ(dumps_.size(), 1u);
+  EXPECT_EQ(dumps_[0].path, "obs_flight_qos_violation.json");
+  // Tracing was on, so the violation names its dominant (bottleneck) stage.
+  EXPECT_NE(dumps_[0].json.find("dominant="), std::string::npos)
+      << dumps_[0].json.substr(0, 200);
+}
+
+TEST_F(FlightRecorderTest, InjectedNodeCrashTriggersDump) {
+  Simulation sim;
+  auto net = std::make_unique<OverlayNetwork>(&sim);
+  auto system =
+      std::make_unique<AuroraStarSystem>(&sim, net.get(), StarOptions{});
+  ASSERT_OK_AND_ASSIGN(NodeId n0, system->AddNode(NodeOptions{"n0", 1.0, {}}));
+  ASSERT_OK_AND_ASSIGN(NodeId n1, system->AddNode(NodeOptions{"n1", 1.0, {}}));
+  ASSERT_OK(net->AddLink(n0, n1, LinkOptions{}));
+
+  system->node(n1).Crash();
+
+  ASSERT_EQ(dumps_.size(), 1u);
+  EXPECT_EQ(dumps_[0].path, "obs_flight_node_crash.json");
+  ASSERT_OK_AND_ASSIGN(JsonValue doc, JsonValue::Parse(dumps_[0].json));
+  EXPECT_EQ(doc.StringOr("event", ""), "node_crash");
+  EXPECT_NE(doc.StringOr("detail", "").find("node="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aurora

@@ -1,0 +1,98 @@
+// Metrics snapshot-diff helper (obs/snapshot_diff.h): one struct backs
+// both the benches' before/after deltas and `aurora_inspect --diff`, so a
+// registry capture and a parse of the exported SnapshotJson() must agree.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/snapshot_diff.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+class SnapshotDiffTest : public ::testing::Test {
+ protected:
+  void SetUp() override { MetricsRegistry::Global().Reset(); }
+  void TearDown() override { MetricsRegistry::Global().Reset(); }
+};
+
+TEST_F(SnapshotDiffTest, RegistryCaptureRoundTripsThroughExportedJson) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("t.count")->Add(42);
+  reg.GetGauge("t.depth")->Set(7.5);
+  LatencyHistogram* h = reg.GetHistogram("t.lat_us");
+  h->Record(100);
+  h->Record(300);
+
+  MetricsSnapshot live = MetricsSnapshot::FromRegistry(reg);
+  EXPECT_EQ(live.CounterOr("t.count"), 42u);
+  EXPECT_DOUBLE_EQ(live.gauges.at("t.depth"), 7.5);
+  EXPECT_EQ(live.histograms.at("t.lat_us").count, 2u);
+  EXPECT_DOUBLE_EQ(live.histograms.at("t.lat_us").sum, 400.0);
+
+  ASSERT_OK_AND_ASSIGN(MetricsSnapshot parsed,
+                       MetricsSnapshot::FromJsonText(reg.SnapshotJson()));
+  EXPECT_EQ(parsed.CounterOr("t.count"), 42u);
+  EXPECT_DOUBLE_EQ(parsed.gauges.at("t.depth"), 7.5);
+  EXPECT_EQ(parsed.histograms.at("t.lat_us").count, 2u);
+  // SnapshotJson prints %.6g, so sums survive to ~6 significant digits.
+  EXPECT_NEAR(parsed.histograms.at("t.lat_us").sum, 400.0, 1e-3);
+  EXPECT_NEAR(parsed.histograms.at("t.lat_us").p50,
+              live.histograms.at("t.lat_us").p50, 1e-3);
+}
+
+TEST_F(SnapshotDiffTest, BetweenReportsExactlyTheMetricsThatMoved) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* moved = reg.GetCounter("t.moved");
+  reg.GetCounter("t.frozen")->Add(5);
+  moved->Add(10);
+  MetricsSnapshot before = MetricsSnapshot::FromRegistry(reg);
+
+  moved->Add(7);
+  reg.GetCounter("t.born")->Add(1);
+  reg.GetHistogram("t.hist")->Record(3.0);
+  MetricsSnapshot after = MetricsSnapshot::FromRegistry(reg);
+
+  SnapshotDiff diff = SnapshotDiff::Between(before, after);
+  EXPECT_FALSE(diff.empty());
+  EXPECT_EQ(diff.changed.count("t.frozen"), 0u) << "unchanged metric leaked";
+  EXPECT_DOUBLE_EQ(diff.CounterDelta("t.moved"), 7.0);
+  EXPECT_DOUBLE_EQ(diff.CounterDelta("t.frozen"), 0.0);
+  EXPECT_DOUBLE_EQ(diff.CounterDelta("t.absent"), 0.0);
+
+  ASSERT_EQ(diff.changed.count("t.born"), 1u);
+  EXPECT_TRUE(diff.changed.at("t.born").only_after);
+  ASSERT_EQ(diff.changed.count("t.hist"), 1u);
+  EXPECT_EQ(diff.changed.at("t.hist").kind, MetricDelta::Kind::kHistogram);
+  EXPECT_DOUBLE_EQ(diff.changed.at("t.hist").delta, 1.0);
+
+  std::string text = diff.ToText();
+  EXPECT_NE(text.find("t.moved"), std::string::npos);
+  EXPECT_EQ(text.find("t.frozen"), std::string::npos);
+
+  // Identical snapshots diff empty.
+  EXPECT_TRUE(SnapshotDiff::Between(after, after).empty());
+}
+
+TEST_F(SnapshotDiffTest, FromJsonAcceptsDocumentsEmbeddingMetrics) {
+  // The flight-recorder dump shape: the snapshot lives under "metrics".
+  const std::string doc = R"({
+    "event": "qos_violation",
+    "metrics": {
+      "counters": {"a.b": 3},
+      "gauges": {},
+      "histograms": {}
+    }
+  })";
+  ASSERT_OK_AND_ASSIGN(MetricsSnapshot snap,
+                       MetricsSnapshot::FromJsonText(doc));
+  EXPECT_EQ(snap.CounterOr("a.b"), 3u);
+
+  EXPECT_FALSE(MetricsSnapshot::FromJsonText("not json").ok());
+  EXPECT_FALSE(MetricsSnapshot::FromJsonFile("/nonexistent/x.json").ok());
+}
+
+}  // namespace
+}  // namespace aurora

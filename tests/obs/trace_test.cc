@@ -116,7 +116,7 @@ TEST_F(TraceTest, DisabledTracerRecordsNothing) {
   Tracer::Global().set_enabled(false);
   Tracer::Global().Record(
       {1, SpanKind::kEnqueue, 0, "in:x", 0, 0});
-  EXPECT_TRUE(Tracer::Global().spans().empty());
+  EXPECT_EQ(Tracer::Global().size(), 0u);
 }
 
 TEST_F(TraceTest, CapacityBoundDropsExcessSpans) {
@@ -126,9 +126,76 @@ TEST_F(TraceTest, CapacityBoundDropsExcessSpans) {
   for (int i = 0; i < 5; ++i) {
     tracer.Record({1, SpanKind::kEnqueue, 0, "in:x", i, i});
   }
-  EXPECT_EQ(tracer.spans().size(), 2u);
+  EXPECT_EQ(tracer.SnapshotSpans().size(), 2u);
   EXPECT_EQ(tracer.dropped(), 3u);
   tracer.set_capacity(old_cap);
+}
+
+TEST_F(TraceTest, RingEvictsOldestFirstAndKeepsRecordOrder) {
+  Tracer& tracer = Tracer::Global();
+  size_t old_cap = tracer.capacity();
+  tracer.set_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    tracer.Record({static_cast<uint64_t>(i + 1), SpanKind::kEnqueue, 0, "in:x",
+                   i, i});
+  }
+  // The newest 4 spans survive, oldest first.
+  std::vector<TraceSpan> spans = tracer.SnapshotSpans();
+  ASSERT_EQ(spans.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(spans[i].trace_id, static_cast<uint64_t>(i + 7));
+    EXPECT_EQ(spans[i].start_us, i + 6);
+  }
+  EXPECT_EQ(tracer.dropped(), 6u);
+  // TailSpans slices from the newest end, preserving order.
+  std::vector<TraceSpan> tail = tracer.TailSpans(2);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].trace_id, 9u);
+  EXPECT_EQ(tail[1].trace_id, 10u);
+  // Shrinking keeps the newest spans that still fit.
+  tracer.set_capacity(2);
+  spans = tracer.SnapshotSpans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].trace_id, 9u);
+  EXPECT_EQ(spans[1].trace_id, 10u);
+  tracer.set_capacity(old_cap);
+}
+
+TEST_F(TraceTest, SamplingIsDeterministicOnIssuanceOrder) {
+  Tracer& tracer = Tracer::Global();
+  tracer.set_sample_period(3);
+  // Every 3rd issuance gets a fresh id; the pattern depends only on the
+  // issuance counter, so two identical workloads sample identically.
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 9; ++i) ids.push_back(tracer.NewTrace());
+  int sampled = 0;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i % 3 == 0) {
+      EXPECT_NE(ids[i], 0u) << "issuance " << i << " should be sampled";
+      sampled++;
+    } else {
+      EXPECT_EQ(ids[i], 0u) << "issuance " << i << " should be sampled out";
+    }
+  }
+  EXPECT_EQ(sampled, 3);
+  // Sampled ids stay dense and monotone (no gaps for sampled-out tuples).
+  EXPECT_EQ(ids[3], ids[0] + 1);
+  EXPECT_EQ(ids[6], ids[0] + 2);
+  tracer.set_sample_period(1);
+}
+
+TEST_F(TraceTest, SpanKindNamesRoundTripEveryValue) {
+  for (int i = 0; i < kNumSpanKinds; ++i) {
+    SpanKind kind = static_cast<SpanKind>(i);
+    const char* name = SpanKindName(kind);
+    ASSERT_STRNE(name, "?") << "SpanKind " << i << " has no name";
+    SpanKind back = SpanKind::kEnqueue;
+    ASSERT_TRUE(SpanKindFromName(name, &back))
+        << "SpanKindFromName rejects '" << name << "'";
+    EXPECT_EQ(back, kind) << "round trip changed '" << name << "'";
+  }
+  SpanKind out = SpanKind::kEnqueue;
+  EXPECT_FALSE(SpanKindFromName("not_a_span_kind", &out));
 }
 
 }  // namespace

@@ -1,0 +1,381 @@
+// aurora_inspect: offline bottleneck analysis over the observability
+// artifacts the benches, simcheck, and the flight recorder write.
+//
+//   aurora_inspect <dump.json>             summary: stage attribution per
+//                                          output, top bottleneck boxes, and
+//                                          (for flight dumps) trace timelines
+//   aurora_inspect --check <dump.json>     validate the dump: snapshot schema
+//                                          plus stage/e2e conservation;
+//                                          nonzero exit on failure (CI)
+//   aurora_inspect --diff <a.json> <b.json> metric deltas between two dumps
+//   aurora_inspect --top N / --traces N    table / timeline row limits
+//
+// A "dump" is either a bare MetricsRegistry::SnapshotJson() object
+// (obs_*.json) or any document embedding one under "metrics" (flight dumps),
+// in which case the "spans" array also yields per-trace timelines.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/attribution.h"
+#include "obs/json.h"
+#include "obs/snapshot_diff.h"
+#include "obs/trace.h"
+
+namespace aurora {
+namespace {
+
+struct InspectOptions {
+  int top_boxes = 10;
+  int max_traces = 5;
+  bool check = false;
+};
+
+// ---------------------------------------------------------------------------
+// Stage attribution table
+// ---------------------------------------------------------------------------
+
+/// One output's attribution series pulled out of the snapshot.
+struct OutputAttribution {
+  std::string output;
+  MetricsSnapshot::HistogramStats e2e;
+  MetricsSnapshot::HistogramStats stage[kNumStages];
+  uint64_t dominant[kNumStages] = {};
+};
+
+std::vector<OutputAttribution> CollectAttribution(
+    const MetricsSnapshot& snap) {
+  const std::string prefix = "latency.attr.";
+  const std::string e2e_suffix = ".e2e_us";
+  std::vector<OutputAttribution> outs;
+  for (const auto& [name, stats] : snap.histograms) {
+    if (name.rfind(prefix, 0) != 0) continue;
+    if (name.size() <= prefix.size() + e2e_suffix.size()) continue;
+    if (name.compare(name.size() - e2e_suffix.size(), e2e_suffix.size(),
+                     e2e_suffix) != 0) {
+      continue;
+    }
+    OutputAttribution oa;
+    oa.output = name.substr(prefix.size(),
+                            name.size() - prefix.size() - e2e_suffix.size());
+    oa.e2e = stats;
+    const std::string base = prefix + oa.output + ".";
+    for (int i = 0; i < kNumStages; ++i) {
+      const char* stage = StageName(static_cast<Stage>(i));
+      auto it = snap.histograms.find(base + stage + "_us");
+      if (it != snap.histograms.end()) oa.stage[i] = it->second;
+      oa.dominant[i] = snap.CounterOr(base + "dominant." + stage);
+    }
+    outs.push_back(std::move(oa));
+  }
+  return outs;
+}
+
+void PrintAttribution(const std::vector<OutputAttribution>& outs) {
+  if (outs.empty()) {
+    std::printf(
+        "No stage attribution recorded (latency.attr.* series absent; run "
+        "with AURORA_TRACE=1).\n");
+    return;
+  }
+  std::printf("Stage attribution per output (simulated us):\n");
+  for (const OutputAttribution& oa : outs) {
+    std::printf("  out:%s  deliveries=%llu  e2e mean=%.1fus p95=%.1fus\n",
+                oa.output.c_str(),
+                static_cast<unsigned long long>(oa.e2e.count), oa.e2e.mean,
+                oa.e2e.p95);
+    double total_sum = std::max(1e-12, oa.e2e.sum);
+    int dom = 0;
+    for (int i = 1; i < kNumStages; ++i) {
+      if (oa.stage[i].sum > oa.stage[dom].sum) dom = i;
+    }
+    for (int i = 0; i < kNumStages; ++i) {
+      double share = 100.0 * oa.stage[i].sum / total_sum;
+      std::printf("    %-10s mean=%8.1fus  share=%5.1f%%  dominant_in=%llu%s\n",
+                  StageName(static_cast<Stage>(i)), oa.stage[i].mean, share,
+                  static_cast<unsigned long long>(oa.dominant[i]),
+                  i == dom ? "  <- dominant" : "");
+    }
+  }
+}
+
+/// Conservation: per output, each stage histogram has exactly one sample per
+/// delivery, and the stage sums add up to the e2e sum (exactly in the
+/// engine; within float-print tolerance after a JSON round trip).
+bool CheckAttribution(const std::vector<OutputAttribution>& outs) {
+  bool ok = true;
+  for (const OutputAttribution& oa : outs) {
+    double stage_sum = 0.0;
+    for (int i = 0; i < kNumStages; ++i) {
+      stage_sum += oa.stage[i].sum;
+      if (oa.stage[i].count != oa.e2e.count) {
+        std::printf(
+            "CHECK FAIL out:%s stage %s has %llu samples but e2e has %llu\n",
+            oa.output.c_str(), StageName(static_cast<Stage>(i)),
+            static_cast<unsigned long long>(oa.stage[i].count),
+            static_cast<unsigned long long>(oa.e2e.count));
+        ok = false;
+      }
+    }
+    // %.6g snapshot serialization keeps ~6 significant digits per field.
+    double tol = 1e-4 * std::max(1.0, oa.e2e.sum);
+    if (std::abs(stage_sum - oa.e2e.sum) > tol) {
+      std::printf(
+          "CHECK FAIL out:%s stage sums %.6g != e2e sum %.6g (tol %.3g)\n",
+          oa.output.c_str(), stage_sum, oa.e2e.sum, tol);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
+// Bottleneck boxes
+// ---------------------------------------------------------------------------
+
+struct BoxProfile {
+  std::string box;  // "n<node>.<id>:<kind>"
+  uint64_t self_us = 0;
+  uint64_t activations = 0;
+  uint64_t tuples = 0;
+};
+
+std::vector<BoxProfile> CollectBoxes(const MetricsSnapshot& snap) {
+  const std::string prefix = "engine.box.";
+  const std::string suffix = ".self_us";
+  std::vector<BoxProfile> boxes;
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind(prefix, 0) != 0 || name.size() <= prefix.size() + suffix.size()) {
+      continue;
+    }
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      continue;
+    }
+    BoxProfile bp;
+    bp.box = name.substr(prefix.size(),
+                         name.size() - prefix.size() - suffix.size());
+    bp.self_us = value;
+    const std::string base = prefix + bp.box + ".";
+    bp.activations = snap.CounterOr(base + "activations");
+    bp.tuples = snap.CounterOr(base + "tuples");
+    boxes.push_back(std::move(bp));
+  }
+  std::sort(boxes.begin(), boxes.end(), [](const BoxProfile& a,
+                                           const BoxProfile& b) {
+    if (a.self_us != b.self_us) return a.self_us > b.self_us;
+    return a.box < b.box;
+  });
+  return boxes;
+}
+
+void PrintBoxes(const std::vector<BoxProfile>& boxes, int top) {
+  if (boxes.empty()) {
+    std::printf("\nNo per-box profiles recorded (engine.box.* absent).\n");
+    return;
+  }
+  std::printf("\nTop bottleneck boxes by self time:\n");
+  std::printf("  %-28s %12s %12s %12s %10s\n", "box", "self_us", "activations",
+              "tuples", "us/tuple");
+  size_t n = std::min(boxes.size(), static_cast<size_t>(top));
+  for (size_t i = 0; i < n; ++i) {
+    const BoxProfile& b = boxes[i];
+    double per_tuple = b.tuples == 0
+                           ? 0.0
+                           : static_cast<double>(b.self_us) /
+                                 static_cast<double>(b.tuples);
+    std::printf("  %-28s %12llu %12llu %12llu %10.2f\n", b.box.c_str(),
+                static_cast<unsigned long long>(b.self_us),
+                static_cast<unsigned long long>(b.activations),
+                static_cast<unsigned long long>(b.tuples), per_tuple);
+  }
+  if (boxes.size() > n) {
+    std::printf("  ... (%zu more)\n", boxes.size() - n);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trace timelines (flight dumps)
+// ---------------------------------------------------------------------------
+
+struct SpanRow {
+  uint64_t trace_id;
+  std::string kind;
+  int node;
+  std::string site;
+  int64_t start_us;
+  int64_t end_us;
+};
+
+std::vector<SpanRow> CollectSpans(const JsonValue& doc) {
+  std::vector<SpanRow> rows;
+  const JsonValue* spans = doc.FindArray("spans");
+  if (spans == nullptr) return rows;
+  for (const JsonValue& s : spans->AsArray()) {
+    if (!s.is_object()) continue;
+    SpanRow row;
+    row.trace_id = static_cast<uint64_t>(s.NumberOr("trace_id", 0));
+    row.kind = s.StringOr("kind", "?");
+    row.node = static_cast<int>(s.NumberOr("node", -1));
+    row.site = s.StringOr("site", "");
+    row.start_us = static_cast<int64_t>(s.NumberOr("start_us", 0));
+    row.end_us = static_cast<int64_t>(s.NumberOr("end_us", 0));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void PrintTimelines(const std::vector<SpanRow>& rows, int max_traces) {
+  if (rows.empty()) return;
+  std::map<uint64_t, std::vector<const SpanRow*>> by_trace;
+  size_t system_spans = 0;
+  for (const SpanRow& r : rows) {
+    if (r.trace_id == 0) {
+      system_spans++;
+    } else {
+      by_trace[r.trace_id].push_back(&r);
+    }
+  }
+  std::printf("\nTrace timelines (%zu spans, %zu traces, %zu system spans):\n",
+              rows.size(), by_trace.size(), system_spans);
+  int printed = 0;
+  // Newest traces carry the evidence nearest the anomaly: walk ids
+  // descending.
+  for (auto it = by_trace.rbegin();
+       it != by_trace.rend() && printed < max_traces; ++it, ++printed) {
+    std::vector<const SpanRow*>& spans = it->second;
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const SpanRow* a, const SpanRow* b) {
+                       return a->start_us < b->start_us;
+                     });
+    int64_t t0 = spans.front()->start_us;
+    int64_t t_end = spans.back()->end_us;
+    std::printf("  trace %llu (%lldus end to end):\n",
+                static_cast<unsigned long long>(it->first),
+                static_cast<long long>(t_end - t0));
+    for (const SpanRow* s : spans) {
+      std::printf("    +%-8lld %-13s n%-3d %s",
+                  static_cast<long long>(s->start_us - t0), s->kind.c_str(),
+                  s->node, s->site.c_str());
+      if (s->end_us > s->start_us) {
+        std::printf("  (%lldus)",
+                    static_cast<long long>(s->end_us - s->start_us));
+      }
+      std::printf("\n");
+    }
+  }
+  if (static_cast<int>(by_trace.size()) > printed) {
+    std::printf("  ... (%zu more traces)\n", by_trace.size() - printed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+int Inspect(const std::string& path, const InspectOptions& opts) {
+  Result<JsonValue> doc = JsonValue::ParseFile(path);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "aurora_inspect: %s\n",
+                 doc.status().ToString().c_str());
+    return 2;
+  }
+  Result<MetricsSnapshot> snap = MetricsSnapshot::FromJson(*doc);
+  if (!snap.ok()) {
+    std::fprintf(stderr, "aurora_inspect: %s: %s\n", path.c_str(),
+                 snap.status().ToString().c_str());
+    return 2;
+  }
+
+  std::printf("== %s ==\n", path.c_str());
+  std::string event = doc->StringOr("event", "");
+  if (!event.empty()) {
+    std::printf("flight dump: event=%s detail=\"%s\" sim_time_us=%lld "
+                "spans_dropped=%lld\n\n",
+                event.c_str(), doc->StringOr("detail", "").c_str(),
+                static_cast<long long>(doc->NumberOr("sim_time_us", -1)),
+                static_cast<long long>(doc->NumberOr("spans_dropped", 0)));
+  }
+
+  std::vector<OutputAttribution> attribution = CollectAttribution(*snap);
+  PrintAttribution(attribution);
+  PrintBoxes(CollectBoxes(*snap), opts.top_boxes);
+  PrintTimelines(CollectSpans(*doc), opts.max_traces);
+
+  if (opts.check) {
+    if (!CheckAttribution(attribution)) return 1;
+    std::printf("\nCHECK OK: %zu outputs conserve stage attribution, "
+                "%zu counters, %zu gauges, %zu histograms parsed.\n",
+                attribution.size(), snap->counters.size(),
+                snap->gauges.size(), snap->histograms.size());
+  }
+  return 0;
+}
+
+int Diff(const std::string& path_a, const std::string& path_b) {
+  Result<MetricsSnapshot> a = MetricsSnapshot::FromJsonFile(path_a);
+  if (!a.ok()) {
+    std::fprintf(stderr, "aurora_inspect: %s: %s\n", path_a.c_str(),
+                 a.status().ToString().c_str());
+    return 2;
+  }
+  Result<MetricsSnapshot> b = MetricsSnapshot::FromJsonFile(path_b);
+  if (!b.ok()) {
+    std::fprintf(stderr, "aurora_inspect: %s: %s\n", path_b.c_str(),
+                 b.status().ToString().c_str());
+    return 2;
+  }
+  SnapshotDiff diff = SnapshotDiff::Between(*a, *b);
+  std::printf("== diff %s -> %s ==\n", path_a.c_str(), path_b.c_str());
+  if (diff.empty()) {
+    std::printf("  identical metric values.\n");
+  } else {
+    std::printf("%s", diff.ToText().c_str());
+    std::printf("  (%zu metrics changed)\n", diff.changed.size());
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: aurora_inspect [--check] [--top N] [--traces N] <dump.json>\n"
+      "       aurora_inspect --diff <a.json> <b.json>\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  InspectOptions opts;
+  std::vector<std::string> paths;
+  bool diff = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--diff") == 0) {
+      diff = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      opts.check = true;
+    } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      opts.top_boxes = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--traces") == 0 && i + 1 < argc) {
+      opts.max_traces = std::atoi(argv[++i]);
+    } else if (argv[i][0] == '-') {
+      return Usage();
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (diff) {
+    if (paths.size() != 2) return Usage();
+    return Diff(paths[0], paths[1]);
+  }
+  if (paths.size() != 1) return Usage();
+  return Inspect(paths[0], opts);
+}
+
+}  // namespace
+}  // namespace aurora
+
+int main(int argc, char** argv) { return aurora::Main(argc, argv); }
