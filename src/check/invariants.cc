@@ -266,6 +266,18 @@ void InvariantMonitor::Finalize(bool drained) {
                std::to_string(dup_dropped_total));
   }
 
+  // Storage reconcile: a tuple can only be read back from spill after it
+  // was spilled, so the unspill counter may never run ahead of the spill
+  // counter no matter how crashes interleave with budget enforcement.
+  uint64_t spilled = reg.CounterValue("engine.storage.spill.tuples");
+  uint64_t unspilled = reg.CounterValue("engine.storage.unspill.tuples");
+  if (unspilled > spilled) {
+    Report("storage_reconcile",
+           "registry engine.storage.unspill.tuples=" +
+               std::to_string(unspilled) + " exceeds spill.tuples=" +
+               std::to_string(spilled));
+  }
+
   if (healthy && system_->num_nodes() > 1 && !Converged()) {
     Report("detector_divergence",
            "failure detector suspicions do not match node up/down state "

@@ -32,6 +32,64 @@ StreamNode::StreamNode(Simulation* sim, OverlayNetwork* net, NodeId id,
   m_crash_lost_ = reg.GetCounter("node.crash.tuples_lost");
   m_flow_grants_ = reg.GetCounter("net.flow.credit_grants");
   m_flow_granted_bytes_ = reg.GetCounter("net.flow.granted_bytes");
+  m_halog_appends_ = reg.GetCounter("storage.halog.appends");
+  m_halog_replayed_ = reg.GetCounter("storage.halog.replayed");
+}
+
+void StreamNode::AttachDurableStorage(TieredStore* store) {
+  store_ = store;
+  store_->set_trace_node(static_cast<int>(id_));
+  engine_.AttachDurableStore(store);
+}
+
+Status StreamNode::RecoverDurableState() {
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition("no durable store attached");
+  }
+  AURORA_RETURN_NOT_OK(store_->Open());
+  engine_.RecoverDurableState(sim_->Now());
+  for (auto& [name, binding] : bindings_) {
+    if (!binding.retain_log) continue;
+    const std::string stream = "halog/" + binding.stream;
+    binding.output_log.clear();
+    std::vector<Tuple> replay;
+    store_->ScanAll(stream, [&](const StoredRecord& rec) {
+      Decoder dec(rec.payload);
+      auto t = dec.GetTuple(binding.log_schema);
+      if (!t.ok()) {
+        AURORA_LOG(Error) << "node " << id_ << ": halog decode failed: "
+                          << t.status().ToString();
+        return;
+      }
+      auto lineage = dec.GetU64();
+      binding.output_log.push_back(
+          LogEntry{*t, lineage.ok() ? static_cast<SeqNo>(*lineage) : kNoSeqNo});
+      replay.push_back(std::move(*t));
+    });
+    // next_seq survives in the store meta even when the whole log has been
+    // truncated away — reusing sequence numbers after a restart would make
+    // downstream dedup silently drop every fresh tuple.
+    binding.next_seq =
+        std::max(binding.next_seq, static_cast<SeqNo>(store_->next_seq(stream)));
+    if (replay.empty()) continue;
+    // Replay the restored log downstream with the original sequence
+    // numbers; the receiver's dedup watermark suppresses what it already
+    // processed, so replay is idempotent.
+    Message msg;
+    msg.kind = "tuples";
+    msg.stream = binding.stream;
+    msg.tuple_count = static_cast<uint32_t>(replay.size());
+    SerializeTuplesInto(replay, &encode_scratch_);
+    msg.payload = encode_scratch_;
+    m_halog_replayed_->Add(replay.size());
+    Status st = TransportTo(binding.dst)->Send(binding.stream, std::move(msg));
+    if (!st.ok()) {
+      AURORA_LOG(Error) << "node " << id_
+                        << ": halog replay send failed: " << st.ToString();
+    }
+  }
+  Kick();
+  return Status::OK();
 }
 
 void StreamNode::Start() {
@@ -412,6 +470,25 @@ void StreamNode::FlushPending() {
         t.set_seq(binding.next_seq++);
         if (binding.retain_log) {
           binding.output_log.push_back(LogEntry{t, lineage});
+          if (store_ != nullptr) {
+            // Mirror the retained entry to the durable halog stream, keyed
+            // by the binding's own sequence number (AppendWithSeq), so a
+            // recovered node can rebuild and replay this exact log.
+            if (t.schema() != nullptr) binding.log_schema = t.schema();
+            Encoder enc(std::move(halog_scratch_));
+            enc.PutTuple(t);
+            enc.PutU64(lineage);
+            Status st = store_->AppendWithSeq(
+                "halog/" + binding.stream, t.seq(), t.timestamp().micros(),
+                enc.buffer().data(), enc.size());
+            halog_scratch_ = enc.TakeBuffer();
+            if (st.ok()) {
+              m_halog_appends_->Add();
+            } else {
+              AURORA_LOG(Error) << "node " << id_ << ": halog append failed: "
+                                << st.ToString();
+            }
+          }
         }
       }
       Message msg;
@@ -460,6 +537,13 @@ size_t StreamNode::Crash() {
   }
   flow_blocked_ = false;
   engine_.SetIngestBlocked(false);
+  if (store_ != nullptr) {
+    // Volatile storage state dies with the process: connection points lose
+    // their memory tier and index, the store loses unsynced bytes. The
+    // durable remainder is what RecoverDurableState() rebuilds from.
+    engine_.WipeVolatileStorage();
+    store_->Crash();
+  }
   if (lost > 0) m_crash_lost_->Add(lost);
   FlightRecorder::Global().Trigger(
       "node_crash",
@@ -484,6 +568,10 @@ size_t StreamNode::TruncateOutputLog(const std::string& stream, SeqNo upto) {
       binding.output_log.pop_front();
       ++discarded;
     }
+  }
+  if (store_ != nullptr && discarded > 0) {
+    // Confirmed entries are dead durably too (§6.2 queue truncation).
+    store_->Truncate("halog/" + stream, upto);
   }
   return discarded;
 }

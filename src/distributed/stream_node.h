@@ -130,6 +130,25 @@ class StreamNode {
   /// duplication or retransmits; see OnRemoteStream).
   uint64_t duplicate_tuples_dropped() const { return dup_tuples_dropped_; }
 
+  // ---- Durable storage ----------------------------------------------------
+
+  /// Wires a tiered store (not owned) under this node: the engine's spills
+  /// and connection points go durable, and every retained HA output log is
+  /// mirrored to a "halog/<stream>" store stream. Crash() then also crashes
+  /// the store (unsynced bytes lost) and RecoverDurableState() rebuilds CP
+  /// history, output logs, and sequence counters from what survived.
+  void AttachDurableStorage(TieredStore* store);
+  bool has_durable_storage() const { return store_ != nullptr; }
+  TieredStore* durable_store() { return store_; }
+
+  /// Recovery after a crash+restart with durable storage: re-opens the
+  /// store, rebuilds connection-point history, restores each retained
+  /// binding's output log and next_seq from its halog stream, and replays
+  /// the restored log downstream (receivers' dedup watermarks suppress
+  /// anything they already processed — the §6.3 upstream-backup replay, fed
+  /// from disk instead of from a surviving peer).
+  Status RecoverDurableState();
+
   // ---- Invariant probes (used by src/check) -------------------------------
 
   /// Observes every tuple arriving on a named transport stream, *before*
@@ -166,6 +185,9 @@ class StreamNode {
     /// downstream confirms them processed (upstream backup, Fig. 8).
     bool retain_log = false;
     std::deque<LogEntry> output_log;
+    /// Schema of the logged tuples; configuration (not data), so it
+    /// survives Crash() and decodes the durable log during recovery.
+    SchemaPtr log_schema;
     std::vector<Tuple> pending;  // emitted this step, not yet sent
     /// When the pending buffer first hit a credit-blocked stream (-1 =
     /// not blocked). Tuples sent after a blocked spell get a kCreditWait
@@ -267,6 +289,8 @@ class StreamNode {
   std::vector<uint8_t> encode_scratch_;
   std::vector<Tuple> decode_scratch_;
   DeliveryProbe delivery_probe_;
+  TieredStore* store_ = nullptr;
+  std::vector<uint8_t> halog_scratch_;
   uint64_t dup_tuples_dropped_ = 0;
   bool retain_logs_ = false;
   bool step_scheduled_ = false;
@@ -288,6 +312,8 @@ class StreamNode {
   Counter* m_crash_lost_;
   Counter* m_flow_grants_;
   Counter* m_flow_granted_bytes_;
+  Counter* m_halog_appends_;
+  Counter* m_halog_replayed_;
 };
 
 }  // namespace aurora

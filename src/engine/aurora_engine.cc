@@ -226,7 +226,40 @@ Status AuroraEngine::MakeConnectionPoint(ArcId arc, const std::string& name,
   }
   arcs_[arc].cp = std::make_unique<ConnectionPoint>(name, policy);
   connection_points_[name] = arc;
+  if (durable_store_ != nullptr) BindConnectionPointStorage(arc);
   return Status::OK();
+}
+
+void AuroraEngine::AttachDurableStore(TieredStore* store) {
+  durable_store_ = store;
+  storage_.AttachStore(store);
+  for (const auto& [name, arc] : connection_points_) {
+    BindConnectionPointStorage(arc);
+  }
+}
+
+void AuroraEngine::BindConnectionPointStorage(ArcId arc) {
+  ArcRt& a = arcs_[arc];
+  if (a.removed || a.cp == nullptr || a.cp->storage_bound()) return;
+  SchemaPtr schema;
+  auto s = EndpointOutputSchema(a.from);
+  if (s.ok()) schema = *s;
+  a.cp->BindStorage(durable_store_, "cp/" + a.cp->name(),
+                    opts_.cp_cache_tuples, std::move(schema));
+}
+
+void AuroraEngine::WipeVolatileStorage() {
+  for (auto& a : arcs_) {
+    if (!a.removed && a.cp != nullptr) a.cp->DropMemoryTier();
+  }
+}
+
+void AuroraEngine::RecoverDurableState(SimTime now) {
+  for (auto& a : arcs_) {
+    if (!a.removed && a.cp != nullptr && a.cp->storage_bound()) {
+      a.cp->RecoverFromStorage(now);
+    }
+  }
 }
 
 Result<ConnectionPoint*> AuroraEngine::GetConnectionPoint(
@@ -1039,6 +1072,9 @@ void AuroraEngine::Tick(SimTime now) {
     RoutingEmitter emitter(this, static_cast<BoxId>(i), now, nullptr);
     box.op->OnTick(now, &emitter);
   }
+  // The tiered store's dropper (group fsync, segment seal, compaction) runs
+  // on the same deterministic tick cadence as the operators.
+  if (durable_store_ != nullptr) durable_store_->Tick(now);
 }
 
 Status AuroraEngine::DrainBoxState(BoxId box, SimTime now) {
@@ -1088,12 +1124,13 @@ void AuroraEngine::RecomputeOutputDistances() {
   RebuildScheduler();
 }
 
-std::vector<StreamQueue*> AuroraEngine::AllQueues() {
-  std::vector<StreamQueue*> queues;
+std::vector<SpillableQueue> AuroraEngine::AllQueues() {
+  std::vector<SpillableQueue> queues;
   queues.reserve(arcs_.size());
-  for (auto& a : arcs_) {
+  for (size_t i = 0; i < arcs_.size(); ++i) {
+    ArcRt& a = arcs_[i];
     if (!a.removed && a.to.kind == Endpoint::Kind::kBox) {
-      queues.push_back(&a.queue);
+      queues.push_back(SpillableQueue{&a.queue, static_cast<int>(i)});
     }
   }
   return queues;

@@ -54,6 +54,9 @@ struct EngineOptions {
   size_t memory_budget_bytes = 0;
   /// Simulated cost of reading one spilled tuple back from disk.
   double spill_read_cost_us = 20.0;
+  /// With a durable store attached, how many of the newest records each
+  /// connection point keeps cached in memory (0 = no cap beyond retention).
+  size_t cp_cache_tuples = 128;
   /// Load shedder configuration (policy kNone disables shedding).
   LoadShedder::Options shedder;
 };
@@ -225,6 +228,22 @@ class AuroraEngine {
 
   // ---- Components and statistics ----------------------------------------
 
+  // ---- Durable storage ---------------------------------------------------
+
+  /// Wires a tiered store (not owned) under the engine: arc-queue spills
+  /// write real tuple bytes through the StorageManager, existing and future
+  /// connection points switch to tiered history ("cp/<name>" streams), and
+  /// Tick() drives the store's background compaction.
+  void AttachDurableStore(TieredStore* store);
+  TieredStore* durable_store() { return durable_store_; }
+
+  /// Drops what a process crash loses from the storage consumers: every
+  /// connection point's memory tier and index. The store itself is crashed
+  /// separately (TieredStore::Crash) by the owner.
+  void WipeVolatileStorage();
+  /// Rebuilds every bound connection point from the (re-opened) store.
+  void RecoverDurableState(SimTime now);
+
   QoSMonitor& qos_monitor() { return qos_; }
   const QoSMonitor& qos_monitor() const { return qos_; }
   StorageManager& storage_manager() { return storage_; }
@@ -243,7 +262,10 @@ class AuroraEngine {
 
   /// Node id stamped on lineage spans this engine records (src/obs/trace.h);
   /// -1 for a standalone (non-distributed) engine. Set by StreamNode.
-  void set_trace_node(int node) { trace_node_ = node; }
+  void set_trace_node(int node) {
+    trace_node_ = node;
+    storage_.set_scope(node < 0 ? "local" : "n" + std::to_string(node));
+  }
   int trace_node() const { return trace_node_; }
 
  private:
@@ -349,7 +371,10 @@ class AuroraEngine {
   /// Called after topology changes (box init/adopt/remove, connect,
   /// disconnect) — rare, so O(boxes + arcs) is fine there.
   void RebuildScheduler();
-  std::vector<StreamQueue*> AllQueues();
+  std::vector<SpillableQueue> AllQueues();
+  /// Binds one arc's connection point to the durable store (no-op when no
+  /// store is attached or the point is already bound).
+  void BindConnectionPointStorage(ArcId arc);
   /// Walks downstream from an endpoint, collecting reachable outputs and
   /// accumulating expected cost. Used by shedder model and QoS inference.
   void WalkDownstream(const Endpoint& from, double cost_so_far_us,
@@ -378,6 +403,7 @@ class AuroraEngine {
   uint64_t tuples_ingested_ = 0;
   int trace_node_ = -1;
   bool ingest_blocked_ = false;
+  TieredStore* durable_store_ = nullptr;
   // Cached registry metrics (process-wide aggregates across engines; the
   // per-output QoS series are per-engine, via QoSMonitor's prefix).
   Counter* m_tuples_in_;

@@ -2,39 +2,92 @@
 #define AURORA_ENGINE_STORAGE_MANAGER_H_
 
 #include <cstdint>
-#include <functional>
+#include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "storage/tiered_store.h"
 #include "stream/stream_queue.h"
 
 namespace aurora {
 
+/// One arc queue eligible for spilling, tagged with its arc id so the
+/// per-queue metric series survive engine reconfiguration.
+struct SpillableQueue {
+  StreamQueue* queue;
+  int arc;
+};
+
 /// \brief Buffer manager for arc queues (the Storage Manager of Fig. 3).
 ///
 /// When total resident queue memory exceeds the budget, spills the largest
-/// queues to (modeled) disk, oldest tuples first — "particularly important
-/// for queues at connection points since they can grow quite long" (§2.3).
-/// Spilled tuples remain poppable; each such pop is charged a disk read by
-/// the engine.
+/// queues to disk, oldest tuples first — "particularly important for queues
+/// at connection points since they can grow quite long" (§2.3). Spilled
+/// tuples remain poppable; each such pop is charged a disk read by the
+/// engine.
+///
+/// Two modes share the same policy and accounting:
+///  - Modeled (default): queues only *mark* tuples spilled; nothing leaves
+///    memory. This keeps tests and benches free of storage dependencies.
+///  - Durable (AttachStore): each spilling arc gets a SpillChannel — a
+///    SpillSink writing the actual tuple bytes to a per-arc tiered-store
+///    stream ("spill/<scope>/arc<N>") and reading them back FIFO on pop.
+///
+/// Either way every arc that ever spills gets high-water-mark gauges
+/// (`engine.storage.spilled_hwm.<scope>.arc<N>` bytes and
+/// `engine.storage.spilled_tuples.<scope>.arc<N>`), which is what
+/// `aurora_inspect --check` reconciles against the global spill counters.
 class StorageManager {
  public:
   /// budget_bytes == 0 disables spilling (unbounded memory).
-  explicit StorageManager(size_t budget_bytes = 0) : budget_(budget_bytes) {}
+  explicit StorageManager(size_t budget_bytes = 0);
+  ~StorageManager();
 
   size_t budget() const { return budget_; }
   void set_budget(size_t b) { budget_ = b; }
 
+  /// Scope tag for this manager's per-arc series ("n3", "local", ...). Set
+  /// before the first spill; series names are fixed at first use.
+  void set_scope(std::string scope) { scope_ = std::move(scope); }
+  const std::string& scope() const { return scope_; }
+
+  /// Switches to durable mode: subsequent spills write through `store`
+  /// (not owned). Attach before the first spill.
+  void AttachStore(TieredStore* store);
+  TieredStore* store() const { return store_; }
+
   /// Checks the budget against all queues and spills as needed. `queues`
   /// must enumerate every arc queue in the engine. Returns bytes spilled.
-  size_t EnforceBudget(const std::vector<StreamQueue*>& queues);
+  size_t EnforceBudget(const std::vector<SpillableQueue>& queues);
 
   uint64_t total_spilled_bytes() const { return total_spilled_bytes_; }
   uint64_t spill_events() const { return spill_events_; }
 
  private:
+  class SpillChannel;
+
+  struct ArcSpillState {
+    Gauge* hwm_bytes = nullptr;
+    Gauge* hwm_tuples = nullptr;
+    std::unique_ptr<SpillChannel> channel;  // null in modeled mode
+  };
+
+  /// Lazily creates the arc's gauges (and, in durable mode, its channel,
+  /// attaching it to the queue as SpillSink).
+  ArcSpillState& StateFor(const SpillableQueue& q);
+
   size_t budget_;
+  std::string scope_ = "local";
+  TieredStore* store_ = nullptr;
+  std::map<int, ArcSpillState> arcs_;
   uint64_t total_spilled_bytes_ = 0;
   uint64_t spill_events_ = 0;
+  Counter* m_spill_events_;
+  Counter* m_spill_bytes_;
+  Counter* m_spill_tuples_;
+  Counter* m_unspill_tuples_;
 };
 
 }  // namespace aurora

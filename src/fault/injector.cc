@@ -78,11 +78,20 @@ void Injector::Apply(const FaultEvent& ev) {
       m_crashes_->Add();
       break;
     }
-    case FaultEventKind::kRestart:
-      system_->node(ev.node).SetUp(true);
+    case FaultEventKind::kRestart: {
+      StreamNode& node = system_->node(ev.node);
+      node.SetUp(true);
+      if (node.has_durable_storage()) {
+        Status st = node.RecoverDurableState();
+        if (!st.ok()) {
+          AURORA_LOG(Error) << "fault restart " << ev.node
+                            << ": durable recovery failed: " << st.ToString();
+        }
+      }
       restarts_++;
       m_restarts_->Add();
       break;
+    }
     case FaultEventKind::kPartition:
     case FaultEventKind::kHeal: {
       bool up = ev.kind == FaultEventKind::kHeal;

@@ -15,6 +15,7 @@ MetricsSnapshot MetricsSnapshot::FromRegistry(const MetricsRegistry& registry) {
   }
   for (const auto& [name, g] : registry.gauges()) {
     snap.gauges[name] = g->value();
+    snap.gauge_maxes[name] = g->max();
   }
   for (const auto& [name, h] : registry.histograms()) {
     HistogramStats s;
@@ -55,6 +56,8 @@ Result<MetricsSnapshot> MetricsSnapshot::FromJson(const JsonValue& doc) {
   if (gauges != nullptr) {
     for (const auto& [name, v] : gauges->AsObject()) {
       snap.gauges[name] = v.is_number() ? v.AsDouble() : v.NumberOr("value", 0);
+      snap.gauge_maxes[name] =
+          v.is_number() ? v.AsDouble() : v.NumberOr("max", snap.gauges[name]);
     }
   }
   if (histograms != nullptr) {

@@ -33,6 +33,10 @@ struct MetricsSnapshot {
 
   std::map<std::string, uint64_t> counters;
   std::map<std::string, double> gauges;  ///< current value (max not diffable)
+  /// All-time high-water mark per gauge. Not part of the diff (a max only
+  /// moves forward), but `aurora_inspect --storage` reads it to show spill
+  /// peaks next to the current occupancy.
+  std::map<std::string, double> gauge_maxes;
   std::map<std::string, HistogramStats> histograms;
 
   /// Copies the live registry (benches use the global one).
@@ -47,6 +51,16 @@ struct MetricsSnapshot {
   uint64_t CounterOr(const std::string& name, uint64_t fallback = 0) const {
     auto it = counters.find(name);
     return it == counters.end() ? fallback : it->second;
+  }
+
+  double GaugeOr(const std::string& name, double fallback = 0.0) const {
+    auto it = gauges.find(name);
+    return it == gauges.end() ? fallback : it->second;
+  }
+
+  double GaugeMaxOr(const std::string& name, double fallback = 0.0) const {
+    auto it = gauge_maxes.find(name);
+    return it == gauge_maxes.end() ? fallback : it->second;
   }
 };
 

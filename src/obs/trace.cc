@@ -24,6 +24,8 @@ const char* SpanKindName(SpanKind kind) {
       return "credit_wait";
     case SpanKind::kShed:
       return "shed";
+    case SpanKind::kStorage:
+      return "storage";
   }
   return "?";
 }

@@ -25,8 +25,9 @@ enum class SpanKind : uint8_t {
   kFault,         ///< an injected fault event or a detection/recovery step
   kCreditWait,    ///< waited out a credit-blocked (back-pressured) spell
   kShed,          ///< the load shedder dropped the tuple at an input
+  kStorage,       ///< a tiered-store stall window (fsync, compaction)
 };
-constexpr int kNumSpanKinds = 8;
+constexpr int kNumSpanKinds = 9;
 
 const char* SpanKindName(SpanKind kind);
 /// Inverse of SpanKindName. Returns false (leaving *out untouched) for an

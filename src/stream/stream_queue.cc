@@ -8,7 +8,20 @@ size_t StreamQueue::Spill(size_t n) {
   size_t newly = std::min(n, items_.size() - spilled_count_);
   size_t freed = 0;
   for (size_t i = spilled_count_; i < spilled_count_ + newly; ++i) {
-    freed += items_[i].WireSize();
+    Tuple& t = items_[i];
+    size_t sz = t.WireSize();
+    freed += sz;
+    if (sink_ != nullptr) {
+      sink_->SpillTuple(t);
+      spilled_sizes_.push_back(sz);
+      // Replace the body with a metadata stub so the memory is genuinely
+      // released; seq/timestamp stay readable for min-seq and slack scans.
+      Tuple stub;
+      stub.set_timestamp(t.timestamp());
+      stub.set_seq(t.seq());
+      stub.set_trace_id(t.trace_id());
+      t = std::move(stub);
+    }
   }
   spilled_count_ += newly;
   spilled_bytes_ += freed;

@@ -1,0 +1,256 @@
+// End-to-end durable storage: budget-constrained engine runs that spill
+// real tuple bytes and read them back without changing results, and node
+// crash/restart where connection-point history, HA output logs, and
+// sequence counters come back from the tiered store (§6.3 replay fed from
+// disk instead of from a surviving peer).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/aurora_engine.h"
+#include "fault/injector.h"
+#include "obs/metrics.h"
+#include "storage/storage_fs.h"
+#include "storage/tiered_store.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing_util::GetInt;
+using testing_util::SchemaAB;
+
+class DurableRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { MetricsRegistry::Global().Reset(); }
+};
+
+/// Builds filter -> tumble on one engine and runs `n` tuples through it,
+/// returning the output values in order.
+std::vector<int64_t> RunChain(AuroraEngine* engine, int n) {
+  PortId in = *engine->AddInput("in", SchemaAB());
+  BoxId filter = *engine->AddBox(FilterSpec(Predicate::True()));
+  BoxId tumble = *engine->AddBox(TumbleSpec("cnt", "B", {"A"}));
+  PortId out = *engine->AddOutput("out");
+  EXPECT_OK(engine->Connect(Endpoint::InputPort(in),
+                            Endpoint::BoxPort(filter, 0)).status());
+  EXPECT_OK(engine->Connect(Endpoint::BoxPort(filter, 0),
+                            Endpoint::BoxPort(tumble, 0)).status());
+  EXPECT_OK(engine->Connect(Endpoint::BoxPort(tumble, 0),
+                            Endpoint::OutputPort(out)).status());
+  EXPECT_OK(engine->InitializeBoxes());
+
+  std::vector<int64_t> got;
+  engine->SetOutputCallback(
+      out, [&](const Tuple& t, SimTime) { got.push_back(GetInt(t, "A")); });
+  for (int i = 0; i < n; ++i) {
+    Tuple t = MakeTuple(SchemaAB(), {Value(i % 7), Value(i)});
+    t.set_timestamp(SimTime::Millis(i));
+    EXPECT_OK(engine->PushInput(in, std::move(t), SimTime::Millis(i)));
+  }
+  EXPECT_OK(engine->RunUntilQuiescent(SimTime::Seconds(10)));
+  return got;
+}
+
+TEST_F(DurableRecoveryTest, BudgetConstrainedRunSpillsReadsBackSameResult) {
+  // Oracle: unbounded memory, no storage.
+  AuroraEngine oracle;
+  std::vector<int64_t> expected = RunChain(&oracle, 400);
+  ASSERT_FALSE(expected.empty());
+
+  MetricsRegistry::Global().Reset();
+  MemStorageFs fs;
+  TieredStore store(&fs);
+  ASSERT_OK(store.Open());
+  EngineOptions opts;
+  opts.memory_budget_bytes = 512;  // far below the run's working set
+  AuroraEngine engine(opts);
+  engine.AttachDurableStore(&store);
+  std::vector<int64_t> got = RunChain(&engine, 400);
+
+  // Spilling moved real bytes through the store and read them back, and
+  // the answer is unchanged.
+  EXPECT_EQ(got, expected);
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  uint64_t spilled = reg.CounterValue("engine.storage.spill.tuples");
+  uint64_t unspilled = reg.CounterValue("engine.storage.unspill.tuples");
+  EXPECT_GT(spilled, 0u);
+  EXPECT_GT(unspilled, 0u);
+  EXPECT_LE(unspilled, spilled);  // conservation: reads never outrun writes
+  EXPECT_GT(reg.CounterValue("storage.aof.appends"), 0u);
+  EXPECT_GT(reg.CounterValue("storage.reads"), 0u);
+}
+
+TEST_F(DurableRecoveryTest, EngineCpHistorySurvivesCrashViaStore) {
+  MemStorageFs fs;
+  TieredStoreOptions sopts;
+  sopts.sync_every_append = true;
+  TieredStore store(&fs, sopts);
+  ASSERT_OK(store.Open());
+
+  EngineOptions opts;
+  opts.cp_cache_tuples = 4;
+  AuroraEngine engine(opts);
+  engine.AttachDurableStore(&store);
+
+  PortId in = *engine.AddInput("in", SchemaAB());
+  BoxId filter = *engine.AddBox(FilterSpec(Predicate::True()));
+  PortId out = *engine.AddOutput("out");
+  ArcId cp_arc = *engine.Connect(Endpoint::InputPort(in),
+                                 Endpoint::BoxPort(filter, 0));
+  ASSERT_OK(engine.Connect(Endpoint::BoxPort(filter, 0),
+                           Endpoint::OutputPort(out)).status());
+  ASSERT_OK(engine.InitializeBoxes());
+  ASSERT_OK(engine.MakeConnectionPoint(cp_arc, "cp", RetentionPolicy{}));
+
+  for (int i = 1; i <= 30; ++i) {
+    Tuple t = MakeTuple(SchemaAB(), {Value(i), Value(i)});
+    t.set_timestamp(SimTime::Millis(i));
+    ASSERT_OK(engine.PushInput(in, std::move(t), SimTime::Millis(i)));
+  }
+  ASSERT_OK(engine.RunUntilQuiescent(SimTime::Millis(30)));
+  ConnectionPoint* cp = *engine.GetConnectionPoint("cp");
+  ASSERT_EQ(cp->history_size(), 30u);
+
+  // Crash the storage consumers and the store, then recover.
+  engine.WipeVolatileStorage();
+  store.Crash();
+  EXPECT_EQ(cp->history_size(), 0u);
+  ASSERT_OK(store.Open());
+  engine.RecoverDurableState(SimTime::Millis(30));
+
+  EXPECT_EQ(cp->history_size(), 30u);
+  EXPECT_LE(cp->history().size(), 4u);  // only the cache tier in RAM
+  std::vector<int64_t> replayed;
+  cp->QueryHistory([](const Tuple&) { return true; },
+                   [&](const Tuple& t) { replayed.push_back(GetInt(t, "A")); });
+  ASSERT_EQ(replayed.size(), 30u);
+  for (int i = 0; i < 30; ++i) EXPECT_EQ(replayed[i], i + 1);
+}
+
+TEST_F(DurableRecoveryTest, NodeCrashRestartRecoversHalogAndReplays) {
+  Simulation sim;
+  OverlayNetwork net(&sim);
+  AuroraStarSystem system(&sim, &net, StarOptions{});
+  NodeId s1 = *system.AddNode(NodeOptions{"s1", 1.0, {}});
+  NodeId s2 = *system.AddNode(NodeOptions{"s2", 1.0, {}});
+  net.FullMesh(LinkOptions{});
+
+  GlobalQuery query;
+  ASSERT_OK(query.AddInput("in", SchemaAB()));
+  ASSERT_OK(query.AddBox("f", FilterSpec(Predicate::True())));
+  ASSERT_OK(query.AddBox("m", MapSpec({{"A", Expr::FieldRef("A")},
+                                       {"B", Expr::FieldRef("B")}})));
+  ASSERT_OK(query.AddOutput("out"));
+  ASSERT_OK(query.ConnectInputToBox("in", "f"));
+  ASSERT_OK(query.ConnectBoxes("f", 0, "m", 0));
+  ASSERT_OK(query.ConnectBoxToOutput("m", 0, "out"));
+  auto deployed = DeployQuery(&system, query, {{"f", s1}, {"m", s2}});
+  ASSERT_TRUE(deployed.ok()) << deployed.status().ToString();
+
+  // s1 keeps output logs, mirrored into a durable store that syncs every
+  // append (zero durability lag, so the whole log survives the crash).
+  system.node(s1).RetainOutputLogs(true);
+  system.node(s2).RetainOutputLogs(true);
+  MemStorageFs fs;
+  TieredStoreOptions sopts;
+  sopts.sync_every_append = true;
+  TieredStore store(&fs, sopts);
+  ASSERT_OK(store.Open());
+  system.node(s1).AttachDurableStorage(&store);
+
+  uint64_t delivered = 0;
+  ASSERT_OK(system.CollectOutput(s2, "out",
+                                 [&](const Tuple&, SimTime) { ++delivered; }));
+  for (int i = 0; i < 1200; ++i) {
+    sim.ScheduleAt(SimTime::Millis(i), [&system, s1, i]() {
+      Tuple t = MakeTuple(SchemaAB(), {Value(i), Value(i)});
+      (void)system.node(s1).Inject("in", t);
+    });
+  }
+
+  FaultPlan plan;
+  plan.CrashAt(SimTime::Millis(500), s1).RestartAt(SimTime::Millis(700), s1);
+  Injector injector(&system, plan, InjectorOptions{});
+  ASSERT_OK(injector.Arm());
+  sim.RunUntil(SimTime::Seconds(3));
+
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  EXPECT_GT(reg.CounterValue("storage.halog.appends"), 0u);
+  // The injector ran durable recovery on restart: the output log was
+  // rebuilt from the halog stream and replayed downstream.
+  EXPECT_GT(reg.CounterValue("storage.halog.replayed"), 0u);
+  bool has_log = false;
+  for (const auto& [name, binding] : system.node(s1).bindings()) {
+    if (!binding.output_log.empty()) has_log = true;
+  }
+  EXPECT_TRUE(has_log);
+  // s2 saw the replayed pre-crash tuples again and suppressed them.
+  EXPECT_GT(system.node(s2).duplicate_tuples_dropped(), 0u);
+  // Fresh post-restart tuples kept flowing: sequence counters were restored
+  // from the store, so the receiver's dedup watermark does not eat them.
+  EXPECT_GT(delivered, 800u);
+}
+
+TEST_F(DurableRecoveryTest, DurableRecoveryBeatsPlainRestart) {
+  // Same crash/restart schedule twice; only the second run attaches a
+  // durable store. The durable run must end with a recovered (non-empty)
+  // output log on the crashed node, the plain run loses it for good.
+  auto run = [](bool durable, uint64_t* log_entries) {
+    Simulation sim;
+    OverlayNetwork net(&sim);
+    AuroraStarSystem system(&sim, &net, StarOptions{});
+    NodeId s1 = *system.AddNode(NodeOptions{"s1", 1.0, {}});
+    NodeId s2 = *system.AddNode(NodeOptions{"s2", 1.0, {}});
+    net.FullMesh(LinkOptions{});
+    GlobalQuery query;
+    EXPECT_OK(query.AddInput("in", SchemaAB()));
+    EXPECT_OK(query.AddBox("f", FilterSpec(Predicate::True())));
+    EXPECT_OK(query.AddBox("m", MapSpec({{"A", Expr::FieldRef("A")},
+                                         {"B", Expr::FieldRef("B")}})));
+    EXPECT_OK(query.AddOutput("out"));
+    EXPECT_OK(query.ConnectInputToBox("in", "f"));
+    EXPECT_OK(query.ConnectBoxes("f", 0, "m", 0));
+    EXPECT_OK(query.ConnectBoxToOutput("m", 0, "out"));
+    auto deployed = DeployQuery(&system, query, {{"f", s1}, {"m", s2}});
+    EXPECT_TRUE(deployed.ok());
+    system.node(s1).RetainOutputLogs(true);
+
+    MemStorageFs fs;
+    TieredStoreOptions sopts;
+    sopts.sync_every_append = true;
+    TieredStore store(&fs, sopts);
+    EXPECT_OK(store.Open());
+    if (durable) system.node(s1).AttachDurableStorage(&store);
+
+    for (int i = 0; i < 600; ++i) {
+      sim.ScheduleAt(SimTime::Millis(i), [&system, s1, i]() {
+        Tuple t = MakeTuple(SchemaAB(), {Value(i), Value(i)});
+        (void)system.node(s1).Inject("in", t);
+      });
+    }
+    FaultPlan plan;
+    plan.CrashAt(SimTime::Millis(300), s1).RestartAt(SimTime::Millis(400), s1);
+    Injector injector(&system, plan, InjectorOptions{});
+    EXPECT_OK(injector.Arm());
+    sim.RunUntil(SimTime::Seconds(2));
+
+    *log_entries = 0;
+    for (const auto& [name, binding] : system.node(s1).bindings()) {
+      *log_entries += binding.output_log.size();
+    }
+  };
+
+  uint64_t plain = 0, durable = 0;
+  run(false, &plain);
+  MetricsRegistry::Global().Reset();
+  run(true, &durable);
+  // Without storage, the pre-crash log entries are simply gone; with it,
+  // they are back on the node (only post-crash sends exist in the plain
+  // run, so the durable log is strictly larger).
+  EXPECT_GT(durable, plain);
+}
+
+}  // namespace
+}  // namespace aurora

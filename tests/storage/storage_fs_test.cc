@@ -1,0 +1,163 @@
+#include "storage/storage_fs.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+std::string Str(const std::vector<uint8_t>& v) {
+  return std::string(v.begin(), v.end());
+}
+
+TEST(MemStorageFsTest, AppendReadRoundtrip) {
+  MemStorageFs fs;
+  EXPECT_FALSE(fs.Exists("a/log"));
+  ASSERT_OK(fs.Append("a/log", Bytes("hello").data(), 5));
+  ASSERT_OK(fs.Append("a/log", Bytes(" world").data(), 6));
+  EXPECT_TRUE(fs.Exists("a/log"));
+
+  auto data = fs.ReadFile("a/log");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(Str(*data), "hello world");
+  auto size = fs.FileSize("a/log");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 11u);
+  EXPECT_EQ(fs.appends(), 2u);
+  EXPECT_EQ(fs.bytes_appended(), 11u);
+}
+
+TEST(MemStorageFsTest, CrashDropsUnsyncedSuffixOnly) {
+  MemStorageFs fs;
+  ASSERT_OK(fs.Append("log", Bytes("durable").data(), 7));
+  ASSERT_OK(fs.Sync("log"));
+  ASSERT_OK(fs.Append("log", Bytes("volatile").data(), 8));
+  EXPECT_EQ(fs.UnsyncedBytes("log"), 8u);
+
+  fs.Crash();
+  auto data = fs.ReadFile("log");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(Str(*data), "durable");
+  EXPECT_EQ(fs.UnsyncedBytes("log"), 0u);
+  EXPECT_EQ(fs.crashes(), 1u);
+}
+
+TEST(MemStorageFsTest, CrashRemovesNeverSyncedFile) {
+  MemStorageFs fs;
+  ASSERT_OK(fs.Append("tmp", Bytes("x").data(), 1));
+  fs.Crash();
+  EXPECT_FALSE(fs.Exists("tmp"));
+}
+
+TEST(MemStorageFsTest, TornWritesKeepHalfTheUnsyncedSuffix) {
+  MemStorageFs fs;
+  fs.set_torn_writes(true);
+  ASSERT_OK(fs.Append("log", Bytes("good").data(), 4));
+  ASSERT_OK(fs.Sync("log"));
+  ASSERT_OK(fs.Append("log", Bytes("ABCDEFGH").data(), 8));
+
+  fs.Crash();
+  auto data = fs.ReadFile("log");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(Str(*data), "goodABCD");  // synced prefix + half the suffix
+}
+
+TEST(MemStorageFsTest, SyncErrorLeavesBytesVolatile) {
+  MemStorageFs fs;
+  fs.set_sync_error(Status::Unavailable("disk on fire"));
+  ASSERT_OK(fs.Append("log", Bytes("data").data(), 4));
+  EXPECT_FALSE(fs.Sync("log").ok());
+  EXPECT_EQ(fs.UnsyncedBytes("log"), 4u);
+
+  fs.set_sync_error(Status::OK());
+  ASSERT_OK(fs.Sync("log"));
+  EXPECT_EQ(fs.UnsyncedBytes("log"), 0u);
+}
+
+TEST(MemStorageFsTest, WriteFileAtomicIsDurableAndReplaces) {
+  MemStorageFs fs;
+  ASSERT_OK(fs.WriteFileAtomic("page", Bytes("v1")));
+  ASSERT_OK(fs.WriteFileAtomic("page", Bytes("version-two")));
+  fs.Crash();  // atomic writes are durable on return
+  auto data = fs.ReadFile("page");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(Str(*data), "version-two");
+}
+
+TEST(MemStorageFsTest, ListReturnsSortedPrefixMatches) {
+  MemStorageFs fs;
+  ASSERT_OK(fs.Append("aof/000002.log", Bytes("b").data(), 1));
+  ASSERT_OK(fs.Append("aof/000001.log", Bytes("a").data(), 1));
+  ASSERT_OK(fs.Append("page/000001.page", Bytes("p").data(), 1));
+
+  std::vector<std::string> aof = fs.List("aof/");
+  ASSERT_EQ(aof.size(), 2u);
+  EXPECT_EQ(aof[0], "aof/000001.log");
+  EXPECT_EQ(aof[1], "aof/000002.log");
+  EXPECT_EQ(fs.List("").size(), 3u);
+  EXPECT_TRUE(fs.List("nope/").empty());
+}
+
+TEST(MemStorageFsTest, RemoveAndMissingFileErrors) {
+  MemStorageFs fs;
+  ASSERT_OK(fs.Append("f", Bytes("x").data(), 1));
+  ASSERT_OK(fs.Remove("f"));
+  EXPECT_FALSE(fs.Exists("f"));
+  EXPECT_FALSE(fs.ReadFile("f").ok());
+  EXPECT_FALSE(fs.FileSize("f").ok());
+  EXPECT_FALSE(fs.Remove("f").ok());
+}
+
+TEST(MemStorageFsTest, ContentDigestTracksByteIdenticalState) {
+  MemStorageFs a, b;
+  for (MemStorageFs* fs : {&a, &b}) {
+    ASSERT_OK(fs->Append("log", Bytes("same bytes").data(), 10));
+    ASSERT_OK(fs->WriteFileAtomic("page", Bytes("same page")));
+  }
+  EXPECT_EQ(a.ContentDigest(), b.ContentDigest());
+
+  ASSERT_OK(b.Append("log", Bytes("!").data(), 1));
+  EXPECT_NE(a.ContentDigest(), b.ContentDigest());
+}
+
+TEST(PosixStorageFsTest, RoundtripAgainstRealDirectory) {
+  std::string tmpl = ::testing::TempDir() + "aurora_fs_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  ASSERT_NE(mkdtemp(buf.data()), nullptr);
+  std::string root(buf.data());
+
+  PosixStorageFs fs(root);
+  ASSERT_OK(fs.Append("aof/000001.log", Bytes("abc").data(), 3));
+  ASSERT_OK(fs.Append("aof/000001.log", Bytes("def").data(), 3));
+  ASSERT_OK(fs.Sync("aof/000001.log"));
+  ASSERT_OK(fs.WriteFileAtomic("meta.bin", Bytes("meta")));
+
+  auto data = fs.ReadFile("aof/000001.log");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(Str(*data), "abcdef");
+  auto size = fs.FileSize("meta.bin");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 4u);
+
+  std::vector<std::string> all = fs.List("");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], "aof/000001.log");
+  EXPECT_EQ(all[1], "meta.bin");
+
+  ASSERT_OK(fs.Remove("aof/000001.log"));
+  EXPECT_FALSE(fs.Exists("aof/000001.log"));
+  ASSERT_OK(fs.Remove("meta.bin"));
+}
+
+}  // namespace
+}  // namespace aurora

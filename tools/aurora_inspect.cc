@@ -4,8 +4,14 @@
 //   aurora_inspect <dump.json>             summary: stage attribution per
 //                                          output, top bottleneck boxes, and
 //                                          (for flight dumps) trace timelines
-//   aurora_inspect --check <dump.json>     validate the dump: snapshot schema
-//                                          plus stage/e2e conservation;
+//   aurora_inspect --storage <dump.json>   tiered-store view: tier occupancy
+//                                          per store, AOF/compaction/read
+//                                          counters, read amplification, and
+//                                          per-arc spill reconciliation
+//   aurora_inspect --check <dump.json>     validate the dump: snapshot schema,
+//                                          stage/e2e conservation, and spill
+//                                          conservation (unspill <= spill,
+//                                          outstanding <= ever-spilled);
 //                                          nonzero exit on failure (CI)
 //   aurora_inspect --diff <a.json> <b.json> metric deltas between two dumps
 //   aurora_inspect --top N / --traces N    table / timeline row limits
@@ -34,6 +40,7 @@ struct InspectOptions {
   int top_boxes = 10;
   int max_traces = 5;
   bool check = false;
+  bool storage = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -199,6 +206,236 @@ void PrintBoxes(const std::vector<BoxProfile>& boxes, int top) {
 }
 
 // ---------------------------------------------------------------------------
+// Tiered storage (storage.* / engine.storage.*)
+// ---------------------------------------------------------------------------
+
+/// One tiered store's occupancy gauges, keyed by its `scope` label
+/// (`storage.<scope>.mem.bytes` and friends).
+struct StoreTiers {
+  std::string scope;
+  double mem_bytes = 0, mem_records = 0;
+  double aof_bytes = 0, aof_segments = 0;
+  double page_bytes = 0, page_files = 0;
+  double read_amp = 0;
+};
+
+/// One arc's spill channel: current outstanding spilled tuples/bytes plus
+/// their high-water marks (`engine.storage.spilled_{tuples,hwm}.<scope>.arcN`).
+struct ArcSpill {
+  std::string arc;  // "<scope>.arc<N>"
+  double tuples = 0, tuples_hwm = 0;
+  double bytes = 0, bytes_hwm = 0;
+};
+
+struct StorageView {
+  std::vector<StoreTiers> stores;
+  std::vector<ArcSpill> arcs;
+  // Process-wide storage counters.
+  uint64_t aof_appends = 0, aof_appended_bytes = 0, aof_fsyncs = 0;
+  uint64_t segments_sealed = 0;
+  uint64_t compactions = 0, compaction_records = 0, compaction_dropped = 0;
+  uint64_t pages_written = 0;
+  uint64_t reads = 0, read_records = 0, read_scanned = 0, read_bytes = 0;
+  uint64_t truncates = 0;
+  uint64_t recovered_records = 0, recovered_torn_bytes = 0;
+  uint64_t halog_appends = 0, halog_replayed = 0;
+  // Engine-side spill counters.
+  uint64_t spill_events = 0, spill_tuples = 0, spill_bytes = 0;
+  uint64_t unspill_tuples = 0;
+
+  bool present() const {
+    return !stores.empty() || aof_appends > 0 || spill_tuples > 0 ||
+           unspill_tuples > 0;
+  }
+};
+
+StorageView CollectStorage(const MetricsSnapshot& snap) {
+  StorageView v;
+  v.aof_appends = snap.CounterOr("storage.aof.appends");
+  v.aof_appended_bytes = snap.CounterOr("storage.aof.appended_bytes");
+  v.aof_fsyncs = snap.CounterOr("storage.aof.fsyncs");
+  v.segments_sealed = snap.CounterOr("storage.aof.segments_sealed");
+  v.compactions = snap.CounterOr("storage.compactions");
+  v.compaction_records = snap.CounterOr("storage.compaction.records");
+  v.compaction_dropped = snap.CounterOr("storage.compaction.dropped_records");
+  v.pages_written = snap.CounterOr("storage.pages.written");
+  v.reads = snap.CounterOr("storage.reads");
+  v.read_records = snap.CounterOr("storage.reads.records");
+  v.read_scanned = snap.CounterOr("storage.reads.records_scanned");
+  v.read_bytes = snap.CounterOr("storage.reads.bytes");
+  v.truncates = snap.CounterOr("storage.truncates");
+  v.recovered_records = snap.CounterOr("storage.recovered.records");
+  v.recovered_torn_bytes = snap.CounterOr("storage.recovered.torn_bytes");
+  v.halog_appends = snap.CounterOr("storage.halog.appends");
+  v.halog_replayed = snap.CounterOr("storage.halog.replayed");
+  v.spill_events = snap.CounterOr("engine.storage.spill.events");
+  v.spill_tuples = snap.CounterOr("engine.storage.spill.tuples");
+  v.spill_bytes = snap.CounterOr("engine.storage.spill.bytes");
+  v.unspill_tuples = snap.CounterOr("engine.storage.unspill.tuples");
+
+  // Tier occupancy gauges: storage.<scope>.<tier metric>. The scope label
+  // is whatever TieredStoreOptions::scope was, so it is recovered by
+  // stripping a known suffix rather than by splitting on dots.
+  std::map<std::string, StoreTiers> stores;
+  struct Suffix {
+    const char* text;
+    double StoreTiers::* field;
+  };
+  static const Suffix kSuffixes[] = {
+      {".mem.bytes", &StoreTiers::mem_bytes},
+      {".mem.records", &StoreTiers::mem_records},
+      {".aof.bytes", &StoreTiers::aof_bytes},
+      {".aof.segments", &StoreTiers::aof_segments},
+      {".page.bytes", &StoreTiers::page_bytes},
+      {".page.files", &StoreTiers::page_files},
+      {".read_amp", &StoreTiers::read_amp},
+  };
+  const std::string prefix = "storage.";
+  for (const auto& [name, value] : snap.gauges) {
+    if (name.rfind(prefix, 0) != 0) continue;
+    for (const Suffix& s : kSuffixes) {
+      size_t slen = std::strlen(s.text);
+      if (name.size() <= prefix.size() + slen) continue;
+      if (name.compare(name.size() - slen, slen, s.text) != 0) continue;
+      std::string scope =
+          name.substr(prefix.size(), name.size() - prefix.size() - slen);
+      StoreTiers& st = stores[scope];
+      st.scope = scope;
+      st.*(s.field) = value;
+      break;
+    }
+  }
+  for (auto& [scope, st] : stores) v.stores.push_back(st);
+
+  // Per-arc spill channels: engine.storage.spilled_tuples.<scope>.arc<N>
+  // with a matching spilled_hwm (bytes) gauge.
+  const std::string tuples_prefix = "engine.storage.spilled_tuples.";
+  std::map<std::string, ArcSpill> arcs;
+  for (const auto& [name, value] : snap.gauges) {
+    if (name.rfind(tuples_prefix, 0) != 0) continue;
+    std::string key = name.substr(tuples_prefix.size());
+    ArcSpill& a = arcs[key];
+    a.arc = key;
+    a.tuples = value;
+    a.tuples_hwm = snap.GaugeMaxOr(name, value);
+    const std::string bytes_name = "engine.storage.spilled_hwm." + key;
+    a.bytes = snap.GaugeOr(bytes_name);
+    a.bytes_hwm = snap.GaugeMaxOr(bytes_name, a.bytes);
+  }
+  for (auto& [key, a] : arcs) v.arcs.push_back(a);
+  return v;
+}
+
+void PrintStorage(const StorageView& v) {
+  if (!v.present()) {
+    std::printf(
+        "\nNo tiered-storage activity recorded (storage.* series absent).\n");
+    return;
+  }
+  std::printf("\nTiered storage:\n");
+  if (!v.stores.empty()) {
+    std::printf("  %-12s %10s %8s %10s %6s %10s %6s %9s\n", "store",
+                "mem_bytes", "mem_rec", "aof_bytes", "segs", "page_bytes",
+                "pages", "read_amp");
+    for (const StoreTiers& st : v.stores) {
+      std::printf("  %-12s %10.0f %8.0f %10.0f %6.0f %10.0f %6.0f %9.2f\n",
+                  st.scope.c_str(), st.mem_bytes, st.mem_records, st.aof_bytes,
+                  st.aof_segments, st.page_bytes, st.page_files, st.read_amp);
+    }
+  }
+  std::printf("  aof: appends=%llu bytes=%llu fsyncs=%llu sealed=%llu\n",
+              static_cast<unsigned long long>(v.aof_appends),
+              static_cast<unsigned long long>(v.aof_appended_bytes),
+              static_cast<unsigned long long>(v.aof_fsyncs),
+              static_cast<unsigned long long>(v.segments_sealed));
+  std::printf(
+      "  compaction: runs=%llu records=%llu dropped=%llu pages_written=%llu "
+      "truncates=%llu\n",
+      static_cast<unsigned long long>(v.compactions),
+      static_cast<unsigned long long>(v.compaction_records),
+      static_cast<unsigned long long>(v.compaction_dropped),
+      static_cast<unsigned long long>(v.pages_written),
+      static_cast<unsigned long long>(v.truncates));
+  double amp = v.read_records == 0
+                   ? 0.0
+                   : static_cast<double>(v.read_scanned) /
+                         static_cast<double>(v.read_records);
+  std::printf(
+      "  reads: calls=%llu records=%llu scanned=%llu bytes=%llu "
+      "amplification=%.2f\n",
+      static_cast<unsigned long long>(v.reads),
+      static_cast<unsigned long long>(v.read_records),
+      static_cast<unsigned long long>(v.read_scanned),
+      static_cast<unsigned long long>(v.read_bytes), amp);
+  std::printf(
+      "  recovery: records=%llu torn_bytes=%llu  halog: appends=%llu "
+      "replayed=%llu\n",
+      static_cast<unsigned long long>(v.recovered_records),
+      static_cast<unsigned long long>(v.recovered_torn_bytes),
+      static_cast<unsigned long long>(v.halog_appends),
+      static_cast<unsigned long long>(v.halog_replayed));
+  std::printf(
+      "  spill: events=%llu tuples=%llu bytes=%llu unspilled=%llu "
+      "outstanding=%lld\n",
+      static_cast<unsigned long long>(v.spill_events),
+      static_cast<unsigned long long>(v.spill_tuples),
+      static_cast<unsigned long long>(v.spill_bytes),
+      static_cast<unsigned long long>(v.unspill_tuples),
+      static_cast<long long>(v.spill_tuples) -
+          static_cast<long long>(v.unspill_tuples));
+  for (const ArcSpill& a : v.arcs) {
+    std::printf(
+        "    %-20s tuples=%6.0f (hwm %6.0f)  bytes=%8.0f (hwm %8.0f)\n",
+        a.arc.c_str(), a.tuples, a.tuples_hwm, a.bytes, a.bytes_hwm);
+  }
+}
+
+/// Spill conservation over the dump. Gauges are refreshed on budget
+/// enforcement, so a gauge may read stale-high against the end-of-run
+/// counters; the sound invariants are the ones against the all-time spill
+/// counters, not against the residual.
+bool CheckStorage(const StorageView& v) {
+  if (!v.present()) return true;  // nothing to reconcile
+  bool ok = true;
+  if (v.unspill_tuples > v.spill_tuples) {
+    std::printf(
+        "CHECK FAIL storage: unspill.tuples=%llu exceeds spill.tuples=%llu "
+        "(read back more than was ever spilled)\n",
+        static_cast<unsigned long long>(v.unspill_tuples),
+        static_cast<unsigned long long>(v.spill_tuples));
+    ok = false;
+  }
+  double arc_tuples = 0, arc_bytes = 0;
+  for (const ArcSpill& a : v.arcs) {
+    arc_tuples += a.tuples;
+    arc_bytes += a.bytes;
+  }
+  if (arc_tuples > static_cast<double>(v.spill_tuples)) {
+    std::printf(
+        "CHECK FAIL storage: per-arc outstanding spilled tuples %.0f exceed "
+        "spill.tuples=%llu\n",
+        arc_tuples, static_cast<unsigned long long>(v.spill_tuples));
+    ok = false;
+  }
+  if (arc_bytes > static_cast<double>(v.spill_bytes)) {
+    std::printf(
+        "CHECK FAIL storage: per-arc outstanding spilled bytes %.0f exceed "
+        "spill.bytes=%llu\n",
+        arc_bytes, static_cast<unsigned long long>(v.spill_bytes));
+    ok = false;
+  }
+  if (v.read_scanned < v.read_records) {
+    std::printf(
+        "CHECK FAIL storage: reads.records=%llu exceed records_scanned=%llu "
+        "(read amplification below 1 is impossible)\n",
+        static_cast<unsigned long long>(v.read_records),
+        static_cast<unsigned long long>(v.read_scanned));
+    ok = false;
+  }
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
 // Trace timelines (flight dumps)
 // ---------------------------------------------------------------------------
 
@@ -302,15 +539,23 @@ int Inspect(const std::string& path, const InspectOptions& opts) {
   }
 
   std::vector<OutputAttribution> attribution = CollectAttribution(*snap);
-  PrintAttribution(attribution);
-  PrintBoxes(CollectBoxes(*snap), opts.top_boxes);
-  PrintTimelines(CollectSpans(*doc), opts.max_traces);
+  StorageView storage = CollectStorage(*snap);
+  if (opts.storage) {
+    PrintStorage(storage);
+  } else {
+    PrintAttribution(attribution);
+    PrintBoxes(CollectBoxes(*snap), opts.top_boxes);
+    PrintTimelines(CollectSpans(*doc), opts.max_traces);
+  }
 
   if (opts.check) {
-    if (!CheckAttribution(attribution)) return 1;
+    bool ok = CheckAttribution(attribution);
+    ok = CheckStorage(storage) && ok;
+    if (!ok) return 1;
     std::printf("\nCHECK OK: %zu outputs conserve stage attribution, "
+                "%zu spill arcs reconcile, "
                 "%zu counters, %zu gauges, %zu histograms parsed.\n",
-                attribution.size(), snap->counters.size(),
+                attribution.size(), storage.arcs.size(), snap->counters.size(),
                 snap->gauges.size(), snap->histograms.size());
   }
   return 0;
@@ -343,7 +588,8 @@ int Diff(const std::string& path_a, const std::string& path_b) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: aurora_inspect [--check] [--top N] [--traces N] <dump.json>\n"
+      "usage: aurora_inspect [--check] [--storage] [--top N] [--traces N] "
+      "<dump.json>\n"
       "       aurora_inspect --diff <a.json> <b.json>\n");
   return 2;
 }
@@ -357,6 +603,8 @@ int Main(int argc, char** argv) {
       diff = true;
     } else if (std::strcmp(argv[i], "--check") == 0) {
       opts.check = true;
+    } else if (std::strcmp(argv[i], "--storage") == 0) {
+      opts.storage = true;
     } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
       opts.top_boxes = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--traces") == 0 && i + 1 < argc) {
