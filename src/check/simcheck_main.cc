@@ -20,6 +20,7 @@
 #include "check/runner.h"
 #include "check/scenario.h"
 #include "check/shrinker.h"
+#include "check/threaded_check.h"
 
 namespace {
 
@@ -27,7 +28,10 @@ void Usage() {
   std::fprintf(stderr,
                "usage: simcheck [--seed N] [--runs N] [--shrink 0|1]\n"
                "                [--replay <spec-file>] [--disable-dedup]\n"
-               "                [--digest] [--out <dir>]\n");
+               "                [--digest] [--out <dir>] [--threaded N]\n"
+               "  --threaded N  run each scenario on the N-worker threaded\n"
+               "                engine and diff against the oracle instead\n"
+               "                of the simulated federation\n");
 }
 
 int Replay(const std::string& path, bool disable_dedup) {
@@ -57,6 +61,7 @@ int main(int argc, char** argv) {
   bool shrink = true;
   bool disable_dedup = false;
   bool digest = false;
+  int threaded = 0;
   std::string replay_path;
   std::string out_dir = ".";
   for (int i = 1; i < argc; ++i) {
@@ -82,6 +87,8 @@ int main(int argc, char** argv) {
       digest = true;
     } else if (arg == "--out") {
       out_dir = next();
+    } else if (arg == "--threaded") {
+      threaded = std::atoi(next());
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -93,6 +100,35 @@ int main(int argc, char** argv) {
   }
 
   if (!replay_path.empty()) return Replay(replay_path, disable_dedup);
+
+  if (threaded > 0) {
+    // Threaded-runtime gate: no network, no faults — the scenario supplies
+    // the query topology and trace, the diff checks the worker runtime.
+    for (int r = 0; r < runs; ++r) {
+      uint64_t s = seed + static_cast<uint64_t>(r);
+      aurora::ScenarioSpec spec = aurora::GenerateScenario(s);
+      aurora::ThreadedCheckReport report =
+          aurora::RunThreadedScenario(spec, threaded);
+      if (digest) {
+        std::fprintf(stdout, "seed %llu\n",
+                     static_cast<unsigned long long>(s));
+        std::fputs(report.Summary().c_str(), stdout);
+      }
+      if (!report.ok()) {
+        std::fprintf(stdout, "simcheck: seed %llu FAILED (threaded)\n",
+                     static_cast<unsigned long long>(s));
+        std::fputs(report.Summary().c_str(), stdout);
+        return 1;
+      }
+    }
+    std::fprintf(stdout,
+                 "simcheck: %d threaded runs clean (%d workers, seeds "
+                 "%llu..%llu)\n",
+                 runs, threaded, static_cast<unsigned long long>(seed),
+                 static_cast<unsigned long long>(
+                     seed + static_cast<uint64_t>(runs) - 1));
+    return 0;
+  }
 
   for (int r = 0; r < runs; ++r) {
     uint64_t s = seed + static_cast<uint64_t>(r);

@@ -264,7 +264,9 @@ class AuroraEngine {
   /// -1 for a standalone (non-distributed) engine. Set by StreamNode.
   void set_trace_node(int node) {
     trace_node_ = node;
-    storage_.set_scope(node < 0 ? "local" : "n" + std::to_string(node));
+    std::string scope = node < 0 ? "local" : "n" + std::to_string(node);
+    storage_.set_scope(scope);
+    qos_.set_scope(scope);
   }
   int trace_node() const { return trace_node_; }
 

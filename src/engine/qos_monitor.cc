@@ -1,23 +1,22 @@
 #include "engine/qos_monitor.h"
 
-#include <atomic>
 #include <sstream>
 
+#include "common/logging.h"
 #include "obs/flight_recorder.h"
 
 namespace aurora {
 
-namespace {
-// Monitor instance ids keep concurrent engines (e.g. one per StreamNode in a
-// distributed sim) from aliasing each other's registry series.
-int NextInstanceId() {
-  static std::atomic<int> next{0};
-  return next.fetch_add(1);
-}
-}  // namespace
+QoSMonitor::QoSMonitor() : prefix_("qos.local.") {}
 
-QoSMonitor::QoSMonitor()
-    : prefix_("qos." + std::to_string(NextInstanceId()) + ".") {}
+void QoSMonitor::set_scope(const std::string& scope) {
+  // Series names are fixed at each output's first Stats() call; re-scoping
+  // after traffic would orphan the already-registered series.
+  AURORA_DCHECK(outputs_.empty())
+      << "QoSMonitor::set_scope(\"" << scope
+      << "\") after output stats were registered under " << prefix_;
+  prefix_ = "qos." + scope + ".";
+}
 
 QoSMonitor::OutputStats& QoSMonitor::Stats(PortId output) {
   auto it = outputs_.find(output);
@@ -45,7 +44,9 @@ void QoSMonitor::RecordDelivery(PortId output, double latency_ms,
                                 const StageBreakdown* attr, int64_t now_us) {
   OutputStats& s = Stats(output);
   s.delivered->Add();
+  s.delivered_n++;
   s.latency_ms->Record(latency_ms);
+  s.latency_sum_ms += latency_ms;
   const QoSSpec* spec = GetSpec(output);
   double u = 1.0;
   if (spec != nullptr && !spec->latency.empty()) {
@@ -54,6 +55,7 @@ void QoSMonitor::RecordDelivery(PortId output, double latency_ms,
   s.latency_utility_sum += u;
   if (spec != nullptr && !spec->latency.empty() && u < kViolationUtility) {
     s.violations->Add();
+    s.violations_n++;
     std::ostringstream detail;
     detail << prefix_ << "out." << output << " latency_ms=" << latency_ms
            << " utility=" << u;
@@ -67,27 +69,31 @@ void QoSMonitor::RecordDelivery(PortId output, double latency_ms,
   }
 }
 
-void QoSMonitor::RecordDrop(PortId output) { Stats(output).dropped->Add(); }
+void QoSMonitor::RecordDrop(PortId output) {
+  OutputStats& s = Stats(output);
+  s.dropped->Add();
+  s.dropped_n++;
+}
 
 double QoSMonitor::AvgLatencyMs(PortId output) const {
   const OutputStats* s = FindStats(output);
-  if (s == nullptr || s->latency_ms->count() == 0) return 0.0;
-  return s->latency_ms->mean();
+  if (s == nullptr || s->delivered_n == 0) return 0.0;
+  return s->latency_sum_ms / static_cast<double>(s->delivered_n);
 }
 
 uint64_t QoSMonitor::Delivered(PortId output) const {
   const OutputStats* s = FindStats(output);
-  return s == nullptr ? 0 : s->delivered->value();
+  return s == nullptr ? 0 : s->delivered_n;
 }
 
 uint64_t QoSMonitor::Violations(PortId output) const {
   const OutputStats* s = FindStats(output);
-  return s == nullptr ? 0 : s->violations->value();
+  return s == nullptr ? 0 : s->violations_n;
 }
 
 uint64_t QoSMonitor::Dropped(PortId output) const {
   const OutputStats* s = FindStats(output);
-  return s == nullptr ? 0 : s->dropped->value();
+  return s == nullptr ? 0 : s->dropped_n;
 }
 
 double QoSMonitor::DeliveredFraction(PortId output) const {
@@ -102,9 +108,9 @@ double QoSMonitor::CurrentUtility(PortId output) const {
   if (spec == nullptr) return 1.0;
   const OutputStats* s = FindStats(output);
   double latency_part = 1.0;
-  if (s != nullptr && s->delivered->value() > 0) {
+  if (s != nullptr && s->delivered_n > 0) {
     latency_part =
-        s->latency_utility_sum / static_cast<double>(s->delivered->value());
+        s->latency_utility_sum / static_cast<double>(s->delivered_n);
   }
   double loss_part =
       spec->loss.empty() ? 1.0 : spec->loss.Eval(DeliveredFraction(output));

@@ -39,13 +39,26 @@ class Ewma {
 /// inference at internal nodes.
 ///
 /// Per-output counts and latencies live in the process-wide MetricsRegistry
-/// under `qos.<instance>.out.<port>.*` (each monitor gets a unique instance
-/// id so engines never share series); this class holds only the registered
-/// pointers plus the derived utility sums, so bench snapshots and the
-/// monitor's own queries read the same numbers.
+/// under `qos.<scope>.out.<port>.*`, where the scope names the owning
+/// engine's place in the federation ("local" for a standalone engine,
+/// "n<id>" for a StreamNode's engine — the same tags StorageManager uses).
+/// Scope-derived names are stable across process history: how many monitors
+/// an earlier test/replay in the same process constructed can never shift
+/// them (a process-global instance counter once could — same-process
+/// `simcheck --replay` and reordered test suites silently renamed every
+/// series). The monitor's own query API (Delivered, Dropped, ...) reads
+/// per-instance shadow tallies, so two same-scoped engines in one process
+/// share registry series but never each other's answers.
 class QoSMonitor {
  public:
   QoSMonitor();
+
+  /// Scope tag naming the owning engine ("local", "n3", ...). Set by
+  /// AuroraEngine::set_trace_node before traffic; series names are fixed at
+  /// each output's first use.
+  void set_scope(const std::string& scope);
+  /// The registry prefix currently in force, e.g. "qos.n3.".
+  const std::string& prefix() const { return prefix_; }
 
   void SetSpec(PortId output, QoSSpec spec) { specs_[output] = std::move(spec); }
   const QoSSpec* GetSpec(PortId output) const {
@@ -100,14 +113,22 @@ class QoSMonitor {
     Counter* violations = nullptr;
     /// Violations attributed to each dominant latency stage.
     Counter* bottleneck[kNumStages] = {};
+    /// Per-instance shadow tallies backing the query API. The registry
+    /// counters above are export-only: same-scoped monitors share them, so
+    /// reading them back would leak a sibling engine's traffic into this
+    /// monitor's answers.
+    uint64_t delivered_n = 0;
+    uint64_t dropped_n = 0;
+    uint64_t violations_n = 0;
+    double latency_sum_ms = 0.0;
     double latency_utility_sum = 0.0;
   };
   /// Registry-backed stats for the output, registered on first use under
-  /// `qos.<instance>.out.<port>.*`.
+  /// `qos.<scope>.out.<port>.*`.
   OutputStats& Stats(PortId output);
   const OutputStats* FindStats(PortId output) const;
 
-  std::string prefix_;  // "qos.<instance>."
+  std::string prefix_;  // "qos.<scope>."
   std::map<PortId, QoSSpec> specs_;
   std::map<PortId, OutputStats> outputs_;
   std::map<BoxId, Ewma> box_tb_ms_;

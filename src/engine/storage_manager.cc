@@ -105,6 +105,7 @@ StorageManager::ArcSpillState& StorageManager::StateFor(
 
 size_t StorageManager::EnforceBudget(const std::vector<SpillableQueue>& queues) {
   if (budget_ == 0) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
   size_t resident = 0;
   for (const auto& q : queues) resident += q.queue->resident_bytes();
   size_t spilled = 0;
@@ -128,8 +129,8 @@ size_t StorageManager::EnforceBudget(const std::vector<SpillableQueue>& queues) 
     if (freed == 0) break;
     resident -= freed;
     spilled += freed;
-    total_spilled_bytes_ += freed;
-    spill_events_++;
+    total_spilled_bytes_.fetch_add(freed, std::memory_order_relaxed);
+    spill_events_.fetch_add(1, std::memory_order_relaxed);
     m_spill_events_->Add();
     m_spill_bytes_->Add(freed);
     m_spill_tuples_->Add(queue->spilled_count() - before_tuples);

@@ -1,9 +1,11 @@
 #ifndef AURORA_ENGINE_STORAGE_MANAGER_H_
 #define AURORA_ENGINE_STORAGE_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -60,10 +62,17 @@ class StorageManager {
 
   /// Checks the budget against all queues and spills as needed. `queues`
   /// must enumerate every arc queue in the engine. Returns bytes spilled.
+  /// Mutex-guarded: concurrent calls (or a budget check racing a stats
+  /// read) serialize here, though the queues themselves must not be mutated
+  /// by another thread during the call.
   size_t EnforceBudget(const std::vector<SpillableQueue>& queues);
 
-  uint64_t total_spilled_bytes() const { return total_spilled_bytes_; }
-  uint64_t spill_events() const { return spill_events_; }
+  uint64_t total_spilled_bytes() const {
+    return total_spilled_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t spill_events() const {
+    return spill_events_.load(std::memory_order_relaxed);
+  }
 
  private:
   class SpillChannel;
@@ -81,9 +90,12 @@ class StorageManager {
   size_t budget_;
   std::string scope_ = "local";
   TieredStore* store_ = nullptr;
+  /// Guards arcs_ and the spill loop; the totals are atomics so the stats
+  /// accessors stay lock-free.
+  std::mutex mu_;
   std::map<int, ArcSpillState> arcs_;
-  uint64_t total_spilled_bytes_ = 0;
-  uint64_t spill_events_ = 0;
+  std::atomic<uint64_t> total_spilled_bytes_{0};
+  std::atomic<uint64_t> spill_events_{0};
   Counter* m_spill_events_;
   Counter* m_spill_bytes_;
   Counter* m_spill_tuples_;

@@ -1,0 +1,251 @@
+#ifndef AURORA_ENGINE_THREADED_ENGINE_H_
+#define AURORA_ENGINE_THREADED_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "engine/topology.h"
+#include "engine/worker_pool.h"
+#include "obs/metrics.h"
+#include "ops/operator.h"
+#include "stream/ring_buffer.h"
+
+namespace aurora {
+
+/// Options for the threaded runtime (docs/THREADING.md).
+struct ThreadedEngineOptions {
+  /// Worker threads. 0 = one (the runtime never silently multiplies
+  /// threads; callers opt into a width explicitly, benches sweep it).
+  int workers = 1;
+  /// Max tuples one box activation consumes before re-queuing itself —
+  /// the train size of the single-threaded scheduler (§2.3).
+  int train_size = 64;
+  /// Per-arc ring capacity in tuples (rounded up to a power of two). Full
+  /// rings backpressure by running the consumer inline, so this bounds
+  /// memory, not correctness.
+  size_t ring_capacity = 1024;
+};
+
+/// \brief Multithreaded execution runtime: the same query-network model as
+/// AuroraEngine (input ports -> boxes -> output ports), executed by a
+/// WorkerPool instead of the discrete-event simulation.
+///
+/// Architecture (docs/THREADING.md has the full story):
+///  - Every arc is a bounded SPSC ring (stream/ring_buffer.h). Producer and
+///    consumer exclusivity come from box-exclusive execution, not from the
+///    ring, so boxes (and their arcs) migrate freely between workers.
+///  - Each box carries an atomic state machine {Idle, Queued, Running,
+///    RunningNotified}. Producers notify a box after pushing to its ring;
+///    the CAS protocol guarantees a box is queued at most once and running
+///    on at most one worker, while a notify that races an activation
+///    (Running -> RunningNotified) forces a re-queue so no tuple is ever
+///    stranded.
+///  - Boxes are partitioned across workers at Start(): weakly-connected
+///    components of the box graph, assigned greedily largest-first (LPT) by
+///    estimated cost. Stealing covers imbalance at runtime, so the
+///    partition only has to be roughly right.
+///  - A full ring never blocks a producer on a slower consumer: the
+///    producer claims and runs the consumer box inline ("help on full").
+///    The network is acyclic, so helping terminates.
+///
+/// Determinism contract: per-arc FIFO order and exactly-once consumption
+/// hold unconditionally, so for linear (single-input-box) networks every
+/// output port sees the byte-identical row sequence the single-threaded
+/// oracle produces — the property tests/check/threaded_simcheck_test.cc
+/// gates on. What threading *does* reorder is documented in
+/// docs/THREADING.md (cross-output interleaving, multi-input merge order,
+/// wall-clock-dependent operators, scheduling-dependent metrics).
+///
+/// Operators run with `now` = the consumed tuple's timestamp; OnTick and
+/// Drain are not driven (no wall-clock timers in threaded mode yet).
+///
+/// Thread contract: topology construction, Start, and Stop are
+/// single-threaded. PushInput may be called concurrently for *different*
+/// input ports (one thread at a time per port — each port's arcs are SPSC
+/// rings whose producer side is the pushing thread). WaitQuiescent is
+/// called by pushers after their pushes complete.
+class ThreadedEngine {
+ public:
+  /// Delivery callback; called with the output's mutex held (serialized
+  /// per output, concurrent across outputs) from worker threads.
+  using OutputCallback = std::function<void(const Tuple&, SimTime)>;
+
+  explicit ThreadedEngine(ThreadedEngineOptions opts = {});
+  ~ThreadedEngine();
+
+  ThreadedEngine(const ThreadedEngine&) = delete;
+  ThreadedEngine& operator=(const ThreadedEngine&) = delete;
+
+  const ThreadedEngineOptions& options() const { return opts_; }
+
+  // --- Topology construction (before Start) --------------------------------
+  Result<PortId> AddInput(const std::string& name, SchemaPtr schema);
+  Result<PortId> AddOutput(const std::string& name);
+  Result<BoxId> AddBox(const OperatorSpec& spec);
+  Result<ArcId> Connect(Endpoint from, Endpoint to);
+  /// Fixed-point schema propagation, as AuroraEngine::InitializeBoxes.
+  Status InitializeBoxes(bool require_all = true);
+  Result<PortId> FindInput(const std::string& name) const;
+  Result<PortId> FindOutput(const std::string& name) const;
+  bool IsBoxInitialized(BoxId box) const;
+  void SetOutputCallback(PortId output, OutputCallback cb);
+
+  // --- Execution -----------------------------------------------------------
+  /// Builds the rings, partitions the boxes, and launches the workers.
+  Status Start();
+  /// True between a successful Start and Stop.
+  bool running() const { return pool_ != nullptr && pool_->started(); }
+
+  /// Injects one tuple (timestamp defaults to `now` when unset). Applies
+  /// backpressure by helping when downstream rings are full; never drops.
+  Status PushInput(PortId input, Tuple t, SimTime now);
+  Status PushInputByName(const std::string& input, Tuple t, SimTime now);
+
+  /// Blocks until no box is queued or running and every ring is empty.
+  /// Callers must have finished their own PushInputs first (in-flight
+  /// pushes from *other* threads can re-arm work after this returns).
+  void WaitQuiescent();
+
+  /// Drains (WaitQuiescent), stops the workers, and returns the first
+  /// operator error deferred during the run, if any.
+  Status Stop();
+
+  // --- Introspection -------------------------------------------------------
+  int partition_of(BoxId box) const;
+  uint64_t tuples_in() const {
+    return tuples_in_.load(std::memory_order_relaxed);
+  }
+  uint64_t delivered(PortId output) const;
+  uint64_t activations() const {
+    return activations_.load(std::memory_order_relaxed);
+  }
+  /// Ready-box migrations between workers (see WorkerPool::steals).
+  uint64_t steals() const { return pool_ == nullptr ? 0 : pool_->steals(); }
+  /// Times a producer found a ring full and helped the consumer inline.
+  uint64_t ring_full_events() const {
+    return ring_full_events_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Box activation states (the ready-protocol of docs/THREADING.md).
+  enum BoxState : uint32_t {
+    kIdle = 0,     ///< no pending notify; not on any ready queue
+    kQueued = 1,   ///< on some worker's ready queue (or claimed for help)
+    kRunning = 2,  ///< a worker is inside ActivateBox
+    kRunningNotified = 3,  ///< running, and a producer notified meanwhile
+  };
+
+  struct BoxRt {
+    OperatorSpec spec;
+    OperatorPtr op;
+    bool initialized = false;
+    bool removed = false;  // reserved; threaded mode has no live reconfig
+    std::vector<ArcId> in_arcs;               // one per op input (-1 unset)
+    std::vector<std::vector<ArcId>> out_arcs;  // per op output, fan-out list
+    int partition = 0;
+    int64_t priority = 0;  ///< scheduler key; -distance_to_output
+    std::atomic<uint32_t> state{kIdle};
+    /// Round-robin cursor over in_arcs; touched only by the worker that
+    /// currently holds the box claim.
+    int rr_next_input = 0;
+  };
+  struct ArcRt {
+    Endpoint from;
+    Endpoint to;
+    std::unique_ptr<BoundedRing<Tuple>> ring;  // built at Start
+  };
+  struct InputPort {
+    std::string name;
+    SchemaPtr schema;
+    std::vector<ArcId> out_arcs;
+  };
+  struct OutputPort {
+    std::string name;
+    OutputCallback callback;
+    std::unique_ptr<std::mutex> mu;  // serializes deliveries per output
+    std::atomic<uint64_t> delivered{0};
+
+    OutputPort(std::string n)
+        : name(std::move(n)), mu(std::make_unique<std::mutex>()) {}
+    OutputPort(OutputPort&& o) noexcept
+        : name(std::move(o.name)),
+          callback(std::move(o.callback)),
+          mu(std::move(o.mu)),
+          delivered(o.delivered.load(std::memory_order_relaxed)) {}
+  };
+
+  class RoutingEmitter;
+
+  Result<SchemaPtr> EndpointOutputSchema(const Endpoint& e) const;
+
+  /// Pushes into the arc's ring, helping the consumer inline while full,
+  /// then notifies the destination box. `worker` is the calling worker id
+  /// (-1 for an external pusher); used as the re-queue preference.
+  void EnqueueArc(ArcId arc, Tuple t, int worker);
+  /// Marks the box ready: Idle -> Queued (+submit), Running ->
+  /// RunningNotified, no-op otherwise.
+  void NotifyReady(BoxId box, int worker);
+  /// Claims an un-queued or queued box directly (help path). On success the
+  /// box is Running and the caller must PostRun it.
+  bool TryClaimForHelp(BoxId box);
+  /// Consumes up to train_size tuples from the box's in-rings.
+  void RunBoxActivation(BoxId box, int worker);
+  /// Post-activation protocol: re-queue if notified or input remains, else
+  /// transition to Idle and release the work item.
+  void PostRun(BoxId box, int worker);
+  /// WorkerPool callback: validate the claim, activate, post-run.
+  void RunReadyItem(int box, int worker);
+
+  void DeliverToOutput(PortId output, const Tuple& t, int worker);
+
+  /// Any tuple left in any of the box's input rings?
+  bool AnyInputPending(const BoxRt& box) const;
+
+  /// Component-based LPT assignment of boxes to workers.
+  void PartitionBoxes();
+  /// Longest path to an output port, for scheduler priorities.
+  void ComputePriorities();
+
+  void DeferError(const Status& s);
+
+  ThreadedEngineOptions opts_;
+  std::vector<InputPort> inputs_;
+  std::vector<OutputPort> outputs_;
+  /// deque: BoxRt holds an atomic (immovable), and box addresses must be
+  /// stable across AddBox.
+  std::deque<BoxRt> boxes_;
+  std::vector<ArcRt> arcs_;
+
+  std::unique_ptr<WorkerPool> pool_;
+  /// Boxes currently Queued or Running (in any flavor). Zero, after all
+  /// pushers returned, means quiescent: every ring is empty (a worker that
+  /// could still push is itself counted here).
+  std::atomic<int64_t> work_items_{0};
+
+  std::mutex error_mu_;
+  Status deferred_error_;
+
+  std::atomic<uint64_t> tuples_in_{0};
+  std::atomic<uint64_t> activations_{0};
+  std::atomic<uint64_t> tuples_processed_{0};
+  std::atomic<uint64_t> ring_full_events_{0};
+
+  Counter* m_tuples_in_;
+  Counter* m_delivered_;
+  Counter* m_activations_;
+  Counter* m_ring_full_;
+  Gauge* m_workers_;
+  Gauge* m_steals_;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_ENGINE_THREADED_ENGINE_H_

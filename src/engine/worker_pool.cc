@@ -1,0 +1,105 @@
+#include "engine/worker_pool.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace aurora {
+
+WorkerPool::WorkerPool(int workers) {
+  int n = std::max(1, workers);
+  locals_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) locals_.push_back(std::make_unique<Local>());
+}
+
+WorkerPool::~WorkerPool() { Stop(); }
+
+void WorkerPool::Start(RunFn run) {
+  AURORA_CHECK(!started_) << "WorkerPool started twice";
+  run_ = std::move(run);
+  started_ = true;
+  stop_.store(false, std::memory_order_relaxed);
+  threads_.reserve(locals_.size());
+  for (int i = 0; i < workers(); ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+void WorkerPool::Stop() {
+  if (!started_) return;
+  {
+    std::lock_guard<std::mutex> lock(park_mu_);
+    stop_.store(true, std::memory_order_relaxed);
+    submit_epoch_++;
+  }
+  park_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  started_ = false;
+}
+
+void WorkerPool::Submit(int item, int64_t priority, int preferred) {
+  int target = preferred;
+  if (target < 0 || target >= workers()) target = 0;
+  Entry e{priority, seq_.fetch_add(1, std::memory_order_relaxed), item};
+  {
+    std::lock_guard<std::mutex> lock(locals_[target]->mu);
+    locals_[target]->q.push(e);
+  }
+  {
+    std::lock_guard<std::mutex> lock(park_mu_);
+    submit_epoch_++;
+  }
+  park_cv_.notify_one();
+}
+
+bool WorkerPool::PopAny(int wid, int* item) {
+  {
+    Local& own = *locals_[wid];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.q.empty()) {
+      *item = own.q.top().item;
+      own.q.pop();
+      return true;
+    }
+  }
+  // Steal: take the top (highest-priority) ready item of the first
+  // non-empty victim.
+  int n = workers();
+  for (int off = 1; off < n; ++off) {
+    Local& victim = *locals_[(wid + off) % n];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.q.empty()) {
+      *item = victim.q.top().item;
+      victim.q.pop();
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void WorkerPool::WorkerLoop(int wid) {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    int item = -1;
+    if (PopAny(wid, &item)) {
+      executed_.fetch_add(1, std::memory_order_relaxed);
+      run_(item, wid);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(park_mu_);
+    if (stop_.load(std::memory_order_relaxed)) return;
+    // wait_for bounds any lost-wakeup window (a Submit that slipped in
+    // between our empty PopAny and taking the lock bumped the epoch, which
+    // the predicate sees immediately).
+    uint64_t seen = submit_epoch_;
+    park_cv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
+      return stop_.load(std::memory_order_relaxed) || submit_epoch_ != seen;
+    });
+  }
+}
+
+}  // namespace aurora

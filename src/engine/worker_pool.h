@@ -1,0 +1,107 @@
+#ifndef AURORA_ENGINE_WORKER_POOL_H_
+#define AURORA_ENGINE_WORKER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace aurora {
+
+/// \brief Fixed set of worker threads, each with its own ready queue, plus
+/// work-stealing between them — the execution substrate of ThreadedEngine.
+///
+/// Every worker owns one priority queue of ready items (box ids for the
+/// engine; the pool itself is agnostic). Submit() targets a preferred
+/// worker — the one whose partition owns the box — so a balanced partition
+/// runs with zero stealing; an idle worker steals the *highest-priority*
+/// ready item from a victim's queue, i.e. whole ready boxes migrate, never
+/// fractions of one (an item is claimed by exactly one worker at a time —
+/// the engine's box-state CAS enforces that even for stale duplicates).
+///
+/// This is the PR-5 ready-queue scheduler, one instance per worker: the
+/// priority is computed by the submitter (ThreadedEngine uses
+/// distance-to-output, the kMinOutputDistance discipline — drain-first keeps
+/// rings short), ties broken FIFO by submission order. The queues are small
+/// (bounded by box count) so a mutex per queue beats a lock-free structure
+/// here; the rings on the arcs are where the per-tuple traffic flows.
+///
+/// Idle workers park on a condition variable with a 1 ms timeout backstop:
+/// Submit bumps an epoch under the park mutex and notifies, and the timeout
+/// turns any lost-wakeup window into bounded latency instead of a hang.
+class WorkerPool {
+ public:
+  /// Called to run one claimed item on `worker` (0-based). The callback may
+  /// Submit() more items, including from the last running worker.
+  using RunFn = std::function<void(int item, int worker)>;
+
+  explicit WorkerPool(int workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int workers() const { return static_cast<int>(locals_.size()); }
+  bool started() const { return started_; }
+
+  /// Launches the worker threads. Items submitted before Start are retained
+  /// and run once the threads come up.
+  void Start(RunFn run);
+  /// Signals stop and joins every worker. Pending items are dropped; the
+  /// engine drains to quiescence before stopping. Idempotent.
+  void Stop();
+
+  /// Queues `item` on `preferred`'s ready queue (clamped into range).
+  /// Thread-safe from workers and external threads alike.
+  void Submit(int item, int64_t priority, int preferred);
+
+  /// Items that moved across workers (claimed by a non-preferred worker).
+  uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+  /// Items run so far.
+  uint64_t executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    int64_t priority = 0;
+    uint64_t seq = 0;  ///< global submission order; earlier wins on ties
+    int item = -1;
+    bool operator<(const Entry& o) const {
+      if (priority != o.priority) return priority < o.priority;
+      return seq > o.seq;
+    }
+  };
+  struct Local {
+    std::mutex mu;
+    std::priority_queue<Entry> q;
+  };
+
+  /// Pops from `wid`'s own queue, else steals from the first non-empty
+  /// victim (scanning from wid+1, wrapping).
+  bool PopAny(int wid, int* item);
+  void WorkerLoop(int wid);
+
+  std::vector<std::unique_ptr<Local>> locals_;
+  RunFn run_;
+  std::vector<std::thread> threads_;
+
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+  uint64_t submit_epoch_ = 0;  ///< guarded by park_mu_
+
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<uint64_t> steals_{0};
+  std::atomic<uint64_t> executed_{0};
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_ENGINE_WORKER_POOL_H_

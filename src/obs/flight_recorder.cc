@@ -51,11 +51,26 @@ FlightRecorder& FlightRecorder::Global() {
 
 bool FlightRecorder::Trigger(const std::string& event,
                              const std::string& detail, int64_t now_us) {
-  if (!enabled_) return false;
-  if (!fired_.insert(event).second) return false;  // latched until Rearm
+  if (!enabled()) return false;
+  // Claim the latch and a dump sequence number atomically; the dump itself
+  // is built outside the lock (Tracer and MetricsRegistry synchronize
+  // internally) so racing triggers of *different* events don't serialize on
+  // file IO.
+  uint64_t seq;
+  size_t max_spans;
+  std::string output_dir;
+  Sink sink;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!fired_.insert(event).second) return false;  // latched until Rearm
+    seq = dumps_++;
+    max_spans = max_spans_;
+    output_dir = output_dir_;
+    sink = sink_;
+  }
 
   Tracer& tracer = Tracer::Global();
-  std::vector<TraceSpan> spans = tracer.TailSpans(max_spans_);
+  std::vector<TraceSpan> spans = tracer.TailSpans(max_spans);
   if (now_us < 0 && !spans.empty()) now_us = spans.back().end_us;
 
   std::ostringstream os;
@@ -63,7 +78,7 @@ bool FlightRecorder::Trigger(const std::string& event,
   AppendEscaped(&os, event);
   os << "\",\n  \"detail\": \"";
   AppendEscaped(&os, detail);
-  os << "\",\n  \"seq\": " << dumps_ << ",\n  \"sim_time_us\": " << now_us
+  os << "\",\n  \"seq\": " << seq << ",\n  \"sim_time_us\": " << now_us
      << ",\n  \"spans_dropped\": " << tracer.dropped() << ",\n  \"spans\": [";
   for (size_t i = 0; i < spans.size(); ++i) {
     const TraceSpan& s = spans[i];
@@ -78,12 +93,11 @@ bool FlightRecorder::Trigger(const std::string& event,
   os << (spans.empty() ? "]" : "\n  ]") << ",\n  \"metrics\": "
      << MetricsRegistry::Global().SnapshotJson() << "\n}\n";
 
-  std::string path = output_dir_.empty()
+  std::string path = output_dir.empty()
                          ? "obs_flight_" + event + ".json"
-                         : output_dir_ + "/obs_flight_" + event + ".json";
-  dumps_++;
-  if (sink_) {
-    sink_(path, os.str());
+                         : output_dir + "/obs_flight_" + event + ".json";
+  if (sink) {
+    sink(path, os.str());
     return true;
   }
   std::ofstream out(path, std::ios::binary | std::ios::trunc);

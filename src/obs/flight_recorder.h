@@ -1,8 +1,10 @@
 #ifndef AURORA_OBS_FLIGHT_RECORDER_H_
 #define AURORA_OBS_FLIGHT_RECORDER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <set>
 #include <string>
 
@@ -34,8 +36,10 @@ namespace aurora {
 /// runs produce byte-identical dumps (the CI obs-smoke step diffs them).
 ///
 /// Disabled by default; enable programmatically or with
-/// AURORA_FLIGHT_RECORDER=1 (read once at first Global() use). Not
-/// thread-safe (single-threaded sim).
+/// AURORA_FLIGHT_RECORDER=1 (read once at first Global() use, inside the
+/// magic static so concurrent first use is safe). The once-per-event latch
+/// and dump sequencing are mutex-guarded: when several worker threads hit
+/// the same anomaly at once, exactly one claims the latch and dumps.
 class FlightRecorder {
  public:
   /// Sink invoked with (path, json) per dump; the default writes the file.
@@ -46,18 +50,32 @@ class FlightRecorder {
 
   FlightRecorder();
 
-  void set_enabled(bool enabled) { enabled_ = enabled; }
-  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Max spans from the tail of the tracer ring per dump.
-  void set_max_spans(size_t n) { max_spans_ = n; }
-  size_t max_spans() const { return max_spans_; }
+  void set_max_spans(size_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    max_spans_ = n;
+  }
+  size_t max_spans() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_spans_;
+  }
 
   /// Directory dumps are written into ("" = cwd).
-  void set_output_dir(std::string dir) { output_dir_ = std::move(dir); }
+  void set_output_dir(std::string dir) {
+    std::lock_guard<std::mutex> lock(mu_);
+    output_dir_ = std::move(dir);
+  }
 
   /// Replaces the file-writing sink (tests capture dumps in memory).
-  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  void set_sink(Sink sink) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sink_ = std::move(sink);
+  }
 
   /// Snapshots the tracer tail + metrics if `event` has not fired since the
   /// last Rearm. Returns true when a dump was produced. `detail` is free
@@ -68,13 +86,21 @@ class FlightRecorder {
                int64_t now_us = -1);
 
   /// Total dumps produced (across Rearm cycles).
-  uint64_t dumps() const { return dumps_; }
+  uint64_t dumps() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dumps_;
+  }
 
   /// Clears the per-event latches so every event kind may fire again.
-  void Rearm() { fired_.clear(); }
+  void Rearm() {
+    std::lock_guard<std::mutex> lock(mu_);
+    fired_.clear();
+  }
 
  private:
-  bool enabled_ = false;
+  std::atomic<bool> enabled_{false};
+  /// Guards latch state, dump sequencing, and the sink/config fields.
+  mutable std::mutex mu_;
   size_t max_spans_ = 256;
   std::string output_dir_;
   Sink sink_;

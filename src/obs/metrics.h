@@ -1,9 +1,11 @@
 #ifndef AURORA_OBS_METRICS_H_
 #define AURORA_OBS_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -12,37 +14,55 @@ namespace aurora {
 /// \brief Monotonic event count (tuples processed, bytes on a link, ...).
 ///
 /// Counters only grow between registry resets; rates are derived by
-/// differencing two snapshots.
+/// differencing two snapshots. Increments are relaxed atomics so worker
+/// threads can share a counter; totals are exact, only cross-counter
+/// ordering is unspecified mid-run.
 class Counter {
  public:
-  void Add(uint64_t n = 1) { value_ += n; }
-  uint64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
 /// \brief Point-in-time level (queue depth, utilization). Tracks the maximum
-/// ever set, which is the metric's high-water mark.
+/// ever set, which is the metric's high-water mark. Set/Add are atomic
+/// (relaxed; Add and the high-water mark use CAS loops), so concurrent
+/// writers never tear a double — though a gauge written by racing threads is
+/// last-writer-wins by nature.
 class Gauge {
  public:
   void Set(double v) {
-    value_ = v;
-    if (v > max_) max_ = v;
+    value_.store(v, std::memory_order_relaxed);
+    RaiseMax(v);
   }
-  void Add(double delta) { Set(value_ + delta); }
-  double value() const { return value_; }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+    RaiseMax(cur + delta);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
   /// High-water mark since the last reset.
-  double max() const { return max_; }
+  double max() const { return max_.load(std::memory_order_relaxed); }
   void Reset() {
-    value_ = 0.0;
-    max_ = 0.0;
+    value_.store(0.0, std::memory_order_relaxed);
+    max_.store(0.0, std::memory_order_relaxed);
   }
 
  private:
-  double value_ = 0.0;
-  double max_ = 0.0;
+  void RaiseMax(double v) {
+    double m = max_.load(std::memory_order_relaxed);
+    while (v > m &&
+           !max_.compare_exchange_weak(m, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<double> value_{0.0};
+  std::atomic<double> max_{0.0};
 };
 
 /// \brief Log-bucketed histogram for latency-like positive values.
@@ -97,8 +117,12 @@ class LatencyHistogram {
 /// once and pay one add per event. Reset() zeroes values but keeps
 /// registrations, so cached pointers survive (benches reset between runs).
 ///
-/// Counters, gauges, and histograms are separate namespaces. The registry is
-/// not thread-safe; the whole system runs on the single-threaded simulation.
+/// Counters, gauges, and histograms are separate namespaces. Registration
+/// (Get*/Find*), Reset, and the snapshot exporters are mutex-guarded so the
+/// threaded engine's workers can register and bump counters/gauges
+/// concurrently; histogram Record() is NOT thread-safe and stays confined to
+/// the single-threaded simulation path. The raw map accessors below bypass
+/// the lock and require a quiescent registry (no concurrent registration).
 class MetricsRegistry {
  public:
   /// The process-wide instance every instrumented layer reports into.
@@ -120,6 +144,7 @@ class MetricsRegistry {
   const LatencyHistogram* FindHistogram(const std::string& name) const;
 
   size_t num_metrics() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
@@ -149,6 +174,10 @@ class MetricsRegistry {
   std::string SnapshotCsv() const;
 
  private:
+  /// Guards the registration maps (not the metric values themselves, which
+  /// carry their own atomics). Snapshots hold it for the whole export so a
+  /// mid-snapshot registration can't invalidate iteration.
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;

@@ -70,16 +70,18 @@ Tracer& Tracer::Global() {
 }
 
 uint64_t Tracer::NewTrace() {
-  uint64_t slot = issued_++;
-  if (sample_period_ > 1 && slot % sample_period_ != 0) {
+  uint64_t slot = issued_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t period = sample_period_.load(std::memory_order_relaxed);
+  if (period > 1 && slot % period != 0) {
     m_spans_sampled_out_->Add();
     return 0;
   }
-  return next_trace_id_++;
+  return next_trace_id_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Tracer::Record(TraceSpan span) {
-  if (!enabled_) return;
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
   attributor_.OnSpan(span);
   if (capacity_ == 0) {
     dropped_++;
@@ -99,9 +101,10 @@ void Tracer::Record(TraceSpan span) {
 }
 
 void Tracer::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (capacity == capacity_) return;
   // Keep the newest spans that still fit, restored to a linear prefix.
-  std::vector<TraceSpan> kept = SnapshotSpans();
+  std::vector<TraceSpan> kept = SnapshotSpansLocked();
   if (kept.size() > capacity) {
     size_t excess = kept.size() - capacity;
     kept.erase(kept.begin(), kept.begin() + static_cast<long>(excess));
@@ -116,6 +119,11 @@ void Tracer::set_capacity(size_t capacity) {
 }
 
 std::vector<TraceSpan> Tracer::SnapshotSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SnapshotSpansLocked();
+}
+
+std::vector<TraceSpan> Tracer::SnapshotSpansLocked() const {
   std::vector<TraceSpan> out;
   out.reserve(ring_.size());
   for (size_t i = 0; i < ring_.size(); ++i) out.push_back(ring_[RingIndex(i)]);
@@ -123,6 +131,7 @@ std::vector<TraceSpan> Tracer::SnapshotSpans() const {
 }
 
 std::vector<TraceSpan> Tracer::TailSpans(size_t max_spans) const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t n = std::min(max_spans, ring_.size());
   std::vector<TraceSpan> out;
   out.reserve(n);
@@ -133,6 +142,7 @@ std::vector<TraceSpan> Tracer::TailSpans(size_t max_spans) const {
 }
 
 std::vector<TraceSpan> Tracer::SpansFor(uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<TraceSpan> out;
   for (size_t i = 0; i < ring_.size(); ++i) {
     const TraceSpan& span = ring_[RingIndex(i)];
@@ -146,6 +156,7 @@ std::vector<TraceSpan> Tracer::SpansFor(uint64_t trace_id) const {
 }
 
 void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   ring_.clear();
   head_ = 0;
   full_ = false;
@@ -165,6 +176,7 @@ void AppendSpanJson(std::ostringstream* os, const TraceSpan& s) {
 }  // namespace
 
 std::string Tracer::ExportJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
   os << "[";
   for (size_t i = 0; i < ring_.size(); ++i) {
@@ -176,6 +188,7 @@ std::string Tracer::ExportJson() const {
 }
 
 std::string Tracer::ExportCsv() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
   os << "trace_id,kind,node,site,start_us,end_us\n";
   for (size_t i = 0; i < ring_.size(); ++i) {

@@ -1,7 +1,9 @@
 #ifndef AURORA_OBS_TRACE_H_
 #define AURORA_OBS_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -71,15 +73,23 @@ struct TraceSpan {
 ///   AURORA_TRACE_CAPACITY=N  ring capacity in spans (default 1<<20)
 ///   AURORA_TRACE_SAMPLE=N    trace every Nth source tuple (default 1)
 ///
-/// Not thread-safe (single-threaded sim).
+/// Thread-safety: env-knob init happens inside Global()'s magic static
+/// (synchronized by the C++ runtime), id issuance is atomic, and the ring,
+/// attributor, and exports are mutex-guarded, so threaded-engine workers may
+/// record concurrently. Span *order* under concurrent recording reflects
+/// lock-acquisition order — a documented nondeterminism class of threaded
+/// mode. The attribution() accessor hands out unguarded state and stays
+/// single-threaded-only.
 class Tracer {
  public:
   static Tracer& Global();
 
   Tracer();
 
-  void set_enabled(bool enabled) { enabled_ = enabled; }
-  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Lineage id for a new source tuple: a fresh nonzero id when the tuple
   /// falls on the sampling grid, 0 (= untraced) otherwise. Sampling is
@@ -87,11 +97,17 @@ class Tracer {
   /// fixed workload regardless of ring capacity.
   uint64_t NewTrace();
   /// Fresh nonzero tuple lineage id, bypassing sampling.
-  uint64_t NextTraceId() { return next_trace_id_++; }
+  uint64_t NextTraceId() {
+    return next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Every Nth source tuple gets a trace id (1 = all, the default).
-  void set_sample_period(uint64_t n) { sample_period_ = n == 0 ? 1 : n; }
-  uint64_t sample_period() const { return sample_period_; }
+  void set_sample_period(uint64_t n) {
+    sample_period_.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+  }
+  uint64_t sample_period() const {
+    return sample_period_.load(std::memory_order_relaxed);
+  }
 
   /// Stores the span (no-op while disabled; evicts the oldest at capacity).
   void Record(TraceSpan span);
@@ -99,11 +115,20 @@ class Tracer {
   /// Ring capacity in spans. Changing it keeps the newest spans that fit
   /// and is safe at any time (Clear not required).
   void set_capacity(size_t capacity);
-  size_t capacity() const { return capacity_; }
+  size_t capacity() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return capacity_;
+  }
   /// Spans evicted (or rejected at capacity 0) since the last Clear.
-  uint64_t dropped() const { return dropped_; }
+  uint64_t dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+  }
 
-  size_t size() const { return ring_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ring_.size();
+  }
   /// Retained spans, oldest first (record order).
   std::vector<TraceSpan> SnapshotSpans() const;
   /// The newest `max_spans` retained spans, oldest first.
@@ -113,6 +138,8 @@ class Tracer {
   std::vector<TraceSpan> SpansFor(uint64_t trace_id) const;
 
   /// Stage-attribution state fed by Record (see obs/attribution.h).
+  /// Unguarded reference — callers must be single-threaded (the sim engine)
+  /// or externally quiescent.
   LatencyAttributor& attribution() { return attributor_; }
   const LatencyAttributor& attribution() const { return attributor_; }
 
@@ -130,11 +157,15 @@ class Tracer {
   size_t RingIndex(size_t i) const {
     return full_ ? (head_ + i) % ring_.size() : i;
   }
+  /// SnapshotSpans body; caller holds mu_.
+  std::vector<TraceSpan> SnapshotSpansLocked() const;
 
-  bool enabled_ = false;
-  uint64_t next_trace_id_ = 1;
-  uint64_t issued_ = 0;
-  uint64_t sample_period_ = 1;
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_trace_id_{1};
+  std::atomic<uint64_t> issued_{0};
+  std::atomic<uint64_t> sample_period_{1};
+  /// Guards the ring (and its bookkeeping), dropped_, and the attributor.
+  mutable std::mutex mu_;
   size_t capacity_ = 1 << 20;
   uint64_t dropped_ = 0;
   /// Ring storage: grows up to capacity_, then wraps. head_ is the next

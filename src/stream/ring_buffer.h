@@ -1,0 +1,95 @@
+#ifndef AURORA_STREAM_RING_BUFFER_H_
+#define AURORA_STREAM_RING_BUFFER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace aurora {
+
+/// \brief Bounded single-producer/single-consumer ring buffer — the
+/// cross-partition arc queue of the threaded engine (docs/THREADING.md).
+///
+/// Lock-free in the classic Lamport style: the producer owns `tail_`, the
+/// consumer owns `head_`, and each side reads the other's index with acquire
+/// semantics to know how much room/data it has. Slots are plain (non-atomic)
+/// storage; the release store on the owned index publishes a slot before the
+/// other side can reach it.
+///
+/// "Single producer" / "single consumer" mean *at most one thread at a time
+/// on each side*, not one thread forever. The threaded engine guarantees
+/// this externally: an arc's producer is whichever worker currently runs the
+/// upstream box and its consumer whichever runs the downstream box, and box
+/// execution is made exclusive by an acquire/release CAS on the box's state
+/// (worker_pool.h). That handoff edge carries the happens-before needed for
+/// a new producer (or consumer) to observe its predecessor's relaxed index
+/// update, so the ring stays correct under work-stealing.
+///
+/// A full ring never blocks in here: TryPush refuses, and the caller runs
+/// the consumer box inline ("help on full", deadlock-free on an acyclic
+/// network) until room opens.
+template <typename T>
+class BoundedRing {
+ public:
+  /// Capacity is rounded up to a power of two (min 2).
+  explicit BoundedRing(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  BoundedRing(const BoundedRing&) = delete;
+  BoundedRing& operator=(const BoundedRing&) = delete;
+
+  size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. Moves from `item` only on success; returns false when
+  /// the ring is full.
+  bool TryPush(T& item) {
+    uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) >= slots_.size()) {
+      return false;  // full
+    }
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool TryPop(T* out) {
+    uint64_t head = head_.load(std::memory_order_relaxed);
+    if (tail_.load(std::memory_order_acquire) == head) {
+      return false;  // empty
+    }
+    *out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy size estimate — exact only when both sides are quiescent. Used
+  /// for "anything pending?" re-checks after a box activation, where a
+  /// stale answer is corrected by the producer's notify.
+  size_t SizeApprox() const {
+    uint64_t tail = tail_.load(std::memory_order_acquire);
+    uint64_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<size_t>(tail - head) : 0;
+  }
+
+  bool EmptyApprox() const { return SizeApprox() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  /// Owned by the consumer; index of the next slot to pop.
+  alignas(64) std::atomic<uint64_t> head_{0};
+  /// Owned by the producer; index of the next slot to fill.
+  alignas(64) std::atomic<uint64_t> tail_{0};
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_STREAM_RING_BUFFER_H_

@@ -23,7 +23,7 @@ Tuple::TupleBody* Tuple::DetachBody() {
   }
   // Sole owner now: mutating through the const pointer is safe.
   TupleBody* body = const_cast<TupleBody*>(body_.get());
-  body->wire_values = kUnknownWire;
+  body->wire_values.store(kUnknownWire, std::memory_order_relaxed);
   return body;
 }
 
@@ -39,12 +39,14 @@ size_t Tuple::WireSize() const {
   // 8-byte timestamp + 8-byte seq + 8-byte trace id + 2-byte value count.
   size_t size = 26;
   if (body_ == nullptr) return size;
-  if (body_->wire_values == kUnknownWire) {
+  size_t cached = body_->wire_values.load(std::memory_order_relaxed);
+  if (cached == kUnknownWire) {
     size_t values_size = 0;
     for (const auto& v : body_->values) values_size += v.WireSize();
-    body_->wire_values = values_size;
+    body_->wire_values.store(values_size, std::memory_order_relaxed);
+    cached = values_size;
   }
-  return size + body_->wire_values;
+  return size + cached;
 }
 
 std::string Tuple::ToString() const {

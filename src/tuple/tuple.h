@@ -1,6 +1,7 @@
 #ifndef AURORA_TUPLE_TUPLE_H_
 #define AURORA_TUPLE_TUPLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -98,8 +99,10 @@ class Tuple {
     explicit TupleBody(std::vector<Value> v) : values(std::move(v)) {}
     std::vector<Value> values;
     /// Cached sum of the values' wire bytes; kUnknownWire until first
-    /// WireSize() call (single-threaded engine, so a plain mutable is fine).
-    mutable size_t wire_values = kUnknownWire;
+    /// WireSize() call. Relaxed atomic: bodies are shared across worker
+    /// threads, and racing fillers recompute the same value, so any
+    /// interleaving stores the correct size.
+    mutable std::atomic<size_t> wire_values{kUnknownWire};
   };
   static constexpr size_t kUnknownWire = static_cast<size_t>(-1);
 
@@ -143,7 +146,9 @@ class TupleHotPathSection {
 
  private:
   static bool& Active() {
-    static bool active = false;
+    // Per-thread: each worker in the threaded engine tracks its own hot-path
+    // section independently.
+    static thread_local bool active = false;
     return active;
   }
   bool prev_;

@@ -1,0 +1,31 @@
+// Threaded-runtime simcheck gate: generated scenarios run on the
+// ThreadedEngine at several worker counts must produce byte-identical
+// output rows to the single-threaded oracle engine. Scenario chains are
+// linear, so the diff is exact — any divergence is a runtime bug (lost,
+// duplicated, or reordered tuple on some arc).
+#include <gtest/gtest.h>
+
+#include "check/threaded_check.h"
+
+namespace aurora {
+namespace {
+
+constexpr int kSeeds = 25;
+
+void RunSeeds(int workers) {
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    ScenarioSpec spec = GenerateScenario(seed);
+    ThreadedCheckReport report = RunThreadedScenario(spec, workers);
+    ASSERT_TRUE(report.ok()) << "seed " << seed << " workers " << workers
+                             << "\n" << report.Summary();
+    EXPECT_EQ(report.injected, static_cast<uint64_t>(spec.trace_n));
+    EXPECT_FALSE(report.outputs.empty());
+  }
+}
+
+TEST(ThreadedSimcheckTest, OneWorkerMatchesOracle) { RunSeeds(1); }
+TEST(ThreadedSimcheckTest, TwoWorkersMatchOracle) { RunSeeds(2); }
+TEST(ThreadedSimcheckTest, FourWorkersMatchOracle) { RunSeeds(4); }
+
+}  // namespace
+}  // namespace aurora

@@ -1,0 +1,50 @@
+// Regression: QoSMonitor metric prefixes must derive from the owning
+// node's scope, not process-global construction order. The old
+// implementation numbered monitors with a static atomic, so the second
+// federation built in a process saw "qos.2.", "qos.3.", ... and its
+// metrics no longer lined up with the first run's names.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "distributed/aurora_star.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+std::vector<std::string> FederationPrefixes(int nodes) {
+  Simulation sim;
+  OverlayNetwork net(&sim);
+  AuroraStarSystem system(&sim, &net, StarOptions{});
+  std::vector<std::string> prefixes;
+  for (int i = 0; i < nodes; ++i) {
+    NodeOptions nopts;
+    nopts.name = "n" + std::to_string(i);
+    auto id = system.AddNode(nopts);
+    AURORA_CHECK(id.ok()) << id.status().ToString();
+    prefixes.push_back(system.node(*id).engine().qos_monitor().prefix());
+  }
+  return prefixes;
+}
+
+TEST(QoSPrefixTest, PrefixesAreScopeDerivedNotConstructionOrdered) {
+  std::vector<std::string> first = FederationPrefixes(3);
+  // A second federation in the same process must produce the identical
+  // prefixes — under the old static counter it produced qos.3..qos.5..
+  std::vector<std::string> second = FederationPrefixes(3);
+  EXPECT_EQ(first, second);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(first[i], "qos.n" + std::to_string(i) + ".") << "node " << i;
+  }
+}
+
+TEST(QoSPrefixTest, StandaloneEngineUsesLocalScope) {
+  AuroraEngine engine;
+  EXPECT_EQ(engine.qos_monitor().prefix(), "qos.local.");
+}
+
+}  // namespace
+}  // namespace aurora

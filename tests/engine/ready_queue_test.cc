@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "engine/aurora_engine.h"
+#include "engine/threaded_engine.h"
 #include "tests/test_util.h"
 
 namespace aurora {
@@ -216,6 +217,55 @@ TEST(ReadyQueueTest, InterleavedPushAndStepDeliversEverything) {
   EXPECT_EQ(p.delivered, total);
   EXPECT_FALSE(p.engine.HasWork());
   EXPECT_EQ(p.engine.TotalQueuedTuples(), 0u);
+}
+
+// The threaded runtime's version of the same invariant: an ingest thread
+// pushes irregular bursts into a wide network while four workers run (and
+// steal) concurrently. Per-arc FIFO plus exactly-once consumption means
+// every chain must end with exactly its own rows, in push order, no matter
+// how activations interleave or migrate between workers.
+TEST(ReadyQueueTest, CrossThreadInterleavedEnqueueAndStealOracle) {
+  const int kChains = 6;
+  ThreadedEngineOptions topts;
+  topts.workers = 4;
+  topts.train_size = 3;   // small trains force frequent re-queuing
+  topts.ring_capacity = 8;  // small rings force the help-on-full path
+  ThreadedEngine engine(topts);
+  std::vector<PortId> ins;
+  std::vector<std::vector<std::string>> rows(kChains);
+  for (int i = 0; i < kChains; ++i) {
+    std::string tag = std::to_string(i);
+    ins.push_back(*engine.AddInput("in" + tag, SchemaAB()));
+    PortId out = *engine.AddOutput("out" + tag);
+    BoxId f = *engine.AddBox(FilterSpec(Predicate::True()));
+    ASSERT_OK(engine.Connect(Endpoint::InputPort(ins[i]),
+                             Endpoint::BoxPort(f, 0)).status());
+    ASSERT_OK(engine.Connect(Endpoint::BoxPort(f, 0),
+                             Endpoint::OutputPort(out)).status());
+    engine.SetOutputCallback(out, [&rows, i](const Tuple& t, SimTime) {
+      rows[i].push_back(t.value(0).ToString() + "|" +
+                        t.value(1).ToString());
+    });
+  }
+  ASSERT_OK(engine.InitializeBoxes());
+  ASSERT_OK(engine.Start());
+
+  std::vector<std::vector<std::string>> expected(kChains);
+  for (int r = 0; r < 400; ++r) {
+    int chain = r % kChains;
+    int burst = r % 3 + 1;
+    for (int k = 0; k < burst; ++k) {
+      Tuple t = MakeTuple(SchemaAB(), {Value(int64_t{r}), Value(int64_t{k})});
+      t.set_timestamp(SimTime::Micros(r + 1));
+      expected[chain].push_back(std::to_string(r) + "|" + std::to_string(k));
+      ASSERT_OK(engine.PushInput(ins[chain], std::move(t), SimTime()));
+    }
+  }
+  engine.WaitQuiescent();
+  ASSERT_OK(engine.Stop());
+  for (int i = 0; i < kChains; ++i) {
+    EXPECT_EQ(rows[i], expected[i]) << "chain " << i;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,274 @@
+// ThreadedEngine runtime: per-arc FIFO determinism on linear chains,
+// fan-out delivery, help-on-full backpressure with tiny rings, stateful
+// operators vs the single-threaded oracle, and deferred operator errors.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/aurora_engine.h"
+#include "engine/threaded_engine.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing_util::SchemaAB;
+
+Tuple T(int64_t a, int64_t b, int64_t ts_us) {
+  Tuple t = MakeTuple(SchemaAB(), {Value(a), Value(b)});
+  t.set_timestamp(SimTime::Micros(ts_us));
+  return t;
+}
+
+std::string Row(const Tuple& t) {
+  std::string row;
+  for (size_t i = 0; i < t.num_values(); ++i) {
+    if (i > 0) row += "|";
+    row += t.value(i).ToString();
+  }
+  return row;
+}
+
+// in -> filter(B >= threshold) -> map(+S=A+B) -> out. A linear chain, so
+// the output row sequence must be byte-identical at any worker count.
+struct Chain {
+  ThreadedEngine engine;
+  PortId in, out;
+  std::vector<std::string> rows;  // guarded by the output mutex (callback)
+
+  explicit Chain(ThreadedEngineOptions opts, int64_t threshold = 10)
+      : engine(opts), in(-1), out(-1) {
+    in = *engine.AddInput("in", SchemaAB());
+    out = *engine.AddOutput("out");
+    BoxId f = *engine.AddBox(
+        FilterSpec(Predicate::Compare("B", CompareOp::kGe, Value(threshold))));
+    BoxId m = *engine.AddBox(
+        MapSpec({{"A", Expr::FieldRef("A")},
+                 {"B", Expr::FieldRef("B")},
+                 {"S", Expr::Arith(ArithOp::kAdd, Expr::FieldRef("A"),
+                                   Expr::FieldRef("B"))}}));
+    AURORA_CHECK(engine.Connect(Endpoint::InputPort(in),
+                                Endpoint::BoxPort(f, 0)).ok());
+    AURORA_CHECK(engine.Connect(Endpoint::BoxPort(f, 0),
+                                Endpoint::BoxPort(m, 0)).ok());
+    AURORA_CHECK(engine.Connect(Endpoint::BoxPort(m, 0),
+                                Endpoint::OutputPort(out)).ok());
+    AURORA_CHECK(engine.InitializeBoxes().ok());
+    engine.SetOutputCallback(out, [this](const Tuple& t, SimTime) {
+      rows.push_back(Row(t));
+    });
+  }
+};
+
+std::vector<std::string> ExpectedChainRows(int n, int64_t threshold) {
+  std::vector<std::string> expected;
+  for (int i = 0; i < n; ++i) {
+    int64_t a = i, b = i % 17;
+    if (b < threshold) continue;
+    expected.push_back(std::to_string(a) + "|" + std::to_string(b) + "|" +
+                       std::to_string(a + b));
+  }
+  return expected;
+}
+
+TEST(ThreadedEngineTest, LinearChainIsExactAtEveryWorkerCount) {
+  const int kN = 2000;
+  const int64_t kThreshold = 10;
+  std::vector<std::string> expected = ExpectedChainRows(kN, kThreshold);
+  for (int workers : {1, 2, 4}) {
+    ThreadedEngineOptions opts;
+    opts.workers = workers;
+    opts.train_size = 7;  // force many activations per box
+    Chain c(opts, kThreshold);
+    ASSERT_OK(c.engine.Start());
+    for (int i = 0; i < kN; ++i) {
+      ASSERT_OK(c.engine.PushInput(c.in, T(i, i % 17, i + 1), SimTime()));
+    }
+    c.engine.WaitQuiescent();
+    ASSERT_OK(c.engine.Stop());
+    EXPECT_EQ(c.rows, expected) << "workers=" << workers;
+    EXPECT_EQ(c.engine.tuples_in(), static_cast<uint64_t>(kN));
+    EXPECT_EQ(c.engine.delivered(c.out), expected.size());
+    EXPECT_GT(c.engine.activations(), 0u);
+  }
+}
+
+TEST(ThreadedEngineTest, WideFanOutDeliversEveryChainInOrder) {
+  const int kChains = 8, kN = 500;
+  ThreadedEngineOptions opts;
+  opts.workers = 4;
+  opts.train_size = 16;
+  ThreadedEngine engine(opts);
+  PortId in = *engine.AddInput("in", SchemaAB());
+  std::vector<std::vector<std::string>> rows(kChains);
+  std::vector<PortId> outs;
+  for (int i = 0; i < kChains; ++i) {
+    PortId out = *engine.AddOutput("out" + std::to_string(i));
+    outs.push_back(out);
+    BoxId f = *engine.AddBox(FilterSpec(Predicate::True()));
+    ASSERT_OK(engine.Connect(Endpoint::InputPort(in),
+                             Endpoint::BoxPort(f, 0)).status());
+    ASSERT_OK(engine.Connect(Endpoint::BoxPort(f, 0),
+                             Endpoint::OutputPort(out)).status());
+    engine.SetOutputCallback(out, [&rows, i](const Tuple& t, SimTime) {
+      rows[i].push_back(Row(t));
+    });
+  }
+  ASSERT_OK(engine.InitializeBoxes());
+  ASSERT_OK(engine.Start());
+
+  // kChains independent single-box components over 4 workers: the LPT
+  // partitioner must spread them across every worker.
+  std::vector<bool> used(4, false);
+  for (int b = 0; b < kChains; ++b) used[engine.partition_of(b)] = true;
+  for (int w = 0; w < 4; ++w) EXPECT_TRUE(used[w]) << "idle worker " << w;
+
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_OK(engine.PushInput(in, T(i, i, i + 1), SimTime()));
+  }
+  engine.WaitQuiescent();
+  ASSERT_OK(engine.Stop());
+  for (int i = 0; i < kChains; ++i) {
+    ASSERT_EQ(rows[i].size(), static_cast<size_t>(kN)) << "chain " << i;
+    for (int k = 0; k < kN; ++k) {
+      ASSERT_EQ(rows[i][k], std::to_string(k) + "|" + std::to_string(k))
+          << "chain " << i << " row " << k;
+    }
+    EXPECT_EQ(engine.delivered(outs[i]), static_cast<uint64_t>(kN));
+  }
+}
+
+TEST(ThreadedEngineTest, TinyRingsBackpressureByHelpingNotDropping) {
+  ThreadedEngineOptions opts;
+  opts.workers = 2;
+  opts.train_size = 4;
+  opts.ring_capacity = 2;  // every burst overflows the arc rings
+  Chain c(opts, /*threshold=*/0);
+  ASSERT_OK(c.engine.Start());
+  const int kN = 3000;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_OK(c.engine.PushInput(c.in, T(i, i % 17, i + 1), SimTime()));
+  }
+  c.engine.WaitQuiescent();
+  ASSERT_OK(c.engine.Stop());
+  EXPECT_EQ(c.rows, ExpectedChainRows(kN, 0));
+  // With capacity-2 rings and 3000 tuples the producer must have hit a full
+  // ring and run the consumer inline.
+  EXPECT_GT(c.engine.ring_full_events(), 0u);
+}
+
+TEST(ThreadedEngineTest, StatefulTumbleMatchesSingleThreadedOracle) {
+  auto build_tumble = [](auto* engine) {
+    OperatorSpec spec = TumbleSpec("sum", "B", {"A"});
+    spec.SetParam("emit", Value("every_n"));
+    spec.SetParam("n", Value(int64_t{3}));
+    PortId in = *engine->AddInput("in", SchemaAB());
+    PortId out = *engine->AddOutput("out");
+    BoxId box = *engine->AddBox(spec);
+    AURORA_CHECK(engine->Connect(Endpoint::InputPort(in),
+                                 Endpoint::BoxPort(box, 0)).ok());
+    AURORA_CHECK(engine->Connect(Endpoint::BoxPort(box, 0),
+                                 Endpoint::OutputPort(out)).ok());
+    AURORA_CHECK(engine->InitializeBoxes().ok());
+    return std::make_pair(in, out);
+  };
+
+  const int kN = 1000;
+  // Oracle: the single-threaded engine over the identical trace.
+  AuroraEngine oracle;
+  auto [oin, oout] = build_tumble(&oracle);
+  std::vector<std::string> oracle_rows;
+  oracle.SetOutputCallback(oout, [&](const Tuple& t, SimTime) {
+    oracle_rows.push_back(Row(t));
+  });
+  SimTime now{};
+  for (int i = 0; i < kN; ++i) {
+    Tuple t = T(i % 5, i, i + 1);
+    now = t.timestamp();
+    ASSERT_OK(oracle.PushInput(oin, t, now));
+  }
+  ASSERT_OK(oracle.RunUntilQuiescent(now));
+  ASSERT_FALSE(oracle_rows.empty());
+
+  for (int workers : {1, 4}) {
+    ThreadedEngineOptions opts;
+    opts.workers = workers;
+    opts.train_size = 5;
+    ThreadedEngine engine(opts);
+    auto [tin, tout] = build_tumble(&engine);
+    std::vector<std::string> rows;
+    engine.SetOutputCallback(tout, [&rows](const Tuple& t, SimTime) {
+      rows.push_back(Row(t));
+    });
+    ASSERT_OK(engine.Start());
+    for (int i = 0; i < kN; ++i) {
+      Tuple t = T(i % 5, i, i + 1);
+      ASSERT_OK(engine.PushInput(tin, t, t.timestamp()));
+    }
+    engine.WaitQuiescent();
+    ASSERT_OK(engine.Stop());
+    EXPECT_EQ(rows, oracle_rows) << "workers=" << workers;
+  }
+}
+
+TEST(ThreadedEngineTest, ConcurrentPushersOnDistinctInputsAllDeliver) {
+  // Two input ports, two disjoint chains, one pusher thread per port — the
+  // documented concurrency contract (one thread at a time *per port*).
+  ThreadedEngineOptions opts;
+  opts.workers = 4;
+  opts.train_size = 8;
+  ThreadedEngine engine(opts);
+  std::vector<PortId> ins, outs;
+  std::vector<std::vector<std::string>> rows(2);
+  for (int i = 0; i < 2; ++i) {
+    ins.push_back(*engine.AddInput("in" + std::to_string(i), SchemaAB()));
+    PortId out = *engine.AddOutput("out" + std::to_string(i));
+    outs.push_back(out);
+    BoxId f = *engine.AddBox(FilterSpec(Predicate::True()));
+    ASSERT_OK(engine.Connect(Endpoint::InputPort(ins[i]),
+                             Endpoint::BoxPort(f, 0)).status());
+    ASSERT_OK(engine.Connect(Endpoint::BoxPort(f, 0),
+                             Endpoint::OutputPort(out)).status());
+    engine.SetOutputCallback(out, [&rows, i](const Tuple& t, SimTime) {
+      rows[i].push_back(Row(t));
+    });
+  }
+  ASSERT_OK(engine.InitializeBoxes());
+  ASSERT_OK(engine.Start());
+
+  const int kN = 2000;
+  std::vector<std::thread> pushers;
+  for (int p = 0; p < 2; ++p) {
+    pushers.emplace_back([&, p] {
+      for (int i = 0; i < kN; ++i) {
+        Status st = engine.PushInput(ins[p], T(p, i, i + 1), SimTime());
+        AURORA_CHECK(st.ok()) << st.ToString();
+      }
+    });
+  }
+  for (std::thread& t : pushers) t.join();
+  engine.WaitQuiescent();
+  ASSERT_OK(engine.Stop());
+  for (int p = 0; p < 2; ++p) {
+    ASSERT_EQ(rows[p].size(), static_cast<size_t>(kN)) << "port " << p;
+    for (int k = 0; k < kN; ++k) {
+      ASSERT_EQ(rows[p][k], std::to_string(p) + "|" + std::to_string(k));
+    }
+  }
+  EXPECT_EQ(engine.tuples_in(), static_cast<uint64_t>(2 * kN));
+}
+
+TEST(ThreadedEngineTest, StartRejectsUninitializedBoxes) {
+  ThreadedEngine engine;
+  ASSERT_OK(engine.AddInput("in", SchemaAB()).status());
+  // The filter's input is never connected, so its schema can't propagate
+  // and Start's own InitializeBoxes() pass must refuse to launch.
+  ASSERT_OK(engine.AddBox(FilterSpec(Predicate::True())).status());
+  EXPECT_FALSE(engine.Start().ok());
+}
+
+}  // namespace
+}  // namespace aurora
