@@ -24,12 +24,20 @@ struct HotPathRow {
   int width = 0;
   bool strings = false;
   int fanout = 0;
+  int batch = 1;
   int64_t tuples = 0;
   double seconds = 0;
   TupleThroughput throughput;
 };
 
 std::vector<HotPathRow>& Rows() {
+  static std::vector<HotPathRow> rows;
+  return rows;
+}
+
+/// Rows from the batch_size sweep, dumped separately so the original
+/// BENCH_hotpath.json stays byte-comparable across commits.
+std::vector<HotPathRow>& BatchedRows() {
   static std::vector<HotPathRow> rows;
   return rows;
 }
@@ -75,12 +83,19 @@ std::vector<Tuple> MakeTuplePool(const SchemaPtr& schema, int width,
 
 /// input --(fan-out F)--> F x [filter(v >= 5) -> map(all fields, v+1) ->
 /// tumble(cnt by k, every 16)] -> one output per branch.
+EngineOptions BatchedEngineOptions(int batch) {
+  EngineOptions opts;
+  opts.batch_size = batch;
+  return opts;
+}
+
 struct FanOutEngine {
   AuroraEngine engine;
   PortId in;
   uint64_t delivered = 0;
 
-  FanOutEngine(const SchemaPtr& schema, int width, int fanout) {
+  FanOutEngine(const SchemaPtr& schema, int width, int fanout, int batch = 1)
+      : engine(BatchedEngineOptions(batch)) {
     in = *engine.AddInput("in", schema);
     std::vector<std::pair<std::string, Expr>> projections;
     projections.emplace_back("k", Expr::FieldRef("k"));
@@ -117,7 +132,7 @@ struct FanOutEngine {
 };
 
 void RunHotPath(benchmark::State& state, int width, bool strings,
-                int fanout) {
+                int fanout, int batch = 1, bool batched_sweep = false) {
   SchemaPtr schema = MakeWideSchema(width, strings);
   std::vector<Tuple> pool =
       MakeTuplePool(schema, width, strings, GlobalSeed());
@@ -128,7 +143,7 @@ void RunHotPath(benchmark::State& state, int width, bool strings,
   uint64_t delivered = 0;
   for (auto _ : state) {
     ResetObservability();
-    FanOutEngine fan(schema, width, fanout);
+    FanOutEngine fan(schema, width, fanout, batch);
     auto start = std::chrono::steady_clock::now();
     for (int i = 0; i < tuples_per_iter; ++i) {
       Tuple t = pool[static_cast<size_t>(i) % pool.size()];
@@ -148,12 +163,14 @@ void RunHotPath(benchmark::State& state, int width, bool strings,
   row.width = width;
   row.strings = strings;
   row.fanout = fanout;
+  row.batch = batch;
   row.name = "w" + std::to_string(width) + (strings ? "_str" : "_num") +
              "_fan" + std::to_string(fanout);
+  if (batched_sweep) row.name += "_b" + std::to_string(batch);
   row.tuples = total_tuples;
   row.seconds = total_seconds;
   row.throughput = ReportTupleThroughput(state, total_tuples, total_seconds);
-  Rows().push_back(row);
+  (batched_sweep ? BatchedRows() : Rows()).push_back(row);
 
   // Untimed attribution pass with bounded tracing: the obs dump carries
   // latency.attr.* stage histograms for aurora_inspect without the trace
@@ -166,7 +183,7 @@ void RunHotPath(benchmark::State& state, int width, bool strings,
   tracer.set_enabled(true);
   tracer.set_capacity(4096);
   {
-    FanOutEngine fan(schema, width, fanout);
+    FanOutEngine fan(schema, width, fanout, batch);
     for (int i = 0; i < tuples_per_iter; ++i) {
       Tuple t = pool[static_cast<size_t>(i) % pool.size()];
       t.set_seq(static_cast<SeqNo>(i));
@@ -199,11 +216,35 @@ BENCHMARK(BM_HotPath)
     ->Args({16, 1, 4})
     ->Args({16, 1, 16});
 
-void DumpHotPathJson() {
-  // Google Benchmark re-enters each bench function for iteration-count
-  // estimation; keep only the final (measured) run per configuration.
+// The batch_size axis: the same chain with the engine's ProcessBatch path
+// at 1 (scalar baseline), 8, and 64 tuples per activation. Narrow numeric
+// configs are where batching pays (vectorized predicate/expr evaluation);
+// the string config measures the fallback tax when no column qualifies.
+void BM_HotPathBatched(benchmark::State& state) {
+  RunHotPath(state, static_cast<int>(state.range(0)), state.range(1) != 0,
+             static_cast<int>(state.range(2)),
+             static_cast<int>(state.range(3)), /*batched_sweep=*/true);
+}
+BENCHMARK(BM_HotPathBatched)
+    ->ArgNames({"width", "str", "fanout", "batch"})
+    ->Args({4, 0, 1, 1})
+    ->Args({4, 0, 1, 8})
+    ->Args({4, 0, 1, 64})
+    ->Args({4, 0, 4, 1})
+    ->Args({4, 0, 4, 8})
+    ->Args({4, 0, 4, 64})
+    ->Args({16, 0, 1, 1})
+    ->Args({16, 0, 1, 8})
+    ->Args({16, 0, 1, 64})
+    ->Args({16, 1, 4, 1})
+    ->Args({16, 1, 4, 8})
+    ->Args({16, 1, 4, 64});
+
+/// Google Benchmark re-enters each bench function for iteration-count
+/// estimation; keep only the final (measured) run per configuration.
+std::vector<HotPathRow> DedupRows(const std::vector<HotPathRow>& all) {
   std::vector<HotPathRow> rows;
-  for (const HotPathRow& r : Rows()) {
+  for (const HotPathRow& r : all) {
     bool replaced = false;
     for (HotPathRow& kept : rows) {
       if (kept.name == r.name) {
@@ -214,18 +255,32 @@ void DumpHotPathJson() {
     }
     if (!replaced) rows.push_back(r);
   }
-  std::ofstream out("BENCH_hotpath.json");
-  out << "{\n  \"bench\": \"hot_path\",\n  \"rows\": [\n";
+  return rows;
+}
+
+void DumpRowsJson(const char* path, const char* bench_name,
+                  const std::vector<HotPathRow>& rows, bool with_batch) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"" << bench_name << "\",\n  \"rows\": [\n";
   for (size_t i = 0; i < rows.size(); ++i) {
     const HotPathRow& r = rows[i];
     out << "    {\"name\": \"" << r.name << "\", \"width\": " << r.width
         << ", \"strings\": " << (r.strings ? "true" : "false")
-        << ", \"fanout\": " << r.fanout << ", \"tuples\": " << r.tuples
+        << ", \"fanout\": " << r.fanout;
+    if (with_batch) out << ", \"batch\": " << r.batch;
+    out << ", \"tuples\": " << r.tuples
         << ", \"tuples_per_sec\": " << r.throughput.tuples_per_sec
         << ", \"ns_per_tuple\": " << r.throughput.ns_per_tuple << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
+}
+
+void DumpHotPathJson() {
+  DumpRowsJson("BENCH_hotpath.json", "hot_path", DedupRows(Rows()),
+               /*with_batch=*/false);
+  DumpRowsJson("BENCH_hotpath_batched.json", "hot_path_batched",
+               DedupRows(BatchedRows()), /*with_batch=*/true);
 }
 
 }  // namespace

@@ -29,12 +29,17 @@ void Usage() {
                "usage: simcheck [--seed N] [--runs N] [--shrink 0|1]\n"
                "                [--replay <spec-file>] [--disable-dedup]\n"
                "                [--digest] [--out <dir>] [--threaded N]\n"
+               "                [--batch N]\n"
                "  --threaded N  run each scenario on the N-worker threaded\n"
                "                engine and diff against the oracle instead\n"
-               "                of the simulated federation\n");
+               "                of the simulated federation\n"
+               "  --batch N     engine batch_size (ProcessBatch path) for\n"
+               "                the federation nodes / threaded engine; the\n"
+               "                oracle always runs scalar, so this gates\n"
+               "                batched output against the scalar path\n");
 }
 
-int Replay(const std::string& path, bool disable_dedup) {
+int Replay(const std::string& path, bool disable_dedup, int batch) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "simcheck: cannot read '%s'\n", path.c_str());
@@ -48,7 +53,9 @@ int Replay(const std::string& path, bool disable_dedup) {
     return 2;
   }
   if (disable_dedup) spec->dedup = false;
-  aurora::RunReport report = aurora::RunScenario(*spec);
+  aurora::RunOptions opts;
+  opts.batch_size = batch;
+  aurora::RunReport report = aurora::RunScenario(*spec, opts);
   std::fputs(report.Summary().c_str(), stdout);
   return report.ok() ? 0 : 1;
 }
@@ -62,6 +69,7 @@ int main(int argc, char** argv) {
   bool disable_dedup = false;
   bool digest = false;
   int threaded = 0;
+  int batch = 1;
   std::string replay_path;
   std::string out_dir = ".";
   for (int i = 1; i < argc; ++i) {
@@ -89,6 +97,9 @@ int main(int argc, char** argv) {
       out_dir = next();
     } else if (arg == "--threaded") {
       threaded = std::atoi(next());
+    } else if (arg == "--batch") {
+      batch = std::atoi(next());
+      if (batch < 1) batch = 1;
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -99,7 +110,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!replay_path.empty()) return Replay(replay_path, disable_dedup);
+  if (!replay_path.empty()) return Replay(replay_path, disable_dedup, batch);
 
   if (threaded > 0) {
     // Threaded-runtime gate: no network, no faults — the scenario supplies
@@ -108,7 +119,7 @@ int main(int argc, char** argv) {
       uint64_t s = seed + static_cast<uint64_t>(r);
       aurora::ScenarioSpec spec = aurora::GenerateScenario(s);
       aurora::ThreadedCheckReport report =
-          aurora::RunThreadedScenario(spec, threaded);
+          aurora::RunThreadedScenario(spec, threaded, batch);
       if (digest) {
         std::fprintf(stdout, "seed %llu\n",
                      static_cast<unsigned long long>(s));
@@ -130,11 +141,13 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  aurora::RunOptions ropts;
+  ropts.batch_size = batch;
   for (int r = 0; r < runs; ++r) {
     uint64_t s = seed + static_cast<uint64_t>(r);
     aurora::ScenarioSpec spec = aurora::GenerateScenario(s);
     if (disable_dedup) spec.dedup = false;
-    aurora::RunReport report = aurora::RunScenario(spec);
+    aurora::RunReport report = aurora::RunScenario(spec, ropts);
     if (digest) {
       // Per-seed output rows+hashes on stdout: two invocations of the same
       // seed range must emit byte-identical digests regardless of tracing
@@ -157,10 +170,10 @@ int main(int argc, char** argv) {
       const std::string kind = report.violations.front().invariant;
       std::fprintf(stderr, "simcheck: shrinking on '%s'...\n", kind.c_str());
       min_spec = aurora::ShrinkScenario(
-          spec, [&kind, disable_dedup](const aurora::ScenarioSpec& cand) {
+          spec, [&kind, disable_dedup, &ropts](const aurora::ScenarioSpec& cand) {
             aurora::ScenarioSpec c = cand;
             if (disable_dedup) c.dedup = false;
-            aurora::RunReport rr = aurora::RunScenario(c);
+            aurora::RunReport rr = aurora::RunScenario(c, ropts);
             for (const aurora::Violation& v : rr.violations) {
               if (v.invariant == kind) return true;
             }

@@ -92,7 +92,7 @@ std::string ThreadedCheckReport::Summary() const {
 }
 
 ThreadedCheckReport RunThreadedScenario(const ScenarioSpec& spec,
-                                        int workers) {
+                                        int workers, int batch_size) {
   ThreadedCheckReport report;
   report.workers = workers;
   if (Status st = spec.Validate(); !st.ok()) {
@@ -110,6 +110,7 @@ ThreadedCheckReport RunThreadedScenario(const ScenarioSpec& spec,
   ThreadedEngineOptions topts;
   topts.workers = workers;
   topts.train_size = spec.train > 0 ? spec.train * 16 : 64;
+  topts.batch_size = batch_size;
   ThreadedEngine engine(topts);
   if (Status st = DeployQueryThreaded(&engine, *query); !st.ok()) {
     report.violations.push_back("deploy: " + st.ToString());

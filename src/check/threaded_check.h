@@ -39,8 +39,12 @@ struct ThreadedCheckReport {
 /// not apply — there is no network here. What this gate checks is the
 /// threaded runtime itself: per-arc FIFO, exactly-once consumption, and
 /// quiescence, across worker counts.
+///
+/// `batch_size` > 1 runs the threaded engine's ProcessBatch path
+/// (ThreadedEngineOptions::batch_size); the oracle always runs scalar, so
+/// this additionally gates batched+threaded against scalar+single-threaded.
 ThreadedCheckReport RunThreadedScenario(const ScenarioSpec& spec,
-                                        int workers);
+                                        int workers, int batch_size = 1);
 
 }  // namespace aurora
 

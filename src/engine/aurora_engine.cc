@@ -9,6 +9,7 @@ namespace aurora {
 
 AuroraEngine::AuroraEngine(EngineOptions opts)
     : opts_(opts), storage_(opts.memory_budget_bytes), shedder_(opts.shedder) {
+  if (opts_.batch_size < 1) opts_.batch_size = 1;
   MetricsRegistry& reg = MetricsRegistry::Global();
   m_tuples_in_ = reg.GetCounter("engine.tuples_in");
   m_tuples_shed_ = reg.GetCounter("engine.tuples_shed");
@@ -963,6 +964,11 @@ double AuroraEngine::ActivateBox(BoxId box_id, SimTime now,
                                  std::vector<BoxId>* touched) {
   BoxRt& box = boxes_[box_id];
   if (box.prof_activations == nullptr) EnsureBoxProfile(box_id, &box);
+  if (opts_.batch_size > 1 &&
+      opts_.scheduler != SchedulerPolicy::kTupleAtATime &&
+      box.op->num_inputs() == 1) {
+    return ActivateBoxBatched(box_id, now, touched);
+  }
   int budget = opts_.scheduler == SchedulerPolicy::kTupleAtATime
                    ? 1
                    : opts_.train_size;
@@ -1010,6 +1016,101 @@ double AuroraEngine::ActivateBox(BoxId box_id, SimTime now,
     }
     if (!st.ok() && deferred_error_.ok()) deferred_error_ = st;
     processed++;
+  }
+  if (processed > 0) {
+    double t_b_ms = wait_sum_ms / processed +
+                    (cost_us / processed) / 1000.0;
+    qos_.RecordBoxWork(box_id, t_b_ms, processed);
+    total_activations_++;
+    m_activations_->Add();
+    m_box_exec_us_->Record(cost_us);
+    box.prof_activations->Add();
+    box.prof_tuples->Add(static_cast<uint64_t>(processed));
+    box.prof_self_us->Add(static_cast<uint64_t>(cost_us));
+  }
+  return cost_us;
+}
+
+double AuroraEngine::ActivateBoxBatched(BoxId box_id, SimTime now,
+                                        std::vector<BoxId>* touched) {
+  BoxRt& box = boxes_[box_id];
+  ArcId arc_id = box.in_arcs[0];
+  if (arc_id < 0) return 0.0;
+  ArcRt& a = arcs_[arc_id];
+  const int budget = opts_.train_size;
+  double cost_us = 0.0;
+  double wait_sum_ms = 0.0;
+  int processed = 0;
+  RoutingEmitter emitter(this, box_id, now, touched);
+  Tracer& tracer = Tracer::Global();
+  // Stack-local scratch: output callbacks run inside ProcessBatch emissions
+  // and are free to re-enter the engine, so a member buffer could be
+  // clobbered mid-iteration. Column/tuple capacity still amortizes across
+  // the chunks of one activation.
+  TupleBatch batch;
+  batch.Reserve(static_cast<size_t>(std::min(budget, opts_.batch_size)));
+  // The queue is re-checked per chunk, so a self-feeding box sees its own
+  // emissions exactly as the scalar loop would.
+  while (processed < budget && !a.queue.empty()) {
+    const int want = std::min(budget - processed, opts_.batch_size);
+    batch.Clear();
+    int got = 0;
+    // Per-tuple accounting identical to the scalar activation loop, with
+    // consecutive equal histogram samples collapsed into one RecordN call
+    // (RecordN is defined to be bit-identical to the per-call sequence).
+    // Runs are flushed in arrival order, so even the floating sum inside
+    // each histogram accumulates in the scalar order.
+    double run_wait_ms = 0.0, run_cost_us = 0.0;
+    uint64_t run_wait_n = 0, run_cost_n = 0;
+    const bool tracing = tracer.enabled();
+    while (got < want && !a.queue.empty()) {
+      uint64_t reads_before = a.queue.unspill_reads();
+      int64_t enq_us = a.enqueue_us.front();
+      Tuple t = a.queue.Pop();
+      a.enqueue_us.pop_front();
+      double wait_ms = static_cast<double>(now.micros() - enq_us) / 1000.0;
+      wait_sum_ms += wait_ms;
+      if (run_wait_n > 0 && wait_ms != run_wait_ms) {
+        m_queue_wait_ms_->RecordN(run_wait_ms, run_wait_n);
+        run_wait_n = 0;
+      }
+      run_wait_ms = wait_ms;
+      run_wait_n++;
+      double tuple_cost_us = box.op->cost_micros_per_tuple();
+      tuple_cost_us += static_cast<double>(a.queue.unspill_reads() -
+                                           reads_before) *
+                       opts_.spill_read_cost_us;
+      cost_us += tuple_cost_us;
+      if (run_cost_n > 0 && tuple_cost_us != run_cost_us) {
+        box.prof_tuple_cost_us->RecordN(run_cost_us, run_cost_n);
+        run_cost_n = 0;
+      }
+      run_cost_us = tuple_cost_us;
+      run_cost_n++;
+      if (tracing && t.trace_id() != 0) {
+        tracer.Record({t.trace_id(), SpanKind::kBoxExec, trace_node_,
+                       "box:" + box.spec.kind, now.micros(),
+                       now.micros() + static_cast<int64_t>(tuple_cost_us)});
+      }
+      batch.Push(std::move(t), now);
+      got++;
+    }
+    if (run_wait_n > 0) m_queue_wait_ms_->RecordN(run_wait_ms, run_wait_n);
+    if (run_cost_n > 0) box.prof_tuple_cost_us->RecordN(run_cost_us, run_cost_n);
+    // One scheduler update for the whole dequeue run — same final queued
+    // count and readiness as `got` per-tuple NoteBoxQueued calls, minus the
+    // heap churn.
+    if (a.to.kind == Endpoint::Kind::kBox) NoteBoxQueued(a.to.id, -got);
+    // Seq/trace inheritance happens inside ProcessBatch's BatchEmitter (the
+    // engine can't know per-emission provenance mid-batch), so the routing
+    // emitter's trace id stays unset here.
+    Status st;
+    {
+      TupleHotPathSection hot_path;
+      st = box.op->ProcessBatch(0, batch, &emitter);
+    }
+    if (!st.ok() && deferred_error_.ok()) deferred_error_ = st;
+    processed += got;
   }
   if (processed > 0) {
     double t_b_ms = wait_sum_ms / processed +

@@ -46,6 +46,16 @@ struct EngineOptions {
   SchedulerPolicy scheduler = SchedulerPolicy::kLongestQueue;
   /// Max tuples consumed per box activation (train scheduling, §2.3).
   int train_size = 64;
+  /// Tuples handed to one Operator::ProcessBatch call. 1 = the scalar path
+  /// (one virtual Process per tuple). >1 enables the batched path for
+  /// single-input boxes: up to this many tuples are dequeued per box
+  /// activation into a TupleBatch (never exceeding train_size), amortizing
+  /// dispatch and scheduler bookkeeping. Multi-input boxes and
+  /// kTupleAtATime stay scalar — batching a multi-input box would change
+  /// the round-robin interleaving across its inputs, and therefore output
+  /// order. Outputs are bit-identical either way (gated by the simcheck
+  /// golden seeds and the batch-vs-scalar property suite).
+  int batch_size = 1;
   /// How far a train is pushed toward the output within one step: after a
   /// box activation, boxes that received its emissions are activated too,
   /// up to this many layers.
@@ -351,6 +361,11 @@ class AuroraEngine {
   Result<BoxId> PickBox(SimTime now);
   /// Activates one box: consumes up to train_size tuples. Returns cost.
   double ActivateBox(BoxId box, SimTime now, std::vector<BoxId>* touched);
+  /// Batched activation (batch_size > 1, single-input box): dequeues up to
+  /// batch_size tuples per ProcessBatch call, with per-tuple accounting
+  /// identical to the scalar loop and one scheduler update per dequeue run.
+  double ActivateBoxBatched(BoxId box, SimTime now,
+                            std::vector<BoxId>* touched);
   /// Registers the box's profiler series on first activation.
   void EnsureBoxProfile(BoxId box_id, BoxRt* box);
   void RecomputeOutputDistances();

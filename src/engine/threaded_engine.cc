@@ -16,6 +16,7 @@ ThreadedEngine::ThreadedEngine(ThreadedEngineOptions opts) : opts_(opts) {
   if (opts_.workers < 1) opts_.workers = 1;
   if (opts_.train_size < 1) opts_.train_size = 1;
   if (opts_.ring_capacity < 2) opts_.ring_capacity = 2;
+  if (opts_.batch_size < 1) opts_.batch_size = 1;
   MetricsRegistry& reg = MetricsRegistry::Global();
   m_tuples_in_ = reg.GetCounter("engine.threaded.tuples_in");
   m_delivered_ = reg.GetCounter("engine.threaded.delivered");
@@ -476,6 +477,10 @@ void ThreadedEngine::RunBoxActivation(BoxId box, int worker) {
   int budget = opts_.train_size;
   int num_inputs = static_cast<int>(b.in_arcs.size());
   if (num_inputs == 0) return;
+  if (opts_.batch_size > 1 && num_inputs == 1) {
+    RunBoxActivationBatched(box, worker);
+    return;
+  }
   int idle_scans = 0;
   uint64_t processed = 0;
   while (budget > 0 && idle_scans < num_inputs) {
@@ -502,6 +507,44 @@ void ThreadedEngine::RunBoxActivation(BoxId box, int worker) {
       TupleHotPathSection hot_path;
       RoutingEmitter emitter(this, box, now, worker);
       st = b.op->Process(input, t, now, &emitter);
+    }
+    if (!st.ok()) DeferError(st);
+  }
+  if (processed > 0) {
+    tuples_processed_.fetch_add(processed, std::memory_order_relaxed);
+  }
+}
+
+void ThreadedEngine::RunBoxActivationBatched(BoxId box, int worker) {
+  BoxRt& b = boxes_[box];
+  ArcId arc = b.in_arcs[0];
+  if (arc < 0 || arcs_[arc].ring == nullptr) return;
+  BoundedRing<Tuple>* ring = arcs_[arc].ring.get();
+  int budget = opts_.train_size;
+  uint64_t processed = 0;
+  // Stack scratch: help-on-full means a ProcessBatch emission can run a
+  // downstream box's activation on this same thread, so nothing batched may
+  // live in the engine or box.
+  TupleBatch batch;
+  batch.Reserve(static_cast<size_t>(std::min(budget, opts_.batch_size)));
+  while (budget > 0) {
+    const int want = std::min(budget, opts_.batch_size);
+    batch.Clear();
+    Tuple t;
+    while (static_cast<int>(batch.size()) < want && ring->TryPop(&t)) {
+      // Operators see `now` = the tuple's own timestamp, as on the scalar
+      // threaded path (docs/THREADING.md).
+      SimTime ts = t.timestamp();
+      batch.Push(std::move(t), ts);
+    }
+    if (batch.empty()) break;
+    budget -= static_cast<int>(batch.size());
+    processed += batch.size();
+    Status st;
+    {
+      TupleHotPathSection hot_path;
+      RoutingEmitter emitter(this, box, batch.now(0), worker);
+      st = b.op->ProcessBatch(0, batch, &emitter);
     }
     if (!st.ok()) DeferError(st);
   }

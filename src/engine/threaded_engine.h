@@ -32,6 +32,11 @@ struct ThreadedEngineOptions {
   /// rings backpressure by running the consumer inline, so this bounds
   /// memory, not correctness.
   size_t ring_capacity = 1024;
+  /// Tuples per Operator::ProcessBatch call. 1 = scalar path. >1 batches
+  /// single-input boxes (multi-input boxes keep the scalar round-robin so
+  /// their merge interleaving is untouched), exactly like
+  /// EngineOptions::batch_size on the single-threaded engine.
+  int batch_size = 1;
 };
 
 /// \brief Multithreaded execution runtime: the same query-network model as
@@ -198,6 +203,10 @@ class ThreadedEngine {
   bool TryClaimForHelp(BoxId box);
   /// Consumes up to train_size tuples from the box's in-rings.
   void RunBoxActivation(BoxId box, int worker);
+  /// Batched variant for single-input boxes (batch_size > 1): pops up to
+  /// batch_size tuples per ProcessBatch call. Uses only stack scratch —
+  /// help-on-full can nest activations on one thread.
+  void RunBoxActivationBatched(BoxId box, int worker);
   /// Post-activation protocol: re-queue if notified or input remains, else
   /// transition to Idle and release the work item.
   void PostRun(BoxId box, int worker);

@@ -52,6 +52,24 @@ void LatencyHistogram::Record(double v) {
   buckets_[idx]++;
 }
 
+void LatencyHistogram::RecordN(double v, uint64_t n) {
+  if (n == 0 || std::isnan(v)) return;
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  count_ += n;
+  // Term-by-term, not v * n: repeated addition rounds exactly like n
+  // individual Record calls would, keeping batched and scalar runs
+  // byte-identical in every dumped stat.
+  for (uint64_t i = 0; i < n; ++i) sum_ += v;
+  size_t idx = BucketIndex(v);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  buckets_[idx] += n;
+}
+
 double LatencyHistogram::Quantile(double q) const {
   if (count_ == 0) return 0.0;
   if (q <= 0.0) return min_;

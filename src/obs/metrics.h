@@ -77,6 +77,11 @@ class LatencyHistogram {
   explicit LatencyHistogram(double min_bound = 1e-3, double growth = 1.15);
 
   void Record(double v);
+  /// Exactly equivalent to calling Record(v) `n` times, with the log-based
+  /// bucket search done once. The sum still accumulates term by term, so
+  /// every derived stat (mean, quantiles, dump bytes) stays bit-identical
+  /// to the per-call sequence — callers batch purely to amortize cost.
+  void RecordN(double v, uint64_t n);
 
   uint64_t count() const { return count_; }
   double sum() const { return sum_; }

@@ -92,6 +92,49 @@ Result<Value> Expr::Eval(const Tuple& t) const {
   return Status::Internal("bad expr kind");
 }
 
+bool Expr::EvalBatch(TupleBatch& batch, std::vector<int64_t>* out) const {
+  const size_t n = batch.size();
+  switch (kind_) {
+    case Kind::kField: {
+      if (!batch.uniform_schema() || batch.schema() == nullptr) return false;
+      if (batch.schema().get() != bound_schema_.get()) {
+        if (!Bind(batch.schema()).ok()) return false;
+      }
+      const int64_t* col = batch.I64Column(bound_index_);
+      if (col == nullptr) return false;
+      out->assign(col, col + n);
+      return true;
+    }
+    case Kind::kConst:
+      if (constant_.type() != ValueType::kInt64) return false;
+      out->assign(n, constant_.AsInt());
+      return true;
+    case Kind::kArith: {
+      if (op_ == ArithOp::kDiv) return false;  // always double, may error
+      std::vector<int64_t> rhs;
+      if (!children_[0]->EvalBatch(batch, out)) return false;
+      if (!children_[1]->EvalBatch(batch, &rhs)) return false;
+      int64_t* a = out->data();
+      const int64_t* b = rhs.data();
+      switch (op_) {
+        case ArithOp::kAdd:
+          for (size_t i = 0; i < n; ++i) a[i] += b[i];
+          break;
+        case ArithOp::kSub:
+          for (size_t i = 0; i < n; ++i) a[i] -= b[i];
+          break;
+        case ArithOp::kMul:
+          for (size_t i = 0; i < n; ++i) a[i] *= b[i];
+          break;
+        case ArithOp::kDiv:
+          return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
 Result<ValueType> Expr::ResultType(const Schema& input) const {
   switch (kind_) {
     case Kind::kField: {

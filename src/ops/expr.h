@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "tuple/serde.h"
 #include "tuple/tuple.h"
+#include "tuple/tuple_batch.h"
 
 namespace aurora {
 
@@ -35,6 +36,15 @@ class Expr {
   Status Bind(const SchemaPtr& input) const;
 
   Result<Value> Eval(const Tuple& t) const;
+
+  /// Vectorized Eval for expression trees that are int64 end to end over
+  /// this batch: fields read int64 columns, constants are int64, and
+  /// arithmetic is add/sub/mul (which cannot error, so no per-tuple status
+  /// channel is needed). Returns true and fills `out` with one result per
+  /// tuple; returns false (out unspecified) for anything else — doubles,
+  /// division, strings, non-uniform batches — and the caller falls back to
+  /// per-tuple Eval. Uses only stack scratch, like Predicate::EvalBatch.
+  bool EvalBatch(TupleBatch& batch, std::vector<int64_t>* out) const;
 
   /// Result type given an input schema (int64 arithmetic stays integral;
   /// division always yields double).

@@ -25,4 +25,20 @@ Status FilterOp::ProcessImpl(int, const Tuple& t, SimTime, Emitter* emitter) {
   return Status::OK();
 }
 
+Status FilterOp::ProcessBatchImpl(int input, TupleBatch& batch,
+                                  BatchEmitter* emitter) {
+  spec_.predicate->EvalBatch(batch, &match_scratch_);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const Tuple& t = batch.tuple(i);
+    NoteBatchTupleIn(input, t);
+    emitter->SetCurrent(t);
+    if (match_scratch_[i]) {
+      emitter->Emit(0, t);
+    } else if (two_way_) {
+      emitter->Emit(1, t);
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace aurora

@@ -20,9 +20,17 @@ class FilterOp : public Operator {
   Status InitImpl() override;
   Status ProcessImpl(int input, const Tuple& t, SimTime now,
                      Emitter* emitter) override;
+  /// Vectorized: one Predicate::EvalBatch over the batch's columnar
+  /// scratch, then a branch-per-tuple emit loop.
+  Status ProcessBatchImpl(int input, TupleBatch& batch,
+                          BatchEmitter* emitter) override;
 
  private:
   bool two_way_;
+  /// Per-batch match bitmap. Member (not stack) to keep its capacity warm
+  /// across activations; safe because a box instance never runs two
+  /// activations concurrently, on either engine.
+  std::vector<uint8_t> match_scratch_;
 };
 
 }  // namespace aurora

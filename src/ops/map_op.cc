@@ -30,4 +30,47 @@ Status MapOp::ProcessImpl(int, const Tuple& t, SimTime, Emitter* emitter) {
   return Status::OK();
 }
 
+Status MapOp::ProcessBatchImpl(int input, TupleBatch& batch,
+                               BatchEmitter* emitter) {
+  const size_t nproj = spec_.projections.size();
+  col_scratch_.resize(nproj);
+  fast_.assign(nproj, 0);
+  for (size_t j = 0; j < nproj; ++j) {
+    fast_[j] =
+        spec_.projections[j].second.EvalBatch(batch, &col_scratch_[j]) ? 1 : 0;
+  }
+  Status first = Status::OK();
+  std::vector<Value> values;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const Tuple& t = batch.tuple(i);
+    NoteBatchTupleIn(input, t);
+    emitter->SetCurrent(t);
+    values.clear();
+    values.reserve(nproj);
+    Status st = Status::OK();
+    for (size_t j = 0; j < nproj; ++j) {
+      if (fast_[j]) {
+        values.push_back(Value(col_scratch_[j][i]));
+        continue;
+      }
+      Result<Value> v = spec_.projections[j].second.Eval(t);
+      if (!v.ok()) {
+        st = v.status();
+        break;
+      }
+      values.push_back(std::move(v).ValueUnsafe());
+    }
+    if (!st.ok()) {
+      // Scalar semantics: the failing tuple emits nothing, the error
+      // surfaces to the engine (which defers it and keeps going).
+      if (first.ok()) first = std::move(st);
+      continue;
+    }
+    Tuple out(output_schema(0), std::move(values));
+    out.set_timestamp(t.timestamp());
+    emitter->Emit(0, std::move(out));
+  }
+  return first;
+}
+
 }  // namespace aurora

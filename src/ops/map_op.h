@@ -17,6 +17,20 @@ class MapOp : public Operator {
   Status InitImpl() override;
   Status ProcessImpl(int input, const Tuple& t, SimTime now,
                      Emitter* emitter) override;
+  /// Vectorized: projections that Expr::EvalBatch can run columnar are
+  /// computed once per batch; remaining projections evaluate per tuple in
+  /// the assembly loop, so a single string column doesn't de-vectorize the
+  /// integer ones.
+  Status ProcessBatchImpl(int input, TupleBatch& batch,
+                          BatchEmitter* emitter) override;
+
+ private:
+  /// Per-batch scratch: one int64 column per vectorizable projection plus
+  /// a flag vector saying which projections took the columnar path. Member
+  /// to keep capacity warm across activations; a box instance never runs
+  /// two activations concurrently.
+  std::vector<std::vector<int64_t>> col_scratch_;
+  std::vector<uint8_t> fast_;
 };
 
 }  // namespace aurora

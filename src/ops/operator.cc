@@ -63,6 +63,28 @@ Status Operator::Process(int input, const Tuple& t, SimTime now,
   return ProcessImpl(input, t, now, &counting);
 }
 
+Status Operator::ProcessBatch(int input, TupleBatch& batch, Emitter* emitter) {
+  AURORA_DCHECK(initialized_) << "ProcessBatch before Init on " << kind();
+  if (input < 0 || input >= num_inputs()) {
+    return Status::InvalidArgument("bad input index " + std::to_string(input));
+  }
+  BatchEmitter be(emitter, &tuples_out_);
+  return ProcessBatchImpl(input, batch, &be);
+}
+
+Status Operator::ProcessBatchImpl(int input, TupleBatch& batch,
+                                  BatchEmitter* emitter) {
+  Status first = Status::OK();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const Tuple& t = batch.tuple(i);
+    NoteBatchTupleIn(input, t);
+    emitter->SetCurrent(t);
+    Status st = ProcessImpl(input, t, batch.now(i), emitter);
+    if (!st.ok() && first.ok()) first = std::move(st);
+  }
+  return first;
+}
+
 void Operator::OnTick(SimTime, Emitter*) {}
 
 void Operator::Drain(Emitter*) {}

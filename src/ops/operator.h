@@ -9,6 +9,7 @@
 #include "common/sim_time.h"
 #include "ops/op_spec.h"
 #include "tuple/tuple.h"
+#include "tuple/tuple_batch.h"
 
 namespace aurora {
 
@@ -54,6 +55,14 @@ class Operator {
   /// Processes one tuple from the given input arc.
   Status Process(int input, const Tuple& t, SimTime now, Emitter* emitter);
 
+  /// Processes a whole train of tuples from one input arc. Must be
+  /// emission-equivalent to calling Process on each tuple front to back:
+  /// the default implementation does exactly that, and vectorized overrides
+  /// are gated by the batch-vs-scalar equivalence suite. On a per-tuple
+  /// error, processing continues with the remaining tuples and the first
+  /// error is returned, matching the engine's deferred-error policy.
+  Status ProcessBatch(int input, TupleBatch& batch, Emitter* emitter);
+
   /// Time-driven callback (WSort timeouts, aggregate timeouts). The engine
   /// invokes it at its tick granularity.
   virtual void OnTick(SimTime now, Emitter* emitter);
@@ -83,10 +92,51 @@ class Operator {
                : static_cast<double>(tuples_out_) / static_cast<double>(tuples_in_);
   }
 
+  /// Emitter wrapper used on the batched path. Per-emission it applies the
+  /// same lineage rules the scalar path splits between CountingEmitter
+  /// (seq inheritance) and the engine's routing emitter (trace-id
+  /// propagation): a ProcessBatchImpl override must call SetCurrent(t)
+  /// before emitting on behalf of tuple `t`, because the engine cannot know
+  /// per-emission provenance mid-batch.
+  class BatchEmitter : public Emitter {
+   public:
+    BatchEmitter(Emitter* inner, uint64_t* counter)
+        : inner_(inner), counter_(counter) {}
+    void SetCurrent(const Tuple& t) {
+      cur_seq_ = t.seq();
+      cur_trace_ = t.trace_id();
+    }
+    void Emit(int output, Tuple t) override {
+      ++*counter_;
+      if (t.seq() == kNoSeqNo) t.set_seq(cur_seq_);
+      if (cur_trace_ != 0 && t.trace_id() == 0) t.set_trace_id(cur_trace_);
+      inner_->Emit(output, std::move(t));
+    }
+
+   private:
+    Emitter* inner_;
+    uint64_t* counter_;
+    SeqNo cur_seq_ = kNoSeqNo;
+    uint64_t cur_trace_ = 0;
+  };
+
  protected:
   virtual Status InitImpl() = 0;
   virtual Status ProcessImpl(int input, const Tuple& t, SimTime now,
                              Emitter* emitter) = 0;
+  /// Batched hook; default loops ProcessImpl over the batch. Overrides must
+  /// call NoteBatchTupleIn + emitter->SetCurrent for every tuple consumed,
+  /// keep scalar emission order, and continue past per-tuple errors
+  /// (returning the first).
+  virtual Status ProcessBatchImpl(int input, TupleBatch& batch,
+                                  BatchEmitter* emitter);
+  /// Per-tuple base bookkeeping on the batched path (lineage tracking and
+  /// selectivity input counting) — the batch equivalent of what Process
+  /// does before delegating to ProcessImpl.
+  void NoteBatchTupleIn(int input, const Tuple& t) {
+    if (t.seq() != kNoSeqNo) last_seq_[input] = t.seq();
+    ++tuples_in_;
+  }
   /// Earliest tuple seq contributing to retained state for the given input;
   /// kNoSeqNo when the box holds no state for that input. Stateful
   /// subclasses override.

@@ -1,5 +1,7 @@
 #include "ops/predicate.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace aurora {
@@ -131,6 +133,109 @@ bool Predicate::Eval(const Tuple& t) const {
       return modulus_ != 0 && FieldValue(t).Hash() % modulus_ == remainder_;
   }
   return false;
+}
+
+namespace {
+
+// Applies `op` to the Value::Compare-style three-way result of each column
+// entry vs the constant. Going through the explicit cmp (rather than the
+// raw C++ operator) keeps NaN ordering identical to Value::Compare, which
+// treats an incomparable pair as "greater".
+template <typename ColT, typename CmpT>
+void FillCompareColumn(const ColT* col, CmpT c, size_t n, CompareOp op,
+                       std::vector<uint8_t>* out) {
+  auto fill = [&](auto holds) {
+    for (size_t i = 0; i < n; ++i) {
+      CmpT a = static_cast<CmpT>(col[i]);
+      int cmp = a == c ? 0 : (a < c ? -1 : 1);
+      (*out)[i] = holds(cmp) ? 1 : 0;
+    }
+  };
+  switch (op) {
+    case CompareOp::kEq:
+      fill([](int x) { return x == 0; });
+      break;
+    case CompareOp::kNe:
+      fill([](int x) { return x != 0; });
+      break;
+    case CompareOp::kLt:
+      fill([](int x) { return x < 0; });
+      break;
+    case CompareOp::kLe:
+      fill([](int x) { return x <= 0; });
+      break;
+    case CompareOp::kGt:
+      fill([](int x) { return x > 0; });
+      break;
+    case CompareOp::kGe:
+      fill([](int x) { return x >= 0; });
+      break;
+  }
+}
+
+}  // namespace
+
+bool Predicate::CompareBatchColumns(TupleBatch& batch,
+                                    std::vector<uint8_t>* out) const {
+  const ValueType ct = constant_.type();
+  if (ct != ValueType::kInt64 && ct != ValueType::kDouble) return false;
+  if (!batch.uniform_schema() || batch.schema() == nullptr) return false;
+  if (batch.schema().get() != bound_schema_.get()) {
+    // Same lazy rebind (and same abort on a missing field) as FieldValue.
+    Status bound = Bind(batch.schema());
+    AURORA_CHECK(bound.ok()) << bound.ToString();
+  }
+  const size_t n = batch.size();
+  if (const int64_t* col = batch.I64Column(bound_index_)) {
+    if (ct == ValueType::kInt64) {
+      FillCompareColumn(col, constant_.AsInt(), n, op_, out);
+    } else {
+      FillCompareColumn(col, constant_.AsDouble(), n, op_, out);
+    }
+    return true;
+  }
+  if (const double* col = batch.F64Column(bound_index_)) {
+    FillCompareColumn(col, constant_.AsNumeric(), n, op_, out);
+    return true;
+  }
+  return false;
+}
+
+void Predicate::EvalBatch(TupleBatch& batch, std::vector<uint8_t>* out) const {
+  const size_t n = batch.size();
+  out->assign(n, 0);
+  if (n == 0) return;
+  switch (kind_) {
+    case Kind::kTrue:
+      std::fill(out->begin(), out->end(), 1);
+      return;
+    case Kind::kCompare:
+      if (CompareBatchColumns(batch, out)) return;
+      break;  // non-numeric column/constant: per-tuple fallback below
+    case Kind::kAnd: {
+      // Eval's && short-circuit is unobservable (children are pure modulo
+      // the idempotent bind cache), so both sides evaluate batch-wise.
+      std::vector<uint8_t> rhs;
+      children_[0]->EvalBatch(batch, out);
+      children_[1]->EvalBatch(batch, &rhs);
+      for (size_t i = 0; i < n; ++i) (*out)[i] &= rhs[i];
+      return;
+    }
+    case Kind::kOr: {
+      std::vector<uint8_t> rhs;
+      children_[0]->EvalBatch(batch, out);
+      children_[1]->EvalBatch(batch, &rhs);
+      for (size_t i = 0; i < n; ++i) (*out)[i] |= rhs[i];
+      return;
+    }
+    case Kind::kNot:
+      children_[0]->EvalBatch(batch, out);
+      for (size_t i = 0; i < n; ++i) (*out)[i] ^= 1;
+      return;
+    case Kind::kHash:
+      break;  // hashes the full Value; stays per-tuple
+  }
+  for (size_t i = 0; i < n; ++i) (*out)[i] = Eval(batch.tuple(i)) ? 1 : 0;
 }
 
 void Predicate::CollectFields(std::set<std::string>* fields) const {

@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "tuple/serde.h"
 #include "tuple/tuple.h"
+#include "tuple/tuple_batch.h"
 
 namespace aurora {
 
@@ -48,6 +49,16 @@ class Predicate {
 
   bool Eval(const Tuple& t) const;
 
+  /// Vectorized Eval over a whole batch: fills `out` (sized to
+  /// batch.size()) with 0/1 per tuple, matching per-tuple Eval bit for bit.
+  /// Numeric comparisons loop over the batch's columnar scratch when
+  /// available; everything else (hash partitions, string/bool/null
+  /// constants, non-uniform or non-numeric columns) falls back to per-tuple
+  /// Eval internally, so callers never need a scalar path of their own.
+  /// Uses only stack scratch — safe on shared predicate trees under the
+  /// threaded engine.
+  void EvalBatch(TupleBatch& batch, std::vector<uint8_t>* out) const;
+
   /// Logical complement; used to route the "other" half after a box split.
   Predicate Negation() const { return Not(*this); }
 
@@ -81,6 +92,10 @@ class Predicate {
   /// The tuple's field value this leaf reads, via the bound-once index
   /// cache (kCompare / kHash only).
   const Value& FieldValue(const Tuple& t) const;
+
+  /// Columnar kCompare: true (and fills `out`) only when the batch exposes
+  /// a numeric column for the bound field and the constant is numeric.
+  bool CompareBatchColumns(TupleBatch& batch, std::vector<uint8_t>* out) const;
 
   /// Bound-once field cache (kCompare / kHash). Mutable because predicate
   /// trees are shared through shared_ptr<const Predicate>; the engine is

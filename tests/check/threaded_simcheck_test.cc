@@ -12,12 +12,14 @@ namespace {
 
 constexpr int kSeeds = 25;
 
-void RunSeeds(int workers) {
+void RunSeeds(int workers, int batch_size = 1) {
   for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
     ScenarioSpec spec = GenerateScenario(seed);
-    ThreadedCheckReport report = RunThreadedScenario(spec, workers);
+    ThreadedCheckReport report = RunThreadedScenario(spec, workers,
+                                                    batch_size);
     ASSERT_TRUE(report.ok()) << "seed " << seed << " workers " << workers
-                             << "\n" << report.Summary();
+                             << " batch " << batch_size << "\n"
+                             << report.Summary();
     EXPECT_EQ(report.injected, static_cast<uint64_t>(spec.trace_n));
     EXPECT_FALSE(report.outputs.empty());
   }
@@ -26,6 +28,13 @@ void RunSeeds(int workers) {
 TEST(ThreadedSimcheckTest, OneWorkerMatchesOracle) { RunSeeds(1); }
 TEST(ThreadedSimcheckTest, TwoWorkersMatchOracle) { RunSeeds(2); }
 TEST(ThreadedSimcheckTest, FourWorkersMatchOracle) { RunSeeds(4); }
+
+// Batched + threaded vs scalar + single-threaded: both dimensions of the
+// execution model change at once, the oracle stays fixed. The diff is
+// still exact — batch dequeue preserves per-arc FIFO on linear chains.
+TEST(ThreadedSimcheckTest, OneWorkerBatchedMatchesOracle) { RunSeeds(1, 8); }
+TEST(ThreadedSimcheckTest, TwoWorkersBatchedMatchOracle) { RunSeeds(2, 8); }
+TEST(ThreadedSimcheckTest, FourWorkersBatchedMatchOracle) { RunSeeds(4, 8); }
 
 }  // namespace
 }  // namespace aurora

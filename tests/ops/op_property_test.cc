@@ -382,6 +382,432 @@ INSTANTIATE_TEST_SUITE_P(Sweep, WSortBufferPropertyTest,
                                            SeedCase{62, 300},
                                            SeedCase{63, 1000}));
 
+// ---- Batch-vs-scalar equivalence (BatchOracle) ---------------------------
+//
+// Contract under test: for any operator, chunking an input stream through
+// ProcessBatch is emission-equivalent to per-tuple Process — same tuples in
+// the same order on the same outputs, same seq/trace stamping, same
+// operator counters, and the same first error. The scalar run is the
+// oracle; the batched run must match it byte for byte at every batch size,
+// including sizes that leave odd tails. On mismatch the failing input list
+// is minimized with ShrinkList.
+
+/// One canonical line per emission: output index, seq, trace id, values.
+std::string CanonicalEmissions(const CollectingEmitter& emitter) {
+  std::ostringstream os;
+  for (const auto& [output, t] : emitter.emissions()) {
+    os << output << " seq=" << t.seq() << " trace=" << t.trace_id()
+       << " ts=" << t.timestamp().micros() << " [";
+    for (size_t i = 0; i < t.num_values(); ++i) {
+      if (i > 0) os << "|";
+      os << t.value(i).ToString();
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+struct OracleRun {
+  std::string emissions;
+  uint64_t tuples_in = 0;
+  uint64_t tuples_out = 0;
+  std::string first_error;  // empty when every Process/ProcessBatch was OK
+};
+
+/// Replicates the scheduler's per-tuple trace propagation (AuroraEngine's
+/// RoutingEmitter): everything emitted while processing tuple t inherits
+/// t's trace id unless already traced. ProcessBatch folds this stamping
+/// into its BatchEmitter, so the scalar oracle must model it too.
+class TraceStampingEmitter : public Emitter {
+ public:
+  explicit TraceStampingEmitter(Emitter* inner) : inner_(inner) {}
+  void SetCurrent(const Tuple& t) { trace_id_ = t.trace_id(); }
+  void Emit(int output, Tuple t) override {
+    if (trace_id_ != 0 && t.trace_id() == 0) t.set_trace_id(trace_id_);
+    inner_->Emit(output, std::move(t));
+  }
+
+ private:
+  Emitter* inner_;
+  uint64_t trace_id_ = 0;
+};
+
+/// Scalar oracle: per-tuple Process with engine semantics — trace ids
+/// stamped per input tuple, a failing tuple emits nothing and the first
+/// error is recorded, later tuples still run (that is what both schedulers
+/// do with deferred_error_).
+OracleRun RunScalarOracle(const OperatorSpec& spec, const SchemaPtr& schema,
+                          const std::vector<Tuple>& tuples, bool drain) {
+  OracleRun run;
+  auto op = std::move(CreateOperator(spec)).ValueUnsafe();
+  AURORA_CHECK(op->Init({schema}).ok());
+  CollectingEmitter emitter;
+  TraceStampingEmitter stamping(&emitter);
+  for (const Tuple& t : tuples) {
+    stamping.SetCurrent(t);
+    Status st = op->Process(0, t, t.timestamp(), &stamping);
+    if (!st.ok() && run.first_error.empty()) run.first_error = st.ToString();
+  }
+  if (drain) op->Drain(&emitter);
+  run.emissions = CanonicalEmissions(emitter);
+  run.tuples_in = op->tuples_in();
+  run.tuples_out = op->tuples_out();
+  return run;
+}
+
+/// Batched run: the same stream chunked into TupleBatches of `batch_size`
+/// (the final chunk is the odd tail whenever the sizes do not divide).
+OracleRun RunBatched(const OperatorSpec& spec, const SchemaPtr& schema,
+                     const std::vector<Tuple>& tuples, int batch_size,
+                     bool drain) {
+  OracleRun run;
+  auto op = std::move(CreateOperator(spec)).ValueUnsafe();
+  AURORA_CHECK(op->Init({schema}).ok());
+  CollectingEmitter emitter;
+  TupleBatch batch;
+  batch.Reserve(static_cast<size_t>(batch_size));
+  for (size_t at = 0; at < tuples.size();
+       at += static_cast<size_t>(batch_size)) {
+    batch.Clear();
+    size_t end = std::min(tuples.size(), at + static_cast<size_t>(batch_size));
+    for (size_t i = at; i < end; ++i) {
+      batch.Push(tuples[i], tuples[i].timestamp());
+    }
+    Status st = op->ProcessBatch(0, batch, &emitter);
+    if (!st.ok() && run.first_error.empty()) run.first_error = st.ToString();
+  }
+  if (drain) op->Drain(&emitter);
+  run.emissions = CanonicalEmissions(emitter);
+  run.tuples_in = op->tuples_in();
+  run.tuples_out = op->tuples_out();
+  return run;
+}
+
+/// The fixture core: "" when scalar and batched agree on emissions,
+/// counters, and first error; a human-readable diff otherwise.
+std::string BatchOracleDiff(const OperatorSpec& spec, const SchemaPtr& schema,
+                            const std::vector<Tuple>& tuples, int batch_size,
+                            bool drain) {
+  OracleRun scalar = RunScalarOracle(spec, schema, tuples, drain);
+  OracleRun batched = RunBatched(spec, schema, tuples, batch_size, drain);
+  std::ostringstream os;
+  if (scalar.emissions != batched.emissions) {
+    os << "emissions diverge at batch_size=" << batch_size << "\n-- scalar:\n"
+       << scalar.emissions << "-- batched:\n" << batched.emissions;
+  }
+  if (scalar.tuples_in != batched.tuples_in) {
+    os << "tuples_in: scalar=" << scalar.tuples_in
+       << " batched=" << batched.tuples_in << "\n";
+  }
+  if (scalar.tuples_out != batched.tuples_out) {
+    os << "tuples_out: scalar=" << scalar.tuples_out
+       << " batched=" << batched.tuples_out << "\n";
+  }
+  if (scalar.first_error != batched.first_error) {
+    os << "first error: scalar='" << scalar.first_error << "' batched='"
+       << batched.first_error << "'\n";
+  }
+  return os.str();
+}
+
+/// Seeded random (A, B) stream with seq numbers 1..n, millisecond
+/// timestamps, and a trace id on every third tuple (exercises the
+/// BatchEmitter seq/trace stamping against CountingEmitter's).
+std::vector<Tuple> BatchStream(uint64_t seed, int n, int64_t a_range,
+                               int64_t b_lo, int64_t b_hi) {
+  Rng rng = MakeTestRng(seed);
+  SchemaPtr schema = SchemaAB();
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < n; ++i) {
+    Tuple t = MakeTuple(schema, {Value(rng.UniformInt(0, a_range)),
+                                 Value(rng.UniformInt(b_lo, b_hi))});
+    t.set_seq(static_cast<SeqNo>(i + 1));
+    t.set_timestamp(SimTime::Millis(i + 1));
+    if (i % 3 == 0) t.set_trace_id(static_cast<uint64_t>(1000 + i));
+    tuples.push_back(std::move(t));
+  }
+  return tuples;
+}
+
+struct BatchOpCase {
+  const char* name;
+  uint64_t seed;
+  int n;
+};
+
+/// Every unary operator kind under one sweep. Batch sizes cover the
+/// degenerate (1), small primes that never divide the stream (2, 7 — odd
+/// tails), and the bench's wide setting (64, larger than most streams).
+class BatchOracleTest : public ::testing::TestWithParam<BatchOpCase> {
+ protected:
+  void CheckAllBatchSizes(const OperatorSpec& spec, const SchemaPtr& schema,
+                          const std::vector<Tuple>& tuples, bool drain) {
+    for (int batch_size : {1, 2, 7, 64}) {
+      std::string diff = BatchOracleDiff(spec, schema, tuples, batch_size,
+                                         drain);
+      if (diff.empty()) continue;
+      // Minimize on the first failing batch size: fewer rows, same diff.
+      auto mismatch = [&](const std::vector<Tuple>& input) {
+        return !BatchOracleDiff(spec, schema, input, batch_size, drain)
+                    .empty();
+      };
+      std::vector<Tuple> minimal = ShrinkList<Tuple>(tuples, mismatch);
+      std::ostringstream rows;
+      for (const Tuple& t : minimal) {
+        rows << "(" << GetInt(t, "A") << "," << GetInt(t, "B") << ") ";
+      }
+      FAIL() << spec.ToString() << " batch_size=" << batch_size
+             << " diverges from scalar oracle; minimal failing input: "
+             << rows.str() << "\n" << diff;
+    }
+  }
+};
+
+TEST_P(BatchOracleTest, FilterOneWay) {
+  const auto& c = GetParam();
+  CheckAllBatchSizes(
+      FilterSpec(Predicate::Compare("A", CompareOp::kLt, Value(int64_t{25}))),
+      SchemaAB(), BatchStream(c.seed, c.n, 50, -100, 100), false);
+}
+
+TEST_P(BatchOracleTest, FilterTwoWay) {
+  const auto& c = GetParam();
+  CheckAllBatchSizes(
+      FilterSpec(Predicate::Compare("A", CompareOp::kGe, Value(int64_t{25})),
+                 /*two_way=*/true),
+      SchemaAB(), BatchStream(c.seed + 1, c.n, 50, -100, 100), false);
+}
+
+TEST_P(BatchOracleTest, FilterBooleanTree) {
+  const auto& c = GetParam();
+  // And/Or/Not over compares: exercises the vectorized combine loops.
+  Predicate p = Predicate::Or(
+      Predicate::And(
+          Predicate::Compare("A", CompareOp::kGt, Value(int64_t{10})),
+          Predicate::Compare("B", CompareOp::kLe, Value(int64_t{0}))),
+      Predicate::Not(
+          Predicate::Compare("A", CompareOp::kNe, Value(int64_t{7}))));
+  CheckAllBatchSizes(FilterSpec(std::move(p)), SchemaAB(),
+                     BatchStream(c.seed + 2, c.n, 50, -100, 100), false);
+}
+
+TEST_P(BatchOracleTest, FilterDoubleConstantAgainstIntColumn) {
+  const auto& c = GetParam();
+  // Mixed-numeric compare goes through the AsNumeric column path.
+  CheckAllBatchSizes(
+      FilterSpec(Predicate::Compare("A", CompareOp::kGt, Value(24.5))),
+      SchemaAB(), BatchStream(c.seed + 3, c.n, 50, -100, 100), false);
+}
+
+TEST_P(BatchOracleTest, MapInt64FastPath) {
+  const auto& c = GetParam();
+  // add/sub/mul over int64 fields and constants: the vectorized Expr tree.
+  std::vector<std::pair<std::string, Expr>> proj;
+  proj.emplace_back("S",
+                    Expr::Arith(ArithOp::kAdd, Expr::FieldRef("A"),
+                                Expr::Arith(ArithOp::kMul, Expr::FieldRef("B"),
+                                            Expr::Constant(Value(int64_t{3})))));
+  proj.emplace_back("D", Expr::Arith(ArithOp::kSub, Expr::FieldRef("B"),
+                                     Expr::FieldRef("A")));
+  CheckAllBatchSizes(MapSpec(std::move(proj)), SchemaAB(),
+                     BatchStream(c.seed + 4, c.n, 50, -100, 100), false);
+}
+
+TEST_P(BatchOracleTest, MapDivFallbackWithErrors) {
+  const auto& c = GetParam();
+  // kDiv forces the per-tuple fallback, and B ranges over 0 so some tuples
+  // divide by zero: the batched path must skip exactly those tuples and
+  // surface the same first error the scalar path does.
+  std::vector<std::pair<std::string, Expr>> proj;
+  proj.emplace_back("Q", Expr::Arith(ArithOp::kDiv, Expr::FieldRef("A"),
+                                     Expr::FieldRef("B")));
+  CheckAllBatchSizes(MapSpec(std::move(proj)), SchemaAB(),
+                     BatchStream(c.seed + 5, c.n, 50, 0, 3), false);
+}
+
+TEST_P(BatchOracleTest, TumbleRunBased) {
+  const auto& c = GetParam();
+  CheckAllBatchSizes(TumbleSpec("sum", "B", {"A"}), SchemaAB(),
+                     BatchStream(c.seed + 6, c.n, 4, 0, 99), true);
+}
+
+TEST_P(BatchOracleTest, TumbleEveryN) {
+  const auto& c = GetParam();
+  auto spec = TumbleSpec("cnt", "B", {"A"});
+  spec.SetParam("emit", Value("every_n"));
+  spec.SetParam("n", Value(int64_t{3}));
+  // Small key range: consecutive same-key tuples exercise the group memo.
+  CheckAllBatchSizes(spec, SchemaAB(),
+                     BatchStream(c.seed + 7, c.n, 2, 0, 99), true);
+}
+
+TEST_P(BatchOracleTest, WindowAggXSection) {
+  const auto& c = GetParam();
+  CheckAllBatchSizes(XSectionSpec("max", "B", 4, 2, {"A"}), SchemaAB(),
+                     BatchStream(c.seed + 8, c.n, 3, 0, 50), false);
+}
+
+TEST_P(BatchOracleTest, WindowAggSlide) {
+  const auto& c = GetParam();
+  CheckAllBatchSizes(SlideSpec("avg", "B", 5, {"A"}), SchemaAB(),
+                     BatchStream(c.seed + 9, c.n, 3, 0, 50), false);
+}
+
+TEST_P(BatchOracleTest, WSort) {
+  const auto& c = GetParam();
+  CheckAllBatchSizes(WSortSpec({"A"}, /*timeout_us=*/0, /*max_buffer=*/6),
+                     SchemaAB(), BatchStream(c.seed + 10, c.n, 1000, 0, 9),
+                     true);
+}
+
+TEST_P(BatchOracleTest, Resample) {
+  const auto& c = GetParam();
+  CheckAllBatchSizes(ResampleSpec("B", /*interval_us=*/2000), SchemaAB(),
+                     BatchStream(c.seed + 11, c.n, 50, 0, 100), true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BatchOracleTest,
+                         ::testing::Values(BatchOpCase{"tiny", 70, 1},
+                                           BatchOpCase{"odd", 71, 13},
+                                           BatchOpCase{"mid", 72, 129},
+                                           BatchOpCase{"big", 73, 500}));
+
+// Multi-input boxes never get batch-dequeued by the schedulers, but the
+// base-class ProcessBatch must still be emission-equivalent per input.
+TEST(BatchOracleMultiInputTest, UnionDefaultLoopMatchesScalar) {
+  SchemaPtr schema = SchemaAB();
+  std::vector<Tuple> a = BatchStream(80, 37, 50, 0, 9);
+  std::vector<Tuple> b = BatchStream(81, 37, 50, 0, 9);
+  auto run = [&](bool batched) {
+    auto op = std::move(CreateOperator(UnionSpec(2))).ValueUnsafe();
+    AURORA_CHECK(op->Init({schema, schema}).ok());
+    CollectingEmitter emitter;
+    if (batched) {
+      TupleBatch ba, bb;
+      for (const Tuple& t : a) ba.Push(t, t.timestamp());
+      for (const Tuple& t : b) bb.Push(t, t.timestamp());
+      EXPECT_OK(op->ProcessBatch(0, ba, &emitter));
+      EXPECT_OK(op->ProcessBatch(1, bb, &emitter));
+    } else {
+      for (const Tuple& t : a) {
+        EXPECT_OK(op->Process(0, t, t.timestamp(), &emitter));
+      }
+      for (const Tuple& t : b) {
+        EXPECT_OK(op->Process(1, t, t.timestamp(), &emitter));
+      }
+    }
+    EXPECT_EQ(op->tuples_in(), a.size() + b.size());
+    return CanonicalEmissions(emitter);
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(BatchOracleMultiInputTest, JoinDefaultLoopMatchesScalar) {
+  SchemaPtr left = SchemaAB();
+  SchemaPtr right = Schema::Make(
+      {Field{"K", ValueType::kInt64}, Field{"V", ValueType::kInt64}});
+  std::vector<Tuple> lefts = BatchStream(82, 29, 9, 0, 99);
+  std::vector<Tuple> rights;
+  {
+    Rng rng = MakeTestRng(83);
+    for (int i = 0; i < 29; ++i) {
+      Tuple t = MakeTuple(right, {Value(rng.UniformInt(0, 9)), Value(i)});
+      t.set_timestamp(SimTime::Millis(1));
+      rights.push_back(std::move(t));
+    }
+  }
+  for (Tuple& t : lefts) t.set_timestamp(SimTime::Millis(1));
+  auto run = [&](bool batched) {
+    auto op =
+        std::move(CreateOperator(JoinSpec("A", "K", 1'000'000))).ValueUnsafe();
+    AURORA_CHECK(op->Init({left, right}).ok());
+    CollectingEmitter emitter;
+    if (batched) {
+      TupleBatch bl, br;
+      for (const Tuple& t : lefts) bl.Push(t, t.timestamp());
+      for (const Tuple& t : rights) br.Push(t, t.timestamp());
+      EXPECT_OK(op->ProcessBatch(0, bl, &emitter));
+      EXPECT_OK(op->ProcessBatch(1, br, &emitter));
+    } else {
+      for (const Tuple& t : lefts) {
+        EXPECT_OK(op->Process(0, t, t.timestamp(), &emitter));
+      }
+      for (const Tuple& t : rights) {
+        EXPECT_OK(op->Process(1, t, t.timestamp(), &emitter));
+      }
+    }
+    return CanonicalEmissions(emitter);
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+// Degenerate shapes the schedulers can produce: an empty batch (queue
+// drained by a race in the threaded engine) must be a no-op, and a
+// batch of one must equal a single Process call.
+TEST(BatchOracleEdgeTest, EmptyBatchIsANoOp) {
+  auto op = std::move(CreateOperator(TumbleSpec("sum", "B", {"A"})))
+                .ValueUnsafe();
+  ASSERT_OK(op->Init({SchemaAB()}));
+  CollectingEmitter emitter;
+  TupleBatch batch;
+  ASSERT_OK(op->ProcessBatch(0, batch, &emitter));
+  EXPECT_TRUE(emitter.emissions().empty());
+  EXPECT_EQ(op->tuples_in(), 0u);
+  EXPECT_EQ(op->tuples_out(), 0u);
+}
+
+TEST(BatchOracleEdgeTest, BatchOfOneEqualsScalarCall) {
+  std::vector<Tuple> one = BatchStream(90, 1, 50, 0, 9);
+  std::string diff = BatchOracleDiff(
+      FilterSpec(Predicate::Compare("A", CompareOp::kGe, Value(int64_t{0}))),
+      SchemaAB(), one, /*batch_size=*/1, false);
+  EXPECT_TRUE(diff.empty()) << diff;
+}
+
+TEST(BatchOracleEdgeTest, BadInputIndexRejectedWithoutSideEffects) {
+  auto op = std::move(CreateOperator(FilterSpec(Predicate::True())))
+                .ValueUnsafe();
+  ASSERT_OK(op->Init({SchemaAB()}));
+  CollectingEmitter emitter;
+  TupleBatch batch;
+  batch.Push(BatchStream(91, 1, 50, 0, 9)[0], SimTime::Millis(1));
+  EXPECT_FALSE(op->ProcessBatch(1, batch, &emitter).ok());
+  EXPECT_TRUE(emitter.emissions().empty());
+  EXPECT_EQ(op->tuples_in(), 0u);
+}
+
+// A batch whose tuples span two schemas must not take any columnar fast
+// path (uniform_schema() is false); the per-tuple fallback keeps the
+// filter correct for the rows that do carry the bound field.
+TEST(BatchOracleEdgeTest, MixedSchemaBatchFallsBackPerTuple) {
+  SchemaPtr ab = SchemaAB();
+  std::vector<Tuple> tuples = BatchStream(92, 16, 50, 0, 9);
+  TupleBatch batch;
+  for (const Tuple& t : tuples) batch.Push(t, t.timestamp());
+  EXPECT_TRUE(batch.uniform_schema());
+  // Same fields, distinct Schema instance: pointer-uniformity breaks.
+  SchemaPtr ab2 = Schema::Make({Field{"A", ValueType::kInt64},
+                                Field{"B", ValueType::kInt64}});
+  Tuple odd = MakeTuple(ab2, {Value(int64_t{1}), Value(int64_t{2})});
+  odd.set_timestamp(SimTime::Millis(99));
+  batch.Push(odd, odd.timestamp());
+  EXPECT_FALSE(batch.uniform_schema());
+  EXPECT_EQ(batch.I64Column(0), nullptr);
+
+  auto op = std::move(CreateOperator(FilterSpec(Predicate::Compare(
+                          "A", CompareOp::kLt, Value(int64_t{25})))))
+                .ValueUnsafe();
+  ASSERT_OK(op->Init({ab}));
+  CollectingEmitter emitter;
+  ASSERT_OK(op->ProcessBatch(0, batch, &emitter));
+  size_t want = 0;
+  for (const Tuple& t : tuples) {
+    if (t.value(0).AsInt() < 25) ++want;
+  }
+  if (odd.value(0).AsInt() < 25) ++want;
+  EXPECT_EQ(emitter.emissions().size(), want);
+}
+
 // The minimizer itself: a failing predicate defined by containing a magic
 // value must shrink to exactly that one element.
 TEST(ShrinkListTest, MinimizesToSingleCulprit) {

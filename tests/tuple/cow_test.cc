@@ -8,6 +8,7 @@
 #include "engine/aurora_engine.h"
 #include "tests/test_util.h"
 #include "tuple/tuple.h"
+#include "tuple/tuple_batch.h"
 
 namespace aurora {
 namespace {
@@ -152,6 +153,115 @@ TEST(CowTupleTest, EnginePassThroughSharesBodyWithInput) {
   ASSERT_EQ(collected.size(), 1u);
   EXPECT_TRUE(collected[0].SharesBodyWith(pushed));
   EXPECT_EQ(collected[0].trace_id(), 1234u);
+  EXPECT_TRUE(collected[0].ValuesEqual(pushed));
+}
+
+// ---- COW under the batched (ProcessBatch) path ---------------------------
+
+// Tuples pushed into a TupleBatch alias the caller's bodies, and building a
+// columnar view reads values without detaching anything.
+TEST(CowBatchTest, BatchTuplesAliasAndColumnBuildDoesNotDetach) {
+  SchemaPtr ab = testing_util::SchemaAB();
+  Tuple a = MakeTuple(ab, {Value(int64_t{1}), Value(int64_t{2})});
+  Tuple b = MakeTuple(ab, {Value(int64_t{3}), Value(int64_t{4})});
+  TupleBatch batch;
+  batch.Push(a, SimTime::Millis(1));
+  batch.Push(b, SimTime::Millis(2));
+  EXPECT_TRUE(batch.tuple(0).SharesBodyWith(a));
+  EXPECT_TRUE(batch.tuple(1).SharesBodyWith(b));
+  const int64_t* col = batch.I64Column(0);
+  ASSERT_NE(col, nullptr);
+  EXPECT_EQ(col[0], 1);
+  EXPECT_EQ(col[1], 3);
+  // The columnar read is non-mutating: bodies still shared afterwards.
+  EXPECT_TRUE(batch.tuple(0).SharesBodyWith(a));
+  EXPECT_TRUE(batch.tuple(1).SharesBodyWith(b));
+}
+
+// Detaching one tuple's body mid-batch (an operator mutating its private
+// copy) must not disturb the other handles: SharesBodyWith flips only for
+// the detached pair, and ValuesEqual falls back from the shared-body
+// short-circuit to a real element-wise compare.
+TEST(CowBatchTest, MidBatchDetachIsIsolatedAndEqualityStillHolds) {
+  SchemaPtr ab = testing_util::SchemaAB();
+  Tuple a = MakeTuple(ab, {Value(int64_t{1}), Value(int64_t{2})});
+  Tuple b = MakeTuple(ab, {Value(int64_t{3}), Value(int64_t{4})});
+  TupleBatch batch;
+  batch.Push(a, SimTime::Millis(1));
+  batch.Push(b, SimTime::Millis(2));
+  // Write-back through the batch detaches that slot's body only.
+  batch.tuple(0).SetValue(1, Value(int64_t{2}));  // same content, new body
+  EXPECT_FALSE(batch.tuple(0).SharesBodyWith(a));
+  EXPECT_TRUE(batch.tuple(1).SharesBodyWith(b));
+  // No shared body to short-circuit on; the element-wise path must agree.
+  EXPECT_TRUE(batch.tuple(0).ValuesEqual(a));
+  batch.tuple(0).SetValue(1, Value(int64_t{99}));
+  EXPECT_FALSE(batch.tuple(0).ValuesEqual(a));
+  EXPECT_EQ(a.value(1).AsInt(), 2);  // original handle untouched
+}
+
+// Clear() recycles the scratch (capacity kept) but never leaks state: a
+// column built for one generation of tuples must be rebuilt for the next,
+// and schema-uniformity is re-derived from scratch.
+TEST(CowBatchTest, ScratchReuseAcrossClearRebuildsColumns) {
+  SchemaPtr ab = testing_util::SchemaAB();
+  TupleBatch batch;
+  batch.Push(MakeTuple(ab, {Value(int64_t{10}), Value(int64_t{0})}),
+             SimTime::Millis(1));
+  const int64_t* col = batch.I64Column(0);
+  ASSERT_NE(col, nullptr);
+  EXPECT_EQ(col[0], 10);
+
+  batch.Clear();
+  EXPECT_TRUE(batch.empty());
+  EXPECT_TRUE(batch.uniform_schema());
+  batch.Push(MakeTuple(ab, {Value(int64_t{20}), Value(int64_t{0})}),
+             SimTime::Millis(2));
+  batch.Push(MakeTuple(ab, {Value(int64_t{30}), Value(int64_t{0})}),
+             SimTime::Millis(3));
+  col = batch.I64Column(0);
+  ASSERT_NE(col, nullptr);
+  EXPECT_EQ(col[0], 20);
+  EXPECT_EQ(col[1], 30);
+
+  // A generation with a string where int64 was expected invalidates the
+  // cached "column 0 is int64" verdict once cleared and refilled.
+  batch.Clear();
+  SchemaPtr abs = SchemaABS();
+  batch.Push(T(1, 2, "not-an-int"), SimTime::Millis(4));
+  EXPECT_EQ(batch.I64Column(2), nullptr);  // S column is a string
+  const int64_t* a_col = batch.I64Column(0);
+  ASSERT_NE(a_col, nullptr);
+  EXPECT_EQ(a_col[0], 1);
+}
+
+// The batched filter path is still zero-copy end to end: with batch_size
+// > 1 a pass-through tuple reaches the output callback aliasing the pushed
+// body, exactly like the scalar path above.
+TEST(CowBatchTest, BatchedEnginePassThroughSharesBodyWithInput) {
+  EngineOptions eopts;
+  eopts.batch_size = 8;
+  AuroraEngine engine(eopts);
+  PortId in = *engine.AddInput("in", SchemaABS());
+  PortId out = *engine.AddOutput("out");
+  BoxId f = *engine.AddBox(FilterSpec(Predicate::True()));
+  ASSERT_OK(engine.Connect(Endpoint::InputPort(in), Endpoint::BoxPort(f, 0))
+                .status());
+  ASSERT_OK(engine.Connect(Endpoint::BoxPort(f, 0), Endpoint::OutputPort(out))
+                .status());
+  ASSERT_OK(engine.InitializeBoxes());
+  std::vector<Tuple> collected;
+  engine.SetOutputCallback(out, [&](const Tuple& t, SimTime) {
+    collected.push_back(t);
+  });
+
+  Tuple pushed = T(3, 4, "batched-through");
+  pushed.set_trace_id(4321);
+  ASSERT_OK(engine.PushInput(in, pushed, SimTime::Millis(1)));
+  ASSERT_OK(engine.RunUntilQuiescent(SimTime::Millis(1)));
+  ASSERT_EQ(collected.size(), 1u);
+  EXPECT_TRUE(collected[0].SharesBodyWith(pushed));
+  EXPECT_EQ(collected[0].trace_id(), 4321u);
   EXPECT_TRUE(collected[0].ValuesEqual(pushed));
 }
 
