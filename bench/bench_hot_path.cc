@@ -218,8 +218,10 @@ BENCHMARK(BM_HotPath)
 
 // The batch_size axis: the same chain with the engine's ProcessBatch path
 // at 1 (scalar baseline), 8, and 64 tuples per activation. Narrow numeric
-// configs are where batching pays (vectorized predicate/expr evaluation);
-// the string config measures the fallback tax when no column qualifies.
+// configs are where batching pays most (vectorized predicate/expr
+// evaluation plus chunked arc enqueues); the string configs measure the
+// StrColumn + identity-projection path, which keeps wide string schemas on
+// the batched path instead of falling back to scalar evaluation.
 void BM_HotPathBatched(benchmark::State& state) {
   RunHotPath(state, static_cast<int>(state.range(0)), state.range(1) != 0,
              static_cast<int>(state.range(2)),
@@ -236,6 +238,9 @@ BENCHMARK(BM_HotPathBatched)
     ->Args({16, 0, 1, 1})
     ->Args({16, 0, 1, 8})
     ->Args({16, 0, 1, 64})
+    ->Args({16, 1, 1, 1})
+    ->Args({16, 1, 1, 8})
+    ->Args({16, 1, 1, 64})
     ->Args({16, 1, 4, 1})
     ->Args({16, 1, 4, 8})
     ->Args({16, 1, 4, 64});

@@ -6,6 +6,14 @@
 // every worker count serializes onto one CPU — read the `cores` field of
 // BENCH_threaded.json before comparing rows). Writes BENCH_threaded.json
 // with tuples/sec, ns/tuple, and the speedup over the 1-worker row.
+//
+// The batched-emission sweep (BM_ThreadedBatched) runs the same network
+// across workers x batch_size x train_size (the activation/emission chunk):
+// batch_size > 1 routes single-input boxes through ProcessBatch with
+// chunked downstream emission (ring multi-push), train_size bounds how many
+// tuples one activation consumes before re-queuing. Writes
+// BENCH_threaded_batched.json with the speedup of each batched row over the
+// scalar (batch=1) row at the same workers/chunk point.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -43,11 +51,12 @@ struct WideEngine {
   PortId in;
   std::vector<uint64_t> delivered;
 
-  WideEngine(int workers, int chains)
+  WideEngine(int workers, int chains, int batch_size = 1, int train_size = 64)
       : engine([&] {
           ThreadedEngineOptions opts;
           opts.workers = workers;
-          opts.train_size = 64;
+          opts.train_size = train_size;
+          opts.batch_size = batch_size;
           return opts;
         }()),
         in(-1),
@@ -137,6 +146,125 @@ BENCHMARK(BM_ThreadedWide)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
 
+struct ThreadedBatchedRow {
+  std::string name;
+  int workers = 0;
+  int batch = 0;
+  int chunk = 0;  // ThreadedEngineOptions::train_size
+  int64_t tuples = 0;
+  uint64_t steals = 0;
+  uint64_t ring_full = 0;
+  TupleThroughput throughput;
+};
+
+std::vector<ThreadedBatchedRow>& BatchedRows() {
+  static std::vector<ThreadedBatchedRow> rows;
+  return rows;
+}
+
+// workers x batch x chunk over the same 8-chain wide network. Also dumps an
+// obs_threaded_<name>.json metrics snapshot per config so aurora_inspect
+// --check can reconcile the engine.threaded.batch.* chunk accounting against
+// per-engine tuple totals offline.
+void BM_ThreadedBatched(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  const int batch = static_cast<int>(state.range(1));
+  const int chunk = static_cast<int>(state.range(2));
+  const int chains = 8;
+  const int64_t tuples = GlobalIters() == 1 ? 20000 : 200000;
+  SchemaPtr schema = SchemaAB();
+  std::vector<Tuple> pool;
+  for (int i = 0; i < 64; ++i) {
+    pool.push_back(
+        MakeTuple(schema, {Value(int64_t{i % 8}), Value(int64_t{i % 10})}));
+  }
+  std::string name = "batched/w" + std::to_string(workers) + "/b" +
+                     std::to_string(batch) + "/c" + std::to_string(chunk);
+  double seconds = 0;
+  uint64_t steals = 0, ring_full = 0;
+  for (auto _ : state) {
+    ResetObservability();
+    WideEngine wide(workers, chains, batch, chunk);
+    AURORA_CHECK(wide.engine.Start().ok());
+    auto start = std::chrono::steady_clock::now();
+    for (int64_t i = 0; i < tuples; ++i) {
+      Tuple t = pool[static_cast<size_t>(i % 64)];
+      t.set_timestamp(SimTime::Micros(i + 1));
+      AURORA_CHECK(wide.engine.PushInput(wide.in, std::move(t),
+                                         SimTime()).ok());
+    }
+    wide.engine.WaitQuiescent();
+    seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    steals = wide.engine.steals();
+    ring_full = wide.engine.ring_full_events();
+    AURORA_CHECK(wide.engine.Stop().ok());
+    DumpMetricsSnapshot("threaded_" + name);
+  }
+  int64_t total = tuples * static_cast<int64_t>(state.iterations());
+  TupleThroughput t = ReportTupleThroughput(state, total, seconds);
+  state.counters["steals"] = static_cast<double>(steals);
+  ThreadedBatchedRow row;
+  row.name = name;
+  row.workers = workers;
+  row.batch = batch;
+  row.chunk = chunk;
+  row.tuples = total;
+  row.steals = steals;
+  row.ring_full = ring_full;
+  row.throughput = t;
+  BatchedRows().push_back(row);
+}
+
+BENCHMARK(BM_ThreadedBatched)
+    ->ArgNames({"workers", "batch", "chunk"})
+    ->Args({1, 1, 64})
+    ->Args({1, 8, 64})
+    ->Args({1, 64, 64})
+    ->Args({4, 1, 64})
+    ->Args({4, 8, 64})
+    ->Args({4, 64, 64})
+    ->Args({4, 1, 16})
+    ->Args({4, 64, 16})
+    ->Args({4, 1, 256})
+    ->Args({4, 64, 256})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+void DumpThreadedBatchedJson() {
+  // Scalar baseline per (workers, chunk) point, so each batched row reports
+  // the speedup attributable to batching alone.
+  const std::vector<ThreadedBatchedRow>& rows = BatchedRows();
+  auto scalar_base = [&rows](int workers, int chunk) {
+    for (const ThreadedBatchedRow& r : rows) {
+      if (r.batch == 1 && r.workers == workers && r.chunk == chunk) {
+        return r.throughput.tuples_per_sec;
+      }
+    }
+    return 0.0;
+  };
+  std::ofstream out("BENCH_threaded_batched.json");
+  out << "{\n  \"bench\": \"threaded_batched\",\n  \"cores\": "
+      << std::thread::hardware_concurrency() << ",\n  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ThreadedBatchedRow& r = rows[i];
+    double base = scalar_base(r.workers, r.chunk);
+    double speedup = base > 0 ? r.throughput.tuples_per_sec / base : 0;
+    out << "    {\"name\": \"" << r.name << "\", \"workers\": " << r.workers
+        << ", \"batch\": " << r.batch << ", \"chunk\": " << r.chunk
+        << ", \"tuples\": " << r.tuples
+        << ", \"tuples_per_sec\": " << r.throughput.tuples_per_sec
+        << ", \"ns_per_tuple\": " << r.throughput.ns_per_tuple
+        << ", \"steals\": " << r.steals << ", \"ring_full\": " << r.ring_full
+        << ", \"speedup_vs_scalar\": " << speedup << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
 void DumpThreadedJson() {
   double base = 0;
   for (const ThreadedRow& r : Rows()) {
@@ -176,6 +304,7 @@ int main(int argc, char** argv) {
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   ::aurora::bench::DumpThreadedJson();
+  ::aurora::bench::DumpThreadedBatchedJson();
   ::benchmark::Shutdown();
   return 0;
 }

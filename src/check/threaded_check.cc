@@ -1,5 +1,6 @@
 #include "check/threaded_check.h"
 
+#include <cstdio>
 #include <map>
 #include <sstream>
 
@@ -19,6 +20,21 @@ std::string CanonicalRow(const Tuple& t) {
     row += t.value(i).ToString();
   }
   return row;
+}
+
+/// FNV-1a over all rows, as runner.cc's RunReport digest — makes the
+/// `output` lines content-sensitive, not just count-sensitive.
+uint64_t HashRows(const std::vector<std::string>& rows) {
+  uint64_t h = 1469598103934665603ull;
+  for (const std::string& row : rows) {
+    for (char c : row) {
+      h ^= static_cast<uint8_t>(c);
+      h *= 1099511628211ull;
+    }
+    h ^= '\n';
+    h *= 1099511628211ull;
+  }
+  return h;
 }
 
 /// DeployQueryLocal for the threaded runtime: same progressive wiring (an
@@ -77,12 +93,20 @@ Status DeployQueryThreaded(ThreadedEngine* engine, const GlobalQuery& query) {
 }  // namespace
 
 std::string ThreadedCheckReport::Summary() const {
+  // The `workers=` line carries scheduling-dependent stats (activations
+  // shrink under batching; steals vary run to run) — digest consumers that
+  // compare across configurations filter it and diff the content-hashed
+  // `output` lines.
   std::ostringstream os;
   os << "workers=" << workers << " injected=" << injected
      << " activations=" << activations << " steals=" << steals
      << " ring_full=" << ring_full_events << "\n";
   for (const auto& [name, rows] : outputs) {
-    os << "output " << name << " rows=" << rows.size() << "\n";
+    char hex[32];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(HashRows(rows)));
+    os << "output " << name << " rows=" << rows.size() << " hash=" << hex
+       << "\n";
   }
   os << "violations=" << violations.size() << "\n";
   for (const std::string& v : violations) {

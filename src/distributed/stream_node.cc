@@ -75,14 +75,9 @@ Status StreamNode::RecoverDurableState() {
     // Replay the restored log downstream with the original sequence
     // numbers; the receiver's dedup watermark suppresses what it already
     // processed, so replay is idempotent.
-    Message msg;
-    msg.kind = "tuples";
-    msg.stream = binding.stream;
-    msg.tuple_count = static_cast<uint32_t>(replay.size());
-    SerializeTuplesInto(replay, &encode_scratch_);
-    msg.payload = encode_scratch_;
     m_halog_replayed_->Add(replay.size());
-    Status st = TransportTo(binding.dst)->Send(binding.stream, std::move(msg));
+    Status st = TransportTo(binding.dst)
+                    ->Send(binding.stream, replay.data(), replay.size());
     if (!st.ok()) {
       AURORA_LOG(Error) << "node " << id_
                         << ": halog replay send failed: " << st.ToString();
@@ -491,17 +486,13 @@ void StreamNode::FlushPending() {
           }
         }
       }
-      Message msg;
-      msg.kind = "tuples";
-      msg.stream = binding.stream;
-      msg.tuple_count = static_cast<uint32_t>(batch.size());
-      SerializeTuplesInto(batch, &encode_scratch_);
-      msg.payload = encode_scratch_;  // exact-size copy; scratch keeps capacity
       binding.tuples_sent += batch.size();
       binding.messages_sent++;
       m_tuples_sent_->Add(batch.size());
       m_msgs_sent_->Add();
-      Status st = tx->Send(binding.stream, std::move(msg));
+      // Span Send: the whole chunk serializes into one train sub-message
+      // with a single flow/queue update.
+      Status st = tx->Send(binding.stream, batch.data(), batch.size());
       if (!st.ok()) {
         AURORA_LOG(Error) << "node " << id_
                           << ": send failed: " << st.ToString();

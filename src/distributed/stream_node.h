@@ -284,9 +284,8 @@ class StreamNode {
   /// overtaking reorder) stale tuples are suppressed, which keeps the §6
   /// recovery invariant "only in-process tuples are redone" intact.
   std::map<std::string, SeqNo> stream_dedup_watermark_;
-  /// Per-node scratch buffers recycled across remote batches: encode once
-  /// warm never regrows, decode reuses the tuple vector's storage.
-  std::vector<uint8_t> encode_scratch_;
+  /// Per-node decode scratch recycled across remote batches (the encode
+  /// side now lives in Transport's span Send).
   std::vector<Tuple> decode_scratch_;
   DeliveryProbe delivery_probe_;
   TieredStore* store_ = nullptr;

@@ -20,6 +20,12 @@ AuroraEngine::AuroraEngine(EngineOptions opts)
   m_box_exec_us_ = reg.GetHistogram("engine.box_exec_us");
   m_queue_wait_ms_ = reg.GetHistogram("engine.queue_wait_ms");
   m_queue_depth_ = reg.GetGauge("engine.queue_depth");
+  m_batch_chunks_ = reg.GetCounter("engine.batch.emitted_chunks");
+  m_batch_chunk_tuples_ = reg.GetCounter("engine.batch.emitted_tuples");
+  m_batch_fanout_tuples_ = reg.GetCounter("engine.batch.fanout_tuples");
+  m_batch_chunk_enqueued_ = reg.GetCounter("engine.batch.chunk_enqueued");
+  m_batch_chunk_delivered_ = reg.GetCounter("engine.batch.chunk_delivered");
+  m_batch_chunk_held_ = reg.GetCounter("engine.batch.chunk_held");
 }
 
 // ---------------------------------------------------------------------------
@@ -647,6 +653,21 @@ class AuroraEngine::RoutingEmitter : public Emitter {
     engine_->Route(Endpoint::BoxPort(box_, output), t, now_, touched_);
   }
 
+  /// Chunked sink for the batched path: one routing pass per staged run of
+  /// same-output emissions. Seq/trace stamping already happened inside the
+  /// BatchEmitter, so the chunk is routed as-is (trace_id_ is unset on the
+  /// batched path; the loop below mirrors Emit for completeness).
+  void EmitChunk(int output, Tuple* tuples, size_t n) override {
+    if (n == 0) return;
+    if (trace_id_ != 0) {
+      for (size_t i = 0; i < n; ++i) {
+        if (tuples[i].trace_id() == 0) tuples[i].set_trace_id(trace_id_);
+      }
+    }
+    engine_->RouteChunk(Endpoint::BoxPort(box_, output), tuples, n, now_,
+                        touched_);
+  }
+
  private:
   AuroraEngine* engine_;
   BoxId box_;
@@ -677,6 +698,41 @@ void AuroraEngine::Route(const Endpoint& from, const Tuple& t, SimTime now,
               touched->end()) {
         touched->push_back(a.to.id);
       }
+    }
+  }
+}
+
+void AuroraEngine::RouteChunk(const Endpoint& from, Tuple* tuples, size_t n,
+                              SimTime now, std::vector<BoxId>* touched) {
+  m_batch_chunks_->Add();
+  m_batch_chunk_tuples_->Add(static_cast<uint64_t>(n));
+  std::vector<ArcId> fan = ArcsFrom(from);
+  for (size_t a_idx = 0; a_idx < fan.size(); ++a_idx) {
+    ArcRt& a = arcs_[fan[a_idx]];
+    const bool last_arc = a_idx + 1 == fan.size();
+    m_batch_fanout_tuples_->Add(static_cast<uint64_t>(n));
+    if (a.cp) {
+      // Subscriber callbacks are application code, free to use Get(name).
+      TupleHotPathSection::Exemption allow_get;
+      for (size_t i = 0; i < n; ++i) a.cp->Record(tuples[i], now);
+    }
+    if (a.choked) {
+      m_batch_chunk_held_->Add(static_cast<uint64_t>(n));
+      const int64_t us = now.micros();
+      for (size_t i = 0; i < n; ++i) a.hold.emplace_back(tuples[i], us);
+      continue;
+    }
+    if (a.to.kind == Endpoint::Kind::kOutputPort) {
+      m_batch_chunk_delivered_->Add(static_cast<uint64_t>(n));
+      for (size_t i = 0; i < n; ++i) DeliverToOutput(a.to.id, tuples[i], now);
+      continue;
+    }
+    m_batch_chunk_enqueued_->Add(static_cast<uint64_t>(n));
+    ArcEnqueueChunk(a, tuples, n, now.micros(), last_arc);
+    if (touched != nullptr &&
+        std::find(touched->begin(), touched->end(), a.to.id) ==
+            touched->end()) {
+      touched->push_back(a.to.id);
     }
   }
 }
@@ -813,6 +869,22 @@ void AuroraEngine::ArcEnqueue(ArcRt& arc, Tuple t, int64_t enqueue_us) {
   arc.queue.Push(std::move(t));
   arc.enqueue_us.push_back(enqueue_us);
   if (arc.to.kind == Endpoint::Kind::kBox) NoteBoxQueued(arc.to.id, +1);
+}
+
+void AuroraEngine::ArcEnqueueChunk(ArcRt& arc, Tuple* tuples, size_t n,
+                                   int64_t enqueue_us, bool may_move) {
+  for (size_t i = 0; i < n; ++i) {
+    if (may_move) {
+      arc.queue.Push(std::move(tuples[i]));
+    } else {
+      Tuple copy = tuples[i];
+      arc.queue.Push(std::move(copy));
+    }
+    arc.enqueue_us.push_back(enqueue_us);
+  }
+  if (arc.to.kind == Endpoint::Kind::kBox) {
+    NoteBoxQueued(arc.to.id, static_cast<int>(n));
+  }
 }
 
 Tuple AuroraEngine::ArcDequeue(ArcRt& arc) {

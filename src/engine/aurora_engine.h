@@ -357,6 +357,16 @@ class AuroraEngine {
   /// Delivers one emitted tuple from `from` to all its arcs.
   void Route(const Endpoint& from, const Tuple& t, SimTime now,
              std::vector<BoxId>* touched);
+  /// Chunked Route: `n` tuples emitted to one endpoint in emission order
+  /// (the flush of a BatchEmitter's staged run). Per destination arc the
+  /// whole chunk is applied at once — one queue-append run, one
+  /// NoteBoxQueued delta, one touched-dedup probe — instead of per tuple.
+  /// Arc-major iteration preserves everything the gates observe: per-arc
+  /// FIFO, per-output delivery order, and per-CP record order all match the
+  /// tuple-major scalar loop because each is per-destination state.
+  /// Consumes (moves from) the span.
+  void RouteChunk(const Endpoint& from, Tuple* tuples, size_t n, SimTime now,
+                  std::vector<BoxId>* touched);
   void DeliverToOutput(PortId port, const Tuple& t, SimTime now);
   Result<BoxId> PickBox(SimTime now);
   /// Activates one box: consumes up to train_size tuples. Returns cost.
@@ -374,6 +384,11 @@ class AuroraEngine {
   /// All consumable-queue mutations funnel through these two so per-box
   /// `queued` counters, ready_count_, and the ready heap stay exact.
   void ArcEnqueue(ArcRt& arc, Tuple t, int64_t enqueue_us);
+  /// Bulk ArcEnqueue: appends `n` tuples with one scheduler delta. With
+  /// `may_move` the span's handles are moved (last arc of a fan-out);
+  /// otherwise each arc takes its own cheap COW handle copy.
+  void ArcEnqueueChunk(ArcRt& arc, Tuple* tuples, size_t n,
+                       int64_t enqueue_us, bool may_move);
   Tuple ArcDequeue(ArcRt& arc);
   /// Applies a queue-size delta to a box's scheduler accounting.
   void NoteBoxQueued(BoxId box, int delta);
@@ -432,6 +447,15 @@ class AuroraEngine {
   LatencyHistogram* m_box_exec_us_;
   LatencyHistogram* m_queue_wait_ms_;
   Gauge* m_queue_depth_;
+  // Chunked-emission accounting (see aurora_inspect --check): emitter-side
+  // chunk/tuple counts, the per-arc fan-out total, and sink-side counts by
+  // destination kind. Conservation: enqueued + delivered + held == fanout.
+  Counter* m_batch_chunks_;
+  Counter* m_batch_chunk_tuples_;
+  Counter* m_batch_fanout_tuples_;
+  Counter* m_batch_chunk_enqueued_;
+  Counter* m_batch_chunk_delivered_;
+  Counter* m_batch_chunk_held_;
   Status deferred_error_;  // first error raised inside an emitter callback
 };
 

@@ -24,6 +24,11 @@ ThreadedEngine::ThreadedEngine(ThreadedEngineOptions opts) : opts_(opts) {
   m_ring_full_ = reg.GetCounter("engine.threaded.ring_full_events");
   m_workers_ = reg.GetGauge("engine.threaded.workers");
   m_steals_ = reg.GetGauge("engine.threaded.steals");
+  m_batch_chunks_ = reg.GetCounter("engine.threaded.batch.emitted_chunks");
+  m_batch_chunk_tuples_ =
+      reg.GetCounter("engine.threaded.batch.emitted_tuples");
+  m_multipush_publishes_ =
+      reg.GetCounter("engine.threaded.batch.multipush_publishes");
 }
 
 ThreadedEngine::~ThreadedEngine() {
@@ -463,11 +468,46 @@ class ThreadedEngine::RoutingEmitter : public Emitter {
     }
   }
 
+  /// Chunked sink for the batched path: each box-bound branch takes the
+  /// whole span through the ring's multi-push (one release store per
+  /// published run); output branches stay per-tuple (the callback contract
+  /// is per tuple). Per-arc FIFO is unchanged — the span is already in
+  /// emission order and each arc receives it in order.
+  void EmitChunk(int output, Tuple* tuples, size_t n) override {
+    if (n == 0) return;
+    BoxRt& b = engine_->boxes_[box_];
+    AURORA_CHECK(output >= 0 && output < static_cast<int>(b.out_arcs.size()))
+        << "emit on unknown box output " << output;
+    const std::vector<ArcId>& fan = b.out_arcs[output];
+    if (fan.empty()) return;
+    engine_->m_batch_chunks_->Add();
+    engine_->m_batch_chunk_tuples_->Add(static_cast<uint64_t>(n));
+    for (size_t a = 0; a < fan.size(); ++a) {
+      const ArcRt& arc = engine_->arcs_[fan[a]];
+      const bool last = a + 1 == fan.size();
+      if (arc.to.is_box()) {
+        if (last) {
+          engine_->EnqueueArcChunk(fan[a], tuples, n, worker_);
+        } else {
+          // COW handle copies for every branch but the last, as Emit does.
+          branch_scratch_.assign(tuples, tuples + n);
+          engine_->EnqueueArcChunk(fan[a], branch_scratch_.data(), n,
+                                   worker_);
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          engine_->DeliverToOutput(arc.to.id, tuples[i], worker_);
+        }
+      }
+    }
+  }
+
  private:
   ThreadedEngine* engine_;
   BoxId box_;
   SimTime now_;
   int worker_;
+  std::vector<Tuple> branch_scratch_;
 };
 
 void ThreadedEngine::RunBoxActivation(BoxId box, int worker) {
@@ -608,6 +648,36 @@ void ThreadedEngine::EnqueueArc(ArcId arc_id, Tuple t, int worker) {
     }
   }
   NotifyReady(dest, worker);
+}
+
+void ThreadedEngine::EnqueueArcChunk(ArcId arc_id, Tuple* tuples, size_t n,
+                                     int worker) {
+  ArcRt& arc = arcs_[arc_id];
+  BoxId dest = arc.to.id;
+  size_t pushed = 0;
+  while (pushed < n) {
+    size_t k = arc.ring->TryPushN(tuples + pushed, n - pushed);
+    if (k > 0) {
+      m_multipush_publishes_->Add();
+      pushed += k;
+      // Notify after every published run, not just the last: if the ring
+      // filled mid-chunk the producer is about to help or yield, and the
+      // consumer must already be queued for the tuples just published.
+      NotifyReady(dest, worker);
+      if (pushed == n) return;
+    }
+    // Ring full mid-chunk: same help-on-full discipline as EnqueueArc,
+    // at chunk granularity. A chunk larger than the ring's capacity makes
+    // progress one capacity-sized run at a time.
+    ring_full_events_.fetch_add(1, std::memory_order_relaxed);
+    m_ring_full_->Add();
+    if (TryClaimForHelp(dest)) {
+      RunBoxActivation(dest, worker);
+      PostRun(dest, worker);
+    } else {
+      std::this_thread::yield();
+    }
+  }
 }
 
 void ThreadedEngine::DeliverToOutput(PortId output, const Tuple& t,

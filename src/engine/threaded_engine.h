@@ -195,6 +195,14 @@ class ThreadedEngine {
   /// then notifies the destination box. `worker` is the calling worker id
   /// (-1 for an external pusher); used as the re-queue preference.
   void EnqueueArc(ArcId arc, Tuple t, int worker);
+  /// Chunked EnqueueArc: multi-pushes the span into the ring (one release
+  /// store per published run), helping the consumer inline whenever the ring
+  /// fills mid-chunk — a chunk larger than the ring degrades to repeated
+  /// partial publishes with help-on-full between them, never a deadlock.
+  /// Every partial publish notifies the destination before the producer
+  /// yields/helps, preserving the "non-empty ring implies notified box"
+  /// invariant the quiescence protocol relies on. Consumes the span.
+  void EnqueueArcChunk(ArcId arc, Tuple* tuples, size_t n, int worker);
   /// Marks the box ready: Idle -> Queued (+submit), Running ->
   /// RunningNotified, no-op otherwise.
   void NotifyReady(BoxId box, int worker);
@@ -253,6 +261,11 @@ class ThreadedEngine {
   Counter* m_ring_full_;
   Gauge* m_workers_;
   Gauge* m_steals_;
+  // Chunked-emission accounting (totals are exact; see docs/THREADING.md on
+  // which threaded metrics are scheduling-dependent — these are not).
+  Counter* m_batch_chunks_;
+  Counter* m_batch_chunk_tuples_;
+  Counter* m_multipush_publishes_;
 };
 
 }  // namespace aurora

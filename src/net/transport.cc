@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "obs/trace.h"
+#include "tuple/serde.h"
 
 namespace aurora {
 
@@ -107,6 +108,16 @@ Status Transport::Send(const std::string& stream, Message msg) {
   peak_queued_payload_ = std::max(peak_queued_payload_, queued_payload_bytes());
   MaybeDispatch();
   return Status::OK();
+}
+
+Status Transport::Send(const std::string& stream, const Tuple* tuples,
+                       size_t n) {
+  Message msg;
+  msg.kind = "tuples";
+  msg.tuple_count = static_cast<uint32_t>(n);
+  SerializeTuplesInto(tuples, n, &encode_scratch_);
+  msg.payload = encode_scratch_;  // exact-size copy; scratch keeps capacity
+  return Send(stream, std::move(msg));
 }
 
 void Transport::GrantCredit(const std::string& stream, uint64_t limit) {

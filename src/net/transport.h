@@ -12,6 +12,8 @@
 
 namespace aurora {
 
+class Tuple;
+
 /// Transport strategies compared in bench_transport (experiment C1, §4.3).
 enum class TransportMode {
   /// One connection per message stream. Models the paper's rejected
@@ -108,6 +110,13 @@ class Transport {
   /// Queues a message on the stream. Delivery order within a stream is
   /// FIFO.
   Status Send(const std::string& stream, Message msg);
+
+  /// Tuple-span Send: serializes `n` tuples into one "tuples" data message
+  /// (tuple_count = n) and queues it with a single flow/queue update, so a
+  /// chunked batch emission becomes one train sub-message directly instead
+  /// of n per-message bookkeeping passes. Byte-equivalent to building the
+  /// message by hand and calling Send(stream, msg).
+  Status Send(const std::string& stream, const Tuple* tuples, size_t n);
 
   /// Handler invoked (in the simulation, at the receiving node's time) for
   /// every delivered message. Trains are unpacked first: one call per
@@ -222,6 +231,9 @@ class Transport {
   size_t peak_queued_payload_ = 0;
   bool wake_armed_ = false;
   SimTime wake_at_{};
+  /// Encode scratch for the tuple-span Send (cleared per call, capacity
+  /// kept warm).
+  std::vector<uint8_t> encode_scratch_;
   // Registry mirrors: per-pair byte/message counters plus the process-wide
   // sender-side queueing-delay histogram and net.flow.* instruments.
   Counter* m_wire_bytes_;

@@ -35,9 +35,23 @@ Status MapOp::ProcessBatchImpl(int input, TupleBatch& batch,
   const size_t nproj = spec_.projections.size();
   col_scratch_.resize(nproj);
   fast_.assign(nproj, 0);
+  ident_.assign(nproj, -1);
+  const bool uniform = batch.uniform_schema() && batch.schema() != nullptr;
   for (size_t j = 0; j < nproj; ++j) {
-    fast_[j] =
-        spec_.projections[j].second.EvalBatch(batch, &col_scratch_[j]) ? 1 : 0;
+    const Expr& expr = spec_.projections[j].second;
+    std::string field;
+    if (uniform && expr.IsFieldRef(&field)) {
+      // Identity projection: copy the field straight out of each tuple
+      // (works for every value type, including strings) instead of
+      // dispatching Eval per tuple. A bound field ref cannot error, so
+      // the scalar error semantics are unchanged.
+      Result<size_t> idx = batch.schema()->IndexOf(field);
+      if (idx.ok()) {
+        ident_[j] = static_cast<int>(idx.ValueUnsafe());
+        continue;
+      }
+    }
+    fast_[j] = expr.EvalBatch(batch, &col_scratch_[j]) ? 1 : 0;
   }
   Status first = Status::OK();
   std::vector<Value> values;
@@ -49,6 +63,10 @@ Status MapOp::ProcessBatchImpl(int input, TupleBatch& batch,
     values.reserve(nproj);
     Status st = Status::OK();
     for (size_t j = 0; j < nproj; ++j) {
+      if (ident_[j] >= 0) {
+        values.push_back(t.value(static_cast<size_t>(ident_[j])));
+        continue;
+      }
       if (fast_[j]) {
         values.push_back(Value(col_scratch_[j][i]));
         continue;

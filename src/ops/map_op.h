@@ -26,11 +26,15 @@ class MapOp : public Operator {
 
  private:
   /// Per-batch scratch: one int64 column per vectorizable projection plus
-  /// a flag vector saying which projections took the columnar path. Member
-  /// to keep capacity warm across activations; a box instance never runs
-  /// two activations concurrently.
+  /// a flag vector saying which projections took the columnar path, and a
+  /// per-projection identity index (>= 0 when the projection is a bare
+  /// field reference — copied straight out of the tuple, any value type
+  /// including strings, no per-tuple Eval dispatch). Member to keep
+  /// capacity warm across activations; a box instance never runs two
+  /// activations concurrently.
   std::vector<std::vector<int64_t>> col_scratch_;
   std::vector<uint8_t> fast_;
+  std::vector<int> ident_;
 };
 
 }  // namespace aurora

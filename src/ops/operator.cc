@@ -69,7 +69,10 @@ Status Operator::ProcessBatch(int input, TupleBatch& batch, Emitter* emitter) {
     return Status::InvalidArgument("bad input index " + std::to_string(input));
   }
   BatchEmitter be(emitter, &tuples_out_);
-  return ProcessBatchImpl(input, batch, &be);
+  be.EnableBuffering(batch.size());
+  Status st = ProcessBatchImpl(input, batch, &be);
+  be.Flush();
+  return st;
 }
 
 Status Operator::ProcessBatchImpl(int input, TupleBatch& batch,

@@ -19,6 +19,17 @@ class Emitter {
  public:
   virtual ~Emitter() = default;
   virtual void Emit(int output, Tuple t) = 0;
+  /// Chunked sink: `n` tuples bound for one output port, in emission order.
+  /// The default unrolls to per-tuple Emit calls, so every emitter is
+  /// chunk-callable; engines override it to enqueue downstream arcs in bulk
+  /// (one scheduler/ring update per chunk instead of per tuple). Tuples are
+  /// consumed (moved-from) on return. Overrides must be
+  /// observation-equivalent to the unrolled loop for everything the
+  /// bit-exactness gates see: per-arc FIFO order, per-output delivery order,
+  /// and per-tuple metadata.
+  virtual void EmitChunk(int output, Tuple* tuples, size_t n) {
+    for (size_t i = 0; i < n; ++i) Emit(output, std::move(tuples[i]));
+  }
 };
 
 /// \brief Base class for all Aurora boxes (paper §2.2).
@@ -98,6 +109,14 @@ class Operator {
   /// propagation): a ProcessBatchImpl override must call SetCurrent(t)
   /// before emitting on behalf of tuple `t`, because the engine cannot know
   /// per-emission provenance mid-batch.
+  ///
+  /// With buffering enabled (ProcessBatch turns it on, sized to the input
+  /// batch) emissions are staged after stamping and handed downstream as
+  /// consecutive same-output runs via Emitter::EmitChunk, so arcs/rings pay
+  /// per-chunk instead of per-tuple. Stamping happens at Emit time — before
+  /// staging — so seq/trace assignment is byte-identical to the unbuffered
+  /// path no matter where chunk boundaries fall; the flush replays emissions
+  /// in their original order.
   class BatchEmitter : public Emitter {
    public:
     BatchEmitter(Emitter* inner, uint64_t* counter)
@@ -106,11 +125,35 @@ class Operator {
       cur_seq_ = t.seq();
       cur_trace_ = t.trace_id();
     }
+    /// Stages up to `cap` emissions before flushing (0 = unbuffered).
+    void EnableBuffering(size_t cap) { cap_ = cap; }
     void Emit(int output, Tuple t) override {
       ++*counter_;
       if (t.seq() == kNoSeqNo) t.set_seq(cur_seq_);
       if (cur_trace_ != 0 && t.trace_id() == 0) t.set_trace_id(cur_trace_);
-      inner_->Emit(output, std::move(t));
+      if (cap_ == 0) {
+        inner_->Emit(output, std::move(t));
+        return;
+      }
+      if (staged_tuples_.size() >= cap_) Flush();
+      staged_outputs_.push_back(output);
+      staged_tuples_.push_back(std::move(t));
+    }
+    /// Replays staged emissions in order, one EmitChunk per consecutive
+    /// same-output run. ProcessBatch calls this before returning so the
+    /// engine observes every emission of the batch once control returns.
+    void Flush() {
+      size_t i = 0;
+      const size_t n = staged_tuples_.size();
+      while (i < n) {
+        size_t j = i + 1;
+        while (j < n && staged_outputs_[j] == staged_outputs_[i]) ++j;
+        inner_->EmitChunk(staged_outputs_[i], staged_tuples_.data() + i,
+                          j - i);
+        i = j;
+      }
+      staged_tuples_.clear();
+      staged_outputs_.clear();
     }
 
    private:
@@ -118,6 +161,9 @@ class Operator {
     uint64_t* counter_;
     SeqNo cur_seq_ = kNoSeqNo;
     uint64_t cur_trace_ = 0;
+    size_t cap_ = 0;
+    std::vector<int> staged_outputs_;
+    std::vector<Tuple> staged_tuples_;
   };
 
  protected:

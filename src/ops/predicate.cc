@@ -1,6 +1,7 @@
 #include "ops/predicate.h"
 
 #include <algorithm>
+#include <string_view>
 
 #include "common/logging.h"
 
@@ -173,12 +174,48 @@ void FillCompareColumn(const ColT* col, CmpT c, size_t n, CompareOp op,
   }
 }
 
+// String-vs-string column compare. string_view::compare has the same sign
+// semantics as the std::string::compare Value::Compare uses for two kString
+// values, and the predicate tests the sign only, so this is bit-equivalent
+// to per-tuple Eval on an all-string column.
+void FillCompareStrColumn(const std::string_view* col, std::string_view c,
+                          size_t n, CompareOp op, std::vector<uint8_t>* out) {
+  auto fill = [&](auto holds) {
+    for (size_t i = 0; i < n; ++i) {
+      (*out)[i] = holds(col[i].compare(c)) ? 1 : 0;
+    }
+  };
+  switch (op) {
+    case CompareOp::kEq:
+      fill([](int x) { return x == 0; });
+      break;
+    case CompareOp::kNe:
+      fill([](int x) { return x != 0; });
+      break;
+    case CompareOp::kLt:
+      fill([](int x) { return x < 0; });
+      break;
+    case CompareOp::kLe:
+      fill([](int x) { return x <= 0; });
+      break;
+    case CompareOp::kGt:
+      fill([](int x) { return x > 0; });
+      break;
+    case CompareOp::kGe:
+      fill([](int x) { return x >= 0; });
+      break;
+  }
+}
+
 }  // namespace
 
 bool Predicate::CompareBatchColumns(TupleBatch& batch,
                                     std::vector<uint8_t>* out) const {
   const ValueType ct = constant_.type();
-  if (ct != ValueType::kInt64 && ct != ValueType::kDouble) return false;
+  if (ct != ValueType::kInt64 && ct != ValueType::kDouble &&
+      ct != ValueType::kString) {
+    return false;
+  }
   if (!batch.uniform_schema() || batch.schema() == nullptr) return false;
   if (batch.schema().get() != bound_schema_.get()) {
     // Same lazy rebind (and same abort on a missing field) as FieldValue.
@@ -186,6 +223,16 @@ bool Predicate::CompareBatchColumns(TupleBatch& batch,
     AURORA_CHECK(bound.ok()) << bound.ToString();
   }
   const size_t n = batch.size();
+  if (ct == ValueType::kString) {
+    // Same-type compares only: a non-string value in the column makes
+    // Value::Compare order by type rank, so mixed columns stay per-tuple.
+    if (const std::string_view* col = batch.StrColumn(bound_index_)) {
+      FillCompareStrColumn(col, std::string_view(constant_.AsString()), n,
+                           op_, out);
+      return true;
+    }
+    return false;
+  }
   if (const int64_t* col = batch.I64Column(bound_index_)) {
     if (ct == ValueType::kInt64) {
       FillCompareColumn(col, constant_.AsInt(), n, op_, out);

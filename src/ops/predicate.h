@@ -51,12 +51,12 @@ class Predicate {
 
   /// Vectorized Eval over a whole batch: fills `out` (sized to
   /// batch.size()) with 0/1 per tuple, matching per-tuple Eval bit for bit.
-  /// Numeric comparisons loop over the batch's columnar scratch when
-  /// available; everything else (hash partitions, string/bool/null
-  /// constants, non-uniform or non-numeric columns) falls back to per-tuple
-  /// Eval internally, so callers never need a scalar path of their own.
-  /// Uses only stack scratch — safe on shared predicate trees under the
-  /// threaded engine.
+  /// Numeric and string comparisons loop over the batch's columnar scratch
+  /// when available (strings via TupleBatch::StrColumn's pooled views);
+  /// everything else (hash partitions, bool/null constants, non-uniform or
+  /// type-mixed columns) falls back to per-tuple Eval internally, so callers
+  /// never need a scalar path of their own. Uses only stack scratch — safe
+  /// on shared predicate trees under the threaded engine.
   void EvalBatch(TupleBatch& batch, std::vector<uint8_t>* out) const;
 
   /// Logical complement; used to route the "other" half after a box split.
@@ -94,7 +94,9 @@ class Predicate {
   const Value& FieldValue(const Tuple& t) const;
 
   /// Columnar kCompare: true (and fills `out`) only when the batch exposes
-  /// a numeric column for the bound field and the constant is numeric.
+  /// a numeric or string column for the bound field and the constant has a
+  /// matching type class (numeric column vs numeric constant, string column
+  /// vs string constant).
   bool CompareBatchColumns(TupleBatch& batch, std::vector<uint8_t>* out) const;
 
   /// Bound-once field cache (kCompare / kHash). Mutable because predicate

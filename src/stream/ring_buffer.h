@@ -59,6 +59,25 @@ class BoundedRing {
     return true;
   }
 
+  /// Producer side, chunked: moves up to `n` items from `src` into the ring
+  /// and publishes them with a single release store on `tail_`. Returns the
+  /// number of items actually pushed (0 when full); the caller retries or
+  /// helps the consumer for the remainder. Items `src[0..k)` are consumed
+  /// (moved-from) on return; `src[k..n)` are untouched. The wraparound point
+  /// needs no special casing — each slot is addressed through `mask_`.
+  size_t TryPushN(T* src, size_t n) {
+    if (n == 0) return 0;
+    uint64_t tail = tail_.load(std::memory_order_relaxed);
+    uint64_t head = head_.load(std::memory_order_acquire);
+    size_t room = slots_.size() - static_cast<size_t>(tail - head);
+    size_t k = n < room ? n : room;
+    for (size_t i = 0; i < k; ++i) {
+      slots_[(tail + i) & mask_] = std::move(src[i]);
+    }
+    if (k > 0) tail_.store(tail + k, std::memory_order_release);
+    return k;
+  }
+
   /// Consumer side. Returns false when empty.
   bool TryPop(T* out) {
     uint64_t head = head_.load(std::memory_order_relaxed);

@@ -186,12 +186,17 @@ std::vector<uint8_t> SerializeTuples(const std::vector<Tuple>& tuples) {
   return out;
 }
 
-void SerializeTuplesInto(const std::vector<Tuple>& tuples,
+void SerializeTuplesInto(const Tuple* tuples, size_t n,
                          std::vector<uint8_t>* out) {
   Encoder enc(std::move(*out));
-  enc.PutU32(static_cast<uint32_t>(tuples.size()));
-  for (const auto& t : tuples) enc.PutTuple(t);
+  enc.PutU32(static_cast<uint32_t>(n));
+  for (size_t i = 0; i < n; ++i) enc.PutTuple(tuples[i]);
   *out = enc.TakeBuffer();
+}
+
+void SerializeTuplesInto(const std::vector<Tuple>& tuples,
+                         std::vector<uint8_t>* out) {
+  SerializeTuplesInto(tuples.data(), tuples.size(), out);
 }
 
 Result<std::vector<Tuple>> DeserializeTuples(const std::vector<uint8_t>& buf,

@@ -87,6 +87,10 @@ Result<std::vector<Tuple>> DeserializeTuples(const std::vector<uint8_t>& buf,
 
 /// Scratch-reusing variants for per-message hot paths: `out` is cleared but
 /// keeps its capacity, so steady-state encode/decode does not reallocate.
+/// The span form lets chunked batch emissions serialize straight out of an
+/// emission buffer without materializing a vector.
+void SerializeTuplesInto(const Tuple* tuples, size_t n,
+                         std::vector<uint8_t>* out);
 void SerializeTuplesInto(const std::vector<Tuple>& tuples,
                          std::vector<uint8_t>* out);
 Status DeserializeTuplesInto(const std::vector<uint8_t>& buf,

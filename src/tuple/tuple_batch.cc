@@ -10,6 +10,8 @@ void TupleBatch::Clear() {
     c.ok_i64 = false;
     c.built_f64 = false;
     c.ok_f64 = false;
+    c.built_str = false;
+    c.ok_str = false;
   }
   uniform_ = true;
 }
@@ -48,6 +50,24 @@ const double* TupleBatch::F64Column(size_t field) {
   }
   c.ok_f64 = true;
   return c.f64.data();
+}
+
+const std::string_view* TupleBatch::StrColumn(size_t field) {
+  if (tuples_.empty() || !uniform_ || schema() == nullptr) return nullptr;
+  if (field >= tuples_.front().num_values()) return nullptr;
+  if (cols_.size() <= field) cols_.resize(field + 1);
+  Column& c = cols_[field];
+  if (c.built_str) return c.ok_str ? c.str.data() : nullptr;
+  c.built_str = true;
+  c.str.clear();
+  c.str.reserve(tuples_.size());
+  for (const Tuple& t : tuples_) {
+    const Value& v = t.value(field);
+    if (v.type() != ValueType::kString) return nullptr;  // ok_str stays false
+    c.str.push_back(std::string_view(v.AsString()));
+  }
+  c.ok_str = true;
+  return c.str.data();
 }
 
 }  // namespace aurora

@@ -2,6 +2,7 @@
 #define AURORA_TUPLE_TUPLE_BATCH_H_
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "common/sim_time.h"
@@ -78,6 +79,11 @@ class TupleBatch {
   const int64_t* I64Column(size_t field);
   /// Same for double fields.
   const double* F64Column(size_t field);
+  /// Pooled string views for field `field`, one per tuple, or nullptr when
+  /// the field is not a string across the whole batch. Each view aliases the
+  /// owning tuple's refcounted body — no bytes are copied — so views stay
+  /// valid exactly as long as the columns do: until Clear().
+  const std::string_view* StrColumn(size_t field);
 
  private:
   struct Column {
@@ -85,8 +91,11 @@ class TupleBatch {
     bool ok_i64 = false;
     bool built_f64 = false;
     bool ok_f64 = false;
+    bool built_str = false;
+    bool ok_str = false;
     std::vector<int64_t> i64;
     std::vector<double> f64;
+    std::vector<std::string_view> str;
   };
 
   std::vector<Tuple> tuples_;

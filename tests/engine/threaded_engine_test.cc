@@ -1,8 +1,12 @@
 // ThreadedEngine runtime: per-arc FIFO determinism on linear chains,
 // fan-out delivery, help-on-full backpressure with tiny rings, stateful
-// operators vs the single-threaded oracle, and deferred operator errors.
+// operators vs the single-threaded oracle, deferred operator errors, and
+// the ring multi-push (TryPushN) edge cases chunked batch emission leans
+// on: wraparound-spanning reserves, chunks larger than the ring, and a
+// concurrent multi-push/pop oracle (run under TSan in CI).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -10,6 +14,7 @@
 
 #include "engine/aurora_engine.h"
 #include "engine/threaded_engine.h"
+#include "stream/ring_buffer.h"
 #include "tests/test_util.h"
 
 namespace aurora {
@@ -259,6 +264,136 @@ TEST(ThreadedEngineTest, ConcurrentPushersOnDistinctInputsAllDeliver) {
     }
   }
   EXPECT_EQ(engine.tuples_in(), static_cast<uint64_t>(2 * kN));
+}
+
+// TryPushN where the reserved run crosses the physical end of the slot
+// array: slot addressing is (tail + i) & mask, so the published run must
+// come back out in order with no special casing at the wrap point.
+TEST(RingMultiPushTest, ReserveSpansWraparound) {
+  BoundedRing<int64_t> ring(8);
+  ASSERT_EQ(ring.capacity(), 8u);
+  // Advance head and tail to 6 so the next multi-push straddles slot 7 -> 0.
+  for (int64_t i = 0; i < 6; ++i) {
+    int64_t v = i;
+    ASSERT_TRUE(ring.TryPush(v));
+  }
+  int64_t out;
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(ring.TryPop(&out));
+  ASSERT_TRUE(ring.EmptyApprox());
+
+  int64_t chunk[5] = {100, 101, 102, 103, 104};
+  ASSERT_EQ(ring.TryPushN(chunk, 5), 5u);  // slots 6,7,0,1,2
+  for (int64_t want = 100; want <= 104; ++want) {
+    ASSERT_TRUE(ring.TryPop(&out));
+    EXPECT_EQ(out, want);
+  }
+  EXPECT_FALSE(ring.TryPop(&out));
+}
+
+// A chunk larger than the whole ring publishes exactly the available room
+// and leaves the tail of the span untouched for the caller to retry (the
+// engine helps the consumer between retries).
+TEST(RingMultiPushTest, ChunkLargerThanCapacityPublishesPartially) {
+  BoundedRing<int64_t> ring(4);
+  ASSERT_EQ(ring.capacity(), 4u);
+  int64_t chunk[11];
+  for (int64_t i = 0; i < 11; ++i) chunk[i] = i;
+  ASSERT_EQ(ring.TryPushN(chunk, 11), 4u);  // room = capacity
+  ASSERT_EQ(ring.TryPushN(chunk + 4, 7), 0u);  // full: nothing consumed
+  int64_t out;
+  for (int64_t want = 0; want < 4; ++want) {
+    ASSERT_TRUE(ring.TryPop(&out));
+    EXPECT_EQ(out, want);
+  }
+  // Drained: the rest of the span (untouched by the failed push) goes in.
+  ASSERT_EQ(ring.TryPushN(chunk + 4, 7), 4u);
+  for (int64_t want = 4; want < 8; ++want) {
+    ASSERT_TRUE(ring.TryPop(&out));
+    EXPECT_EQ(out, want);
+  }
+}
+
+// Concurrent multi-push vs pop oracle: one producer publishing variable-size
+// chunks, one consumer popping. The consumer must observe exactly the
+// sequence 0..kN-1 — any torn publish, lost slot, or reorder breaks the
+// oracle. CI runs this under TSan to certify the reserve-n/publish-once
+// memory ordering.
+TEST(RingMultiPushTest, ConcurrentMultiPushPopOracle) {
+  BoundedRing<int64_t> ring(16);
+  const int64_t kN = 200000;
+  std::thread producer([&ring] {
+    int64_t chunk[13];
+    int64_t next = 0;
+    while (next < kN) {
+      size_t n = static_cast<size_t>((next % 13) + 1);
+      if (next + static_cast<int64_t>(n) > kN) {
+        n = static_cast<size_t>(kN - next);
+      }
+      for (size_t i = 0; i < n; ++i) chunk[i] = next + static_cast<int64_t>(i);
+      size_t done = 0;
+      while (done < n) {
+        done += ring.TryPushN(chunk + done, n - done);
+      }
+      next += static_cast<int64_t>(n);
+    }
+  });
+  int64_t got = 0;
+  while (got < kN) {
+    int64_t v;
+    if (ring.TryPop(&v)) {
+      ASSERT_EQ(v, got);
+      ++got;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.EmptyApprox());
+}
+
+// Engine-level: batch_size 64 over capacity-2 rings makes every chunked
+// emission larger than the ring. The chunk must degrade to repeated partial
+// publishes with help-on-full between them — exact output, no deadlock.
+TEST(ThreadedEngineTest, BatchedChunkLargerThanRingHelpsNotDeadlocks) {
+  ThreadedEngineOptions opts;
+  opts.workers = 2;
+  opts.train_size = 64;
+  opts.batch_size = 64;
+  opts.ring_capacity = 2;
+  Chain c(opts, /*threshold=*/0);
+  ASSERT_OK(c.engine.Start());
+  const int kN = 3000;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_OK(c.engine.PushInput(c.in, T(i, i % 17, i + 1), SimTime()));
+  }
+  c.engine.WaitQuiescent();
+  ASSERT_OK(c.engine.Stop());
+  EXPECT_EQ(c.rows, ExpectedChainRows(kN, 0));
+  EXPECT_GT(c.engine.ring_full_events(), 0u);
+}
+
+// Batched chunked emission under stealing workers stays byte-identical to
+// the scalar expectation on a linear chain (the determinism contract is
+// batch- and thread-invariant). Small rings force concurrent multi-push,
+// help claims, and steals to interleave; CI runs this under TSan too.
+TEST(ThreadedEngineTest, BatchedEmissionExactUnderStealingWorkers) {
+  const int kN = 2000;
+  const int64_t kThreshold = 10;
+  std::vector<std::string> expected = ExpectedChainRows(kN, kThreshold);
+  for (int workers : {1, 2, 4}) {
+    ThreadedEngineOptions opts;
+    opts.workers = workers;
+    opts.train_size = 16;
+    opts.batch_size = 8;
+    opts.ring_capacity = 8;
+    Chain c(opts, kThreshold);
+    ASSERT_OK(c.engine.Start());
+    for (int i = 0; i < kN; ++i) {
+      ASSERT_OK(c.engine.PushInput(c.in, T(i, i % 17, i + 1), SimTime()));
+    }
+    c.engine.WaitQuiescent();
+    ASSERT_OK(c.engine.Stop());
+    EXPECT_EQ(c.rows, expected) << "workers=" << workers;
+    EXPECT_EQ(c.engine.delivered(c.out), expected.size());
+  }
 }
 
 TEST(ThreadedEngineTest, StartRejectsUninitializedBoxes) {

@@ -660,6 +660,15 @@ TEST_P(BatchOracleTest, WSort) {
                      true);
 }
 
+TEST_P(BatchOracleTest, WSortUnbounded) {
+  const auto& c = GetParam();
+  // max_buffer=0: nothing is emitted mid-batch, so WSort's bulk-insert
+  // fast path (one stable sort + hinted tree merge per batch) engages.
+  CheckAllBatchSizes(WSortSpec({"A"}, /*timeout_us=*/0, /*max_buffer=*/0),
+                     SchemaAB(), BatchStream(c.seed + 12, c.n, 1000, 0, 9),
+                     true);
+}
+
 TEST_P(BatchOracleTest, Resample) {
   const auto& c = GetParam();
   CheckAllBatchSizes(ResampleSpec("B", /*interval_us=*/2000), SchemaAB(),
@@ -739,6 +748,208 @@ TEST(BatchOracleMultiInputTest, JoinDefaultLoopMatchesScalar) {
     return CanonicalEmissions(emitter);
   };
   EXPECT_EQ(run(false), run(true));
+}
+
+// Probe-side batching with the (key, timestamp) match memo: runs of
+// identical probes, advancing timestamps (expiry between runs), and a
+// post-probe scalar push that checks the probe buffer came out identical.
+TEST(BatchOracleMultiInputTest, JoinProbeBatchMemoMatchesScalar) {
+  SchemaPtr left = SchemaAB();
+  SchemaPtr right = Schema::Make(
+      {Field{"K", ValueType::kInt64}, Field{"V", ValueType::kInt64}});
+  Rng rng = MakeTestRng(84);
+  std::vector<Tuple> rights;
+  for (int i = 0; i < 40; ++i) {
+    Tuple t = MakeTuple(right, {Value(rng.UniformInt(0, 5)), Value(i)});
+    t.set_timestamp(SimTime::Millis(rng.UniformInt(1, 30)));
+    rights.push_back(std::move(t));
+  }
+  std::vector<Tuple> lefts;
+  SimTime ts = SimTime::Millis(5);
+  int64_t run_key = 0;
+  for (int i = 0; i < 60; ++i) {
+    if (i % 4 == 0) {
+      ts += SimDuration::Millis(rng.UniformInt(0, 3));
+      run_key = rng.UniformInt(0, 5);
+    }
+    Tuple t = MakeTuple(left, {Value(run_key), Value(i)});
+    t.set_timestamp(ts);
+    t.set_seq(static_cast<SeqNo>(100 + i));
+    lefts.push_back(std::move(t));
+  }
+  Tuple post = MakeTuple(right, {Value(run_key), Value(int64_t{999})});
+  post.set_timestamp(ts);
+  auto run = [&](bool batched) {
+    auto op =
+        std::move(CreateOperator(JoinSpec("A", "K", 10'000))).ValueUnsafe();
+    AURORA_CHECK(op->Init({left, right}).ok());
+    CollectingEmitter emitter;
+    for (const Tuple& r : rights) {
+      EXPECT_OK(op->Process(1, r, r.timestamp(), &emitter));
+    }
+    if (batched) {
+      TupleBatch batch;
+      for (const Tuple& l : lefts) batch.Push(l, l.timestamp());
+      EXPECT_OK(op->ProcessBatch(0, batch, &emitter));
+    } else {
+      for (const Tuple& l : lefts) {
+        EXPECT_OK(op->Process(0, l, l.timestamp(), &emitter));
+      }
+    }
+    // A late right tuple joins against whatever the probe side buffered:
+    // catches any divergence in the probe buffer or its expiry.
+    EXPECT_OK(op->Process(1, post, post.timestamp(), &emitter));
+    return CanonicalEmissions(emitter);
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+// ---- String-schema vectorization (TupleBatch::StrColumn) -----------------
+
+SchemaPtr SchemaSB() {
+  return Schema::Make(
+      {Field{"S", ValueType::kString}, Field{"B", ValueType::kInt64}});
+}
+
+/// Seeded stream over (S:string, B:int64) with the same seq/trace stamping
+/// as BatchStream; words repeat (and include "") so string compares exercise
+/// every ordering against the constant.
+std::vector<Tuple> StringStream(uint64_t seed, int n) {
+  static const char* kWords[] = {"alpha", "bravo", "charlie",
+                                 "delta", "echo",  ""};
+  Rng rng = MakeTestRng(seed);
+  SchemaPtr schema = SchemaSB();
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < n; ++i) {
+    Tuple t = MakeTuple(schema, {Value(kWords[rng.UniformInt(0, 5)]),
+                                 Value(rng.UniformInt(-100, 100))});
+    t.set_seq(static_cast<SeqNo>(i + 1));
+    t.set_timestamp(SimTime::Millis(i + 1));
+    if (i % 3 == 0) t.set_trace_id(static_cast<uint64_t>(2000 + i));
+    tuples.push_back(std::move(t));
+  }
+  return tuples;
+}
+
+TEST(BatchOracleStringTest, StrColumnExposesPooledViews) {
+  std::vector<Tuple> tuples = StringStream(97, 9);
+  TupleBatch batch;
+  for (const Tuple& t : tuples) batch.Push(t, t.timestamp());
+  const std::string_view* col = batch.StrColumn(0);
+  ASSERT_NE(col, nullptr);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(col[i], std::string_view(tuples[i].value(0).AsString())) << i;
+  }
+  // The int field is not a string column.
+  EXPECT_EQ(batch.StrColumn(1), nullptr);
+}
+
+TEST(BatchOracleStringTest, FilterStringCompareMatchesScalar) {
+  // String column vs string constant: the vectorized compare path, every
+  // operator, odd-tail and wide batch sizes.
+  for (CompareOp op : {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                       CompareOp::kLe, CompareOp::kGt, CompareOp::kGe}) {
+    for (int batch_size : {1, 7, 64}) {
+      std::string diff = BatchOracleDiff(
+          FilterSpec(Predicate::Compare("S", op, Value("charlie"))),
+          SchemaSB(), StringStream(95, 113), batch_size, false);
+      EXPECT_TRUE(diff.empty())
+          << "op=" << CompareOpName(op) << " batch=" << batch_size << "\n"
+          << diff;
+    }
+  }
+}
+
+TEST(BatchOracleStringTest, MapIdentityStringProjectionMatchesScalar) {
+  // A bare string field ref plus an int arithmetic column: identity
+  // projections copy values straight out of the tuple, so a string column
+  // no longer forces Map onto the scalar path.
+  for (int batch_size : {1, 7, 64}) {
+    std::vector<std::pair<std::string, Expr>> proj;
+    proj.emplace_back("S2", Expr::FieldRef("S"));
+    proj.emplace_back("B2", Expr::Arith(ArithOp::kAdd, Expr::FieldRef("B"),
+                                        Expr::Constant(Value(int64_t{7}))));
+    std::string diff =
+        BatchOracleDiff(MapSpec(std::move(proj)), SchemaSB(),
+                        StringStream(96, 77), batch_size, false);
+    EXPECT_TRUE(diff.empty()) << "batch=" << batch_size << "\n" << diff;
+  }
+}
+
+// ---- BatchEmitter chunked-emission stamping (regression) -----------------
+//
+// Seq/trace stamping must happen at Emit time, not at flush time: a chunk
+// boundary falling between two emissions must never change which input
+// tuple's metadata an emission inherits.
+
+class ChunkRecordingEmitter : public Emitter {
+ public:
+  void Emit(int output, Tuple t) override {
+    chunk_sizes.push_back(1);
+    tuples.emplace_back(output, std::move(t));
+  }
+  void EmitChunk(int output, Tuple* ts, size_t n) override {
+    chunk_sizes.push_back(n);
+    for (size_t i = 0; i < n; ++i) {
+      tuples.emplace_back(output, std::move(ts[i]));
+    }
+  }
+  std::vector<size_t> chunk_sizes;
+  std::vector<std::pair<int, Tuple>> tuples;
+};
+
+TEST(BatchEmitterTest, SeqStampingPinnedAcrossChunkBoundary) {
+  SchemaPtr schema = SchemaAB();
+  ChunkRecordingEmitter inner;
+  uint64_t counter = 0;
+  Operator::BatchEmitter be(&inner, &counter);
+  be.EnableBuffering(2);  // force a flush after every 2 staged emissions
+  for (int i = 0; i < 5; ++i) {
+    Tuple in = MakeTuple(schema, {Value(int64_t{i}), Value(int64_t{0})});
+    in.set_seq(static_cast<SeqNo>(10 + i));
+    in.set_trace_id(static_cast<uint64_t>(500 + i));
+    be.SetCurrent(in);
+    be.Emit(0, MakeTuple(schema, {Value(int64_t{i}), Value(int64_t{1})}));
+  }
+  be.Flush();
+  ASSERT_EQ(inner.tuples.size(), 5u);
+  EXPECT_EQ(counter, 5u);
+  for (int i = 0; i < 5; ++i) {
+    // Every emission carries the seq/trace of the input tuple current at
+    // its own Emit call, even though flushes happened at 2, 4, and the
+    // tail — chunk boundaries must not smear stamping across emissions.
+    EXPECT_EQ(inner.tuples[i].second.seq(), static_cast<SeqNo>(10 + i)) << i;
+    EXPECT_EQ(inner.tuples[i].second.trace_id(),
+              static_cast<uint64_t>(500 + i))
+        << i;
+  }
+  // Delivery really was chunked, not unrolled per tuple.
+  EXPECT_EQ(inner.chunk_sizes, (std::vector<size_t>{2, 2, 1}));
+}
+
+TEST(BatchEmitterTest, FlushSplitsChunksPerOutputRun) {
+  SchemaPtr schema = SchemaAB();
+  ChunkRecordingEmitter inner;
+  uint64_t counter = 0;
+  Operator::BatchEmitter be(&inner, &counter);
+  be.EnableBuffering(8);
+  const int outputs[] = {0, 0, 1, 1, 0};
+  for (int i = 0; i < 5; ++i) {
+    Tuple in = MakeTuple(schema, {Value(int64_t{i}), Value(int64_t{0})});
+    in.set_seq(static_cast<SeqNo>(i + 1));
+    be.SetCurrent(in);
+    be.Emit(outputs[i],
+            MakeTuple(schema, {Value(int64_t{i}), Value(int64_t{1})}));
+  }
+  be.Flush();
+  // One chunk per consecutive same-output run, original order preserved.
+  EXPECT_EQ(inner.chunk_sizes, (std::vector<size_t>{2, 2, 1}));
+  ASSERT_EQ(inner.tuples.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(inner.tuples[i].first, outputs[i]) << i;
+    EXPECT_EQ(GetInt(inner.tuples[i].second, "A"), i);
+    EXPECT_EQ(inner.tuples[i].second.seq(), static_cast<SeqNo>(i + 1)) << i;
+  }
 }
 
 // Degenerate shapes the schedulers can produce: an empty batch (queue

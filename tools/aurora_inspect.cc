@@ -9,9 +9,12 @@
 //                                          counters, read amplification, and
 //                                          per-arc spill reconciliation
 //   aurora_inspect --check <dump.json>     validate the dump: snapshot schema,
-//                                          stage/e2e conservation, and spill
+//                                          stage/e2e conservation, spill
 //                                          conservation (unspill <= spill,
-//                                          outstanding <= ever-spilled);
+//                                          outstanding <= ever-spilled), and
+//                                          batch-emission accounting (chunk
+//                                          sizes reconcile with the per-arc
+//                                          enqueue/deliver/hold counters);
 //                                          nonzero exit on failure (CI)
 //   aurora_inspect --diff <a.json> <b.json> metric deltas between two dumps
 //   aurora_inspect --top N / --traces N    table / timeline row limits
@@ -436,6 +439,84 @@ bool CheckStorage(const StorageView& v) {
 }
 
 // ---------------------------------------------------------------------------
+// Batched-emission accounting
+// ---------------------------------------------------------------------------
+
+/// The engine.batch.* / engine.threaded.batch.* counters chunked emission
+/// maintains. Missing counters read as 0, so scalar (batch=1) dumps and
+/// dumps from before the batched path pass trivially.
+struct BatchView {
+  // Single-threaded engine (RouteChunk).
+  double chunks = 0;        ///< engine.batch.emitted_chunks
+  double chunk_tuples = 0;  ///< engine.batch.emitted_tuples (sum of sizes)
+  double fanout = 0;        ///< engine.batch.fanout_tuples (tuples x arcs)
+  double enqueued = 0;      ///< engine.batch.chunk_enqueued (to box queues)
+  double delivered = 0;     ///< engine.batch.chunk_delivered (to outputs)
+  double held = 0;          ///< engine.batch.chunk_held (choked arcs)
+  // Threaded engine (EmitChunk -> ring multi-push).
+  double t_chunks = 0;      ///< engine.threaded.batch.emitted_chunks
+  double t_tuples = 0;      ///< engine.threaded.batch.emitted_tuples
+  double t_publishes = 0;   ///< engine.threaded.batch.multipush_publishes
+
+  bool present() const {
+    return chunks > 0 || chunk_tuples > 0 || fanout > 0 || t_chunks > 0 ||
+           t_tuples > 0 || t_publishes > 0;
+  }
+};
+
+BatchView CollectBatch(const MetricsSnapshot& snap) {
+  BatchView v;
+  v.chunks = snap.CounterOr("engine.batch.emitted_chunks");
+  v.chunk_tuples = snap.CounterOr("engine.batch.emitted_tuples");
+  v.fanout = snap.CounterOr("engine.batch.fanout_tuples");
+  v.enqueued = snap.CounterOr("engine.batch.chunk_enqueued");
+  v.delivered = snap.CounterOr("engine.batch.chunk_delivered");
+  v.held = snap.CounterOr("engine.batch.chunk_held");
+  v.t_chunks = snap.CounterOr("engine.threaded.batch.emitted_chunks");
+  v.t_tuples = snap.CounterOr("engine.threaded.batch.emitted_tuples");
+  v.t_publishes = snap.CounterOr("engine.threaded.batch.multipush_publishes");
+  return v;
+}
+
+/// Chunked emission never invents or drops tuples: every tuple of every
+/// chunk fans out to each downstream arc exactly once, and on each arc it is
+/// enqueued to a box, delivered to an output, or held on a choked arc.
+bool CheckBatch(const BatchView& v) {
+  if (!v.present()) return true;  // scalar dump: nothing to reconcile
+  bool ok = true;
+  if (v.chunks > v.chunk_tuples) {
+    std::printf(
+        "CHECK FAIL batch: emitted_chunks=%.0f exceed emitted_tuples=%.0f "
+        "(every chunk carries at least one tuple)\n",
+        v.chunks, v.chunk_tuples);
+    ok = false;
+  }
+  if (v.enqueued + v.delivered + v.held != v.fanout) {
+    std::printf(
+        "CHECK FAIL batch: chunk_enqueued=%.0f + chunk_delivered=%.0f + "
+        "chunk_held=%.0f != fanout_tuples=%.0f (per-arc tuple counters do "
+        "not reconcile with the emitted chunk sizes)\n",
+        v.enqueued, v.delivered, v.held, v.fanout);
+    ok = false;
+  }
+  if (v.t_chunks > v.t_tuples) {
+    std::printf(
+        "CHECK FAIL batch: threaded emitted_chunks=%.0f exceed "
+        "emitted_tuples=%.0f (every chunk carries at least one tuple)\n",
+        v.t_chunks, v.t_tuples);
+    ok = false;
+  }
+  if (v.t_chunks == 0 && v.t_publishes > 0) {
+    std::printf(
+        "CHECK FAIL batch: multipush_publishes=%.0f without any threaded "
+        "emitted chunk (ring multi-push only runs under chunked emission)\n",
+        v.t_publishes);
+    ok = false;
+  }
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
 // Trace timelines (flight dumps)
 // ---------------------------------------------------------------------------
 
@@ -549,13 +630,19 @@ int Inspect(const std::string& path, const InspectOptions& opts) {
   }
 
   if (opts.check) {
+    BatchView batch = CollectBatch(*snap);
     bool ok = CheckAttribution(attribution);
     ok = CheckStorage(storage) && ok;
+    ok = CheckBatch(batch) && ok;
     if (!ok) return 1;
     std::printf("\nCHECK OK: %zu outputs conserve stage attribution, "
                 "%zu spill arcs reconcile, "
+                "batch emission %s (%.0f chunks / %.0f tuples), "
                 "%zu counters, %zu gauges, %zu histograms parsed.\n",
-                attribution.size(), storage.arcs.size(), snap->counters.size(),
+                attribution.size(), storage.arcs.size(),
+                batch.present() ? "reconciles" : "absent",
+                batch.chunks + batch.t_chunks,
+                batch.chunk_tuples + batch.t_tuples, snap->counters.size(),
                 snap->gauges.size(), snap->histograms.size());
   }
   return 0;
